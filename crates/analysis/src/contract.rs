@@ -1,0 +1,444 @@
+//! Array contraction (§5.6).
+//!
+//! Contraction maps an array to a lower-dimensional array (or a scalar) when
+//! the live ranges of the elements along one dimension never interfere:
+//! legal in a loop when the array has **no upwards-exposed reads** in the
+//! loop, **no loop-carried dependence at the contracted dimension** (every
+//! access subscripts that dimension with the loop index), and is **not live
+//! at the loop's exit** — exactly the three §5.6 conditions, the last two of
+//! which come from the liveness analysis.
+//!
+//! The transformation rewrites the IR (dropping the dimension from the
+//! declaration and from every access) and re-resolves the program through
+//! the pretty-printer, which keeps all ids consistent.
+
+use crate::context::ArrayKey;
+use crate::parallelize::ProgramAnalysis;
+use suif_ir::{pretty, Expr, Extent, Program, Ref, Stmt, StmtId, VarId, VarKind};
+
+/// One legal contraction opportunity.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ContractionCandidate {
+    /// The array to contract.
+    pub var: VarId,
+    /// The loop it is contracted against.
+    pub loop_stmt: StmtId,
+    /// The dimension (0-based) to remove.
+    pub dim: usize,
+}
+
+/// Find all legal contractions in the program.
+pub fn find_candidates(pa: &ProgramAnalysis<'_>) -> Vec<ContractionCandidate> {
+    let ctx = &pa.ctx;
+    let program = ctx.program;
+    let mut out = Vec::new();
+    let Some(live) = pa.liveness.as_ref() else {
+        return out; // contraction needs liveness (§5.1.3)
+    };
+    for li in &ctx.tree.loops {
+        let Some(closed) = pa.df.stmt_summary.get(&li.stmt) else {
+            continue;
+        };
+        for v in program.proc(li.proc).all_vars() {
+            let info = program.var(v);
+            if !info.is_array() || !matches!(info.kind, VarKind::Local) {
+                continue;
+            }
+            if ctx.const_extents(v).is_none() {
+                continue;
+            }
+            let id = ctx.array_of(v);
+            let Some(s) = closed.acc.get(id) else { continue };
+            if s.write.is_empty() {
+                continue;
+            }
+            // (1) no upwards-exposed reads in the loop;
+            if !s.exposed.set.prove_empty() {
+                continue;
+            }
+            // (3) dead at loop exit;
+            if !live.is_dead_after(li.stmt, id) {
+                continue;
+            }
+            // (2) every access in the program is inside this loop and
+            // subscripts some dimension with exactly the loop index —
+            // then elements along that dimension never coexist.
+            let Some(dim) = contractible_dim(program, li.stmt, li.var, v) else {
+                continue;
+            };
+            out.push(ContractionCandidate {
+                var: v,
+                loop_stmt: li.stmt,
+                dim,
+            });
+        }
+    }
+    out
+}
+
+/// The dimension all accesses index with the loop variable, if (a) every
+/// access to `v` in the program sits inside the loop, (b) `v` is never
+/// passed to a procedure, and (c) one dimension is always subscripted by
+/// exactly the loop's induction variable.
+fn contractible_dim(
+    program: &Program,
+    loop_stmt: StmtId,
+    loop_var: VarId,
+    v: VarId,
+) -> Option<usize> {
+    let rank = program.var(v).dims.len();
+    let mut candidate_dims: Vec<bool> = vec![true; rank];
+    let mut inside_ok = true;
+    let mut seen_any = false;
+
+    // Gather accesses; track whether each is inside the loop.
+    let proc = program.var(v).proc;
+    fn visit_expr(e: &Expr, v: VarId, hits: &mut Vec<Vec<Expr>>) {
+        e.visit_element_reads(&mut |var, subs| {
+            if var == v {
+                hits.push(subs.to_vec());
+            }
+        });
+    }
+    fn walk(
+        body: &[Stmt],
+        v: VarId,
+        inside: bool,
+        loop_stmt: StmtId,
+        acc: &mut Vec<(bool, Vec<Expr>)>,
+        passed: &mut bool,
+    ) {
+        for s in body {
+            let now_inside = inside || s.id() == loop_stmt;
+            match s {
+                Stmt::Assign { lhs, rhs, .. } => {
+                    let mut hits = Vec::new();
+                    visit_expr(rhs, v, &mut hits);
+                    if let Ref::Element(var, subs) = lhs {
+                        if *var == v {
+                            hits.push(subs.clone());
+                        }
+                        for e in subs {
+                            visit_expr(e, v, &mut hits);
+                        }
+                    } else if lhs.var() == v {
+                        *passed = true; // scalar use of an array: impossible
+                    }
+                    for h in hits {
+                        acc.push((inside, h));
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    let mut hits = Vec::new();
+                    visit_expr(cond, v, &mut hits);
+                    for h in hits {
+                        acc.push((inside, h));
+                    }
+                    walk(then_body, v, inside, loop_stmt, acc, passed);
+                    walk(else_body, v, inside, loop_stmt, acc, passed);
+                }
+                Stmt::Do { body, .. } => {
+                    walk(body, v, now_inside, loop_stmt, acc, passed);
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            suif_ir::Arg::ArrayWhole(av)
+                            | suif_ir::Arg::ArrayPart { var: av, .. } => {
+                                if *av == v {
+                                    *passed = true;
+                                }
+                            }
+                            suif_ir::Arg::Value(e) => {
+                                let mut hits = Vec::new();
+                                visit_expr(e, v, &mut hits);
+                                for h in hits {
+                                    acc.push((inside, h));
+                                }
+                            }
+                            suif_ir::Arg::ScalarVar(_) => {}
+                        }
+                    }
+                }
+                Stmt::Read { lhs, .. } => {
+                    if lhs.var() == v {
+                        acc.push((inside, Vec::new()));
+                    }
+                }
+                Stmt::Print { args, .. } => {
+                    for e in args {
+                        let mut hits = Vec::new();
+                        visit_expr(e, v, &mut hits);
+                        for h in hits {
+                            acc.push((inside, h));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let mut accesses: Vec<(bool, Vec<Expr>)> = Vec::new();
+    let mut passed = false;
+    walk(
+        &program.proc(proc).body,
+        v,
+        false,
+        loop_stmt,
+        &mut accesses,
+        &mut passed,
+    );
+    if passed {
+        return None;
+    }
+    for (inside, subs) in &accesses {
+        seen_any = true;
+        if !inside {
+            inside_ok = false;
+            break;
+        }
+        for (k, dim_ok) in candidate_dims.iter_mut().enumerate() {
+            let is_loop_var = matches!(subs.get(k), Some(Expr::Scalar(sv)) if *sv == loop_var);
+            if !is_loop_var {
+                *dim_ok = false;
+            }
+        }
+    }
+    if !seen_any || !inside_ok {
+        return None;
+    }
+    candidate_dims.iter().position(|&ok| ok)
+}
+
+/// Apply one contraction: returns the rewritten (re-resolved) program.
+pub fn apply(program: &Program, cand: &ContractionCandidate) -> Result<Program, String> {
+    let mut p = program.clone();
+    let vi = cand.var.0 as usize;
+    if cand.dim >= p.vars[vi].dims.len() {
+        return Err("dimension out of range".into());
+    }
+    p.vars[vi].dims.remove(cand.dim);
+
+    fn fix_expr(e: &mut Expr, v: VarId, dim: usize) {
+        match e {
+            Expr::Element(var, subs) => {
+                for s in subs.iter_mut() {
+                    fix_expr(s, v, dim);
+                }
+                if *var == v {
+                    subs.remove(dim);
+                    if subs.is_empty() {
+                        *e = Expr::Scalar(v);
+                    }
+                }
+            }
+            Expr::Unary(_, a) => fix_expr(a, v, dim),
+            Expr::Binary(_, a, b) => {
+                fix_expr(a, v, dim);
+                fix_expr(b, v, dim);
+            }
+            Expr::Intrinsic(_, args) => {
+                for a in args {
+                    fix_expr(a, v, dim);
+                }
+            }
+            _ => {}
+        }
+    }
+    fn fix_ref(r: &mut Ref, v: VarId, dim: usize) {
+        if let Ref::Element(var, subs) = r {
+            for s in subs.iter_mut() {
+                fix_expr(s, v, dim);
+            }
+            if *var == v {
+                subs.remove(dim);
+                if subs.is_empty() {
+                    *r = Ref::Scalar(v);
+                }
+            }
+        }
+    }
+    fn fix_body(body: &mut [Stmt], v: VarId, dim: usize) {
+        for s in body {
+            match s {
+                Stmt::Assign { lhs, rhs, .. } => {
+                    fix_ref(lhs, v, dim);
+                    fix_expr(rhs, v, dim);
+                }
+                Stmt::Read { lhs, .. } => fix_ref(lhs, v, dim),
+                Stmt::Print { args, .. } => {
+                    for a in args {
+                        fix_expr(a, v, dim);
+                    }
+                }
+                Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    fix_expr(cond, v, dim);
+                    fix_body(then_body, v, dim);
+                    fix_body(else_body, v, dim);
+                }
+                Stmt::Do {
+                    lo, hi, step, body, ..
+                } => {
+                    fix_expr(lo, v, dim);
+                    fix_expr(hi, v, dim);
+                    if let Some(st) = step {
+                        fix_expr(st, v, dim);
+                    }
+                    fix_body(body, v, dim);
+                }
+                Stmt::Call { args, .. } => {
+                    for a in args {
+                        match a {
+                            suif_ir::Arg::Value(e) => fix_expr(e, v, dim),
+                            suif_ir::Arg::ArrayPart { base, .. } => {
+                                for b in base {
+                                    fix_expr(b, v, dim);
+                                }
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let proc_idx = p.vars[vi].proc.0 as usize;
+    fix_body(&mut p.procedures[proc_idx].body, cand.var, cand.dim);
+
+    // Re-resolve through the printer for consistent ids and line numbers.
+    let src = pretty::program_to_string(&p);
+    suif_ir::parse_program(&src).map_err(|e| format!("contracted program failed to reparse: {e}"))
+}
+
+/// Total elements saved by applying a set of candidates (reporting metric).
+pub fn elements_saved(program: &Program, cands: &[ContractionCandidate]) -> i64 {
+    let mut saved = 0;
+    for c in cands {
+        let info = program.var(c.var);
+        let before = info.const_size().unwrap_or(0);
+        let after: i64 = info
+            .dims
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != c.dim)
+            .map(|(_, d)| match d {
+                Extent::Const(c) => *c,
+                _ => 1,
+            })
+            .product();
+        saved += before - after;
+    }
+    saved
+}
+
+/// Helper for reporting: the key of a candidate's object.
+pub fn candidate_key(pa: &ProgramAnalysis<'_>, c: &ContractionCandidate) -> ArrayKey {
+    pa.ctx.key_of(c.var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallelize::{ParallelizeConfig, Parallelizer};
+    use suif_ir::parse_program;
+
+    /// The flo88 psmoo pattern after affine partitioning (Fig. 5-11(b)):
+    /// `d(i, j)` and `t(i, j)` only live within one `j` iteration.
+    const PSMOO: &str = r#"program t
+const il = 8
+const jl = 6
+proc main() {
+  real d[il, jl], t[il, jl]
+  real acc[jl]
+  int i, j, k
+  do 50 j = 2, jl {
+    d[1, j] = 0
+    do 30 i = 2, il {
+      t[i, j] = d[i - 1, j] * 0.5
+      d[i, j] = t[i, j] + 1.0
+    }
+    do 40 i = 2, il {
+      acc[j] = acc[j] + d[i, j]
+    }
+  }
+  print acc[2]
+}
+"#;
+
+    #[test]
+    fn finds_psmoo_contractions() {
+        let p = parse_program(PSMOO).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let cands = find_candidates(&pa);
+        let names: Vec<(String, usize)> = cands
+            .iter()
+            .map(|c| (p.var(c.var).name.clone(), c.dim))
+            .collect();
+        assert!(
+            names.contains(&("d".to_string(), 1)),
+            "d contracted on j-dim: {names:?}"
+        );
+        assert!(
+            names.contains(&("t".to_string(), 1)),
+            "t contracted on j-dim: {names:?}"
+        );
+    }
+
+    #[test]
+    fn contraction_preserves_semantics() {
+        use suif_dynamic_check::run_and_output;
+        // Local shim not available — run both versions via the interpreter
+        // in the integration tests instead; here check the shape only.
+        let p = parse_program(PSMOO).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let cands = find_candidates(&pa);
+        let c = cands
+            .iter()
+            .find(|c| p.var(c.var).name == "d")
+            .unwrap();
+        let p2 = apply(&p, c).unwrap();
+        let d2 = p2.var_by_name("main", "d").unwrap();
+        assert_eq!(p2.var(d2).dims.len(), 1, "d contracted to rank 1");
+        let _ = run_and_output;
+    }
+
+    #[test]
+    fn live_arrays_are_not_contracted() {
+        // d read after the loop → live at exit → not contractible.
+        let src = r#"program t
+const il = 8
+proc main() {
+  real d[il, 4]
+  int i, j
+  do 50 j = 1, 4 {
+    do 30 i = 1, il {
+      d[i, j] = i + j
+    }
+  }
+  print d[1, 1]
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let cands = find_candidates(&pa);
+        assert!(cands.is_empty(), "{cands:?}");
+    }
+}
+
+#[cfg(test)]
+mod suif_dynamic_check {
+    /// Placeholder used by the shape-only unit test; the end-to-end
+    /// semantics check lives in the workspace integration tests where the
+    /// interpreter crate is available.
+    pub fn run_and_output() {}
+}

@@ -1,0 +1,664 @@
+//! The parallelization driver: combines dependence, privatization,
+//! reduction, and liveness analysis into a per-loop verdict (§2.4), with the
+//! configuration toggles the evaluation ablates and support for checked
+//! user assertions (§2.8).
+
+use crate::context::{AnalysisCtx, ArrayKey};
+use crate::deps::DepTest;
+use crate::liveness::{self, LivenessMode, LivenessResult};
+use crate::reduction::RedOp;
+use crate::summarize::ArrayDataFlow;
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use suif_ir::{Program, Ref, Stmt, StmtId, VarId};
+use suif_poly::ArrayId;
+
+/// Classification of one storage object within one loop (the Fig. 4-9
+/// accounting categories).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VarClass {
+    /// Accesses carry no loop-carried dependence.
+    Parallel,
+    /// Privatizable; `needs_finalization` says whether the last iteration's
+    /// values must be written back (live at exit).
+    Privatizable {
+        /// Whether finalization is required.
+        needs_finalization: bool,
+    },
+    /// A valid parallel reduction.
+    Reduction(RedOp),
+    /// An unresolved loop-carried dependence.
+    Dep,
+}
+
+/// One unresolved static dependence the user is asked about (§2.6).
+#[derive(Clone, Debug)]
+pub struct StaticDep {
+    /// The storage object.
+    pub object: ArrayId,
+    /// Display name.
+    pub name: String,
+    /// Variables (in the loop's procedure) denoting this object.
+    pub vars: Vec<VarId>,
+    /// Access sites inside the loop: `(stmt, line, is_write, via_call)`.
+    pub sites: Vec<(StmtId, u32, bool, bool)>,
+}
+
+/// Execution plan data for a parallel loop (consumed by `suif-parallel`).
+#[derive(Clone, Debug, Default)]
+pub struct LoopPlan {
+    /// Storage objects to privatize per thread (no finalization needed).
+    pub private: Vec<ArrayKey>,
+    /// Privatized objects whose last iteration must be written back.
+    pub finalize_last: Vec<ArrayKey>,
+    /// Parallel reductions: object, operator.
+    pub reductions: Vec<(ArrayKey, RedOp)>,
+}
+
+/// Analysis verdict for one loop.
+#[derive(Clone, Debug)]
+pub enum LoopVerdict {
+    /// The loop can run in parallel with the given plan.
+    Parallel {
+        /// Transformation plan.
+        plan: LoopPlan,
+        /// Per-object classification (for the Fig. 4-9 accounting).
+        classes: BTreeMap<ArrayId, VarClass>,
+    },
+    /// The loop stays sequential.
+    Sequential {
+        /// Unresolved dependences requiring user examination.
+        deps: Vec<StaticDep>,
+        /// The loop performs I/O (never parallelized, §2.6).
+        has_io: bool,
+        /// Per-object classification of what *was* resolved.
+        classes: BTreeMap<ArrayId, VarClass>,
+    },
+}
+
+impl LoopVerdict {
+    /// Is this a parallel verdict?
+    pub fn is_parallel(&self) -> bool {
+        matches!(self, LoopVerdict::Parallel { .. })
+    }
+
+    /// The classification table.
+    pub fn classes(&self) -> &BTreeMap<ArrayId, VarClass> {
+        match self {
+            LoopVerdict::Parallel { classes, .. } => classes,
+            LoopVerdict::Sequential { classes, .. } => classes,
+        }
+    }
+}
+
+/// A user assertion (validated by the Explorer's assertion checker, §2.8).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Assertion {
+    /// "Variable `var` is privatizable in loop `loop_name`" (no
+    /// finalization needed).
+    Privatizable {
+        /// Loop name (`proc/label`).
+        loop_name: String,
+        /// Variable name in the loop's procedure.
+        var: String,
+    },
+    /// "References to `var` in `loop_name` are independent" — dependences on
+    /// it are ignored.
+    Independent {
+        /// Loop name.
+        loop_name: String,
+        /// Variable name.
+        var: String,
+    },
+}
+
+/// Analysis configuration (the evaluation's ablation axes).
+#[derive(Clone, Debug)]
+pub struct ParallelizeConfig {
+    /// Recognize and parallelize reductions (off for the Fig. 6-4 baseline).
+    pub enable_reduction: bool,
+    /// Liveness algorithm for finalization elimination (`None` = the old
+    /// SUIF rule only, the Fig. 5-8 baseline).
+    pub liveness: Option<LivenessMode>,
+    /// User assertions to apply.
+    pub assertions: Vec<Assertion>,
+}
+
+impl Default for ParallelizeConfig {
+    fn default() -> Self {
+        ParallelizeConfig {
+            enable_reduction: true,
+            liveness: Some(LivenessMode::Full),
+            assertions: Vec::new(),
+        }
+    }
+}
+
+/// The complete analysis of one program.
+pub struct ProgramAnalysis<'p> {
+    /// Shared context (region tree, call graph, array interner).
+    pub ctx: AnalysisCtx<'p>,
+    /// Bottom-up data flow.
+    pub df: ArrayDataFlow,
+    /// Liveness result (if enabled).
+    pub liveness: Option<LivenessResult>,
+    /// Per-loop verdicts.
+    pub verdicts: HashMap<StmtId, LoopVerdict>,
+    /// The configuration used.
+    pub config: ParallelizeConfig,
+}
+
+impl<'p> ProgramAnalysis<'p> {
+    /// Statement ids of all loops judged parallel.
+    pub fn parallel_loops(&self) -> HashSet<StmtId> {
+        self.verdicts
+            .iter()
+            .filter(|(_, v)| v.is_parallel())
+            .map(|(&s, _)| s)
+            .collect()
+    }
+
+    /// The verdict for a loop.
+    pub fn verdict(&self, l: StmtId) -> Option<&LoopVerdict> {
+        self.verdicts.get(&l)
+    }
+}
+
+/// The driver.
+pub struct Parallelizer;
+
+impl Parallelizer {
+    /// Analyze a program under a configuration.
+    pub fn analyze(program: &Program, config: ParallelizeConfig) -> ProgramAnalysis<'_> {
+        let ctx = AnalysisCtx::new(program);
+        let df = ArrayDataFlow::analyze(&ctx);
+        let liveness = config
+            .liveness
+            .map(|mode| liveness::run(&ctx, &df, mode));
+        let mut verdicts = HashMap::new();
+        let dt = DepTest { ctx: &ctx, df: &df };
+
+        // Resolve assertions to (loop, object) pairs.
+        let mut assert_private: HashSet<(StmtId, ArrayId)> = HashSet::new();
+        let mut assert_independent: HashSet<(StmtId, ArrayId)> = HashSet::new();
+        for a in &config.assertions {
+            let (loop_name, var, set) = match a {
+                Assertion::Privatizable { loop_name, var } => {
+                    (loop_name, var, &mut assert_private)
+                }
+                Assertion::Independent { loop_name, var } => {
+                    (loop_name, var, &mut assert_independent)
+                }
+            };
+            let Some(li) = ctx.tree.loops.iter().find(|l| &l.name == loop_name) else {
+                continue;
+            };
+            let proc_name = &program.proc(li.proc).name;
+            if let Some(v) = program.var_by_name(proc_name, var) {
+                set.insert((li.stmt, ctx.array_of(v)));
+            }
+        }
+
+        let loops: Vec<_> = ctx.tree.loops.clone();
+        for li in &loops {
+            let verdict = classify_loop(
+                &ctx,
+                &df,
+                &dt,
+                liveness.as_ref(),
+                &config,
+                li.stmt,
+                li.has_io,
+                &assert_private,
+                &assert_independent,
+            );
+            verdicts.insert(li.stmt, verdict);
+        }
+
+        ProgramAnalysis {
+            ctx,
+            df,
+            liveness,
+            verdicts,
+            config,
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn classify_loop(
+    ctx: &AnalysisCtx<'_>,
+    df: &ArrayDataFlow,
+    dt: &DepTest<'_, '_>,
+    liveness: Option<&LivenessResult>,
+    config: &ParallelizeConfig,
+    loop_stmt: StmtId,
+    has_io: bool,
+    assert_private: &HashSet<(StmtId, ArrayId)>,
+    assert_independent: &HashSet<(StmtId, ArrayId)>,
+) -> LoopVerdict {
+    let mut classes: BTreeMap<ArrayId, VarClass> = BTreeMap::new();
+    let mut plan = LoopPlan::default();
+    let mut deps: Vec<StaticDep> = Vec::new();
+
+    let Some(iter) = df.loop_iter.get(&loop_stmt) else {
+        return LoopVerdict::Sequential {
+            deps,
+            has_io,
+            classes,
+        };
+    };
+    let li = ctx.tree.loop_of(loop_stmt).expect("loop");
+    let index_object = ctx.array_of(li.var);
+
+    let objects: BTreeSet<ArrayId> = iter.sum.acc.arrays().collect();
+    for id in objects {
+        if id == index_object {
+            continue; // the induction variable is handled by the runtime
+        }
+        if assert_independent.contains(&(loop_stmt, id)) {
+            classes.insert(id, VarClass::Parallel);
+            continue;
+        }
+        if assert_private.contains(&(loop_stmt, id)) {
+            classes.insert(
+                id,
+                VarClass::Privatizable {
+                    needs_finalization: false,
+                },
+            );
+            plan.private.push(ctx.key_of_id(id));
+            continue;
+        }
+        if dt.has_carried_dep(loop_stmt, id).is_none() {
+            classes.insert(id, VarClass::Parallel);
+            continue;
+        }
+        if config.enable_reduction {
+            if let Some(op) = dt.reduction_of(loop_stmt, id) {
+                classes.insert(id, VarClass::Reduction(op));
+                plan.reductions.push((ctx.key_of_id(id), op));
+                continue;
+            }
+        }
+        if dt.is_privatizable(loop_stmt, id) {
+            let dead_after = liveness
+                .map(|lv| lv.is_dead_after(loop_stmt, id))
+                .unwrap_or(false);
+            if dead_after {
+                classes.insert(
+                    id,
+                    VarClass::Privatizable {
+                        needs_finalization: false,
+                    },
+                );
+                plan.private.push(ctx.key_of_id(id));
+                continue;
+            }
+            if dt.writes_iteration_invariant(loop_stmt, id) {
+                classes.insert(
+                    id,
+                    VarClass::Privatizable {
+                        needs_finalization: true,
+                    },
+                );
+                plan.finalize_last.push(ctx.key_of_id(id));
+                continue;
+            }
+        }
+        // Unresolved.
+        classes.insert(id, VarClass::Dep);
+        deps.push(static_dep_info(ctx, df, loop_stmt, id));
+    }
+
+    if has_io || !deps.is_empty() {
+        LoopVerdict::Sequential {
+            deps,
+            has_io,
+            classes,
+        }
+    } else {
+        LoopVerdict::Parallel { plan, classes }
+    }
+}
+
+/// Collect the access sites of one object inside a loop, for display and for
+/// seeding the slicing queries.
+fn static_dep_info(
+    ctx: &AnalysisCtx<'_>,
+    df: &ArrayDataFlow,
+    loop_stmt: StmtId,
+    id: ArrayId,
+) -> StaticDep {
+    let program = ctx.program;
+    let li = ctx.tree.loop_of(loop_stmt).expect("loop");
+    let mut vars: Vec<VarId> = Vec::new();
+    for v in program.proc(li.proc).all_vars() {
+        if ctx.array_of(v) == id {
+            vars.push(v);
+        }
+    }
+    let mut sites = Vec::new();
+    let Some((Stmt::Do { body, .. }, _)) = program.find_stmt(loop_stmt) else {
+        return StaticDep {
+            object: id,
+            name: ctx.array_name(id),
+            vars,
+            sites,
+        };
+    };
+    collect_sites(ctx, df, body, id, &mut sites);
+    StaticDep {
+        object: id,
+        name: ctx.array_name(id),
+        vars,
+        sites,
+    }
+}
+
+fn collect_sites(
+    ctx: &AnalysisCtx<'_>,
+    df: &ArrayDataFlow,
+    body: &[Stmt],
+    id: ArrayId,
+    out: &mut Vec<(StmtId, u32, bool, bool)>,
+) {
+    for s in body {
+        match s {
+            Stmt::Assign { lhs, rhs, line, .. } => {
+                if ctx.array_of(lhs.var()) == id {
+                    out.push((s.id(), *line, true, false));
+                }
+                let mut found = false;
+                rhs.visit_scalar_reads(&mut |v| {
+                    if ctx.array_of(v) == id {
+                        found = true;
+                    }
+                });
+                rhs.visit_element_reads(&mut |v, _| {
+                    if ctx.array_of(v) == id {
+                        found = true;
+                    }
+                });
+                if let Ref::Element(_, subs) = lhs {
+                    for e in subs {
+                        e.visit_element_reads(&mut |v, _| {
+                            if ctx.array_of(v) == id {
+                                found = true;
+                            }
+                        });
+                    }
+                }
+                if found {
+                    out.push((s.id(), *line, false, false));
+                }
+            }
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+                line,
+                ..
+            } => {
+                let mut found = false;
+                cond.visit_scalar_reads(&mut |v| {
+                    if ctx.array_of(v) == id {
+                        found = true;
+                    }
+                });
+                cond.visit_element_reads(&mut |v, _| {
+                    if ctx.array_of(v) == id {
+                        found = true;
+                    }
+                });
+                if found {
+                    out.push((s.id(), *line, false, false));
+                }
+                collect_sites(ctx, df, then_body, id, out);
+                collect_sites(ctx, df, else_body, id, out);
+            }
+            Stmt::Do { body, .. } => collect_sites(ctx, df, body, id, out),
+            Stmt::Call { callee, line, .. } => {
+                if let Some(cs) = df.proc_summary.get(callee) {
+                    if let Some(acc) = cs.acc.get(id) {
+                        let w = !acc.write.is_empty();
+                        let r = !acc.read.is_empty();
+                        if w || r {
+                            out.push((s.id(), *line, w, true));
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suif_ir::parse_program;
+
+    fn analyze(src: &str) -> (suif_ir::Program, Vec<(String, bool)>) {
+        let p = parse_program(src).unwrap();
+        let names = {
+            let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+            let mut names: Vec<(String, bool)> = pa
+                .ctx
+                .tree
+                .loops
+                .iter()
+                .map(|l| (l.name.clone(), pa.verdicts[&l.stmt].is_parallel()))
+                .collect();
+            names.sort();
+            names
+        };
+        (p, names)
+    }
+
+    #[test]
+    fn simple_parallel_loop() {
+        let (_, v) = analyze(
+            "program t\nproc main() {\n real a[10]\n int i\n do 1 i = 1, 10 {\n a[i] = i\n }\n}",
+        );
+        assert_eq!(v, vec![("main/1".to_string(), true)]);
+    }
+
+    #[test]
+    fn recurrence_stays_sequential() {
+        let (_, v) = analyze(
+            "program t\nproc main() {\n real a[11]\n int i\n do 1 i = 2, 10 {\n a[i] = a[i - 1]\n }\n}",
+        );
+        assert_eq!(v, vec![("main/1".to_string(), false)]);
+    }
+
+    #[test]
+    fn io_loop_stays_sequential() {
+        let (_, v) = analyze(
+            "program t\nproc main() {\n int i\n do 1 i = 1, 10 {\n print i\n }\n}",
+        );
+        assert_eq!(v, vec![("main/1".to_string(), false)]);
+    }
+
+    #[test]
+    fn reduction_parallelizes_and_ablation_disables() {
+        let src =
+            "program t\nproc main() {\n real s, a[10]\n int i\n do 1 i = 1, 10 {\n s = s + a[i]\n }\n print s\n}";
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let l = pa.ctx.tree.loops[0].stmt;
+        assert!(pa.verdicts[&l].is_parallel());
+        match &pa.verdicts[&l] {
+            LoopVerdict::Parallel { plan, .. } => {
+                assert_eq!(plan.reductions.len(), 1);
+            }
+            _ => panic!(),
+        }
+        // Ablation: reduction recognition off → sequential (Fig. 6-4).
+        let pa2 = Parallelizer::analyze(
+            &p,
+            ParallelizeConfig {
+                enable_reduction: false,
+                ..Default::default()
+            },
+        );
+        assert!(!pa2.verdicts[&l].is_parallel());
+    }
+
+    #[test]
+    fn liveness_enables_privatization_without_finalization() {
+        // Each iteration writes tmp[1 : n(i)] with per-iteration n, then
+        // reads exactly that range back — privatizable, but the old SUIF
+        // finalization rule (identical write regions every iteration) fails;
+        // liveness proves tmp dead at exit, enabling the privatization.
+        let src = r#"program t
+proc main() {
+  real tmp[10], out[20]
+  int sz[20]
+  int i, j, n
+  do 0 i = 1, 20 {
+    sz[i] = mod(i, 5) + 1
+  }
+  do 1 i = 1, 20 {
+    n = sz[i]
+    do 2 j = 1, n {
+      tmp[j] = i + j
+    }
+    do 3 j = 1, n {
+      out[i] = out[i] + tmp[j]
+    }
+  }
+  print out[3]
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let l1 = pa
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1")
+            .unwrap()
+            .stmt;
+        assert!(
+            pa.verdicts[&l1].is_parallel(),
+            "liveness should privatize tmp: {:?}",
+            pa.verdicts[&l1]
+        );
+        // Without liveness the loop stays sequential (Fig. 5-8 baseline).
+        let pa2 = Parallelizer::analyze(
+            &p,
+            ParallelizeConfig {
+                liveness: None,
+                ..Default::default()
+            },
+        );
+        assert!(!pa2.verdicts[&l1].is_parallel());
+    }
+
+    #[test]
+    fn user_assertion_unlocks_loop() {
+        // The mdg pattern: conditional write/read of rl that the compiler
+        // cannot resolve; the user asserts privatizability.
+        let src = r#"program t
+proc main() {
+  real rs[9], rl[14], a[100]
+  real cut2, acc
+  int i, k, kc
+  cut2 = 12.0
+  acc = 0
+  do 1000 i = 1, 100 {
+    kc = 0
+    do 1110 k = 1, 9 {
+      rs[k] = a[i] + k
+      if rs[k] > cut2 { kc = kc + 1 }
+    }
+    do 1130 k = 2, 5 {
+      if rs[k + 4] <= cut2 { rl[k + 4] = rs[k + 4] }
+    }
+    if kc == 0 {
+      do 1140 k = 11, 14 {
+        acc = acc + rl[k - 5]
+      }
+    }
+  }
+  print acc
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let l1000 = pa
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1000")
+            .unwrap()
+            .stmt;
+        // Without help: sequential, with rl among the dependences.
+        match &pa.verdicts[&l1000] {
+            LoopVerdict::Sequential { deps, .. } => {
+                assert!(
+                    deps.iter().any(|d| d.name == "rl"),
+                    "rl should be the blocking dep: {:?}",
+                    deps.iter().map(|d| &d.name).collect::<Vec<_>>()
+                );
+            }
+            _ => panic!("expected sequential"),
+        }
+        // With the user assertion: parallel.
+        let pa2 = Parallelizer::analyze(
+            &p,
+            ParallelizeConfig {
+                assertions: vec![Assertion::Privatizable {
+                    loop_name: "main/1000".into(),
+                    var: "rl".into(),
+                }],
+                ..Default::default()
+            },
+        );
+        assert!(
+            pa2.verdicts[&l1000].is_parallel(),
+            "{:?}",
+            pa2.verdicts[&l1000]
+        );
+    }
+
+    #[test]
+    fn classification_accounting() {
+        let src = r#"program t
+proc main() {
+  real a[10], tmp[4], s
+  int i, j
+  do 1 i = 1, 10 {
+    do 2 j = 1, 4 {
+      tmp[j] = i * j
+    }
+    a[i] = tmp[1] + tmp[2]
+    s = s + tmp[3]
+  }
+  print s
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let l1 = pa
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1")
+            .unwrap()
+            .stmt;
+        let v = &pa.verdicts[&l1];
+        assert!(v.is_parallel(), "{v:?}");
+        let by_name: HashMap<String, VarClass> = v
+            .classes()
+            .iter()
+            .map(|(&id, c)| (pa.ctx.array_name(id), c.clone()))
+            .collect();
+        assert_eq!(by_name["a"], VarClass::Parallel);
+        assert!(matches!(by_name["tmp"], VarClass::Privatizable { .. }));
+        assert_eq!(by_name["s"], VarClass::Reduction(RedOp::Add));
+    }
+}

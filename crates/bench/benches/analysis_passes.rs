@@ -1,0 +1,57 @@
+//! Criterion benches backing Fig. 5-6: cost of the interprocedural analysis
+//! passes, including the liveness-variant ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suif_analysis::liveness::{analyze_liveness, bottom_up};
+use suif_analysis::{AnalysisCtx, ArrayDataFlow, LivenessMode};
+use suif_benchmarks::{apps, Scale};
+
+fn bench_analysis(c: &mut Criterion) {
+    let bench = apps::hydro(Scale::Test);
+    let program = bench.parse();
+
+    let mut g = c.benchmark_group("analysis_hydro");
+    g.sample_size(10);
+
+    g.bench_function("context_build", |b| {
+        b.iter(|| AnalysisCtx::new(&program))
+    });
+
+    g.bench_function("bottom_up_dataflow", |b| {
+        let ctx = AnalysisCtx::new(&program);
+        b.iter(|| ArrayDataFlow::analyze(&ctx))
+    });
+
+    let ctx = AnalysisCtx::new(&program);
+    let df = ArrayDataFlow::analyze(&ctx);
+    let saved = bottom_up(&ctx, &df);
+    for (label, mode) in [
+        ("liveness_flow_insensitive", LivenessMode::FlowInsensitive),
+        ("liveness_one_bit", LivenessMode::OneBit),
+        ("liveness_full", LivenessMode::Full),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| analyze_liveness(&ctx, &df, &saved, mode))
+        });
+    }
+    g.finish();
+
+    // Whole-pipeline per application (Fig. 5-6 rows).
+    let mut g = c.benchmark_group("parallelize_full");
+    g.sample_size(10);
+    for bench in [apps::mdg(Scale::Test), apps::arc3d(Scale::Test)] {
+        let program = bench.parse();
+        g.bench_function(bench.name, |b| {
+            b.iter(|| {
+                suif_analysis::Parallelizer::analyze(
+                    &program,
+                    suif_analysis::ParallelizeConfig::default(),
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Criterion benches backing Figs. 6-6/6-7 and 5-12: parallel-runtime
+//! speedups, the reduction-finalization strategy ablation (§6.3.4), and the
+//! serial-fallback ablation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suif_analysis::{ParallelizeConfig, Parallelizer};
+use suif_benchmarks::{apps, reductions, Scale};
+use suif_parallel::{
+    measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig,
+};
+
+fn bench_runtime(c: &mut Criterion) {
+    // Reduction-heavy kernel: finalization strategies (Fig. 6-6 vs 6-7).
+    let bench = reductions::bdna(Scale::Test);
+    let program = bench.parse();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let plans = ParallelPlans::from_analysis(&pa);
+
+    let mut g = c.benchmark_group("bdna_runtime");
+    g.sample_size(10);
+    g.bench_function("sequential", |b| {
+        b.iter(|| measure_sequential(&program, vec![]).unwrap())
+    });
+    for (label, finalization) in [
+        ("parallel2_serialized", Finalization::Serialized),
+        (
+            "parallel2_staggered",
+            Finalization::StaggeredLocks { sections: 8 },
+        ),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                measure_parallel(
+                    &program,
+                    &plans,
+                    RuntimeConfig {
+                        threads: 2,
+                        min_parallel_iters: 4,
+                        min_parallel_cost: 0,
+                        finalization,
+                        schedule: Default::default(),
+                    },
+                    vec![],
+                )
+                .unwrap()
+            })
+        });
+    }
+    g.finish();
+
+    // flo88 contraction ablation (Fig. 5-12's mechanism).
+    let flo = apps::flo88(Scale::Test, true);
+    let program = flo.parse();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let plans = ParallelPlans::from_analysis(&pa);
+    let mut contracted = program.clone();
+    loop {
+        let pa_c = Parallelizer::analyze(&contracted, ParallelizeConfig::default());
+        let cands = suif_analysis::contract::find_candidates(&pa_c);
+        let Some(cand) = cands.first() else { break };
+        contracted = suif_analysis::contract::apply(&contracted, cand).unwrap();
+    }
+    let pa2 = Parallelizer::analyze(&contracted, ParallelizeConfig::default());
+    let plans2 = ParallelPlans::from_analysis(&pa2);
+
+    let mut g = c.benchmark_group("flo88_contraction");
+    g.sample_size(10);
+    g.bench_function("original_seq", |b| {
+        b.iter(|| measure_sequential(&program, vec![]).unwrap())
+    });
+    g.bench_function("contracted_seq", |b| {
+        b.iter(|| measure_sequential(&contracted, vec![]).unwrap())
+    });
+    g.bench_function("original_par2", |b| {
+        b.iter(|| {
+            measure_parallel(&program, &plans, RuntimeConfig::default(), vec![]).unwrap()
+        })
+    });
+    g.bench_function("contracted_par2", |b| {
+        b.iter(|| {
+            measure_parallel(&contracted, &plans2, RuntimeConfig::default(), vec![]).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

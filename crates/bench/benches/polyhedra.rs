@@ -1,0 +1,62 @@
+//! Micro-benchmarks of the polyhedral substrate: Fourier–Motzkin emptiness
+//! proofs and dependence-style queries (the inner loop of every analysis).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use suif_poly::{Constraint, LinExpr, Polyhedron, Var};
+
+fn dependence_system(conflict: bool) -> Polyhedron {
+    // d0 == i1 + 64*j1, d0 == i2 + 64*j2 (+offset), bounds, i1 < i2.
+    let d0 = LinExpr::var(Var::Dim(0));
+    let i1 = LinExpr::var(Var::Sym(1));
+    let i2 = LinExpr::var(Var::Sym(2));
+    let j1 = LinExpr::var(Var::Sym(3));
+    let j2 = LinExpr::var(Var::Sym(4));
+    // offset 1 = the a(i-1) recurrence (iterations truly conflict);
+    // offset 64 = a whole-column shift (provably independent mod 64).
+    let off = if conflict { 1 } else { 64 };
+    Polyhedron::from_constraints([
+        Constraint::eq(&d0, &i1.add(&j1.scale(64)).offset(-64)),
+        Constraint::eq(&d0, &i2.add(&j2.scale(64)).offset(-64 - off)),
+        Constraint::geq(&i1, &LinExpr::constant(1)),
+        Constraint::leq(&i1, &LinExpr::constant(64)),
+        Constraint::geq(&i2, &LinExpr::constant(1)),
+        Constraint::leq(&i2, &LinExpr::constant(64)),
+        Constraint::geq(&j1, &LinExpr::constant(1)),
+        Constraint::leq(&j1, &LinExpr::constant(8)),
+        Constraint::geq(&j2, &LinExpr::constant(1)),
+        Constraint::leq(&j2, &LinExpr::constant(8)),
+        Constraint::lt(&i1, &i2),
+    ])
+}
+
+fn bench_poly(c: &mut Criterion) {
+    let mut g = c.benchmark_group("polyhedra");
+    g.bench_function("prove_empty_independent", |b| {
+        let p = dependence_system(false);
+        b.iter(|| p.prove_empty())
+    });
+    g.bench_function("prove_empty_conflicting", |b| {
+        let p = dependence_system(true);
+        b.iter(|| p.prove_empty())
+    });
+    g.bench_function("projection", |b| {
+        let p = dependence_system(false);
+        b.iter(|| p.project_out(Var::Sym(3)))
+    });
+    g.bench_function("subset_test", |b| {
+        let d0 = LinExpr::var(Var::Dim(0));
+        let small = Polyhedron::from_constraints([
+            Constraint::geq(&d0, &LinExpr::constant(2)),
+            Constraint::leq(&d0, &LinExpr::constant(50)),
+        ]);
+        let big = Polyhedron::from_constraints([
+            Constraint::geq(&d0, &LinExpr::constant(1)),
+            Constraint::leq(&d0, &LinExpr::constant(100)),
+        ]);
+        b.iter(|| small.provably_subset_of(&big))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_poly);
+criterion_main!(benches);

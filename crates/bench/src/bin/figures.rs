@@ -1,0 +1,42 @@
+//! Regenerate the evaluation's tables and figures.
+//!
+//! ```text
+//! figures all [--bench]     # every figure (–-bench: large program sizes)
+//! figures fig4_1 fig5_7 …   # specific figures
+//! figures list              # figure ids
+//! ```
+
+use suif_benchmarks::Scale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "--bench") {
+        Scale::Bench
+    } else {
+        Scale::Test
+    };
+    let wanted: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    if wanted.is_empty() || wanted == ["list"] {
+        println!("usage: figures <all | list | fig-ids…> [--bench]");
+        println!("figures: {}", suif_bench::ALL_FIGURES.join(" "));
+        return;
+    }
+    let ids: Vec<&str> = if wanted == ["all"] {
+        suif_bench::ALL_FIGURES.to_vec()
+    } else {
+        wanted
+    };
+    for id in ids {
+        match suif_bench::render(id, scale) {
+            Some(text) => {
+                println!("=== {id} ===");
+                println!("{text}");
+            }
+            None => eprintln!("unknown figure id `{id}` (try `figures list`)"),
+        }
+    }
+}

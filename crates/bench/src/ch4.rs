@@ -1,0 +1,462 @@
+//! Chapter 4 figures: the SUIF Explorer case studies.
+
+use crate::common::{self, Table};
+use std::collections::HashSet;
+use suif_analysis::{LoopVerdict, ParallelizeConfig, VarClass};
+use suif_benchmarks::{apps, ch4_apps, BenchProgram, Scale};
+use suif_explorer::Explorer;
+use suif_parallel::ParallelPlans;
+use suif_slicing::{SliceKind, SliceOptions, Slicer};
+
+fn explorer_config(bench: &BenchProgram, user: bool) -> ParallelizeConfig {
+    ParallelizeConfig {
+        assertions: if user {
+            common::assertions(bench)
+        } else {
+            vec![]
+        },
+        ..Default::default()
+    }
+}
+
+/// Fig. 4-1: program information and results of automatic parallelization.
+pub fn fig4_1(scale: Scale) -> String {
+    let mut t = Table::new(&[
+        "program",
+        "description",
+        "lines",
+        "coverage",
+        "granularity",
+        "speedup(2p)",
+        "speedup(4p)",
+    ]);
+    for bench in ch4_apps(Scale::Test) {
+        let program = bench.parse();
+        let ex = Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
+            .expect("explorer");
+        let guru = ex.guru();
+        // Speedups on the larger scale.
+        let big = ch4_apps(scale)
+            .into_iter()
+            .find(|b| b.name == bench.name)
+            .unwrap();
+        let big_p = big.parse();
+        let pa = common::analyze(&big_p, None);
+        let plans = ParallelPlans::from_analysis(&pa);
+        let s2 = common::speedup(&big_p, &plans, &big.input, 2, 2);
+        let s4 = common::speedup(&big_p, &plans, &big.input, 4, 2);
+        t.row(vec![
+            bench.name.to_string(),
+            bench.description.to_string(),
+            bench.num_lines().to_string(),
+            format!("{:.0}%", guru.coverage * 100.0),
+            format!("{:.3} ms", guru.granularity_ms),
+            common::fmt_speedup(s2),
+            common::fmt_speedup(s4),
+        ]);
+    }
+    format!(
+        "Fig 4-1: program information and automatic parallelization\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 4-2 / 4-4: codeview of mdg before and after the user assertion.
+pub fn fig4_2() -> String {
+    let bench = apps::mdg(Scale::Test);
+    let program = bench.parse();
+    let before = {
+        let ex = Explorer::with_config(&program, explorer_config(&bench, false), vec![]).unwrap();
+        let guru = ex.guru();
+        suif_explorer::codeview(&ex, &guru)
+    };
+    let after = {
+        let ex = Explorer::with_config(&program, explorer_config(&bench, true), vec![]).unwrap();
+        let guru = ex.guru();
+        suif_explorer::codeview(&ex, &guru)
+    };
+    format!(
+        "Fig 4-2: mdg codeview, automatic parallelization\n{before}\n\
+         Fig 4-4: mdg codeview after the user privatizes rl in interf/1000\n{after}"
+    )
+}
+
+/// Fig. 4-3: slices of the relevant references in `interf/1000`.
+pub fn fig4_3() -> String {
+    slice_figure(apps::mdg(Scale::Test), "interf/1000", "Fig 4-3")
+}
+
+/// Fig. 4-5: slices of the relevant references in `vsetuv/85`.
+pub fn fig4_5() -> String {
+    slice_figure(apps::hydro(Scale::Test), "vsetuv/85", "Fig 4-5")
+}
+
+fn slice_figure(bench: BenchProgram, loop_name: &str, tag: &str) -> String {
+    let program = bench.parse();
+    let mut ex =
+        Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
+            .unwrap();
+    let li = ex
+        .analysis
+        .ctx
+        .tree
+        .loops
+        .iter()
+        .find(|l| l.name == loop_name)
+        .expect("loop")
+        .clone();
+    let slices = ex.slices_for_dep(li.stmt, 0);
+    let mut lines: std::collections::BTreeSet<u32> = Default::default();
+    let mut terms: std::collections::BTreeSet<u32> = Default::default();
+    for (_, prog, ctrl) in &slices {
+        lines.extend(prog.lines.iter().copied());
+        lines.extend(ctrl.lines.iter().copied());
+        for s in prog.terminals.iter().chain(ctrl.terminals.iter()) {
+            if let Some((stmt, _)) = program.find_stmt(*s) {
+                terms.insert(stmt.line());
+            }
+        }
+    }
+    let view = suif_explorer::source_view(&ex, li.line, li.end_line, &lines, &terms);
+    format!(
+        "{tag}: array- and region-restricted slices for the unresolved dependence in {loop_name}\n\
+         (S = in slice, ? = pruned terminal)\n{view}"
+    )
+}
+
+/// Fig. 4-6: the memory-performance advisory — conflicting data
+/// decompositions between hydro's user-parallelized loops (§4.2.4).
+pub fn fig4_6() -> String {
+    let bench = apps::hydro(Scale::Test);
+    let program = bench.parse();
+    let pa = common::analyze(&program, Some(&bench));
+    format!(
+        "Fig 4-6: hydro data-decomposition advisory (with the user's assertions applied)\n{}",
+        suif_analysis::decomp::render_advisory(&pa)
+    )
+}
+
+/// Fig. 4-7: number of loops requiring user intervention.
+pub fn fig4_7() -> String {
+    let mut t = Table::new(&[
+        "program", "kind", "executed", "sequential", "important", "imp+no dyn dep",
+        "user-parallelized", "remaining important",
+    ]);
+    let mut totals = [0usize; 6];
+    for bench in ch4_apps(Scale::Test) {
+        let program = bench.parse();
+        let auto =
+            Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
+                .unwrap();
+        let user_pa = common::analyze(&program, Some(&bench));
+        let guru = auto.guru();
+        let executed_set: HashSet<_> = auto
+            .profile
+            .profiles
+            .iter()
+            .filter(|(_, p)| p.invocations > 0)
+            .map(|(&s, _)| s)
+            .collect();
+        let user_parallel = user_pa.parallel_loops();
+        let auto_parallel = auto.parallel_loops();
+
+        for inter in [true, false] {
+            let loops: Vec<_> = auto
+                .analysis
+                .ctx
+                .tree
+                .loops
+                .iter()
+                .filter(|l| l.has_calls == inter && executed_set.contains(&l.stmt))
+                .collect();
+            let executed = loops.len();
+            let sequential = loops
+                .iter()
+                .filter(|l| !auto_parallel.contains(&l.stmt))
+                .count();
+            let important: Vec<_> = guru
+                .targets
+                .iter()
+                .filter(|tl| tl.important && tl.has_calls == inter)
+                .collect();
+            let no_dyn = important.iter().filter(|tl| !tl.dynamic_dep).count();
+            // User-parallelized: important targets that become parallel with
+            // the assertions.
+            let user_par: Vec<_> = important
+                .iter()
+                .filter(|tl| user_parallel.contains(&tl.stmt))
+                .collect();
+            // Remaining: important, still sequential, and not nested inside
+            // a user-parallelized loop.
+            let remaining = important
+                .iter()
+                .filter(|tl| !user_parallel.contains(&tl.stmt))
+                .filter(|tl| {
+                    !user_parallel
+                        .iter()
+                        .any(|&p| auto.analysis.ctx.tree.is_nested_in(tl.stmt, p))
+                })
+                .count();
+            for (i, v) in [executed, sequential, important.len(), no_dyn, user_par.len(), remaining]
+                .iter()
+                .enumerate()
+            {
+                totals[i] += v;
+            }
+            t.row(vec![
+                bench.name.to_string(),
+                if inter { "inter" } else { "intra" }.into(),
+                executed.to_string(),
+                sequential.to_string(),
+                important.len().to_string(),
+                no_dyn.to_string(),
+                user_par.len().to_string(),
+                remaining.to_string(),
+            ]);
+        }
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        "".into(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        totals[3].to_string(),
+        totals[4].to_string(),
+        totals[5].to_string(),
+    ]);
+    format!("Fig 4-7: number of loops requiring user intervention\n{}", t.render())
+}
+
+/// Fig. 4-8: average slice sizes (program & control; full / loop / CR / AR)
+/// as a percentage of the loop size, for the user-examined loops.
+pub fn fig4_8() -> String {
+    let mut t = Table::new(&[
+        "loop", "lines", "P full%", "P loop%", "P CR%", "P AR%", "C full%", "C loop%", "C CR%",
+        "C AR%",
+    ]);
+    for bench in ch4_apps(Scale::Test) {
+        let program = bench.parse();
+        let pa = common::analyze(&program, None);
+        let mut slicer = Slicer::new(&program);
+        let mut loops: Vec<String> = bench
+            .assertions
+            .iter()
+            .map(|a| a.loop_name.clone())
+            .collect();
+        loops.dedup();
+        for lname in loops {
+            let Some(li) = pa.ctx.tree.loops.iter().find(|l| l.name == lname) else {
+                continue;
+            };
+            let Some(LoopVerdict::Sequential { deps, .. }) = pa.verdicts.get(&li.stmt) else {
+                continue;
+            };
+            let Some(dep) = deps.first() else { continue };
+            let size = li.size_lines.max(1) as f64;
+            // Query slices of the subscript/bound scalars at the dep sites.
+            let mut queries: Vec<(suif_ir::StmtId, suif_ir::VarId)> = Vec::new();
+            for &(stmt, _, _, _) in &dep.sites {
+                if let Some((s, _)) = program.find_stmt(stmt) {
+                    let mut vars = Vec::new();
+                    collect_read_scalars(s, &mut vars);
+                    for v in vars {
+                        queries.push((stmt, v));
+                    }
+                }
+            }
+            let mut acc = [0f64; 8];
+            let mut n = 0usize;
+            for (stmt, v) in queries {
+                let variants: [(usize, SliceKind, SliceOptions); 4] = [
+                    (0, SliceKind::Program, SliceOptions::default()),
+                    (1, SliceKind::Program, SliceOptions::default()),
+                    (
+                        2,
+                        SliceKind::Program,
+                        SliceOptions {
+                            region: Some(li.stmt),
+                            ..Default::default()
+                        },
+                    ),
+                    (
+                        3,
+                        SliceKind::Program,
+                        SliceOptions {
+                            region: Some(li.stmt),
+                            array_restricted: true,
+                            ..Default::default()
+                        },
+                    ),
+                ];
+                let mut any = false;
+                for (slot, kind, opts) in &variants {
+                    for (off, k) in [(0usize, *kind), (4, SliceKind::Control)] {
+                        let Some(sl) = slicer.slice_use(stmt, v, k, opts) else {
+                            continue;
+                        };
+                        any = true;
+                        let count = if *slot == 1 {
+                            sl.lines_within(li.line, li.end_line)
+                        } else {
+                            sl.num_lines()
+                        } as f64;
+                        acc[off + slot] += count / size * 100.0;
+                    }
+                }
+                if any {
+                    n += 1;
+                }
+            }
+            if n == 0 {
+                continue;
+            }
+            let cells: Vec<String> = acc.iter().map(|x| format!("{:.0}", x / n as f64)).collect();
+            let mut row = vec![li.name.clone(), li.size_lines.to_string()];
+            row.extend(cells);
+            t.row(row);
+        }
+    }
+    format!(
+        "Fig 4-8: average slice size as % of loop size (P = program slice, C = control slice;\n\
+         full / loop-only lines / code-region-restricted / +array-restricted)\n{}",
+        t.render()
+    )
+}
+
+fn collect_read_scalars(s: &suif_ir::Stmt, out: &mut Vec<suif_ir::VarId>) {
+    use suif_ir::{Ref, Stmt};
+    let mut push = |v: suif_ir::VarId| {
+        if !out.contains(&v) {
+            out.push(v);
+        }
+    };
+    match s {
+        Stmt::Assign { lhs, rhs, .. } => {
+            rhs.visit_scalar_reads(&mut push);
+            if let Ref::Element(_, subs) = lhs {
+                for e in subs {
+                    e.visit_scalar_reads(&mut push);
+                }
+            }
+        }
+        Stmt::If { cond, .. } => cond.visit_scalar_reads(&mut push),
+        Stmt::Do { lo, hi, .. } => {
+            lo.visit_scalar_reads(&mut push);
+            hi.visit_scalar_reads(&mut push);
+        }
+        _ => {}
+    }
+}
+
+/// Fig. 4-9: variables parallelized automatically vs with user input, over
+/// the user-parallelized loops.
+pub fn fig4_9() -> String {
+    let mut t = Table::new(&[
+        "", "class", "mdg", "arc3d", "hydro", "flo88", "total",
+    ]);
+    let benches = ch4_apps(Scale::Test);
+    let mut rows: Vec<(&str, &str, [usize; 4])> = vec![
+        ("automatic", "parallel arrays", [0; 4]),
+        ("automatic", "privatizable arrays", [0; 4]),
+        ("automatic", "privatizable scalars", [0; 4]),
+        ("automatic", "reduction arrays", [0; 4]),
+        ("automatic", "reduction scalars", [0; 4]),
+        ("user", "privatizable arrays", [0; 4]),
+        ("user", "privatizable scalars", [0; 4]),
+    ];
+    for (bi, bench) in benches.iter().enumerate() {
+        let program = bench.parse();
+        let user_pa = common::analyze(&program, Some(bench));
+        let loops: HashSet<String> = bench.assertions.iter().map(|a| a.loop_name.clone()).collect();
+        for lname in &loops {
+            let Some(li) = user_pa.ctx.tree.loops.iter().find(|l| &l.name == lname) else {
+                continue;
+            };
+            let Some(v) = user_pa.verdicts.get(&li.stmt) else { continue };
+            let asserted: HashSet<&str> = bench
+                .assertions
+                .iter()
+                .filter(|a| &a.loop_name == lname)
+                .map(|a| a.var.as_str())
+                .collect();
+            for (&obj, class) in v.classes() {
+                let name = user_pa.ctx.array_name(obj);
+                let is_arr = user_pa.ctx.is_array_object(obj);
+                let user_supplied = asserted.contains(name.as_str())
+                    || asserted
+                        .iter()
+                        .any(|a| name == format!("/{a}/"));
+                let idx = match (class, is_arr, user_supplied) {
+                    (VarClass::Parallel, true, false) => Some(0),
+                    (VarClass::Privatizable { .. }, true, false) => Some(1),
+                    (VarClass::Privatizable { .. }, false, false) => Some(2),
+                    (VarClass::Reduction(_), true, false) => Some(3),
+                    (VarClass::Reduction(_), false, false) => Some(4),
+                    (VarClass::Privatizable { .. }, true, true) => Some(5),
+                    (VarClass::Privatizable { .. }, false, true) => Some(6),
+                    _ => None,
+                };
+                if let Some(i) = idx {
+                    rows[i].2[bi] += 1;
+                }
+            }
+        }
+    }
+    for (who, class, counts) in rows {
+        let total: usize = counts.iter().sum();
+        t.row(vec![
+            who.into(),
+            class.into(),
+            counts[0].to_string(),
+            counts[1].to_string(),
+            counts[2].to_string(),
+            counts[3].to_string(),
+            total.to_string(),
+        ]);
+    }
+    format!(
+        "Fig 4-9: user-assisted parallelization of the case-study loops\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 4-10: parallelization with and without user intervention.
+pub fn fig4_10(scale: Scale) -> String {
+    let mut t = Table::new(&[
+        "program", "mode", "coverage", "granularity", "speedup(2p)", "speedup(4p)",
+    ]);
+    for bench in ch4_apps(Scale::Test) {
+        for user in [false, true] {
+            let program = bench.parse();
+            let ex = Explorer::with_config(
+                &program,
+                explorer_config(&bench, user),
+                bench.input.clone(),
+            )
+            .unwrap();
+            let guru = ex.guru();
+            let big = ch4_apps(scale)
+                .into_iter()
+                .find(|b| b.name == bench.name)
+                .unwrap();
+            let big_p = big.parse();
+            let pa = common::analyze(&big_p, if user { Some(&big) } else { None });
+            let plans = ParallelPlans::from_analysis(&pa);
+            let s2 = common::speedup(&big_p, &plans, &big.input, 2, 2);
+            let s4 = common::speedup(&big_p, &plans, &big.input, 4, 2);
+            t.row(vec![
+                bench.name.to_string(),
+                if user { "with user input" } else { "automatic" }.into(),
+                format!("{:.0}%", guru.coverage * 100.0),
+                format!("{:.3} ms", guru.granularity_ms),
+                common::fmt_speedup(s2),
+                common::fmt_speedup(s4),
+            ]);
+        }
+    }
+    format!(
+        "Fig 4-10: parallelization with and without user intervention\n{}",
+        t.render()
+    )
+}

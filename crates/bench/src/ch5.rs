@@ -1,0 +1,297 @@
+//! Chapter 5 figures: array liveness analysis and its applications.
+
+use crate::common::{self, Table};
+use std::time::Instant;
+use suif_analysis::liveness::{analyze_liveness, bottom_up};
+use suif_analysis::{
+    contract, split, AnalysisCtx, ArrayDataFlow, LivenessMode, ParallelizeConfig, Parallelizer,
+};
+use suif_benchmarks::{apps, ch5_apps, Scale};
+use suif_parallel::ParallelPlans;
+
+const MODES: [(&str, LivenessMode); 3] = [
+    ("flow-insensitive", LivenessMode::FlowInsensitive),
+    ("1-bit", LivenessMode::OneBit),
+    ("full", LivenessMode::Full),
+];
+
+/// Fig. 5-5: program information for the liveness suite.
+pub fn fig5_5() -> String {
+    let mut t = Table::new(&["program", "description", "no. of lines"]);
+    for bench in ch5_apps(Scale::Test) {
+        t.row(vec![
+            bench.name.to_string(),
+            bench.description.to_string(),
+            bench.num_lines().to_string(),
+        ]);
+    }
+    format!("Fig 5-5: liveness-suite program information\n{}", t.render())
+}
+
+/// Fig. 5-6: total running time of the interprocedural analysis
+/// (base / +bottom-up / +flow-insensitive / +1-bit / +full top-down).
+pub fn fig5_6(scale: Scale) -> String {
+    let mut t = Table::new(&[
+        "program", "base(ms)", "bottom-up(ms)", "flow-insens(ms)", "1-bit(ms)", "full(ms)",
+    ]);
+    for bench in ch5_apps(scale) {
+        let program = bench.parse();
+        // Base: context building (symbol/region/call-graph work).
+        let t0 = Instant::now();
+        let ctx = AnalysisCtx::new(&program);
+        let base = t0.elapsed();
+        // Bottom-up array data flow.
+        let t1 = Instant::now();
+        let df = ArrayDataFlow::analyze(&ctx);
+        let bu = t1.elapsed();
+        let saved = bottom_up(&ctx, &df);
+        let mut cells = vec![
+            bench.name.to_string(),
+            format!("{:.1}", base.as_secs_f64() * 1e3),
+            format!("{:.1}", (base + bu).as_secs_f64() * 1e3),
+        ];
+        for (_, mode) in MODES {
+            let res = analyze_liveness(&ctx, &df, &saved, mode);
+            cells.push(format!(
+                "{:.1}",
+                (base + bu + res.elapsed).as_secs_f64() * 1e3
+            ));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fig 5-6: total running time of the interprocedural analysis (cumulative, ms)\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 5-7: #loops, #modified array variables, and %dead at loop exits per
+/// liveness variant.
+pub fn fig5_7() -> String {
+    let mut t = Table::new(&[
+        "program", "#loop", "#mod", "%dead FI", "%dead 1-bit", "%dead full",
+    ]);
+    for bench in ch5_apps(Scale::Test) {
+        let program = bench.parse();
+        let ctx = AnalysisCtx::new(&program);
+        let df = ArrayDataFlow::analyze(&ctx);
+        let saved = bottom_up(&ctx, &df);
+        let nloops = ctx.tree.loops.len();
+        let mut cells = vec![bench.name.to_string(), nloops.to_string()];
+        let mut nmod_total = 0usize;
+        let mut dead_counts = Vec::new();
+        for (_, mode) in MODES {
+            let res = analyze_liveness(&ctx, &df, &saved, mode);
+            let mut nmod = 0usize;
+            let mut dead = 0usize;
+            for l in &ctx.tree.loops {
+                let written = res.written.get(&l.stmt).cloned().unwrap_or_default();
+                for id in written {
+                    if !ctx.is_array_object(id) {
+                        continue;
+                    }
+                    nmod += 1;
+                    if res.is_dead_after(l.stmt, id) {
+                        dead += 1;
+                    }
+                }
+            }
+            nmod_total = nmod;
+            dead_counts.push(if nmod > 0 {
+                100.0 * dead as f64 / nmod as f64
+            } else {
+                0.0
+            });
+        }
+        cells.insert(2, nmod_total.to_string());
+        for d in dead_counts {
+            cells.push(format!("{d:.0}%"));
+        }
+        t.row(cells);
+    }
+    format!(
+        "Fig 5-7: modified array variables in loops and % found dead at loop exits\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 5-8: dead privatizable arrays, extra parallel loops, and the
+/// resulting speedup per liveness variant.
+pub fn fig5_8(scale: Scale) -> String {
+    let mut t = Table::new(&[
+        "program", "variant", "#dead priv", "#extra par loops", "speedup(2p)",
+    ]);
+    for bench in ch5_apps(scale) {
+        let program = bench.parse();
+        // Baseline: no liveness.
+        let base = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                liveness: None,
+                ..Default::default()
+            },
+        );
+        let base_parallel = base.parallel_loops();
+        let base_plans = ParallelPlans::from_analysis(&base);
+        let s_base = common::speedup(&program, &base_plans, &bench.input, 2, 2);
+        t.row(vec![
+            bench.name.to_string(),
+            "base".into(),
+            "0".into(),
+            "0".into(),
+            common::fmt_speedup(s_base),
+        ]);
+        for (label, mode) in MODES {
+            let pa = common::analyze_liveness_mode(&program, Some(mode));
+            // Dead privatizable arrays: objects classified privatizable
+            // without finalization in some loop.
+            let mut dead_priv = 0usize;
+            for v in pa.verdicts.values() {
+                for class in v.classes().values() {
+                    if matches!(
+                        class,
+                        suif_analysis::VarClass::Privatizable {
+                            needs_finalization: false
+                        }
+                    ) {
+                        dead_priv += 1;
+                    }
+                }
+            }
+            let extra = pa
+                .parallel_loops()
+                .difference(&base_parallel)
+                .count();
+            let plans = ParallelPlans::from_analysis(&pa);
+            let s = common::speedup(&program, &plans, &bench.input, 2, 2);
+            t.row(vec![
+                bench.name.to_string(),
+                label.into(),
+                dead_priv.to_string(),
+                extra.to_string(),
+                common::fmt_speedup(s),
+            ]);
+        }
+    }
+    format!(
+        "Fig 5-8: dead privatizable arrays and improved loops per liveness variant\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 5-10: common-block splits and resulting speedups.
+pub fn fig5_10(scale: Scale) -> String {
+    let mut t = Table::new(&[
+        "program", "#splits", "speedup before", "speedup after",
+    ]);
+    for bench in [apps::arc3d(scale), apps::wave5(scale), apps::hydro2d(scale)] {
+        let program = bench.parse();
+        let pa = common::analyze(&program, None);
+        let splits = split::find_splits(&pa);
+        let plans = ParallelPlans::from_analysis(&pa);
+        let before = common::speedup(&program, &plans, &bench.input, 2, 2);
+        let after = if splits.is_empty() {
+            before
+        } else {
+            match split::apply_splits(&program, &splits) {
+                Ok(p2) => {
+                    let pa2 = common::analyze(&p2, None);
+                    let plans2 = ParallelPlans::from_analysis(&pa2);
+                    common::speedup(&p2, &plans2, &bench.input, 2, 2)
+                }
+                Err(_) => before,
+            }
+        };
+        t.row(vec![
+            bench.name.to_string(),
+            splits.len().to_string(),
+            common::fmt_speedup(before),
+            common::fmt_speedup(after),
+        ]);
+    }
+    format!(
+        "Fig 5-10: common-block live-range splits and speedups\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 5-11: the flo88 contraction before/after source.
+pub fn fig5_11() -> String {
+    let bench = apps::flo88(Scale::Test, true);
+    let program = bench.parse();
+    let pa = common::analyze(&program, None);
+    let cands = contract::find_candidates(&pa);
+    let mut out = String::from("Fig 5-11: flo88 array contraction\ncandidates:\n");
+    for c in &cands {
+        out.push_str(&format!(
+            "  contract `{}` (rank {} -> {}) against {}\n",
+            program.var(c.var).name,
+            program.var(c.var).dims.len(),
+            program.var(c.var).dims.len() - 1,
+            pa.ctx
+                .tree
+                .loop_of(c.loop_stmt)
+                .map(|l| l.name.clone())
+                .unwrap_or_default(),
+        ));
+    }
+    if let Some(c) = cands.first() {
+        if let Ok(p2) = contract::apply(&program, c) {
+            let name = program.var(c.var).name.clone();
+            out.push_str(&format!(
+                "\nafter contracting `{name}`, psmoo becomes:\n"
+            ));
+            if let Some(proc2) = p2.proc_by_name("psmoo") {
+                out.push_str(&suif_ir::pretty::proc_to_string(&p2, proc2));
+            }
+        }
+    }
+    out
+}
+
+/// Fig. 5-12: flo88 speedups without and with array contraction.
+pub fn fig5_12(scale: Scale) -> String {
+    let bench = apps::flo88(scale, true);
+    let program = bench.parse();
+    let pa = common::analyze(&program, None);
+    let plans = ParallelPlans::from_analysis(&pa);
+    // Apply every contraction candidate.
+    let mut contracted = program.clone();
+    loop {
+        let pa_c = common::analyze(&contracted, None);
+        let cands = contract::find_candidates(&pa_c);
+        let Some(c) = cands.first() else { break };
+        match contract::apply(&contracted, c) {
+            Ok(p2) => contracted = p2,
+            Err(_) => break,
+        }
+    }
+    let pa2 = common::analyze(&contracted, None);
+    let plans2 = ParallelPlans::from_analysis(&pa2);
+    let footprint = |p: &suif_ir::Program| -> i64 {
+        p.vars
+            .iter()
+            .filter_map(|v| if v.is_array() { v.const_size() } else { None })
+            .sum()
+    };
+    let mut t = Table::new(&["threads", "speedup (no contraction)", "speedup (contracted)"]);
+    for threads in common::speedup_threads() {
+        let s1 = common::speedup(&program, &plans, &bench.input, threads, 2);
+        let s2 = common::speedup(&contracted, &plans2, &bench.input, threads, 2);
+        t.row(vec![
+            threads.to_string(),
+            common::fmt_speedup(s1),
+            common::fmt_speedup(s2),
+        ]);
+    }
+    format!(
+        "Fig 5-12: flo88 speedups without and with array contraction\n\
+         array footprint: {} -> {} cells ({} saved; the paper's speedup gain\n\
+         comes from this footprint fitting in cache, which the virtual-op\n\
+         cost model deliberately does not simulate — see EXPERIMENTS.md)\n{}",
+        footprint(&program),
+        footprint(&contracted),
+        footprint(&program) - footprint(&contracted),
+        t.render()
+    )
+}

@@ -1,0 +1,223 @@
+//! Chapter 6 figures: interprocedural reduction analysis.
+
+use crate::common::{self, Table};
+use std::collections::HashMap;
+use suif_analysis::{
+    reduction, ParallelizeConfig, Parallelizer, RedOp,
+};
+use suif_benchmarks::{ch6_apps, Scale};
+use suif_dynamic::machine::Machine;
+use suif_dynamic::{LoopProfiler, NoHooks};
+use suif_ir::Stmt;
+use suif_parallel::{Finalization, ParallelPlans, RuntimeConfig};
+
+/// Fig. 6-2: static counts of recognized commutative-update sites by
+/// operation type across the suite.
+pub fn fig6_2() -> String {
+    let mut t = Table::new(&["program", "sum", "product", "min", "max", "total"]);
+    let mut totals = [0usize; 4];
+    for bench in ch6_apps(Scale::Test) {
+        let program = bench.parse();
+        let mut counts: HashMap<RedOp, usize> = HashMap::new();
+        for proc in &program.procedures {
+            program.walk_stmts(proc.id, &mut |s, _| {
+                if let Some(site) = reduction::recognize_stmt(s) {
+                    *counts.entry(site.op).or_insert(0) += 1;
+                }
+                if let Stmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    ..
+                } = s
+                {
+                    if let Some(site) =
+                        reduction::recognize_if_minmax(cond, then_body, else_body)
+                    {
+                        *counts.entry(site.op).or_insert(0) += 1;
+                    }
+                }
+            });
+        }
+        let row = [
+            counts.get(&RedOp::Add).copied().unwrap_or(0),
+            counts.get(&RedOp::Mul).copied().unwrap_or(0),
+            counts.get(&RedOp::Min).copied().unwrap_or(0),
+            counts.get(&RedOp::Max).copied().unwrap_or(0),
+        ];
+        for (i, v) in row.iter().enumerate() {
+            totals[i] += v;
+        }
+        t.row(vec![
+            bench.name.to_string(),
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string(),
+            row[3].to_string(),
+            row.iter().sum::<usize>().to_string(),
+        ]);
+    }
+    t.row(vec![
+        "TOTAL".into(),
+        totals[0].to_string(),
+        totals[1].to_string(),
+        totals[2].to_string(),
+        totals[3].to_string(),
+        totals.iter().sum::<usize>().to_string(),
+    ]);
+    format!(
+        "Fig 6-2: recognized commutative updates by operation type\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 6-3: program information for the reduction suite.
+pub fn fig6_3() -> String {
+    let mut t = Table::new(&["program", "description", "no. of lines"]);
+    for bench in ch6_apps(Scale::Test) {
+        t.row(vec![
+            bench.name.to_string(),
+            bench.description.to_string(),
+            bench.num_lines().to_string(),
+        ]);
+    }
+    format!("Fig 6-3: reduction-suite program information\n{}", t.render())
+}
+
+/// Fig. 6-4: static impact of reductions — parallelizable loops with and
+/// without reduction recognition.
+pub fn fig6_4() -> String {
+    let mut t = Table::new(&[
+        "program", "loops", "parallel w/o reductions", "parallel with reductions",
+    ]);
+    for bench in ch6_apps(Scale::Test) {
+        let program = bench.parse();
+        let with = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let without = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                enable_reduction: false,
+                ..Default::default()
+            },
+        );
+        t.row(vec![
+            bench.name.to_string(),
+            with.ctx.tree.loops.len().to_string(),
+            without.parallel_loops().len().to_string(),
+            with.parallel_loops().len().to_string(),
+        ]);
+    }
+    format!(
+        "Fig 6-4: impact of reductions (static measurements)\n{}",
+        t.render()
+    )
+}
+
+/// Fig. 6-5: coverage and granularity on the programs where parallel
+/// reductions have an impact.
+pub fn fig6_5() -> String {
+    let mut t = Table::new(&[
+        "program", "coverage w/o red", "coverage with red", "granularity with red",
+    ]);
+    for bench in ch6_apps(Scale::Test) {
+        let program = bench.parse();
+        // Profile once.
+        let mut profiler = LoopProfiler::new();
+        {
+            let mut m = Machine::new(&program, &mut profiler).unwrap();
+            m.set_input(bench.input.clone());
+            m.run().unwrap();
+        }
+        let profile = profiler.report();
+        let with = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let without = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                enable_reduction: false,
+                ..Default::default()
+            },
+        );
+        let cov_with = profile.coverage(&with.parallel_loops());
+        let cov_without = profile.coverage(&without.parallel_loops());
+        let gran = profile.granularity(&with.parallel_loops());
+        t.row(vec![
+            bench.name.to_string(),
+            format!("{:.0}%", cov_without * 100.0),
+            format!("{:.0}%", cov_with * 100.0),
+            format!("{gran:.0} ops"),
+        ]);
+    }
+    format!(
+        "Fig 6-5: coverage and granularity with parallel reductions\n{}",
+        t.render()
+    )
+}
+
+fn reduction_speedups(scale: Scale, finalization: Finalization, tag: &str) -> String {
+    let mut t = Table::new(&[
+        "program", "speedup w/o red (2p)", "speedup with red (2p)", "with red (4p)",
+    ]);
+    for bench in ch6_apps(scale) {
+        let program = bench.parse();
+        let with = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let without = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                enable_reduction: false,
+                ..Default::default()
+            },
+        );
+        let plans_with = ParallelPlans::from_analysis(&with);
+        let plans_without = ParallelPlans::from_analysis(&without);
+        let cfg = |threads| RuntimeConfig {
+            threads,
+            min_parallel_iters: 4,
+            min_parallel_cost: 2048,
+            finalization,
+            schedule: Default::default(),
+        };
+        let sp = |plans: &ParallelPlans, threads: usize| {
+            let seq = suif_parallel::sequential_ops(&program, &bench.input).unwrap();
+            let par =
+                suif_parallel::parallel_ops(&program, plans, &cfg(threads), &bench.input)
+                    .unwrap();
+            seq as f64 / (par as f64).max(1.0)
+        };
+        t.row(vec![
+            bench.name.to_string(),
+            common::fmt_speedup(sp(&plans_without, 2)),
+            common::fmt_speedup(sp(&plans_with, 2)),
+            common::fmt_speedup(sp(&plans_with, 4)),
+        ]);
+    }
+    format!("{tag}\n{}", t.render())
+}
+
+/// Fig. 6-6: performance improvement due to reduction analysis, serialized
+/// finalization (the 4-processor Challenge analogue).
+pub fn fig6_6(scale: Scale) -> String {
+    reduction_speedups(
+        scale,
+        Finalization::Serialized,
+        "Fig 6-6: speedups with/without reduction analysis (serialized finalization)",
+    )
+}
+
+/// Fig. 6-7: same with staggered-lock finalization (the Origin analogue).
+pub fn fig6_7(scale: Scale) -> String {
+    reduction_speedups(
+        scale,
+        Finalization::StaggeredLocks { sections: 8 },
+        "Fig 6-7: speedups with/without reduction analysis (staggered-lock finalization)",
+    )
+}
+
+/// Helper used by EXPERIMENTS.md generation: quick sanity run of a program.
+pub fn run_once(bench: &suif_benchmarks::BenchProgram) -> Vec<String> {
+    let program = bench.parse();
+    let mut hooks = NoHooks;
+    let mut m = Machine::new(&program, &mut hooks).unwrap();
+    m.set_input(bench.input.clone());
+    m.run().unwrap();
+    m.output.clone()
+}

@@ -1,0 +1,146 @@
+//! Shared helpers for the figure harness.
+
+use suif_analysis::{Assertion, LivenessMode, ParallelizeConfig, Parallelizer, ProgramAnalysis};
+use suif_benchmarks::BenchProgram;
+use suif_ir::Program;
+use suif_parallel::{Finalization, ParallelPlans, RuntimeConfig};
+
+/// Convert a benchmark's string assertions into analysis assertions.
+pub fn assertions(bench: &BenchProgram) -> Vec<Assertion> {
+    bench
+        .assertions
+        .iter()
+        .map(|a| {
+            if a.privatize {
+                Assertion::Privatizable {
+                    loop_name: a.loop_name.clone(),
+                    var: a.var.clone(),
+                }
+            } else {
+                Assertion::Independent {
+                    loop_name: a.loop_name.clone(),
+                    var: a.var.clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+/// Analyze with/without the user's assertions.
+pub fn analyze<'p>(program: &'p Program, user: Option<&BenchProgram>) -> ProgramAnalysis<'p> {
+    let config = ParallelizeConfig {
+        assertions: user.map(assertions).unwrap_or_default(),
+        ..Default::default()
+    };
+    Parallelizer::analyze(program, config)
+}
+
+/// Analyze with an explicit liveness mode (or none).
+pub fn analyze_liveness_mode(
+    program: &Program,
+    mode: Option<LivenessMode>,
+) -> ProgramAnalysis<'_> {
+    Parallelizer::analyze(
+        program,
+        ParallelizeConfig {
+            liveness: mode,
+            ..Default::default()
+        },
+    )
+}
+
+/// Default runtime configuration at a thread count.
+pub fn runtime(threads: usize) -> RuntimeConfig {
+    RuntimeConfig {
+        threads,
+        min_parallel_iters: 4,
+        min_parallel_cost: 2048,
+        finalization: Finalization::StaggeredLocks { sections: 8 },
+        schedule: Default::default(),
+    }
+}
+
+/// Simulated-multiprocessor speedup of a plan at a thread count: the ratio
+/// of deterministic virtual-op costs (sequential ops vs main ops + parallel
+/// critical path + overhead model).  `reps` is kept for API symmetry; the
+/// measure is deterministic.
+pub fn speedup(
+    program: &Program,
+    plans: &ParallelPlans,
+    input: &[f64],
+    threads: usize,
+    _reps: usize,
+) -> f64 {
+    let seq = suif_parallel::sequential_ops(program, input).unwrap_or(u64::MAX);
+    let par = suif_parallel::parallel_ops(program, plans, &runtime(threads), input)
+        .unwrap_or(u64::MAX);
+    if par == 0 {
+        return 0.0;
+    }
+    seq as f64 / par as f64
+}
+
+/// Format a speedup.
+pub fn fmt_speedup(s: f64) -> String {
+    format!("{s:.2}")
+}
+
+/// A plain text table builder.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a header row.
+    pub fn new(header: &[&str]) -> Table {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain([self.header.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        for row in std::iter::once(&self.header).chain(self.rows.iter()) {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let fmt_row = |row: &[String]| {
+            row.iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(out.len().saturating_sub(1)));
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&fmt_row(r));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Thread counts used by the speedup figures (the paper's 4- and 8-processor
+/// columns; this host is smaller, which EXPERIMENTS.md notes).
+pub fn speedup_threads() -> Vec<usize> {
+    vec![2, 4]
+}

@@ -1,0 +1,54 @@
+//! Figure-regeneration harness: one function per table/figure of the
+//! evaluation (see DESIGN.md's per-experiment index).  The `figures` binary
+//! prints the same rows/series the paper reports; absolute numbers are
+//! host-dependent, the *shape* is the reproduction claim (EXPERIMENTS.md
+//! records paper-vs-measured).
+
+#![warn(missing_docs)]
+
+pub mod ch4;
+pub mod ch5;
+pub mod ch6;
+pub mod common;
+pub mod misc;
+
+/// All figure ids in paper order.
+pub const ALL_FIGURES: &[&str] = &[
+    "fig2_1", "fig4_1", "fig4_2", "fig4_3", "fig4_5", "fig4_6", "fig4_7", "fig4_8", "fig4_9", "fig4_10",
+    "fig5_5", "fig5_6", "fig5_7", "fig5_8", "fig5_10", "fig5_11", "fig5_12", "fig6_1", "fig6_2",
+    "fig6_3", "fig6_4", "fig6_5", "fig6_6", "fig6_7", "abl_dyndep", "abl_schedule", "abl_subtract",
+];
+
+/// Render one figure by id.
+pub fn render(id: &str, scale: suif_benchmarks::Scale) -> Option<String> {
+    Some(match id {
+        "fig2_1" => misc::fig2_1(),
+        "fig4_1" => ch4::fig4_1(scale),
+        "fig4_2" => ch4::fig4_2(),
+        "fig4_3" => ch4::fig4_3(),
+        "fig4_5" => ch4::fig4_5(),
+        "fig4_6" => ch4::fig4_6(),
+        "fig4_7" => ch4::fig4_7(),
+        "fig4_8" => ch4::fig4_8(),
+        "fig4_9" => ch4::fig4_9(),
+        "fig4_10" => ch4::fig4_10(scale),
+        "fig5_5" => ch5::fig5_5(),
+        "fig5_6" => ch5::fig5_6(scale),
+        "fig5_7" => ch5::fig5_7(),
+        "fig5_8" => ch5::fig5_8(scale),
+        "fig5_10" => ch5::fig5_10(scale),
+        "fig5_11" => ch5::fig5_11(),
+        "fig5_12" => ch5::fig5_12(scale),
+        "fig6_1" => misc::fig6_1(),
+        "abl_dyndep" => misc::abl_dyndep(),
+        "abl_schedule" => misc::abl_schedule(),
+        "abl_subtract" => misc::abl_subtract(),
+        "fig6_2" => ch6::fig6_2(),
+        "fig6_3" => ch6::fig6_3(),
+        "fig6_4" => ch6::fig6_4(),
+        "fig6_5" => ch6::fig6_5(),
+        "fig6_6" => ch6::fig6_6(scale),
+        "fig6_7" => ch6::fig6_7(scale),
+        _ => return None,
+    })
+}

@@ -1,0 +1,998 @@
+//! The application kernels of the Ch. 4/5 evaluations.
+
+use crate::{BenchProgram, Scale, UserAssertion};
+
+/// `mdg`: molecular-dynamics kernel.  The 90%-of-time `interf/1000` pair
+/// loop with the Fig. 4-3 RL/KC/CUT2 pattern (write of `rl(6:9)` guarded by
+/// `rs(k+4) <= cut2`, read guarded by `kc == 0`), interprocedural force
+/// reductions through `accum`, a potential-energy scalar reduction, and
+/// fine-grain auto-parallel inner loops that give high automatic coverage
+/// with useless granularity (§4.1).
+pub fn mdg(scale: Scale) -> BenchProgram {
+    let (nmol, steps) = match scale {
+        Scale::Test => (24, 2),
+        Scale::Bench => (120, 3),
+    };
+    let n3 = 3 * nmol;
+    let source = format!(
+        r#"program mdg
+const nmol = {nmol}
+const n3 = {n3}
+const steps = {steps}
+proc initia() {{
+  common /coord/ real x[n3], real vh[n3]
+  int i
+  do 100 i = 1, n3 {{
+    x[i] = sin(float(i) * 0.37) * 5.0 + 10.0
+    vh[i] = cos(float(i) * 0.11) * 0.01
+  }}
+}}
+proc predic() {{
+  common /coord/ real x[n3], real vh[n3]
+  int i
+  do 200 i = 1, n3 {{
+    x[i] = x[i] + vh[i]
+  }}
+}}
+proc kineti() {{
+  common /coord/ real x[n3], real vh[n3]
+  common /ener/ real ekin, real epot
+  int i
+  do 300 i = 1, n3 {{
+    ekin = ekin + vh[i] * vh[i]
+  }}
+}}
+proc accum(real f[*], real g1) {{
+  f[1] = f[1] + g1
+  f[2] = f[2] + g1 * 0.5
+  f[3] = f[3] + g1 * 0.25
+}}
+proc interf() {{
+  common /coord/ real x[n3], real vh[n3]
+  common /forces/ real f[n3]
+  common /ener/ real ekin, real epot
+  real rs[9], rl[14]
+  real cut2, g
+  int i, j, k, kc
+  cut2 = 10.5
+  do 1000 i = 1, nmol - 1 {{
+    do 1100 j = i + 1, nmol {{
+      kc = 0
+      do 1110 k = 1, 9 {{
+        rs[k] = abs(x[(i - 1) * 3 + mod(k - 1, 3) + 1] - x[(j - 1) * 3 + mod(k - 1, 3) + 1]) + float(k) * 1.1
+        if rs[k] > cut2 {{
+          kc = kc + 1
+        }}
+      }}
+      if kc != 9 {{
+        do 1130 k = 2, 5 {{
+          if rs[k + 4] <= cut2 {{
+            rl[k + 4] = rs[k + 4] * 0.3
+          }}
+        }}
+        if kc == 0 {{
+          g = 0
+          do 1140 k = 11, 14 {{
+            g = g + rl[k - 5]
+          }}
+          epot = epot + g
+          call accum(f[(i - 1) * 3 + 1], g)
+          call accum(f[(j - 1) * 3 + 1], g * 0.5)
+        }}
+      }}
+    }}
+  }}
+}}
+proc main() {{
+  common /coord/ real x[n3], real vh[n3]
+  common /forces/ real f[n3]
+  common /ener/ real ekin, real epot
+  int step, i
+  real fsum
+  call initia()
+  do 10 step = 1, steps {{
+    call predic()
+    call interf()
+    call kineti()
+  }}
+  fsum = 0
+  do 20 i = 1, n3 {{
+    fsum = fsum + f[i] * f[i]
+  }}
+  print epot, ekin, fsum
+}}
+"#
+    );
+    BenchProgram {
+        name: "mdg",
+        description: "Molecular dynamics model",
+        source,
+        input: vec![],
+        assertions: vec![UserAssertion::priv_("interf/1000", "rl")],
+    }
+}
+
+/// `hydro`: 2-D Lagrangian hydrodynamics kernel.  `vsetuv/85` carries the
+/// Fig. 4-5 `dkrc` pattern (conditionally defined `k1p1`, upwards-exposed
+/// `dkrc(1)`), the Fig. 5-1 `CALL init(aif3(k1), …)` sub-array writes, and
+/// several row/column sweep loops whose scratch arrays need privatization
+/// assertions — six user-parallelized loops in the case study (§4.2).
+pub fn hydro(scale: Scale) -> BenchProgram {
+    let (kmax, lmax, steps) = match scale {
+        Scale::Test => (16, 16, 2),
+        Scale::Bench => (72, 72, 3),
+    };
+    let msize = kmax * lmax;
+    let kmax2 = kmax + 2;
+    let source = format!(
+        r#"program hydro
+const kmax = {kmax}
+const lmax = {lmax}
+const msize = {msize}
+const kmax2 = {kmax2}
+const steps = {steps}
+proc setbnd() {{
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  int l, k
+  do 10 l = 1, lmax {{
+    k_lower[l] = 1 + mod(l, 3)
+    k_upper[l] = kmax - 1 - mod(l, 2)
+    k_mid[l] = k_upper[l] - mod(l, 4)
+  }}
+  do 20 k = 1, kmax {{
+    l_lower[k] = 1 + mod(k, 2)
+    l_upper[k] = lmax - 1 - mod(k, 3)
+  }}
+}}
+proc setfld() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  int k, l
+  do 30 l = 1, lmax {{
+    do 31 k = 1, kmax {{
+      u[k, l] = sin(float(k * 7 + l) * 0.13) + 2.0
+      v[k, l] = 0
+      p[k, l] = cos(float(k + l * 5) * 0.21) + 3.0
+      q[k, l] = 0
+    }}
+  }}
+}}
+proc init(real w[*], int n) {{
+  int j
+  do 5 j = 1, n {{
+    w[j] = 0.5
+  }}
+}}
+proc fvsr(real w[*], int n) {{
+  int j
+  do 6 j = 1, n {{
+    w[j] = w[j] * 0.9 + 0.1
+  }}
+}}
+proc vmeos(real row[*], int n) {{
+  int j
+  do 7 j = 1, n {{
+    row[j] = row[j] * 0.98 + 0.02 * sqrt(abs(row[j]) + 1.0)
+  }}
+}}
+proc sesind(real a[*], real b[*], int n) {{
+  real work[kmax2]
+  int j
+  call init(work, n)
+  do 8 j = 1, n {{
+    work[j] = a[j] * 0.5 + b[j] * 0.5
+  }}
+  do 9 j = 1, n {{
+    b[j] = work[j]
+  }}
+}}
+proc update() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  common /scr/ real work2[kmax2]
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  int l, k
+  do 1000 l = 1, lmax {{
+    call vmeos(p[1, l], kmax)
+    call vmeos(q[1, l], kmax)
+    call init(work2, k_upper[l])
+    call fvsr(work2, k_upper[l])
+    do 1010 k = 1, kmax {{
+      u[k, l] = u[k, l] + work2[min(k, k_upper[l])] * 0.001
+    }}
+    call sesind(u[1, l], v[1, l], kmax)
+  }}
+}}
+proc vsetuv() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  real dkrc[kmax2], aif3[kmax2]
+  int l, k, k1, k2, k1p1, k2p1, k3
+  dkrc[1] = 0.3
+  do 85 l = 2, lmax {{
+    k1 = k_lower[l]
+    k2 = k_upper[l]
+    if k1 > 0 {{
+      k1p1 = k1
+      if k1 == 1 {{
+        k1p1 = k1 + 1
+      }}
+      k2p1 = k2 + 1
+      call init(aif3, k2p1)
+      do 60 k = k1p1, k2p1 {{
+        dkrc[k] = u[k - 1, l] * 0.5 + aif3[k - 1]
+      }}
+      do 80 k = k1, k2 {{
+        v[k, l] = dkrc[k] + dkrc[k + 1]
+      }}
+    }}
+  }}
+  do 105 l = 2, lmax {{
+    k1 = k_lower[l]
+    k2 = k_upper[l]
+    k3 = k_mid[l]
+    call init(aif3[k1], k2 - k1 + 1)
+    do 110 k = k1, k3 {{
+      u[k, l] = u[k, l] * 0.99 + aif3[k] * 0.01
+    }}
+  }}
+  do 155 l = 2, lmax {{
+    k1 = k_lower[l]
+    k2 = k_upper[l]
+    do 160 k = k_lower[l], k_upper[l] {{
+      dkrc[k] = p[k, l] - q[k, l]
+    }}
+    do 170 k = k1, k2 {{
+      q[k, l] = q[k, l] + dkrc[k] * 0.05
+    }}
+  }}
+}}
+proc vqterm() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  real wrk[kmax2]
+  int k, l, l1, l2
+  do 85 k = 2, kmax {{
+    l1 = l_lower[k]
+    l2 = l_upper[k]
+    call init(wrk[l1], l2 - l1 + 1)
+    call fvsr(wrk[l1], l_upper[k] - l1 + 1)
+    do 80 l = l1 + 1, l2 {{
+      q[k, l] = v[k, l] - v[k, l - 1] + wrk[l - l1 + 1] * 0.01
+    }}
+  }}
+}}
+proc vh2200() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  real hold[kmax2]
+  int l, k, k1, k2
+  do 1000 l = 2, lmax - 1 {{
+    k1 = k_lower[l]
+    k2 = k_upper[l]
+    do 1010 k = k_lower[l], k_upper[l] {{
+      hold[k] = p[k, l] * 0.3 + u[k, l] * 0.7
+    }}
+    do 1020 k = k1, k2 {{
+      p[k, l] = hold[k]
+    }}
+  }}
+}}
+proc vsetgc() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  common /bnds/ int k_lower[lmax], int k_upper[lmax], int l_lower[kmax], int l_upper[kmax], int k_mid[lmax]
+  real gc[kmax2]
+  int l, k, k1, k2
+  do 200 l = 2, lmax {{
+    k1 = k_lower[l]
+    k2 = k_upper[l]
+    do 210 k = k_lower[l], k_upper[l] {{
+      gc[k] = v[k, l] * v[k, l]
+    }}
+    do 220 k = k1, k2 {{
+      v[k, l] = v[k, l] - gc[k] * 0.01
+    }}
+  }}
+}}
+proc main() {{
+  common /mesh/ real u[kmax, lmax], real v[kmax, lmax], real p[kmax, lmax], real q[kmax, lmax]
+  int step, k, l
+  real chk
+  call setbnd()
+  call setfld()
+  do 1 step = 1, steps {{
+    call update()
+    call vsetuv()
+    call vqterm()
+    call vh2200()
+    call vsetgc()
+  }}
+  chk = 0
+  do 2 l = 1, lmax {{
+    do 3 k = 1, kmax {{
+      chk = chk + u[k, l] + v[k, l] + p[k, l] + q[k, l]
+    }}
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "hydro",
+        description: "2-D Lagrangian hydrodynamics",
+        source,
+        input: vec![],
+        assertions: vec![
+            UserAssertion::priv_("vsetuv/85", "dkrc"),
+            UserAssertion::priv_("vsetuv/85", "aif3"),
+            UserAssertion::priv_("vsetuv/105", "aif3"),
+            UserAssertion::priv_("vsetuv/155", "dkrc"),
+            UserAssertion::priv_("vqterm/85", "wrk"),
+            UserAssertion::priv_("vh2200/1000", "hold"),
+            UserAssertion::priv_("vsetgc/200", "gc"),
+            UserAssertion::priv_("update/1000", "work2"),
+        ],
+    }
+}
+
+/// `arc3d`: 3-D implicit solver kernel.  `stepf3d/701`'s `SN` scalar is
+/// initialized under *data-dependent* conditions covering the whole
+/// iteration space — only the user can see that, and privatizing `SN` (one
+/// of the three privatizable-scalar assertions of Fig. 4-9) unlocks the
+/// loop (§4.4.1).
+pub fn arc3d(scale: Scale) -> BenchProgram {
+    let (jmax, lm, steps) = match scale {
+        Scale::Test => (24, 12, 2),
+        Scale::Bench => (96, 48, 3),
+    };
+    let jm3 = jmax * 3;
+    let source = format!(
+        r#"program arc3d
+const jmax = {jmax}
+const lm = {lm}
+const jm3 = {jm3}
+const steps = {steps}
+proc setup() {{
+  common /flow/ real s[jmax, 3, lm], real r[jmax, 3, lm]
+  common /kind/ int ntype[5]
+  int j, n, l
+  do 10 l = 1, lm {{
+    do 11 n = 1, 3 {{
+      do 12 j = 1, jmax {{
+        s[j, n, l] = sin(float(j + n * 3 + l * 7) * 0.19) + 1.5
+        r[j, n, l] = 0
+      }}
+    }}
+  }}
+  ntype[3] = 1
+  ntype[4] = 1
+  ntype[5] = 1
+}}
+proc filter(real col[*], int n) {{
+  real t[jmax]
+  int j
+  do 20 j = 1, n {{
+    t[j] = col[j] * 0.25
+  }}
+  do 21 j = 2, n {{
+    col[j] = col[j] * 0.5 + t[j - 1] + t[j]
+  }}
+}}
+proc filter3d() {{
+  common /flow/ real s[jmax, 3, lm], real r[jmax, 3, lm]
+  int l, n
+  do 701 l = 1, lm {{
+    do 702 n = 1, 3 {{
+      call filter(s[1, n, l], jmax)
+    }}
+  }}
+}}
+proc stepf3d() {{
+  common /flow/ real s[jmax, 3, lm], real r[jmax, 3, lm]
+  common /kind/ int ntype[5]
+  real sn
+  real smth[jmax]
+  int l, n, j
+  do 600 l = 2, lm {{
+    do 601 j = 1, jmax {{
+      smth[j] = s[j, 1, l] * 0.5 + s[j, 1, l - 1] * 0.5
+    }}
+    do 602 j = 1, jmax {{
+      r[j, 1, l] = r[j, 1, l] + smth[j] * 0.01
+    }}
+  }}
+  do 701 l = 2, lm {{
+    do 300 n = 3, 5 {{
+      if ntype[n] == 1 {{
+        sn = float(n) * 0.2
+      }}
+      do 310 j = 1, jmax {{
+        r[j, n - 2, l] = s[j, n - 2, l] * sn
+      }}
+    }}
+  }}
+  do 702 l = 2, lm {{
+    do 320 n = 3, 5 {{
+      if ntype[n] == 1 {{
+        sn = float(n) * 0.1
+      }}
+      do 330 j = 1, jmax {{
+        s[j, n - 2, l] = s[j, n - 2, l] + r[j, n - 2, l] * sn
+      }}
+    }}
+  }}
+  do 801 l = 2, lm {{
+    do 340 n = 3, 5 {{
+      if ntype[n] == 1 {{
+        sn = 0.05
+      }}
+      do 350 j = 1, jmax {{
+        r[j, n - 2, l] = r[j, n - 2, l] * (1.0 - sn)
+      }}
+    }}
+  }}
+}}
+proc specw() {{
+  common /spect/ real sw[jmax, 3]
+  int j, n
+  do 1 n = 1, 3 {{
+    do 2 j = 1, jmax {{
+      sw[j, n] = float(j * n) * 0.01
+    }}
+  }}
+}}
+proc specr() {{
+  common /spect/ real sw[jmax, 3]
+  common /chk2/ real sacc
+  int j, n
+  do 1 n = 1, 3 {{
+    do 2 j = 1, jmax {{
+      sacc = sacc + sw[j, n]
+    }}
+  }}
+}}
+proc filtw() {{
+  common /spect/ real sf[jm3]
+  int j
+  do 1 j = 1, jm3 {{
+    sf[j] = float(j) * 0.002
+  }}
+}}
+proc filtr() {{
+  common /spect/ real sf[jm3]
+  common /chk2/ real sacc
+  int j
+  do 1 j = 1, jm3 {{
+    sacc = sacc + sf[j] * 0.5
+  }}
+}}
+proc main() {{
+  common /flow/ real s[jmax, 3, lm], real r[jmax, 3, lm]
+  common /chk2/ real sacc
+  int step, j, n, l
+  real chk
+  call setup()
+  do 1 step = 1, steps {{
+    call filter3d()
+    call stepf3d()
+    call specw()
+    call specr()
+    call filtw()
+    call filtr()
+  }}
+  chk = 0
+  do 2 l = 1, lm {{
+    do 3 n = 1, 3 {{
+      do 4 j = 1, jmax {{
+        chk = chk + s[j, n, l] + r[j, n, l]
+      }}
+    }}
+  }}
+  print chk + sacc
+}}
+"#
+    );
+    BenchProgram {
+        name: "arc3d",
+        description: "3-D Euler equations solver",
+        source,
+        input: vec![],
+        assertions: vec![
+            UserAssertion::priv_("stepf3d/701", "sn"),
+            UserAssertion::priv_("stepf3d/702", "sn"),
+            UserAssertion::priv_("stepf3d/801", "sn"),
+        ],
+    }
+}
+
+/// `flo88`: transonic-flow kernel.  Each `psmoo`/`eflux`/`dflux` pass is a
+/// `k`-sweep over independent planes with 2-D scratch arrays reused per
+/// plane (the Fig. 5-4 structure).  With `contract_variant = false`, sweeps
+/// run to `IE - 1` where `IE` is read from the input file (`IE = IL + 1`, a
+/// relation only the user knows, §4.4.1), so privatizing the scratch arrays
+/// needs assertions.  With `contract_variant = true`, bounds are constants
+/// (the affine-partitioned Fig. 5-11(b) form): the compiler privatizes the
+/// temporaries itself and can *contract* them (Fig. 5-11(c)).
+pub fn flo88(scale: Scale, contract_variant: bool) -> BenchProgram {
+    let (il, jl, kl, steps) = match scale {
+        Scale::Test => (12, 10, 6, 2),
+        Scale::Bench => (40, 32, 20, 2),
+    };
+    let ilp = il + 1;
+    // The user variant guards the temporary writes with an always-true but
+    // statically opaque condition (the paper's compiler failed on the
+    // IL/IE input relation; ours needs genuine static may-exposure — see
+    // the doc comment).
+    let (guard_open, guard_close) = if contract_variant {
+        ("", "")
+    } else {
+        ("        if abs(t[i, j]) >= 0.0 {\n  ", "        }\n")
+    };
+    let (guard2_open, guard2_close) = if contract_variant {
+        ("", "")
+    } else {
+        ("        if abs(w[i, j, k]) >= 0.0 {\n  ", "        }\n")
+    };
+    let input: Vec<f64> = vec![];
+    // One smoothing pass (a k-sweep over independent planes with 2-D
+    // temporaries reused per plane — the Fig. 5-4 structure).
+    let psmoo_pass = |label: u32| {
+        format!(
+            r#"  do {label} k = 2, kl {{
+    do {b0} j = 2, jl {{
+      d[1, j] = 0
+      do {b1} i = 2, il {{
+        t[i, j] = d[i - 1, j] * 0.5 + w[i, j, k]
+{guard_open}        d[i, j] = t[i, j] * 0.8
+{guard_close}      }}
+      do {b2} i = il, 2, -1 {{
+        w[i, j, k] = w[i, j, k] + d[i, j] * 0.1
+      }}
+    }}
+  }}
+"#,
+            b0 = label + 1,
+            b1 = label + 2,
+            b2 = label + 3,
+            guard_open = guard_open,
+            guard_close = guard_close,
+        )
+    };
+    let passes = if contract_variant {
+        psmoo_pass(50)
+    } else {
+        format!("{}{}{}", psmoo_pass(50), psmoo_pass(100), psmoo_pass(150))
+    };
+    let source = format!(
+        r#"program flo88
+const il = {il}
+const ilp = {ilp}
+const jl = {jl}
+const kl = {kl}
+const steps = {steps}
+proc setw() {{
+  common /fld/ real w[ilp, jl, kl], real fw[ilp, jl, kl]
+  int i, j, k
+  do 10 k = 1, kl {{
+    do 11 j = 1, jl {{
+      do 12 i = 1, ilp {{
+        w[i, j, k] = sin(float(i * 3 + j + k * 5) * 0.17) + 2.0
+        fw[i, j, k] = 0
+      }}
+    }}
+  }}
+}}
+proc psmoo() {{
+  common /fld/ real w[ilp, jl, kl], real fw[ilp, jl, kl]
+  real d[ilp, jl], t[ilp, jl]
+  int i, j, k
+{passes}}}
+proc eflux() {{
+  common /fld/ real w[ilp, jl, kl], real fw[ilp, jl, kl]
+  real fs[ilp]
+  int i, j, k
+  do 50 k = 2, kl {{
+    do 51 j = 2, jl - 1 {{
+      do 52 i = 1, il {{
+{guard2_open}        fs[i] = w[i, j + 1, k] - w[i, j - 1, k]
+{guard2_close}      }}
+      do 53 i = 2, il {{
+        fw[i, j, k] = fw[i, j, k] + fs[i] - fs[i - 1]
+      }}
+    }}
+  }}
+}}
+proc dflux() {{
+  common /fld/ real w[ilp, jl, kl], real fw[ilp, jl, kl]
+  real dg[ilp]
+  int i, j, k
+  do 30 k = 2, kl {{
+    do 31 j = 2, jl - 1 {{
+      do 32 i = 2, il {{
+{guard2_open}        dg[i] = w[i, j, k] - w[i - 1, j, k]
+{guard2_close}      }}
+      do 33 i = 2, il {{
+        fw[i, j, k] = fw[i, j, k] + dg[i] * 0.5
+      }}
+    }}
+  }}
+  do 50 k = 2, kl {{
+    do 51 j = 2, jl - 1 {{
+      do 52 i = 2, il {{
+{guard2_open}        dg[i] = fw[i, j, k] * 0.5
+{guard2_close}      }}
+      do 53 i = 2, il {{
+        w[i, j, k] = w[i, j, k] + dg[i] * 0.1
+      }}
+    }}
+  }}
+  do 70 k = 2, kl {{
+    do 71 j = 2, jl - 1 {{
+      do 72 i = 2, il {{
+{guard2_open}        dg[i] = w[i, j, k] * 0.25
+{guard2_close}      }}
+      do 73 i = 2, il {{
+        fw[i, j, k] = fw[i, j, k] * 0.9 + dg[i] * 0.1
+      }}
+    }}
+  }}
+}}
+proc main() {{
+  common /fld/ real w[ilp, jl, kl], real fw[ilp, jl, kl]
+  int step, i, j, k
+  real chk
+  call setw()
+  do 1 step = 1, steps {{
+    call psmoo()
+    call eflux()
+    call dflux()
+  }}
+  chk = 0
+  do 2 k = 1, kl {{
+    do 3 j = 1, jl {{
+      do 4 i = 1, ilp {{
+        chk = chk + w[i, j, k] + fw[i, j, k]
+      }}
+    }}
+  }}
+  print chk
+}}
+"#
+    );
+    let assertions = if contract_variant {
+        vec![]
+    } else {
+        vec![
+            UserAssertion::priv_("psmoo/50", "d"),
+            UserAssertion::priv_("psmoo/100", "d"),
+            UserAssertion::priv_("psmoo/150", "d"),
+            UserAssertion::priv_("eflux/50", "fs"),
+            UserAssertion::priv_("dflux/30", "dg"),
+            UserAssertion::priv_("dflux/50", "dg"),
+            UserAssertion::priv_("dflux/70", "dg"),
+        ]
+    };
+    BenchProgram {
+        name: if contract_variant { "flo88c" } else { "flo88" },
+        description: "Wing-body analysis solving transonic flow",
+        source,
+        input,
+        assertions,
+    }
+}
+
+/// `hydro2d`: astrophysics kernel with the Fig. 5-9 `varh` pattern: five
+/// common blocks reused under different shapes in disjoint phases — the
+/// full liveness analysis splits all five (Fig. 5-10).
+pub fn hydro2d(scale: Scale) -> BenchProgram {
+    let (mp, np, steps) = match scale {
+        Scale::Test => (12, 8, 3),
+        Scale::Bench => (64, 48, 4),
+    };
+    let sz = mp * np;
+    let sz2 = 2 * sz;
+    // Five blocks varh1..varh5, each with a 2-D producer/consumer phase and
+    // a flat-view producer/consumer phase.
+    let mut blocks = String::new();
+    for b in 1..=5 {
+        blocks.push_str(&format!(
+            r#"proc tistep{b}() {{
+  common /varh{b}/ real vz{b}[mp, np]
+  common /acc/ real chk
+  int i, j
+  do 1 j = 1, np {{
+    do 2 i = 1, mp {{
+      chk = chk + vz{b}[i, j]
+    }}
+  }}
+}}
+proc vps{b}() {{
+  common /varh{b}/ real vz{b}[mp, np]
+  int i, j
+  do 1 j = 1, np {{
+    do 2 i = 1, mp {{
+      vz{b}[i, j] = float(i + j * {b}) * 0.01
+    }}
+  }}
+}}
+proc trans{b}() {{
+  common /varh{b}/ real vz1_{b}[sz]
+  int i
+  do 1 i = 1, sz {{
+    vz1_{b}[i] = float(i) * 0.002 + float({b})
+  }}
+}}
+proc fct{b}() {{
+  common /varh{b}/ real vz1_{b}[sz]
+  common /acc/ real chk
+  int i
+  do 1 i = 1, sz {{
+    chk = chk + vz1_{b}[i] * 0.5
+  }}
+}}
+"#
+        ));
+    }
+    let mut phase_calls = String::new();
+    for b in 1..=5 {
+        phase_calls.push_str(&format!(
+            "    call tistep{b}()\n    call trans{b}()\n    call fct{b}()\n    call vps{b}()\n"
+        ));
+    }
+    let mut init_calls = String::new();
+    for b in 1..=5 {
+        init_calls.push_str(&format!("  call vps{b}()\n"));
+    }
+    let source = format!(
+        r#"program hydro2d
+const mp = {mp}
+const np = {np}
+const sz = {sz}
+const sz2 = {sz2}
+const steps = {steps}
+{blocks}proc stat() {{
+  common /acc/ real chk
+  common /wrk/ real half[sz2]
+  int i
+  do 1 i = 1, sz {{
+    half[i] = float(i) * 0.003
+  }}
+  do 2 i = sz + 1, sz2 {{
+    chk = chk + half[i] * 0.0001
+  }}
+}}
+proc order() {{
+  common /acc/ real chk
+  real obuf[mp]
+  int i
+  do 1 i = 1, mp {{
+    chk = chk + obuf[i] * 0.00001
+  }}
+  do 2 i = 1, mp {{
+    obuf[i] = float(i) * 0.002
+  }}
+}}
+proc main() {{
+  common /acc/ real chk
+  int icnt
+  chk = 0
+{init_calls}  do 100 icnt = 1, steps {{
+{phase_calls}    call stat()
+    call order()
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "hydro2d",
+        description: "Astrophysical program using Navier Stokes equations",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `wave5`: particle/field kernel whose newly-parallelized loops are small
+/// (their parallel execution is suppressed at run time, §5.4) and whose
+/// scratch arrays are dead at loop exits — liveness finds them, speedup
+/// stays flat.
+pub fn wave5(scale: Scale) -> BenchProgram {
+    let (n, steps) = match scale {
+        Scale::Test => (16, 2),
+        Scale::Bench => (48, 3),
+    };
+    let n2 = 2 * n;
+    let source = format!(
+        r#"program wave5
+const n = {n}
+const n2 = {n2}
+const steps = {steps}
+proc field(real e[*], int m) {{
+  real tmp[n]
+  int i, span
+  span = m - 1
+  do 10 i = 1, span {{
+    tmp[i] = e[i] + e[i + 1]
+  }}
+  do 11 i = 1, span {{
+    e[i] = tmp[i] * 0.5
+  }}
+}}
+proc smooth(real e[*], int m) {{
+  real buf[n]
+  int i, lim
+  lim = m - 2
+  do 20 i = 2, lim {{
+    buf[i] = e[i - 1] * 0.25 + e[i] * 0.5 + e[i + 1] * 0.25
+  }}
+  do 21 i = 2, lim {{
+    e[i] = buf[i]
+  }}
+}}
+proc push() {{
+  common /fields/ real ex[n], real ey[n]
+  common /parts/ real px[n], real pv[n]
+  real acc[n]
+  int i, j
+  do 30 i = 1, n {{
+    acc[i] = 0
+  }}
+  do 31 i = 1, n {{
+    j = mod(i * 3, n) + 1
+    pv[i] = pv[i] + ex[j] * 0.01
+    px[i] = px[i] + pv[i]
+  }}
+  do 32 i = 1, n {{
+    ey[i] = ey[i] * 0.99 + acc[i]
+  }}
+}}
+proc diag() {{
+  common /fields/ real ex[n], real ey[n]
+  common /stats/ real hbuf[n2], real dacc
+  int i
+  do 40 i = 1, n {{
+    hbuf[i] = ex[i] * ex[i]
+  }}
+  do 41 i = n + 1, n2 {{
+    dacc = dacc + hbuf[i]
+  }}
+}}
+proc prewrite() {{
+  common /fields/ real ex[n], real ey[n]
+  common /stats/ real hbuf[n2], real dacc
+  real sbuf[n]
+  int i
+  do 45 i = 1, n {{
+    dacc = dacc + sbuf[i] * 0.001
+  }}
+  do 46 i = 1, n {{
+    sbuf[i] = ex[i] + ey[i]
+  }}
+}}
+proc scat() {{
+  common /fields/ real ex[n], real ey[n]
+  real tmp[n]
+  int i, j, m
+  do 50 i = 1, n {{
+    m = mod(i, 5) + 1
+    do 51 j = 1, m {{
+      tmp[j] = float(i + j) * 0.01
+    }}
+    do 52 j = 1, m {{
+      ey[i] = ey[i] + tmp[j]
+    }}
+  }}
+}}
+proc gather() {{
+  common /fields/ real ex[n], real ey[n]
+  common /stats/ real hbuf[n2], real dacc
+  real tmp[n2]
+  int i, j
+  do 60 i = 1, n {{
+    do 62 j = 1, i {{
+      tmp[j] = ex[i] * float(j) * 0.1
+    }}
+    do 63 j = 1, i {{
+      ey[i] = ey[i] + tmp[j] * 0.001
+    }}
+  }}
+  do 61 i = n + 1, n2 {{
+    dacc = dacc + tmp[i] * 0.0001
+  }}
+}}
+proc modew() {{
+  common /modes/ real mw[n, 2]
+  int i, k
+  do 1 k = 1, 2 {{
+    do 2 i = 1, n {{
+      mw[i, k] = float(i + k) * 0.004
+    }}
+  }}
+}}
+proc moder() {{
+  common /modes/ real mw[n, 2]
+  common /stats/ real hbuf[n2], real dacc
+  int i, k
+  do 1 k = 1, 2 {{
+    do 2 i = 1, n {{
+      dacc = dacc + mw[i, k] * 0.01
+    }}
+  }}
+}}
+proc flatw() {{
+  common /modes/ real mf[n2]
+  int i
+  do 1 i = 1, n2 {{
+    mf[i] = float(i) * 0.001
+  }}
+}}
+proc flatr() {{
+  common /modes/ real mf[n2]
+  common /stats/ real hbuf[n2], real dacc
+  int i
+  do 1 i = 1, n2 {{
+    dacc = dacc + mf[i] * 0.02
+  }}
+}}
+proc main() {{
+  common /fields/ real ex[n], real ey[n]
+  common /parts/ real px[n], real pv[n]
+  common /stats/ real hbuf[n2], real dacc
+  int step, i
+  real chk
+  do 1 i = 1, n {{
+    ex[i] = sin(float(i) * 0.3)
+    ey[i] = cos(float(i) * 0.4)
+    px[i] = float(i)
+    pv[i] = 0.001 * float(i)
+  }}
+  do 2 step = 1, steps {{
+    call field(ex, n)
+    call field(ey, n)
+    call smooth(ex, n)
+    call smooth(ey, n)
+    call push()
+    call diag()
+    call prewrite()
+    call scat()
+    call gather()
+    call modew()
+    call moder()
+    call flatw()
+    call flatr()
+  }}
+  chk = dacc
+  do 3 i = 1, n {{
+    chk = chk + ex[i] + ey[i] + px[i] + pv[i]
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "wave5",
+        description: "Maxwell's equations and particle equations of motion",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_parse() {
+        for p in [
+            mdg(Scale::Test),
+            hydro(Scale::Test),
+            arc3d(Scale::Test),
+            flo88(Scale::Test, false),
+            flo88(Scale::Test, true),
+            hydro2d(Scale::Test),
+            wave5(Scale::Test),
+        ] {
+            p.parse();
+        }
+    }
+}

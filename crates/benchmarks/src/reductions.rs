@@ -1,0 +1,306 @@
+//! The Ch. 6 reduction suite: kernels standing in for the SPEC92 / NAS /
+//! Perfect Club programs on which reductions have an impact (Fig. 6-3/6-5).
+//!
+//! Operation-type distribution follows Fig. 6-2: sums dominate, with some
+//! MIN/MAX reductions and a product.
+
+use crate::{BenchProgram, Scale};
+
+/// `bdna`-like: regular array-region reductions inside a coarse loop
+/// (`FAX(IA) = FAX(IA) + …` over `1:NATOMS` of a 2000-element array —
+/// the §6.3.3 region-minimization example) plus indirect `FOX(IND(J))`
+/// updates (§6.3.5's example).
+pub fn bdna(scale: Scale) -> BenchProgram {
+    let (nsp, natoms, big) = match scale {
+        Scale::Test => (40, 24, 400),
+        Scale::Bench => (400, 64, 2000),
+    };
+    let source = format!(
+        r#"program bdna
+const nsp = {nsp}
+const natoms = {natoms}
+const big = {big}
+proc main() {{
+  real fax[big], fox[big], foxp[nsp], w[nsp]
+  int ind[nsp]
+  int i, ia, j
+  real chk
+  do 5 i = 1, nsp {{
+    w[i] = sin(float(i) * 0.21) + 1.5
+    foxp[i] = cos(float(i) * 0.13)
+    ind[i] = mod(i * 17, big) + 1
+  }}
+  do 10 i = 1, nsp {{
+    do 20 ia = 1, natoms {{
+      fax[ia] = fax[ia] + w[i] * float(ia) * 0.001
+    }}
+  }}
+  do 30 j = 1, nsp {{
+    fox[ind[j]] = fox[ind[j]] + foxp[j]
+  }}
+  chk = 0
+  do 40 i = 1, big {{
+    chk = chk + fax[i] + fox[i]
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "bdna",
+        description: "Molecular dynamics of DNA (array-region and indirect reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `cgm`-like: sparse conjugate-gradient step — dot products (scalar sums)
+/// and a sparse `y(row(k)) += …` histogram-style reduction.
+pub fn cgm(scale: Scale) -> BenchProgram {
+    let (n, nz, iters) = match scale {
+        Scale::Test => (32, 128, 4),
+        Scale::Bench => (256, 2048, 8),
+    };
+    let source = format!(
+        r#"program cgm
+const n = {n}
+const nz = {nz}
+const iters = {iters}
+proc main() {{
+  real x[n], y[n], aval[nz]
+  int rowi[nz], coli[nz]
+  int k, it, i
+  real dot, nrm
+  do 5 i = 1, n {{
+    x[i] = sin(float(i) * 0.37) + 1.2
+    y[i] = 0
+  }}
+  do 6 k = 1, nz {{
+    aval[k] = cos(float(k) * 0.11) * 0.5
+    rowi[k] = mod(k * 7, n) + 1
+    coli[k] = mod(k * 13, n) + 1
+  }}
+  do 10 it = 1, iters {{
+    do 20 i = 1, n {{
+      y[i] = 0
+    }}
+    do 30 k = 1, nz {{
+      y[rowi[k]] = y[rowi[k]] + aval[k] * x[coli[k]]
+    }}
+    dot = 0
+    nrm = 0
+    do 40 i = 1, n {{
+      dot = dot + x[i] * y[i]
+      nrm = nrm + y[i] * y[i]
+    }}
+    do 50 i = 1, n {{
+      x[i] = x[i] + y[i] / (1.0 + nrm) * 0.1
+    }}
+  }}
+  print dot, nrm
+}}
+"#
+    );
+    BenchProgram {
+        name: "cgm",
+        description: "Sparse conjugate gradient (sparse and dot-product reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `ora`-like: ray tracing — scalar sum and *product* reductions.
+pub fn ora(scale: Scale) -> BenchProgram {
+    let n = match scale {
+        Scale::Test => 400,
+        Scale::Bench => 20000,
+    };
+    let source = format!(
+        r#"program ora
+const n = {n}
+proc main() {{
+  real s, prod, t
+  int i
+  s = 0
+  prod = 1
+  do 10 i = 1, n {{
+    t = sqrt(abs(sin(float(i) * 0.01)) + 0.5)
+    s = s + t
+    prod = prod * (1.0 + t * 0.0001)
+  }}
+  print s, prod
+}}
+"#
+    );
+    BenchProgram {
+        name: "ora",
+        description: "Optical ray tracing (sum and product reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `mdljdp2`-like: Lennard-Jones step with MIN/MAX reductions (both the
+/// intrinsic form and the `if (e < t) t = e` form of §6.2.2.1) and a force
+/// sum.
+pub fn mdljdp2(scale: Scale) -> BenchProgram {
+    let n = match scale {
+        Scale::Test => 300,
+        Scale::Bench => 8000,
+    };
+    let source = format!(
+        r#"program mdljdp2
+const n = {n}
+proc main() {{
+  real e[n]
+  real emin, emax, etot
+  int i
+  do 5 i = 1, n {{
+    e[i] = sin(float(i) * 0.05) * float(mod(i, 13) + 1)
+  }}
+  emin = 1000000.0
+  emax = -1000000.0
+  etot = 0
+  do 10 i = 1, n {{
+    etot = etot + e[i]
+    emin = min(emin, e[i])
+    if e[i] > emax {{
+      emax = e[i]
+    }}
+  }}
+  print emin, emax, etot
+}}
+"#
+    );
+    BenchProgram {
+        name: "mdljdp2",
+        description: "Molecular dynamics (min/max and sum reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `dyfesm`-like: finite-element assembly with an **interprocedural**
+/// array reduction — the update happens two calls deep (§6.2.2.4).
+pub fn dyfesm(scale: Scale) -> BenchProgram {
+    let (nelem, nodes) = match scale {
+        Scale::Test => (60, 40),
+        Scale::Bench => (1200, 300),
+    };
+    let source = format!(
+        r#"program dyfesm
+const nelem = {nelem}
+const nodes = {nodes}
+proc addpnt(real force[*], int at, real v) {{
+  force[at] = force[at] + v
+}}
+proc element(real force[*], int el) {{
+  int na, nb
+  real v
+  na = mod(el * 3, nodes) + 1
+  nb = mod(el * 5, nodes) + 1
+  v = sin(float(el) * 0.07) * 0.5
+  call addpnt(force, na, v)
+  call addpnt(force, nb, -(v))
+}}
+proc main() {{
+  real force[nodes]
+  int el, i
+  real chk
+  do 10 el = 1, nelem {{
+    call element(force, el)
+  }}
+  chk = 0
+  do 20 i = 1, nodes {{
+    chk = chk + force[i] * force[i]
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "dyfesm",
+        description: "Structural dynamics (interprocedural array reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// `trfd`-like: two-electron integral transformation — accumulation into a
+/// triangular region with coarse-grain outer parallelism through a sum
+/// reduction over a shared array.
+pub fn trfd(scale: Scale) -> BenchProgram {
+    let n = match scale {
+        Scale::Test => 24,
+        Scale::Bench => 96,
+    };
+    let nn = n * n;
+    let source = format!(
+        r#"program trfd
+const n = {n}
+const nn = {nn}
+proc main() {{
+  real xr[n], v[n], x[nn]
+  int i, j
+  real chk
+  do 5 i = 1, n {{
+    v[i] = cos(float(i) * 0.23) + 1.1
+  }}
+  do 10 i = 1, n {{
+    do 20 j = 1, n {{
+      xr[j] = xr[j] + v[i] * v[j]
+    }}
+  }}
+  do 30 i = 1, n {{
+    do 40 j = 1, n {{
+      x[(j - 1) * n + i] = x[(j - 1) * n + i] + xr[i] * 0.01
+    }}
+  }}
+  chk = 0
+  do 50 i = 1, nn {{
+    chk = chk + x[i]
+  }}
+  do 60 i = 1, n {{
+    chk = chk + xr[i]
+  }}
+  print chk
+}}
+"#
+    );
+    BenchProgram {
+        name: "trfd",
+        description: "Two-electron integral transformation (array sum reductions)",
+        source,
+        input: vec![],
+        assertions: vec![],
+    }
+}
+
+/// The whole suite.
+pub fn suite(scale: Scale) -> Vec<BenchProgram> {
+    vec![
+        bdna(scale),
+        cgm(scale),
+        ora(scale),
+        mdljdp2(scale),
+        dyfesm(scale),
+        trfd(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_parses() {
+        for p in suite(Scale::Test) {
+            p.parse();
+        }
+    }
+}

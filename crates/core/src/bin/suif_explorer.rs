@@ -1,0 +1,210 @@
+//! The SUIF Explorer command-line driver.
+//!
+//! ```text
+//! suif-explorer analyze <file.mf>                 # verdicts + guru targets
+//! suif-explorer explore <file.mf> [--assert L:V]… # interactive pipeline with assertions
+//! suif-explorer slice   <file.mf> <loop>          # slices for a loop's first dependence
+//! suif-explorer run     <file.mf> [--threads N] [--input v,…]
+//! suif-explorer codeview <file.mf>
+//! ```
+//!
+//! `--assert interf/1000:rl` privatizes `rl` in `interf/1000` after the
+//! assertion checker validates it against the dynamic run (§2.8).
+
+use std::process::ExitCode;
+use suif_analysis::Assertion;
+use suif_explorer::{CheckResult, Explorer};
+use suif_parallel::{measure_parallel, measure_sequential, ParallelPlans, RuntimeConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> String {
+    "usage: suif-explorer <analyze|explore|slice|run|codeview> <file.mf> [options]\n\
+     options:\n\
+       --assert LOOP:VAR    privatization assertion (repeatable)\n\
+       --threads N          worker threads for `run` (default 2)\n\
+       --input v1,v2,…      `read` input values"
+        .to_string()
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let (cmd, file) = match (args.first(), args.get(1)) {
+        (Some(c), Some(f)) => (c.as_str(), f.as_str()),
+        _ => return Err(usage()),
+    };
+    let source = std::fs::read_to_string(file).map_err(|e| format!("{file}: {e}"))?;
+    let program = suif_ir::parse_program(&source).map_err(|e| e.to_string())?;
+
+    let mut assertions = Vec::new();
+    let mut threads = 2usize;
+    let mut input: Vec<f64> = Vec::new();
+    let mut i = 2;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--assert" => {
+                let spec = args.get(i + 1).ok_or("--assert needs LOOP:VAR")?;
+                let (l, v) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad assertion `{spec}` (want LOOP:VAR)"))?;
+                assertions.push(Assertion::Privatizable {
+                    loop_name: l.to_string(),
+                    var: v.to_string(),
+                });
+                i += 2;
+            }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+                i += 2;
+            }
+            "--input" => {
+                input = args
+                    .get(i + 1)
+                    .ok_or("--input needs values")?
+                    .split(',')
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
+                    .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            other if !other.starts_with("--") => {
+                // Positional argument (e.g. the loop name of `slice`);
+                // consumed by the command branch below.
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+
+    match cmd {
+        "analyze" | "explore" => {
+            let mut ex = Explorer::new(&program, input.clone()).map_err(|e| e.to_string())?;
+            for a in assertions {
+                let name = match &a {
+                    Assertion::Privatizable { loop_name, var }
+                    | Assertion::Independent { loop_name, var } => {
+                        format!("{loop_name}:{var}")
+                    }
+                };
+                match ex.assert_and_reanalyze(a) {
+                    CheckResult::Consistent => println!("assertion {name}: accepted"),
+                    CheckResult::Warning(w) => println!("assertion {name}: accepted — {w}"),
+                    CheckResult::Contradicted(w) => {
+                        println!("assertion {name}: REJECTED — {w}")
+                    }
+                }
+            }
+            let guru = ex.guru();
+            println!("{}", guru.render());
+            println!("loop verdicts:");
+            for li in &ex.analysis.ctx.tree.loops {
+                let v = &ex.analysis.verdicts[&li.stmt];
+                print!(
+                    "  {:<20} {}",
+                    li.name,
+                    if v.is_parallel() { "PARALLEL" } else { "sequential" }
+                );
+                if let suif_analysis::LoopVerdict::Sequential { deps, .. } = v {
+                    let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();
+                    if !names.is_empty() {
+                        print!("  deps: {}", names.join(", "));
+                    }
+                }
+                println!();
+            }
+            println!(
+                "\ndecomposition advisory:\n{}",
+                suif_analysis::decomp::render_advisory(&ex.analysis)
+            );
+            Ok(())
+        }
+        "slice" => {
+            let loop_name = args.get(2).ok_or("slice needs a loop name")?;
+            let mut ex = Explorer::new(&program, input).map_err(|e| e.to_string())?;
+            let li = ex
+                .analysis
+                .ctx
+                .tree
+                .loops
+                .iter()
+                .find(|l| &l.name == loop_name)
+                .ok_or_else(|| format!("no loop `{loop_name}`"))?
+                .clone();
+            let slices = ex.slices_for_dep(li.stmt, 0);
+            if slices.is_empty() {
+                println!("no unresolved dependences in {loop_name}");
+                return Ok(());
+            }
+            let mut lines = std::collections::BTreeSet::new();
+            let mut terms = std::collections::BTreeSet::new();
+            for (_, p, c) in &slices {
+                lines.extend(p.lines.iter().copied());
+                lines.extend(c.lines.iter().copied());
+                for s in p.terminals.iter().chain(c.terminals.iter()) {
+                    if let Some((stmt, _)) = program.find_stmt(*s) {
+                        terms.insert(stmt.line());
+                    }
+                }
+            }
+            println!(
+                "{}",
+                suif_explorer::source_view(&ex, li.line, li.end_line, &lines, &terms)
+            );
+            Ok(())
+        }
+        "run" => {
+            let config = suif_analysis::ParallelizeConfig {
+                assertions,
+                ..Default::default()
+            };
+            let pa = suif_analysis::Parallelizer::analyze(&program, config);
+            let plans = ParallelPlans::from_analysis(&pa);
+            let seq = measure_sequential(&program, input.clone()).map_err(|e| e.to_string())?;
+            let (par, stats) = measure_parallel(
+                &program,
+                &plans,
+                RuntimeConfig {
+                    threads,
+                    ..Default::default()
+                },
+                input,
+            )
+            .map_err(|e| e.to_string())?;
+            for line in &par.output {
+                println!("{line}");
+            }
+            eprintln!(
+                "sequential {:?} ({} ops); parallel({threads}) {:?} (simulated {} ops, speedup {:.2}); \
+                 {} parallel invocations, {} serial fallbacks",
+                seq.elapsed,
+                seq.ops,
+                par.elapsed,
+                par.ops,
+                seq.ops as f64 / par.ops.max(1) as f64,
+                stats.parallel_invocations.values().sum::<u64>(),
+                stats.serial_fallbacks.values().sum::<u64>(),
+            );
+            if seq.output != par.output {
+                eprintln!("note: outputs differ (floating-point reduction reassociation)");
+            }
+            Ok(())
+        }
+        "codeview" => {
+            let ex = Explorer::new(&program, input).map_err(|e| e.to_string())?;
+            let guru = ex.guru();
+            println!("{}", suif_explorer::codeview(&ex, &guru));
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

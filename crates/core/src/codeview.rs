@@ -1,0 +1,138 @@
+//! Text visualization (§2.7): the Codeview "bird's-eye" line map and the
+//! annotated source viewer, standing in for the Rivet metaphors.
+//!
+//! Per §2.7 / Fig. 4-2: "Filtered loops are shown in gray; unfiltered
+//! sequential loops are shown in black; unfiltered parallel loops are shown
+//! in white.  A white focus bar indicates that the loop was selected as a
+//! good candidate for hand parallelization."  The text rendering maps:
+//! gray → `.`, black (sequential, important) → `#`, white (parallel) → `=`,
+//! focus candidate → `*`, non-loop code → space.
+
+use crate::explorer::Explorer;
+use crate::guru::GuruReport;
+use std::collections::HashMap;
+
+/// Render the codeview: one row per source line, `marker depth | source`.
+pub fn codeview(ex: &Explorer<'_>, guru: &GuruReport) -> String {
+    let parallel = ex.parallel_loops();
+    let focus: Vec<_> = guru
+        .important_targets()
+        .map(|t| t.stmt)
+        .collect();
+    // Per line: (marker, depth) from the innermost covering loop.
+    let mut line_info: HashMap<u32, (char, usize)> = HashMap::new();
+    for li in &ex.analysis.ctx.tree.loops {
+        let marker = if focus.contains(&li.stmt) {
+            '*'
+        } else if parallel.contains(&li.stmt) {
+            '='
+        } else {
+            let important = guru
+                .targets
+                .iter()
+                .any(|t| t.stmt == li.stmt && t.important);
+            if important {
+                '#'
+            } else {
+                '.'
+            }
+        };
+        for line in li.line..=li.end_line {
+            let e = line_info.entry(line).or_insert((' ', 0));
+            if li.depth >= e.1 || e.0 == ' ' {
+                *e = (marker, li.depth + 1);
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str("codeview  (= parallel, # sequential-important, . filtered, * focus)\n");
+    for (idx, text) in ex.program.source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        let (m, d) = line_info.get(&line).copied().unwrap_or((' ', 0));
+        let depth = if d > 0 {
+            char::from_digit(d.min(9) as u32, 10).unwrap()
+        } else {
+            ' '
+        };
+        out.push_str(&format!("{m}{depth}|{text}\n"));
+    }
+    out
+}
+
+/// Render the annotated source viewer for a line window, marking the lines
+/// of a slice (`S`) and its pruned terminals (`?`), the way the Explorer
+/// highlights "exactly those lines" (§3.1).
+pub fn source_view(
+    ex: &Explorer<'_>,
+    from_line: u32,
+    to_line: u32,
+    slice_lines: &std::collections::BTreeSet<u32>,
+    terminal_lines: &std::collections::BTreeSet<u32>,
+) -> String {
+    let mut out = String::new();
+    for (idx, text) in ex.program.source.lines().enumerate() {
+        let line = idx as u32 + 1;
+        if line < from_line || line > to_line {
+            continue;
+        }
+        let mark = if terminal_lines.contains(&line) {
+            '?'
+        } else if slice_lines.contains(&line) {
+            'S'
+        } else {
+            ' '
+        };
+        out.push_str(&format!("{line:>5} {mark} {text}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::explorer::Explorer;
+    use suif_ir::parse_program;
+
+    #[test]
+    fn codeview_marks_loop_kinds() {
+        let src = r#"program t
+proc main() {
+  real a[100], b[101]
+  int i, j
+  do 1 i = 1, 100 {
+    a[i] = i
+  }
+  do 2 i = 1, 100 {
+    do 3 j = 1, 100 {
+      b[j] = b[j + 1]
+    }
+  }
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let ex = Explorer::new(&p, vec![]).unwrap();
+        let guru = ex.guru();
+        let view = super::codeview(&ex, &guru);
+        let lines: Vec<&str> = view.lines().collect();
+        // Line 5 (do 1) is parallel → '='.
+        assert!(lines[5].starts_with('='), "line5: {}", lines[5]);
+        // Line 8 (do 2) is a focus candidate or important sequential.
+        assert!(
+            lines[8].starts_with('*') || lines[8].starts_with('#'),
+            "line8: {}",
+            lines[8]
+        );
+        // Depth digit for the inner loop body is 2.
+        assert!(lines[9].chars().nth(1) == Some('2'), "line9: {}", lines[9]);
+    }
+
+    #[test]
+    fn source_view_marks_slices() {
+        let src = "program t\nproc main() {\n int a\n a = 1\n print a\n}\n";
+        let p = parse_program(src).unwrap();
+        let ex = Explorer::new(&p, vec![]).unwrap();
+        let slice: std::collections::BTreeSet<u32> = [4u32].into_iter().collect();
+        let term: std::collections::BTreeSet<u32> = Default::default();
+        let v = super::source_view(&ex, 3, 5, &slice, &term);
+        assert!(v.contains("    4 S  a = 1"), "{v}");
+    }
+}

@@ -1,0 +1,336 @@
+//! The Explorer pipeline (§2.3.1): compile → auto-parallelize → instrument
+//! and profile → dynamic dependence analysis → guru interaction.
+
+use crate::guru::{self, GuruReport};
+use std::collections::HashSet;
+use suif_analysis::{
+    Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis, VarClass,
+};
+use suif_dynamic::machine::Machine;
+use suif_dynamic::{DynDepAnalyzer, DynDepConfig, DynDepReport, LoopProfiler, ProfileReport};
+use suif_ir::{Program, StmtId, VarId};
+use suif_slicing::{Slice, SliceKind, SliceOptions, Slicer};
+
+/// Explorer failure.
+#[derive(Debug)]
+pub struct ExplorerError(pub String);
+
+impl std::fmt::Display for ExplorerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "explorer error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExplorerError {}
+
+/// One interactive Explorer session over a program.
+pub struct Explorer<'p> {
+    /// The program.
+    pub program: &'p Program,
+    /// Static analysis results (re-computed when assertions are applied).
+    pub analysis: ProgramAnalysis<'p>,
+    /// Sequential-run loop profile.
+    pub profile: ProfileReport,
+    /// Dynamic dependence observations (§2.5.2), aware of the compiler's
+    /// induction variables and reductions.
+    pub dyndep: DynDepReport,
+    /// Program input used for the instrumented runs.
+    pub input: Vec<f64>,
+    slicer: Option<Slicer<'p>>,
+    /// Assertions applied so far.
+    pub assertions: Vec<Assertion>,
+}
+
+impl<'p> Explorer<'p> {
+    /// Start a session: auto-parallelize and run both execution analyzers.
+    pub fn new(program: &'p Program, input: Vec<f64>) -> Result<Explorer<'p>, ExplorerError> {
+        Self::with_config(program, ParallelizeConfig::default(), input)
+    }
+
+    /// Start with an explicit analysis configuration.
+    pub fn with_config(
+        program: &'p Program,
+        config: ParallelizeConfig,
+        input: Vec<f64>,
+    ) -> Result<Explorer<'p>, ExplorerError> {
+        let assertions = config.assertions.clone();
+        let analysis = Parallelizer::analyze(program, config);
+
+        // Loop profile run (§2.5.1).
+        let mut profiler = LoopProfiler::new();
+        {
+            let mut m = Machine::new(program, &mut profiler)
+                .map_err(|e| ExplorerError(e.to_string()))?;
+            m.set_input(input.clone());
+            m.run().map_err(|e| ExplorerError(e.to_string()))?;
+        }
+        let profile = profiler.report();
+
+        // Dynamic dependence run (§2.5.2), ignoring compiler-recognized
+        // induction variables and reduction updates.
+        let dd_config = dyndep_config(program, &analysis);
+        let mut dd = DynDepAnalyzer::new(dd_config);
+        {
+            let mut m =
+                Machine::new(program, &mut dd).map_err(|e| ExplorerError(e.to_string()))?;
+            m.set_input(input.clone());
+            m.run().map_err(|e| ExplorerError(e.to_string()))?;
+        }
+        let dyndep = dd.report();
+
+        Ok(Explorer {
+            program,
+            analysis,
+            profile,
+            dyndep,
+            input,
+            slicer: None,
+            assertions,
+        })
+    }
+
+    /// The set of loops the compiler parallelized.
+    pub fn parallel_loops(&self) -> HashSet<StmtId> {
+        self.analysis.parallel_loops()
+    }
+
+    /// The Parallelization Guru's report (§2.6).
+    pub fn guru(&self) -> GuruReport {
+        guru::report(self)
+    }
+
+    /// Lazy slicer access.
+    pub fn slicer(&mut self) -> &mut Slicer<'p> {
+        if self.slicer.is_none() {
+            self.slicer = Some(Slicer::new(self.program));
+        }
+        self.slicer.as_mut().unwrap()
+    }
+
+    /// The slices the Guru presents for one static dependence (§2.6): for
+    /// every access site of the dependent object in the loop, the program
+    /// and control slices of the *subscript-defining* variables, with the
+    /// code-region and array restrictions of §3.6 applied.
+    pub fn slices_for_dep(
+        &mut self,
+        loop_stmt: StmtId,
+        dep_index: usize,
+    ) -> Vec<(u32, Slice, Slice)> {
+        let sites: Vec<(StmtId, VarId)> = {
+            let Some(LoopVerdict::Sequential { deps, .. }) = self.analysis.verdict(loop_stmt)
+            else {
+                return Vec::new();
+            };
+            let Some(dep) = deps.get(dep_index) else {
+                return Vec::new();
+            };
+            // Slice the scalar variables appearing in the subscripts at the
+            // access sites (the "references to K" of Fig. 4-3).
+            let mut sites = Vec::new();
+            for &(stmt, _, _, _) in &dep.sites {
+                if let Some((s, _)) = self.program.find_stmt(stmt) {
+                    let mut scalars: Vec<VarId> = Vec::new();
+                    collect_subscript_scalars(self.program, s, dep.object, &self.analysis, &mut scalars);
+                    for v in scalars {
+                        sites.push((stmt, v));
+                    }
+                }
+            }
+            sites
+        };
+        let opts = SliceOptions {
+            array_restricted: true,
+            region: Some(loop_stmt),
+            context: None,
+        };
+        let mut out = Vec::new();
+        let program = self.program;
+        let slicer = self.slicer();
+        for (stmt, v) in sites {
+            let line = program
+                .find_stmt(stmt)
+                .map(|(s, _)| s.line())
+                .unwrap_or(0);
+            let prog = slicer
+                .slice_use(stmt, v, SliceKind::Program, &opts)
+                .unwrap_or_else(|| slicer.control_slice(stmt, &opts));
+            let ctrl = slicer.control_slice(stmt, &opts);
+            out.push((line, prog, ctrl));
+        }
+        out
+    }
+
+    /// Apply an assertion (after checking it, §2.8) and re-parallelize.
+    pub fn assert_and_reanalyze(&mut self, a: Assertion) -> crate::checker::CheckResult {
+        let res = crate::checker::check_assertion(self, &a);
+        if !matches!(res, crate::checker::CheckResult::Contradicted(_)) {
+            self.assertions.push(a);
+            let config = ParallelizeConfig {
+                assertions: self.assertions.clone(),
+                ..self.analysis.config.clone()
+            };
+            self.analysis = Parallelizer::analyze(self.program, config);
+        }
+        res
+    }
+}
+
+/// Dynamic-dependence configuration derived from the compiler's knowledge.
+pub fn dyndep_config(program: &Program, analysis: &ProgramAnalysis<'_>) -> DynDepConfig {
+    let mut cfg = DynDepConfig::default();
+    // Induction variables of every loop.
+    for li in &analysis.ctx.tree.loops {
+        cfg.ignore_vars.insert(li.var);
+    }
+    // Reduction objects per loop (§2.5.2: the analyzer "is aware of the
+    // induction variables and reduction operations found by the compiler").
+    for (&stmt, v) in &analysis.verdicts {
+        let mut any_reduction = false;
+        for (&obj, class) in v.classes() {
+            if matches!(class, VarClass::Reduction(_)) {
+                any_reduction = true;
+                for vid in 0..program.vars.len() as u32 {
+                    let vid = VarId(vid);
+                    if analysis.ctx.array_of(vid) == obj {
+                        cfg.ignore_loop_vars.insert((stmt, vid));
+                    }
+                }
+            }
+        }
+        // Reduction updates may happen through callee formals (the
+        // interprocedural reductions of §6.2.2.4): the runtime accesses are
+        // reported under the formal's identity, so ignore array formals of
+        // procedures reachable from a loop that has reductions.
+        if any_reduction {
+            for p in suif_parallel::plan::callees_of_loop(program, stmt) {
+                for &f in &program.proc(p).params {
+                    if program.var(f).is_array() {
+                        cfg.ignore_loop_vars.insert((stmt, f));
+                    }
+                }
+            }
+        }
+    }
+    cfg
+}
+
+fn collect_subscript_scalars(
+    program: &Program,
+    stmt: &suif_ir::Stmt,
+    object: suif_poly::ArrayId,
+    analysis: &ProgramAnalysis<'_>,
+    out: &mut Vec<VarId>,
+) {
+    use suif_ir::{Expr, Ref, Stmt};
+    let from_subs = |subs: &[Expr], out: &mut Vec<VarId>| {
+        for e in subs {
+            e.visit_scalar_reads(&mut |v| {
+                if !out.contains(&v) {
+                    out.push(v);
+                }
+            });
+        }
+    };
+    match stmt {
+        Stmt::Assign { lhs, rhs, .. } => {
+            if let Ref::Element(v, subs) = lhs {
+                if analysis.ctx.array_of(*v) == object {
+                    from_subs(subs, out);
+                }
+            }
+            rhs.visit_element_reads(&mut |v, subs| {
+                if analysis.ctx.array_of(v) == object {
+                    from_subs(subs, out);
+                }
+            });
+        }
+        Stmt::If { cond, .. } => {
+            cond.visit_element_reads(&mut |v, subs| {
+                if analysis.ctx.array_of(v) == object {
+                    from_subs(subs, out);
+                }
+            });
+        }
+        _ => {}
+    }
+    let _ = program;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suif_ir::parse_program;
+
+    const MDG_LIKE: &str = r#"program mdgkern
+const nmol = 40
+proc main() {
+  real rs[9], rl[14], a[nmol]
+  real cut2, acc
+  int i, k, kc
+  cut2 = 30.0
+  acc = 0
+  do 5 i = 1, nmol {
+    a[i] = i * 0.7
+  }
+  do 1000 i = 1, nmol {
+    kc = 0
+    do 1110 k = 1, 9 {
+      rs[k] = a[i] + k
+      if rs[k] > cut2 { kc = kc + 1 }
+    }
+    do 1130 k = 2, 5 {
+      if rs[k + 4] <= cut2 { rl[k + 4] = rs[k + 4] }
+    }
+    if kc == 0 {
+      do 1140 k = 11, 14 {
+        acc = acc + rl[k - 5]
+      }
+    }
+  }
+  print acc
+}
+"#;
+
+    #[test]
+    fn explorer_session_mdg_pattern() {
+        let p = parse_program(MDG_LIKE).unwrap();
+        let mut ex = Explorer::new(&p, vec![]).unwrap();
+        // Auto: loop 1000 sequential (rl dep); loop 5 parallel.
+        let l1000 = ex
+            .analysis
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1000")
+            .unwrap()
+            .stmt;
+        assert!(!ex.analysis.verdicts[&l1000].is_parallel());
+        // The guru targets loop 1000 first (it dominates execution).
+        let guru = ex.guru();
+        assert!(!guru.targets.is_empty());
+        assert_eq!(guru.targets[0].name, "main/1000");
+        assert!(guru.targets[0].static_deps > 0);
+        // No dynamic dependence observed on it (rl never actually read here
+        // under this input — kc == 0 never holds).
+        assert!(!guru.targets[0].dynamic_dep);
+        // Slices presented to the user are small.
+        let slices = ex.slices_for_dep(l1000, 0);
+        assert!(!slices.is_empty());
+        for (_, prog, ctrl) in &slices {
+            assert!(prog.num_lines() <= 14, "{:?}", prog.lines);
+            let _ = ctrl;
+        }
+        // The user asserts rl privatizable; the checker accepts; the loop
+        // becomes parallel (the §4.1.4 flow).
+        let res = ex.assert_and_reanalyze(Assertion::Privatizable {
+            loop_name: "main/1000".into(),
+            var: "rl".into(),
+        });
+        assert!(!matches!(res, crate::checker::CheckResult::Contradicted(_)));
+        assert!(ex.analysis.verdicts[&l1000].is_parallel());
+        // Coverage improves.
+        let guru2 = ex.guru();
+        assert!(guru2.coverage > guru.coverage);
+    }
+}

@@ -1,0 +1,366 @@
+//! The Dynamic Dependence Analyzer (§2.5.2).
+//!
+//! Instruments the reads and writes of the program and keeps track of the
+//! most recent write for each memory location.  Reports, per monitored loop,
+//! the variables observed to carry a **loop-carried flow dependence**.
+//!
+//! Faithful to the paper's design:
+//! * it is "aware of the induction variables and reduction operations found
+//!   by the compiler, and will ignore dependences on these variables"
+//!   (the [`DynDepConfig`] carries those ignore sets);
+//! * "it also ignores anti-dependences" — only write→read (flow) pairs are
+//!   examined;
+//! * it "can detect parallelism that requires data to be privatized" — a
+//!   read preceded by a same-iteration write compares equal stamps and
+//!   reports nothing;
+//! * "the instrumentation can skip batches of iterations because the
+//!   analysis result is used only as a hint" — `max_iterations_per_invocation`
+//!   caps tracking per loop invocation.
+
+use crate::machine::Hooks;
+use std::collections::{HashMap, HashSet};
+use suif_ir::{StmtId, VarId};
+
+/// Configuration of the analyzer.
+#[derive(Clone, Debug, Default)]
+pub struct DynDepConfig {
+    /// Variables whose accesses are ignored entirely (compiler-recognized
+    /// induction variables and the like).
+    pub ignore_vars: HashSet<VarId>,
+    /// Per-loop ignores: `(loop, var)` pairs the compiler proved to be
+    /// reduction updates — dependences on them are expected and skipped.
+    pub ignore_loop_vars: HashSet<(StmtId, VarId)>,
+    /// Only these loops are monitored (`None` = all loops).
+    pub monitor: Option<HashSet<StmtId>>,
+    /// Stop tracking after this many iterations of each loop invocation
+    /// (sampling optimization; `None` = track everything).
+    pub max_iterations_per_invocation: Option<u64>,
+}
+
+/// A stamp identifying a point in the dynamic loop-iteration space:
+/// `(loop, invocation, iteration)` for every active monitored loop,
+/// outermost first.
+type IterVec = Box<[(StmtId, u64, i64)]>;
+
+/// The analyzer: plug into a [`crate::Machine`] as its hooks.
+pub struct DynDepAnalyzer {
+    config: DynDepConfig,
+    /// Active monitored loops, outermost first.
+    active: Vec<ActiveLoop>,
+    /// Most recent write stamp per address.
+    last_write: HashMap<usize, IterVec>,
+    /// Observed loop-carried flow dependences: loop → variables.
+    deps: HashMap<StmtId, HashSet<VarId>>,
+    /// Per-loop invocation counters.
+    invocations: HashMap<StmtId, u64>,
+    /// Nesting depth at which tracking was suspended by sampling (if any).
+    suspended_at: Option<usize>,
+}
+
+struct ActiveLoop {
+    stmt: StmtId,
+    invocation: u64,
+    iter: i64,
+    iters_seen: u64,
+}
+
+impl DynDepAnalyzer {
+    /// Fresh analyzer.
+    pub fn new(config: DynDepConfig) -> DynDepAnalyzer {
+        DynDepAnalyzer {
+            config,
+            active: Vec::new(),
+            last_write: HashMap::new(),
+            deps: HashMap::new(),
+            invocations: HashMap::new(),
+            suspended_at: None,
+        }
+    }
+
+    fn monitored(&self, stmt: StmtId) -> bool {
+        match &self.config.monitor {
+            Some(set) => set.contains(&stmt),
+            None => true,
+        }
+    }
+
+    fn tracking(&self) -> bool {
+        self.suspended_at.is_none()
+    }
+
+    fn stamp(&self) -> IterVec {
+        self.active
+            .iter()
+            .map(|a| (a.stmt, a.invocation, a.iter))
+            .collect()
+    }
+
+    /// Finish and extract the report.
+    pub fn report(self) -> DynDepReport {
+        DynDepReport { deps: self.deps }
+    }
+}
+
+impl Hooks for DynDepAnalyzer {
+    fn loop_enter(&mut self, stmt: StmtId, _ops: u64) {
+        if !self.monitored(stmt) {
+            return;
+        }
+        let inv = self.invocations.entry(stmt).or_insert(0);
+        *inv += 1;
+        self.active.push(ActiveLoop {
+            stmt,
+            invocation: *inv,
+            iter: 0,
+            iters_seen: 0,
+        });
+    }
+
+    fn loop_iter(&mut self, stmt: StmtId, iter: i64) {
+        if !self.monitored(stmt) {
+            return;
+        }
+        let depth = self.active.len().saturating_sub(1);
+        if let Some(top) = self.active.last_mut() {
+            if top.stmt == stmt {
+                top.iter = iter;
+                top.iters_seen += 1;
+                if let Some(cap) = self.config.max_iterations_per_invocation {
+                    if top.iters_seen > cap && self.suspended_at.is_none() {
+                        self.suspended_at = Some(depth);
+                    }
+                }
+            }
+        }
+    }
+
+    fn loop_exit(&mut self, stmt: StmtId, _ops: u64) {
+        if !self.monitored(stmt) {
+            return;
+        }
+        if let Some(top) = self.active.last() {
+            if top.stmt == stmt {
+                let depth = self.active.len() - 1;
+                if self.suspended_at == Some(depth) {
+                    self.suspended_at = None;
+                }
+                self.active.pop();
+            }
+        }
+    }
+
+    fn load(&mut self, var: VarId, addr: usize) {
+        if !self.tracking() || self.config.ignore_vars.contains(&var) || self.active.is_empty() {
+            return;
+        }
+        let Some(w) = self.last_write.get(&addr) else {
+            return;
+        };
+        // Scan the common prefix of the write stamp and the current stack,
+        // outermost first.
+        for (k, a) in self.active.iter().enumerate() {
+            let Some(&(ws, winv, witer)) = w.get(k) else {
+                // Write happened outside this loop (before it started):
+                // upwards-exposed read from pre-loop data, no carried dep.
+                break;
+            };
+            if ws != a.stmt || winv != a.invocation {
+                // Different loop structure or an earlier invocation at this
+                // level — the write precedes this loop instance entirely.
+                break;
+            }
+            if witer != a.iter {
+                // Same loop instance, different iteration: loop-carried
+                // flow dependence at this loop.
+                if !self.config.ignore_loop_vars.contains(&(a.stmt, var)) {
+                    self.deps.entry(a.stmt).or_default().insert(var);
+                }
+                break;
+            }
+        }
+    }
+
+    fn store(&mut self, var: VarId, addr: usize) {
+        if !self.tracking() || self.config.ignore_vars.contains(&var) {
+            return;
+        }
+        self.last_write.insert(addr, self.stamp());
+    }
+}
+
+/// Result of a dynamic-dependence run.
+#[derive(Clone, Debug, Default)]
+pub struct DynDepReport {
+    /// Loop → variables observed carrying a flow dependence.
+    pub deps: HashMap<StmtId, HashSet<VarId>>,
+}
+
+impl DynDepReport {
+    /// Did the loop carry any observed flow dependence?
+    pub fn has_dep(&self, stmt: StmtId) -> bool {
+        self.deps.get(&stmt).map(|s| !s.is_empty()).unwrap_or(false)
+    }
+
+    /// Variables with observed carried dependences for a loop.
+    pub fn dep_vars(&self, stmt: StmtId) -> impl Iterator<Item = VarId> + '_ {
+        self.deps.get(&stmt).into_iter().flatten().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Machine;
+    use suif_ir::{parse_program, Program, RegionTree};
+
+    fn analyze(src: &str, config: DynDepConfig) -> (Program, RegionTree, DynDepReport) {
+        let p = parse_program(src).unwrap();
+        let tree = RegionTree::build(&p);
+        let mut dd = DynDepAnalyzer::new(config);
+        {
+            let mut m = Machine::new(&p, &mut dd).unwrap();
+            m.run().unwrap();
+        }
+        let rep = dd.report();
+        (p, tree, rep)
+    }
+
+    fn loop_stmt(tree: &RegionTree, name: &str) -> suif_ir::StmtId {
+        tree.loops.iter().find(|l| l.name == name).unwrap().stmt
+    }
+
+    #[test]
+    fn independent_loop_has_no_deps() {
+        let (_, tree, rep) = analyze(
+            "program t\nproc main() {\n real a[10]\n int i\n do 1 i = 1, 10 {\n a[i] = i\n }\n}",
+            DynDepConfig::default(),
+        );
+        assert!(!rep.has_dep(loop_stmt(&tree, "main/1")));
+    }
+
+    #[test]
+    fn recurrence_is_detected() {
+        let (p, tree, rep) = analyze(
+            "program t\nproc main() {\n real a[10]\n int i\n a[1] = 1\n do 1 i = 2, 10 {\n a[i] = a[i - 1] + 1\n }\n}",
+            DynDepConfig::default(),
+        );
+        let l = loop_stmt(&tree, "main/1");
+        assert!(rep.has_dep(l));
+        let a = p.var_by_name("main", "a").unwrap();
+        assert!(rep.dep_vars(l).any(|v| v == a));
+    }
+
+    #[test]
+    fn same_iteration_write_then_read_is_private() {
+        // tmp written then read in each iteration — privatizable, no dep.
+        let (_, tree, rep) = analyze(
+            "program t\nproc main() {\n real tmp[4], out[10]\n int i, j\n do 1 i = 1, 10 {\n do 2 j = 1, 4 {\n tmp[j] = i * j\n }\n do 3 j = 1, 4 {\n out[i] = out[i] + tmp[j]\n }\n }\n}",
+            DynDepConfig::default(),
+        );
+        assert!(!rep.has_dep(loop_stmt(&tree, "main/1")));
+    }
+
+    #[test]
+    fn read_before_write_within_iteration_is_carried() {
+        // tmp read BEFORE being written each iteration: the value flows from
+        // the previous iteration — privatization illegal, dep expected.
+        let (_, tree, rep) = analyze(
+            "program t\nproc main() {\n real tmp, out[10]\n int i\n tmp = 0\n do 1 i = 1, 10 {\n out[i] = tmp\n tmp = i\n }\n}",
+            DynDepConfig::default(),
+        );
+        assert!(rep.has_dep(loop_stmt(&tree, "main/1")));
+    }
+
+    #[test]
+    fn anti_dependence_is_ignored() {
+        // a[i+1] read then a[i+1] written next iteration? Construct pure
+        // anti: read a[i+1], write a[i].
+        let (_, tree, rep) = analyze(
+            "program t\nproc main() {\n real a[12]\n int i\n do 1 i = 1, 10 {\n a[i] = a[i + 1]\n }\n}",
+            DynDepConfig::default(),
+        );
+        assert!(!rep.has_dep(loop_stmt(&tree, "main/1")));
+    }
+
+    #[test]
+    fn reduction_var_can_be_ignored() {
+        let src =
+            "program t\nproc main() {\n real s\n int i\n s = 0\n do 1 i = 1, 10 {\n s = s + i\n }\n print s\n}";
+        let (p, tree, rep) = analyze(src, DynDepConfig::default());
+        let l = loop_stmt(&tree, "main/1");
+        assert!(rep.has_dep(l), "sum recurrence should be seen");
+        // Now ignore the reduction variable for that loop.
+        let s = p.var_by_name("main", "s").unwrap();
+        let mut cfg = DynDepConfig::default();
+        cfg.ignore_loop_vars.insert((l, s));
+        let (_, _, rep2) = analyze(src, cfg);
+        assert!(!rep2.has_dep(l));
+    }
+
+    #[test]
+    fn deps_through_procedure_calls() {
+        // The callee writes a common array the next iteration reads.
+        let (_, tree, rep) = analyze(
+            r#"program t
+proc produce(int i) {
+  common /c/ real buf[16]
+  buf[i] = i
+}
+proc main() {
+  common /c/ real buf[16]
+  real acc
+  int i
+  acc = 0
+  do 1 i = 2, 10 {
+    acc = acc + buf[i - 1]
+    call produce(i)
+  }
+  print acc
+}
+"#,
+            DynDepConfig::default(),
+        );
+        assert!(rep.has_dep(loop_stmt(&tree, "main/1")));
+    }
+
+    #[test]
+    fn cross_invocation_writes_do_not_count() {
+        // Each outer iteration, inner loop 2 fully writes b, then inner loop
+        // 3 reads it.  The write precedes the read within the same outer
+        // iteration, so b carries no dependence at the outer loop; the reads
+        // in loop 3 see writes from a *different invocation* of loop 2, which
+        // must not be misattributed either.  Only acc (a scalar
+        // read-modify-write) genuinely carries at the outer loop.
+        let (p, tree, rep) = analyze(
+            "program t\nproc main() {\n real b[4]\n real acc\n int i, j\n acc = 0\n do 1 i = 1, 6 {\n do 2 j = 1, 4 {\n b[j] = i * j\n }\n do 3 j = 1, 4 {\n acc = acc + b[j]\n }\n }\n print acc\n}",
+            DynDepConfig::default(),
+        );
+        let outer = loop_stmt(&tree, "main/1");
+        let read_loop = loop_stmt(&tree, "main/3");
+        let b = p.var_by_name("main", "b").unwrap();
+        let acc = p.var_by_name("main", "acc").unwrap();
+        let outer_vars: Vec<_> = rep.dep_vars(outer).collect();
+        assert!(outer_vars.contains(&acc));
+        assert!(!outer_vars.contains(&b), "b falsely carried at outer loop");
+        // The read loop carries only acc (its own reduction), never b.
+        assert!(!rep.dep_vars(read_loop).any(|v| v == b));
+    }
+
+    #[test]
+    fn sampling_caps_tracking() {
+        let mut cfg = DynDepConfig::default();
+        cfg.max_iterations_per_invocation = Some(3);
+        // Dep appears only between iterations 8 and 9 — sampling misses it.
+        let (_, tree, rep) = analyze(
+            "program t\nproc main() {\n real a[12]\n int i\n do 1 i = 1, 10 {\n if i == 9 {\n a[1] = a[2]\n }\n if i == 8 {\n a[2] = 1\n }\n }\n}",
+            cfg,
+        );
+        assert!(!rep.has_dep(loop_stmt(&tree, "main/1")));
+        // Without sampling it is caught.
+        let (_, tree2, rep2) = analyze(
+            "program t\nproc main() {\n real a[12]\n int i\n do 1 i = 1, 10 {\n if i == 9 {\n a[1] = a[2]\n }\n if i == 8 {\n a[2] = 1\n }\n }\n}",
+            DynDepConfig::default(),
+        );
+        assert!(rep2.has_dep(loop_stmt(&tree2, "main/1")));
+    }
+}

@@ -1,0 +1,66 @@
+//! Runtime values.
+
+use std::fmt;
+
+/// A MiniF runtime value: 64-bit integer or 64-bit float.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Real.
+    Real(f64),
+}
+
+impl Value {
+    /// Numeric value as a float (ints widen exactly up to 2^53).
+    pub fn as_real(self) -> f64 {
+        match self {
+            Value::Int(v) => v as f64,
+            Value::Real(v) => v,
+        }
+    }
+
+    /// Integer value; reals are truncated toward zero (Fortran `IFIX`).
+    pub fn as_int(self) -> i64 {
+        match self {
+            Value::Int(v) => v,
+            Value::Real(v) => v as i64,
+        }
+    }
+
+    /// Fortran truthiness: non-zero.
+    pub fn truthy(self) -> bool {
+        match self {
+            Value::Int(v) => v != 0,
+            Value::Real(v) => v != 0.0,
+        }
+    }
+
+    /// True when this is an integer value.
+    pub fn is_int(self) -> bool {
+        matches!(self, Value::Int(_))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::Int(3).as_real(), 3.0);
+        assert_eq!(Value::Real(3.9).as_int(), 3);
+        assert_eq!(Value::Real(-3.9).as_int(), -3);
+        assert!(Value::Int(1).truthy());
+        assert!(!Value::Real(0.0).truthy());
+    }
+}

@@ -1,0 +1,722 @@
+//! Recursive-descent parser for MiniF.
+
+use crate::ast::*;
+use crate::token::{Keyword, Punct, Token, TokenKind};
+use std::fmt;
+
+/// A syntax error.
+#[derive(Debug, Clone)]
+pub struct ParseError {
+    /// Description.
+    pub message: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+/// Parse a token stream into an [`AstProgram`].
+pub fn parse(tokens: &[Token]) -> Result<AstProgram, ParseError> {
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn prev_line(&self) -> u32 {
+        self.tokens[self.pos.saturating_sub(1)].line
+    }
+
+    fn bump(&mut self) -> &TokenKind {
+        let t = &self.tokens[self.pos].kind;
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            message: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn eat_punct(&mut self, p: Punct) -> Result<(), ParseError> {
+        if self.peek() == &TokenKind::Punct(p) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{p:?}`, found {}", self.peek()))
+        }
+    }
+
+    fn eat_kw(&mut self, k: Keyword) -> Result<(), ParseError> {
+        if self.peek() == &TokenKind::Kw(k) {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!("expected `{k:?}`, found {}", self.peek()))
+        }
+    }
+
+    fn at_punct(&self, p: Punct) -> bool {
+        self.peek() == &TokenKind::Punct(p)
+    }
+
+    fn eat_ident(&mut self) -> Result<String, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn program(&mut self) -> Result<AstProgram, ParseError> {
+        self.eat_kw(Keyword::Program)?;
+        let name = self.eat_ident()?;
+        let mut consts = Vec::new();
+        let mut procs = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Kw(Keyword::Const) => {
+                    let line = self.line();
+                    self.bump();
+                    let cname = self.eat_ident()?;
+                    self.eat_punct(Punct::Assign)?;
+                    let neg = if self.at_punct(Punct::Minus) {
+                        self.bump();
+                        true
+                    } else {
+                        false
+                    };
+                    let value = match self.peek().clone() {
+                        TokenKind::Int(v) => {
+                            self.bump();
+                            if neg {
+                                -v
+                            } else {
+                                v
+                            }
+                        }
+                        other => return self.err(format!("expected integer, found {other}")),
+                    };
+                    consts.push(AstConst {
+                        name: cname,
+                        value,
+                        line,
+                    });
+                }
+                TokenKind::Kw(Keyword::Proc) => procs.push(self.proc()?),
+                TokenKind::Eof => break,
+                other => return self.err(format!("expected `proc` or `const`, found {other}")),
+            }
+        }
+        Ok(AstProgram {
+            name,
+            consts,
+            procs,
+        })
+    }
+
+    fn ty(&mut self) -> Result<AstType, ParseError> {
+        match self.peek() {
+            TokenKind::Kw(Keyword::Real) => {
+                self.bump();
+                Ok(AstType::Real)
+            }
+            TokenKind::Kw(Keyword::Int) => {
+                self.bump();
+                Ok(AstType::Int)
+            }
+            other => self.err(format!("expected type, found {other}")),
+        }
+    }
+
+    fn proc(&mut self) -> Result<AstProc, ParseError> {
+        let line = self.line();
+        self.eat_kw(Keyword::Proc)?;
+        let name = self.eat_ident()?;
+        self.eat_punct(Punct::LParen)?;
+        let mut params = Vec::new();
+        if !self.at_punct(Punct::RParen) {
+            loop {
+                let pline = self.line();
+                let ty = self.ty()?;
+                let pname = self.eat_ident()?;
+                let mut dims = Vec::new();
+                if self.at_punct(Punct::LBracket) {
+                    self.bump();
+                    loop {
+                        if self.at_punct(Punct::Star) {
+                            self.bump();
+                            dims.push(None);
+                        } else {
+                            dims.push(Some(self.expr()?));
+                        }
+                        if self.at_punct(Punct::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.eat_punct(Punct::RBracket)?;
+                }
+                params.push(AstParam {
+                    name: pname,
+                    ty,
+                    dims,
+                    line: pline,
+                });
+                if self.at_punct(Punct::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.eat_punct(Punct::RParen)?;
+        self.eat_punct(Punct::LBrace)?;
+        let mut decls = Vec::new();
+        // Declarations must precede statements (Fortran style).
+        loop {
+            match self.peek() {
+                TokenKind::Kw(Keyword::Real) | TokenKind::Kw(Keyword::Int) => {
+                    let dline = self.line();
+                    let ty = self.ty()?;
+                    let mut vars = Vec::new();
+                    loop {
+                        let vname = self.eat_ident()?;
+                        let dims = self.opt_dims()?;
+                        vars.push((vname, dims));
+                        if self.at_punct(Punct::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    decls.push(AstDecl::Local {
+                        ty,
+                        vars,
+                        line: dline,
+                    });
+                }
+                TokenKind::Kw(Keyword::Common) => {
+                    let dline = self.line();
+                    self.bump();
+                    self.eat_punct(Punct::Slash)?;
+                    let block = self.eat_ident()?;
+                    self.eat_punct(Punct::Slash)?;
+                    let mut vars = Vec::new();
+                    let mut prev_ty: Option<AstType> = None;
+                    loop {
+                        // Fortran-style type distribution: after a typed
+                        // member, later members may omit the type
+                        // (`common /c/ real a[3], b[3]`).
+                        let vty = if matches!(
+                            self.peek(),
+                            TokenKind::Kw(Keyword::Real) | TokenKind::Kw(Keyword::Int)
+                        ) {
+                            self.ty()?
+                        } else if let Some(t) = prev_ty {
+                            t
+                        } else {
+                            self.ty()? // first member must be typed: error here
+                        };
+                        prev_ty = Some(vty);
+                        let vname = self.eat_ident()?;
+                        let dims = self.opt_dims()?;
+                        vars.push((vty, vname, dims));
+                        if self.at_punct(Punct::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                    decls.push(AstDecl::Common {
+                        block,
+                        vars,
+                        line: dline,
+                    });
+                }
+                _ => break,
+            }
+        }
+        let body = self.block_body()?;
+        let end_line = self.prev_line();
+        Ok(AstProc {
+            name,
+            params,
+            decls,
+            body,
+            line,
+            end_line,
+        })
+    }
+
+    fn opt_dims(&mut self) -> Result<Vec<AstExpr>, ParseError> {
+        let mut dims = Vec::new();
+        if self.at_punct(Punct::LBracket) {
+            self.bump();
+            loop {
+                dims.push(self.expr()?);
+                if self.at_punct(Punct::Comma) {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.eat_punct(Punct::RBracket)?;
+        }
+        Ok(dims)
+    }
+
+    /// Parse statements up to (and consuming) a closing `}`.
+    fn block_body(&mut self) -> Result<Vec<AstStmt>, ParseError> {
+        let mut out = Vec::new();
+        loop {
+            if self.at_punct(Punct::RBrace) {
+                self.bump();
+                return Ok(out);
+            }
+            if self.peek() == &TokenKind::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            out.push(self.stmt()?);
+        }
+    }
+
+    fn stmt(&mut self) -> Result<AstStmt, ParseError> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokenKind::Kw(Keyword::If) => {
+                self.bump();
+                let cond = self.expr()?;
+                self.eat_punct(Punct::LBrace)?;
+                let then_body = self.block_body()?;
+                let else_body = if self.peek() == &TokenKind::Kw(Keyword::Else) {
+                    self.bump();
+                    if self.peek() == &TokenKind::Kw(Keyword::If) {
+                        // else-if chains desugar to a single-statement else.
+                        vec![self.stmt()?]
+                    } else {
+                        self.eat_punct(Punct::LBrace)?;
+                        self.block_body()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(AstStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    line,
+                })
+            }
+            TokenKind::Kw(Keyword::Do) => {
+                self.bump();
+                let label = match self.peek() {
+                    TokenKind::Int(v) => {
+                        let v = *v;
+                        self.bump();
+                        Some(v as u32)
+                    }
+                    _ => None,
+                };
+                let var = self.eat_ident()?;
+                self.eat_punct(Punct::Assign)?;
+                let lo = self.expr()?;
+                self.eat_punct(Punct::Comma)?;
+                let hi = self.expr()?;
+                let step = if self.at_punct(Punct::Comma) {
+                    self.bump();
+                    Some(self.expr()?)
+                } else {
+                    None
+                };
+                self.eat_punct(Punct::LBrace)?;
+                let body = self.block_body()?;
+                let end_line = self.prev_line();
+                Ok(AstStmt::Do {
+                    label,
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    line,
+                    end_line,
+                })
+            }
+            TokenKind::Kw(Keyword::Call) => {
+                self.bump();
+                let callee = self.eat_ident()?;
+                self.eat_punct(Punct::LParen)?;
+                let mut args = Vec::new();
+                if !self.at_punct(Punct::RParen) {
+                    loop {
+                        args.push(self.expr()?);
+                        if self.at_punct(Punct::Comma) {
+                            self.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.eat_punct(Punct::RParen)?;
+                Ok(AstStmt::Call { callee, args, line })
+            }
+            TokenKind::Kw(Keyword::Print) => {
+                self.bump();
+                let mut args = vec![self.expr()?];
+                while self.at_punct(Punct::Comma) {
+                    self.bump();
+                    args.push(self.expr()?);
+                }
+                Ok(AstStmt::Print { args, line })
+            }
+            TokenKind::Kw(Keyword::Read) => {
+                self.bump();
+                let lhs = self.reference()?;
+                Ok(AstStmt::Read { lhs, line })
+            }
+            TokenKind::Ident(_) => {
+                let lhs = self.reference()?;
+                self.eat_punct(Punct::Assign)?;
+                let rhs = self.expr()?;
+                Ok(AstStmt::Assign { lhs, rhs, line })
+            }
+            other => self.err(format!("expected statement, found {other}")),
+        }
+    }
+
+    fn reference(&mut self) -> Result<AstRef, ParseError> {
+        let line = self.line();
+        let name = self.eat_ident()?;
+        let subs = self.opt_dims()?;
+        Ok(AstRef { name, subs, line })
+    }
+
+    fn expr(&mut self) -> Result<AstExpr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.at_punct(Punct::OrOr) {
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = AstExpr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.at_punct(Punct::AndAnd) {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = AstExpr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokenKind::Punct(Punct::Lt) => Some(BinOp::Lt),
+            TokenKind::Punct(Punct::Le) => Some(BinOp::Le),
+            TokenKind::Punct(Punct::Gt) => Some(BinOp::Gt),
+            TokenKind::Punct(Punct::Ge) => Some(BinOp::Ge),
+            TokenKind::Punct(Punct::EqEq) => Some(BinOp::Eq),
+            TokenKind::Punct(Punct::Ne) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.add_expr()?;
+            Ok(AstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Plus) => BinOp::Add,
+                TokenKind::Punct(Punct::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = AstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<AstExpr, ParseError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Punct(Punct::Star) => BinOp::Mul,
+                TokenKind::Punct(Punct::Slash) => BinOp::Div,
+                TokenKind::Punct(Punct::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = AstExpr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek() {
+            TokenKind::Punct(Punct::Minus) => {
+                self.bump();
+                Ok(AstExpr::Unary {
+                    op: UnaryOp::Neg,
+                    arg: Box::new(self.unary_expr()?),
+                })
+            }
+            TokenKind::Punct(Punct::Not) => {
+                self.bump();
+                Ok(AstExpr::Unary {
+                    op: UnaryOp::Not,
+                    arg: Box::new(self.unary_expr()?),
+                })
+            }
+            _ => self.primary_expr(),
+        }
+    }
+
+    fn primary_expr(&mut self) -> Result<AstExpr, ParseError> {
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(AstExpr::Int(v))
+            }
+            TokenKind::Real(v) => {
+                self.bump();
+                Ok(AstExpr::Real(v))
+            }
+            TokenKind::Punct(Punct::LParen) => {
+                self.bump();
+                let e = self.expr()?;
+                self.eat_punct(Punct::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                let line = self.line();
+                self.bump();
+                // Intrinsic call?
+                if self.at_punct(Punct::LParen) {
+                    let Some(which) = Intrinsic::from_name(&name) else {
+                        return self.err(format!(
+                            "`{name}(` — only intrinsics may be called in expressions \
+                             (procedures use `call`)"
+                        ));
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.at_punct(Punct::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if self.at_punct(Punct::Comma) {
+                                self.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                    self.eat_punct(Punct::RParen)?;
+                    if args.len() != which.arity() {
+                        return self.err(format!(
+                            "intrinsic `{name}` expects {} argument(s), got {}",
+                            which.arity(),
+                            args.len()
+                        ));
+                    }
+                    return Ok(AstExpr::Intrinsic { which, args });
+                }
+                let subs = self.opt_dims()?;
+                Ok(AstExpr::Ref(AstRef { name, subs, line }))
+            }
+            other => self.err(format!("expected expression, found {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_ok(src: &str) -> AstProgram {
+        parse(&lex(src).unwrap()).unwrap_or_else(|e| panic!("parse failed: {e}\n{src}"))
+    }
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse_ok("program t\nproc main() { }");
+        assert_eq!(p.name, "t");
+        assert_eq!(p.procs.len(), 1);
+        assert!(p.procs[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_decls_and_loop() {
+        let p = parse_ok(
+            "program t\nproc main() {\n real a[10], b\n int i\n do 100 i = 1, 10 {\n a[i] = b + 1\n }\n}",
+        );
+        let main = &p.procs[0];
+        assert_eq!(main.decls.len(), 2);
+        match &main.body[0] {
+            AstStmt::Do { label, var, body, .. } => {
+                assert_eq!(*label, Some(100));
+                assert_eq!(var, "i");
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn common_type_distributes_over_members() {
+        let p = parse_ok(
+            "program t\nproc f() {\n common /blk/ real x[10], y[10], int n, m\n x[1] = y[2] + n + m\n}",
+        );
+        match &p.procs[0].decls[0] {
+            AstDecl::Common { vars, .. } => {
+                assert_eq!(vars.len(), 4);
+                assert_eq!(vars[0].0, AstType::Real);
+                assert_eq!(vars[1].0, AstType::Real);
+                assert_eq!(vars[2].0, AstType::Int);
+                assert_eq!(vars[3].0, AstType::Int);
+            }
+            other => panic!("expected common, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_common_blocks() {
+        let p = parse_ok(
+            "program t\nproc f() {\n common /blk/ real x[10], int n\n x[1] = n\n}",
+        );
+        match &p.procs[0].decls[0] {
+            AstDecl::Common { block, vars, .. } => {
+                assert_eq!(block, "blk");
+                assert_eq!(vars.len(), 2);
+            }
+            other => panic!("expected common, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let p = parse_ok(
+            "program t\nproc f() {\n int n\n if n < 1 { n = 1 } else if n < 2 { n = 2 } else { n = 3 }\n}",
+        );
+        match &p.procs[0].body[0] {
+            AstStmt::If { else_body, .. } => {
+                assert_eq!(else_body.len(), 1);
+                assert!(matches!(else_body[0], AstStmt::If { .. }));
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_call_with_subarray_arg() {
+        let p = parse_ok(
+            "program t\nproc f(real a[*], int n) { }\nproc g() {\n real b[20]\n int k\n k = 5\n call f(b[k], 10)\n}",
+        );
+        match &p.procs[1].body[1] {
+            AstStmt::Call { callee, args, .. } => {
+                assert_eq!(callee, "f");
+                assert_eq!(args.len(), 2);
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_ok("program t\nproc f() {\n real x\n x = 1 + 2 * 3\n}");
+        match &p.procs[0].body[0] {
+            AstStmt::Assign { rhs, .. } => match rhs {
+                AstExpr::Binary { op: BinOp::Add, rhs, .. } => {
+                    assert!(matches!(**rhs, AstExpr::Binary { op: BinOp::Mul, .. }));
+                }
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn intrinsics_check_arity() {
+        let toks = lex("program t\nproc f() {\n real x\n x = min(1)\n}").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn non_intrinsic_call_in_expression_is_rejected() {
+        let toks = lex("program t\nproc f() {\n real x\n x = foo(1)\n}").unwrap();
+        assert!(parse(&toks).is_err());
+    }
+
+    #[test]
+    fn parses_step_and_read_print() {
+        let p = parse_ok(
+            "program t\nproc main() {\n int i, n\n read n\n do i = n, 1, -1 {\n print i, n\n }\n}",
+        );
+        assert!(matches!(p.procs[0].body[0], AstStmt::Read { .. }));
+        match &p.procs[0].body[1] {
+            AstStmt::Do { step, label, .. } => {
+                assert!(step.is_some());
+                assert!(label.is_none());
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+}

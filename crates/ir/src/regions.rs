@@ -1,0 +1,416 @@
+//! The region tree: the hierarchical program representation of §5.2
+//! ("every procedure, loop, and loop body in the program is represented as a
+//! region"), plus per-loop metadata used throughout the Explorer.
+
+use crate::program::{ProcId, Program, Stmt, StmtId, VarId};
+use std::collections::HashMap;
+
+/// Region id: index into [`RegionTree::regions`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RegionId(pub u32);
+
+/// What a region represents.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RegionKind {
+    /// A whole procedure body.
+    Proc(ProcId),
+    /// A `do` loop (the loop construct, including its header).
+    Loop {
+        /// Owning procedure.
+        proc: ProcId,
+        /// The loop statement.
+        stmt: StmtId,
+    },
+    /// The body of a `do` loop (one iteration).
+    LoopBody {
+        /// Owning procedure.
+        proc: ProcId,
+        /// The loop statement.
+        stmt: StmtId,
+    },
+}
+
+/// One region node.
+#[derive(Clone, Debug)]
+pub struct Region {
+    /// This region's id.
+    pub id: RegionId,
+    /// What it represents.
+    pub kind: RegionKind,
+    /// Parent region (None for procedure regions).
+    pub parent: Option<RegionId>,
+    /// Child regions in source order.
+    pub children: Vec<RegionId>,
+    /// First source line covered.
+    pub start_line: u32,
+    /// Last source line covered.
+    pub end_line: u32,
+}
+
+/// Static metadata about one `do` loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    /// The loop statement id.
+    pub stmt: StmtId,
+    /// Region of the loop.
+    pub region: RegionId,
+    /// Region of the loop body.
+    pub body_region: RegionId,
+    /// Owning procedure.
+    pub proc: ProcId,
+    /// Induction variable.
+    pub var: VarId,
+    /// Optional numeric label.
+    pub label: Option<u32>,
+    /// `do` line.
+    pub line: u32,
+    /// Closing line.
+    pub end_line: u32,
+    /// Nesting depth within the procedure (0 = outermost).
+    pub depth: usize,
+    /// Human-readable name, e.g. `interf/1000`.
+    pub name: String,
+    /// Does the loop (transitively, through calls) perform I/O?
+    pub has_io: bool,
+    /// Does the loop body (transitively) call procedures?
+    pub has_calls: bool,
+    /// Number of source lines of the loop *including called procedures*,
+    /// excluding comment lines — the paper's loop-size metric (Fig. 4-8).
+    pub size_lines: u32,
+}
+
+/// The region tree over a whole program.
+#[derive(Clone, Debug)]
+pub struct RegionTree {
+    /// All regions; index = `RegionId.0`.
+    pub regions: Vec<Region>,
+    /// Procedure body region per procedure (index = `ProcId.0`).
+    pub proc_regions: Vec<RegionId>,
+    /// All loops in program order.
+    pub loops: Vec<LoopInfo>,
+    /// Loop lookup by statement id.
+    loop_by_stmt: HashMap<StmtId, usize>,
+}
+
+impl RegionTree {
+    /// Build the region tree for a program.
+    pub fn build(program: &Program) -> RegionTree {
+        let mut tree = RegionTree {
+            regions: Vec::new(),
+            proc_regions: Vec::new(),
+            loops: Vec::new(),
+            loop_by_stmt: HashMap::new(),
+        };
+        // Pre-compute per-procedure transitive properties.
+        let props = ProcProps::compute(program);
+        for proc in &program.procedures {
+            let rid = tree.new_region(
+                RegionKind::Proc(proc.id),
+                None,
+                proc.line,
+                proc.end_line,
+            );
+            tree.proc_regions.push(rid);
+            tree.walk_body(program, proc.id, &proc.body, rid, 0, &props);
+        }
+        tree
+    }
+
+    fn new_region(
+        &mut self,
+        kind: RegionKind,
+        parent: Option<RegionId>,
+        start_line: u32,
+        end_line: u32,
+    ) -> RegionId {
+        let id = RegionId(self.regions.len() as u32);
+        self.regions.push(Region {
+            id,
+            kind,
+            parent,
+            children: Vec::new(),
+            start_line,
+            end_line,
+        });
+        if let Some(p) = parent {
+            self.regions[p.0 as usize].children.push(id);
+        }
+        id
+    }
+
+    fn walk_body(
+        &mut self,
+        program: &Program,
+        proc: ProcId,
+        body: &[Stmt],
+        parent: RegionId,
+        depth: usize,
+        props: &ProcProps,
+    ) {
+        for s in body {
+            match s {
+                Stmt::Do {
+                    id,
+                    line,
+                    end_line,
+                    label,
+                    var,
+                    body,
+                    ..
+                } => {
+                    let lr = self.new_region(
+                        RegionKind::Loop {
+                            proc,
+                            stmt: *id,
+                        },
+                        Some(parent),
+                        *line,
+                        *end_line,
+                    );
+                    let br = self.new_region(
+                        RegionKind::LoopBody {
+                            proc,
+                            stmt: *id,
+                        },
+                        Some(lr),
+                        *line,
+                        *end_line,
+                    );
+                    let (has_io, has_calls, callee_lines) =
+                        props.body_props(program, body);
+                    let own_lines = end_line.saturating_sub(*line).saturating_add(1);
+                    let li = LoopInfo {
+                        stmt: *id,
+                        region: lr,
+                        body_region: br,
+                        proc,
+                        var: *var,
+                        label: *label,
+                        line: *line,
+                        end_line: *end_line,
+                        depth,
+                        name: program.loop_name(proc, *label, *line),
+                        has_io,
+                        has_calls,
+                        size_lines: own_lines + callee_lines,
+                    };
+                    self.loop_by_stmt.insert(*id, self.loops.len());
+                    self.loops.push(li);
+                    self.walk_body(program, proc, body, br, depth + 1, props);
+                }
+                Stmt::If {
+                    then_body,
+                    else_body,
+                    ..
+                } => {
+                    self.walk_body(program, proc, then_body, parent, depth, props);
+                    self.walk_body(program, proc, else_body, parent, depth, props);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Loop info by loop-statement id.
+    pub fn loop_of(&self, stmt: StmtId) -> Option<&LoopInfo> {
+        self.loop_by_stmt.get(&stmt).map(|&i| &self.loops[i])
+    }
+
+    /// Region metadata.
+    pub fn region(&self, r: RegionId) -> &Region {
+        &self.regions[r.0 as usize]
+    }
+
+    /// The loops directly or transitively nested inside a loop.
+    pub fn nested_loops(&self, outer: StmtId) -> Vec<StmtId> {
+        let Some(li) = self.loop_of(outer) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        let mut stack = vec![li.body_region];
+        while let Some(r) = stack.pop() {
+            for &c in &self.regions[r.0 as usize].children {
+                if let RegionKind::Loop { stmt, .. } = self.regions[c.0 as usize].kind {
+                    out.push(stmt);
+                }
+                stack.push(c);
+            }
+        }
+        out
+    }
+
+    /// Is `inner` statically nested (at any depth) inside loop `outer`?
+    pub fn is_nested_in(&self, inner: StmtId, outer: StmtId) -> bool {
+        self.nested_loops(outer).contains(&inner)
+    }
+
+    /// All loops of one procedure.
+    pub fn loops_of_proc(&self, proc: ProcId) -> impl Iterator<Item = &LoopInfo> {
+        self.loops.iter().filter(move |l| l.proc == proc)
+    }
+}
+
+/// Per-procedure transitive properties (I/O, size), used to compute
+/// inter-procedural loop metadata.
+struct ProcProps {
+    has_io: Vec<bool>,
+    lines: Vec<u32>,
+}
+
+impl ProcProps {
+    fn compute(program: &Program) -> ProcProps {
+        let n = program.procedures.len();
+        let mut props = ProcProps {
+            has_io: vec![false; n],
+            lines: vec![0; n],
+        };
+        // Iterate to a fixed point (call graph is acyclic, a few passes are
+        // enough; we just loop until stable).
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for proc in &program.procedures {
+                let mut io = false;
+                let mut lines =
+                    proc.end_line.saturating_sub(proc.line).saturating_add(1);
+                program.walk_stmts(proc.id, &mut |s, _| match s {
+                    Stmt::Print { .. } | Stmt::Read { .. } => io = true,
+                    Stmt::Call { callee, .. } => {
+                        io |= props.has_io[callee.0 as usize];
+                        lines = lines.saturating_add(props.lines[callee.0 as usize]);
+                    }
+                    _ => {}
+                });
+                let idx = proc.id.0 as usize;
+                if io != props.has_io[idx] || lines != props.lines[idx] {
+                    props.has_io[idx] = io;
+                    props.lines[idx] = lines;
+                    changed = true;
+                }
+            }
+        }
+        props
+    }
+
+    /// `(has_io, has_calls, callee_lines)` for a loop body.
+    fn body_props(&self, program: &Program, body: &[Stmt]) -> (bool, bool, u32) {
+        let mut io = false;
+        let mut calls = false;
+        let mut callee_lines = 0u32;
+        fn go(
+            props: &ProcProps,
+            program: &Program,
+            body: &[Stmt],
+            io: &mut bool,
+            calls: &mut bool,
+            lines: &mut u32,
+        ) {
+            for s in body {
+                match s {
+                    Stmt::Print { .. } | Stmt::Read { .. } => *io = true,
+                    Stmt::Call { callee, .. } => {
+                        *calls = true;
+                        *io |= props.has_io[callee.0 as usize];
+                        *lines = lines.saturating_add(props.lines[callee.0 as usize]);
+                    }
+                    Stmt::If {
+                        then_body,
+                        else_body,
+                        ..
+                    } => {
+                        go(props, program, then_body, io, calls, lines);
+                        go(props, program, else_body, io, calls, lines);
+                    }
+                    Stmt::Do { body, .. } => go(props, program, body, io, calls, lines),
+                    _ => {}
+                }
+            }
+        }
+        go(self, program, body, &mut io, &mut calls, &mut callee_lines);
+        (io, calls, callee_lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_program;
+
+    fn demo() -> Program {
+        parse_program(
+            r#"program t
+proc sub(real a[*], int n) {
+  int j
+  do 10 j = 1, n {
+    a[j] = j
+  }
+}
+proc main() {
+  real a[100]
+  int i, k
+  do 100 i = 1, 10 {
+    call sub(a, 10)
+    do 200 k = 1, 5 {
+      a[k] = a[k] + 1
+    }
+  }
+  print a[1]
+}
+"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_loop_hierarchy() {
+        let p = demo();
+        let t = RegionTree::build(&p);
+        assert_eq!(t.loops.len(), 3);
+        let outer = t.loops.iter().find(|l| l.name == "main/100").unwrap();
+        let inner = t.loops.iter().find(|l| l.name == "main/200").unwrap();
+        assert_eq!(outer.depth, 0);
+        assert_eq!(inner.depth, 1);
+        assert!(t.is_nested_in(inner.stmt, outer.stmt));
+        assert!(!t.is_nested_in(outer.stmt, inner.stmt));
+    }
+
+    #[test]
+    fn loop_properties() {
+        let p = demo();
+        let t = RegionTree::build(&p);
+        let outer = t.loops.iter().find(|l| l.name == "main/100").unwrap();
+        assert!(outer.has_calls);
+        assert!(!outer.has_io); // print is outside the loop
+        // Size includes the callee's lines.
+        assert!(outer.size_lines > outer.end_line - outer.line + 1);
+        let sub = t.loops.iter().find(|l| l.name == "sub/10").unwrap();
+        assert!(!sub.has_calls);
+    }
+
+    #[test]
+    fn io_propagates_through_calls() {
+        let p = parse_program(
+            "program t\nproc noisy() { print 1 }\nproc main() {\n int i\n do i = 1, 2 {\n call noisy()\n }\n}",
+        )
+        .unwrap();
+        let t = RegionTree::build(&p);
+        assert!(t.loops[0].has_io);
+    }
+
+    #[test]
+    fn proc_regions_are_roots() {
+        let p = demo();
+        let t = RegionTree::build(&p);
+        for &r in &t.proc_regions {
+            assert!(t.region(r).parent.is_none());
+        }
+        // Every loop region's parent chain reaches a proc region.
+        for l in &t.loops {
+            let mut cur = l.region;
+            while let Some(parent) = t.region(cur).parent {
+                cur = parent;
+            }
+            assert!(matches!(t.region(cur).kind, RegionKind::Proc(_)));
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The SPMD parallel runtime (§4.5, §6.3).
+//!
+//! Executes loops the parallelizer proved parallel on worker threads over a
+//! shared view of the interpreter's memory:
+//!
+//! * iterations are evenly block-divided between the workers ("the
+//!   iterations of a parallel loop are evenly divided between the processors
+//!   at the time the parallel loop is spawned", §4.5);
+//! * only the outermost parallel loop runs in parallel (workers carry no
+//!   loop handler, so nested parallel loops execute sequentially inside
+//!   them);
+//! * a run-time **serial fallback** suppresses parallel execution of loops
+//!   whose iteration count is too small to amortize spawn overhead ("runs
+//!   the loop sequentially if it is considered too fine-grained", §4.5);
+//! * privatized variables (the plan's objects, the loop indices, and every
+//!   local/scalar-parameter slot of procedures called from the body) are
+//!   redirected into a thread-private memory tail;
+//! * **parallel reductions** (§6.3) get per-thread private copies
+//!   initialized to the operator identity, with the reduction region
+//!   minimized to its constant bounds when the analysis derived them
+//!   (§6.3.3), and a configurable finalization strategy: serialized
+//!   post-join merging, or staggered per-section locking inside the workers
+//!   (§6.3.4).
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod measure;
+pub mod plan;
+
+pub use executor::{Finalization, ParallelExecutor, RunStats, RuntimeConfig, Schedule};
+pub use measure::{
+    best_parallel_time, best_sequential_time, measure_parallel, measure_sequential, parallel_ops,
+    sequential_ops, Measurement,
+};
+pub use plan::{PlanEntry, PlanReduction, ParallelPlans};

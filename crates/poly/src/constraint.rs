@@ -1,0 +1,225 @@
+//! Linear constraints `expr >= 0` and `expr == 0`.
+
+use crate::expr::{LinExpr, Var};
+use std::fmt;
+
+/// Kind of a linear constraint.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ConstraintKind {
+    /// `expr >= 0`
+    GeqZero,
+    /// `expr == 0`
+    EqZero,
+}
+
+/// A single linear constraint over integer-valued variables.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Constraint {
+    /// The affine expression constrained against zero.
+    pub expr: LinExpr,
+    /// Whether this is an inequality or an equality.
+    pub kind: ConstraintKind,
+}
+
+impl Constraint {
+    /// `expr >= 0`.
+    pub fn geq0(expr: LinExpr) -> Self {
+        Self {
+            expr,
+            kind: ConstraintKind::GeqZero,
+        }
+        .normalized()
+    }
+
+    /// `expr == 0`.
+    pub fn eq0(expr: LinExpr) -> Self {
+        Self {
+            expr,
+            kind: ConstraintKind::EqZero,
+        }
+        .normalized()
+    }
+
+    /// `lhs >= rhs`.
+    pub fn geq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Self::geq0(lhs.sub(rhs))
+    }
+
+    /// `lhs <= rhs`.
+    pub fn leq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Self::geq0(rhs.sub(lhs))
+    }
+
+    /// `lhs == rhs`.
+    pub fn eq(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Self::eq0(lhs.sub(rhs))
+    }
+
+    /// `lhs < rhs` over the integers, i.e. `rhs - lhs - 1 >= 0`.
+    pub fn lt(lhs: &LinExpr, rhs: &LinExpr) -> Self {
+        Self::geq0(rhs.sub(lhs).offset(-1))
+    }
+
+    /// Integer negation of this constraint.
+    ///
+    /// `¬(e >= 0)` is `-e - 1 >= 0`.  Equalities negate into a *disjunction*
+    /// (`e >= 1 ∨ e <= -1`), so both branches are returned.
+    pub fn negate(&self) -> Vec<Constraint> {
+        match self.kind {
+            ConstraintKind::GeqZero => vec![Constraint::geq0(self.expr.scale(-1).offset(-1))],
+            ConstraintKind::EqZero => vec![
+                Constraint::geq0(self.expr.clone().offset(-1)),
+                Constraint::geq0(self.expr.scale(-1).offset(-1)),
+            ],
+        }
+    }
+
+    /// Normalize: divide by the gcd of the variable coefficients, tightening
+    /// the constant with floor division (valid over the integers).
+    fn normalized(mut self) -> Self {
+        let g = self.expr.coef_gcd();
+        if g > 1 {
+            match self.kind {
+                ConstraintKind::GeqZero => {
+                    // g | all coefs: (g·e' + c >= 0)  <=>  (e' + floor(c/g) >= 0)
+                    let c = self.expr.constant_part();
+                    let mut e = self.expr.sub(&LinExpr::constant(c)).scale_div(g);
+                    e = e.offset(c.div_euclid(g));
+                    self.expr = e;
+                }
+                ConstraintKind::EqZero => {
+                    let c = self.expr.constant_part();
+                    if c % g == 0 {
+                        let e = self
+                            .expr
+                            .sub(&LinExpr::constant(c))
+                            .scale_div(g)
+                            .offset(c / g);
+                        self.expr = e;
+                    }
+                    // If g does not divide c the equality is unsatisfiable;
+                    // keep it as-is — emptiness detection will notice.
+                }
+            }
+        }
+        self
+    }
+
+    /// True when the constraint is trivially satisfied for any assignment.
+    pub fn is_trivially_true(&self) -> bool {
+        self.expr.is_constant()
+            && match self.kind {
+                ConstraintKind::GeqZero => self.expr.constant_part() >= 0,
+                ConstraintKind::EqZero => self.expr.constant_part() == 0,
+            }
+    }
+
+    /// True when the constraint can be proven unsatisfiable on its own.
+    pub fn is_trivially_false(&self) -> bool {
+        if self.expr.is_constant() {
+            return match self.kind {
+                ConstraintKind::GeqZero => self.expr.constant_part() < 0,
+                ConstraintKind::EqZero => self.expr.constant_part() != 0,
+            };
+        }
+        if self.kind == ConstraintKind::EqZero {
+            let g = self.expr.coef_gcd();
+            if g > 1 && self.expr.constant_part() % g != 0 {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Substitute `v := repl`.
+    pub fn substitute(&self, v: Var, repl: &LinExpr) -> Constraint {
+        Constraint {
+            expr: self.expr.substitute(v, repl),
+            kind: self.kind,
+        }
+        .normalized()
+    }
+
+    /// Rename `from` to `to`.
+    pub fn rename(&self, from: Var, to: Var) -> Constraint {
+        Constraint {
+            expr: self.expr.rename(from, to),
+            kind: self.kind,
+        }
+    }
+}
+
+impl LinExpr {
+    /// Divide every coefficient (not the constant) by `g`; caller guarantees
+    /// divisibility of the coefficients.
+    pub(crate) fn scale_div(&self, g: i64) -> LinExpr {
+        debug_assert!(g > 0);
+        let mut out = LinExpr::constant(self.constant_part() / g);
+        for (v, c) in self.terms() {
+            debug_assert_eq!(c % g, 0);
+            out = out.add(&LinExpr::term(v, c / g));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            ConstraintKind::GeqZero => write!(f, "{} >= 0", self.expr),
+            ConstraintKind::EqZero => write!(f, "{} == 0", self.expr),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> Var {
+        Var::Sym(id)
+    }
+
+    #[test]
+    fn normalization_tightens_integer_bounds() {
+        // 2x + 3 >= 0  =>  x >= -3/2  =>  x >= -1  =>  x + 1 >= 0
+        let c = Constraint::geq0(LinExpr::term(s(0), 2).offset(3));
+        assert_eq!(c.expr, LinExpr::var(s(0)).offset(1));
+    }
+
+    #[test]
+    fn negate_geq() {
+        // ¬(x - 1 >= 0) = (-x >= 0)  i.e.  x <= 0
+        let c = Constraint::geq0(LinExpr::var(s(0)).offset(-1));
+        let n = c.negate();
+        assert_eq!(n.len(), 1);
+        assert_eq!(n[0].expr, LinExpr::term(s(0), -1));
+    }
+
+    #[test]
+    fn negate_eq_gives_two_branches() {
+        let c = Constraint::eq0(LinExpr::var(s(0)));
+        let n = c.negate();
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn trivial_detection() {
+        assert!(Constraint::geq0(LinExpr::constant(0)).is_trivially_true());
+        assert!(Constraint::geq0(LinExpr::constant(-1)).is_trivially_false());
+        assert!(Constraint::eq0(LinExpr::constant(2)).is_trivially_false());
+        // 2x + 1 == 0 has no integer solution.
+        assert!(Constraint::eq0(LinExpr::term(s(0), 2).offset(1)).is_trivially_false());
+    }
+
+    #[test]
+    fn geq_leq_lt_build_correct_exprs() {
+        let x = LinExpr::var(s(0));
+        let y = LinExpr::var(s(1));
+        // x < y  ==>  y - x - 1 >= 0
+        let c = Constraint::lt(&x, &y);
+        assert_eq!(c.expr, y.sub(&x).offset(-1));
+        let c2 = Constraint::leq(&x, &y);
+        assert_eq!(c2.expr, y.sub(&x));
+    }
+}

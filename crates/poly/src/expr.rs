@@ -1,0 +1,294 @@
+//! Affine (linear + constant) integer expressions over symbolic variables.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A variable appearing in a linear expression.
+///
+/// Two name spaces exist:
+/// * `Dim(k)` — the `k`-th dimension variable of an array section (the
+///   paper's `d0..dn`), always bound by the section itself;
+/// * `Sym(id)` — a free symbolic variable: a loop index, a formal parameter,
+///   or a symbolic constant of the surrounding program.  The meaning of `id`
+///   is owned by the client (the analysis crate maps IR variable ids here).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Var {
+    /// Array dimension variable `d<k>`.
+    Dim(u8),
+    /// Free symbolic variable with a client-defined identity.
+    Sym(u32),
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Var::Dim(k) => write!(f, "d{k}"),
+            Var::Sym(s) => write!(f, "s{s}"),
+        }
+    }
+}
+
+/// An affine expression `c + Σ a_i · v_i` with `i64` coefficients.
+///
+/// Coefficients of value zero are never stored, so structural equality is
+/// semantic equality.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<Var, i64>,
+    constant: i64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// A constant expression.
+    pub fn constant(c: i64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    /// The expression `1 · v`.
+    pub fn var(v: Var) -> Self {
+        Self::term(v, 1)
+    }
+
+    /// The expression `coef · v`.
+    pub fn term(v: Var, coef: i64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coef != 0 {
+            terms.insert(v, coef);
+        }
+        Self { terms, constant: 0 }
+    }
+
+    /// The constant part.
+    pub fn constant_part(&self) -> i64 {
+        self.constant
+    }
+
+    /// The coefficient of `v` (zero if absent).
+    pub fn coef(&self, v: Var) -> i64 {
+        self.terms.get(&v).copied().unwrap_or(0)
+    }
+
+    /// Iterate over the `(var, coef)` terms with non-zero coefficients.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, i64)> + '_ {
+        self.terms.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// True if the expression is a constant (possibly zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True if the expression is exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty() && self.constant == 0
+    }
+
+    /// Number of variables with non-zero coefficients.
+    pub fn num_vars(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if `v` occurs with a non-zero coefficient.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.terms.contains_key(&v)
+    }
+
+    /// All variables occurring in the expression.
+    pub fn vars(&self) -> impl Iterator<Item = Var> + '_ {
+        self.terms.keys().copied()
+    }
+
+    /// Add two expressions.
+    pub fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant = out.constant.saturating_add(other.constant);
+        for (v, c) in other.terms() {
+            let e = out.terms.entry(v).or_insert(0);
+            *e = e.saturating_add(c);
+            if *e == 0 {
+                out.terms.remove(&v);
+            }
+        }
+        out
+    }
+
+    /// Subtract `other` from `self`.
+    pub fn sub(&self, other: &LinExpr) -> LinExpr {
+        self.add(&other.scale(-1))
+    }
+
+    /// Multiply by a constant.
+    pub fn scale(&self, k: i64) -> LinExpr {
+        if k == 0 {
+            return LinExpr::zero();
+        }
+        LinExpr {
+            terms: self
+                .terms
+                .iter()
+                .map(|(&v, &c)| (v, c.saturating_mul(k)))
+                .collect(),
+            constant: self.constant.saturating_mul(k),
+        }
+    }
+
+    /// Add a constant offset.
+    pub fn offset(&self, k: i64) -> LinExpr {
+        let mut out = self.clone();
+        out.constant = out.constant.saturating_add(k);
+        out
+    }
+
+    /// Substitute `v := repl` throughout.
+    pub fn substitute(&self, v: Var, repl: &LinExpr) -> LinExpr {
+        let c = self.coef(v);
+        if c == 0 {
+            return self.clone();
+        }
+        let mut out = self.clone();
+        out.terms.remove(&v);
+        out.add(&repl.scale(c))
+    }
+
+    /// Rename variable `from` to `to`.  `to` must not already occur.
+    pub fn rename(&self, from: Var, to: Var) -> LinExpr {
+        self.substitute(from, &LinExpr::var(to))
+    }
+
+    /// Greatest common divisor of all variable coefficients (0 if constant).
+    pub fn coef_gcd(&self) -> i64 {
+        self.terms.values().fold(0i64, |g, &c| gcd(g, c.abs()))
+    }
+
+    /// Evaluate under a full assignment; `None` if some variable is unbound.
+    pub fn eval(&self, env: &dyn Fn(Var) -> Option<i64>) -> Option<i64> {
+        let mut acc = self.constant;
+        for (v, c) in self.terms() {
+            acc = acc.checked_add(c.checked_mul(env(v)?)?)?;
+        }
+        Some(acc)
+    }
+}
+
+/// gcd with `gcd(0, x) = x`.
+pub(crate) fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.abs(), b.abs());
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in self.terms() {
+            if first {
+                if c == 1 {
+                    write!(f, "{v}")?;
+                } else if c == -1 {
+                    write!(f, "-{v}")?;
+                } else {
+                    write!(f, "{c}{v}")?;
+                }
+                first = false;
+            } else if c >= 0 {
+                if c == 1 {
+                    write!(f, " + {v}")?;
+                } else {
+                    write!(f, " + {c}{v}")?;
+                }
+            } else if c == -1 {
+                write!(f, " - {v}")?;
+            } else {
+                write!(f, " - {}{v}", -c)?;
+            }
+        }
+        if first {
+            write!(f, "{}", self.constant)?;
+        } else if self.constant > 0 {
+            write!(f, " + {}", self.constant)?;
+        } else if self.constant < 0 {
+            write!(f, " - {}", -self.constant)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> Var {
+        Var::Sym(id)
+    }
+
+    #[test]
+    fn zero_coefficients_are_not_stored() {
+        let e = LinExpr::term(s(1), 2).add(&LinExpr::term(s(1), -2));
+        assert!(e.is_zero());
+        assert_eq!(e.num_vars(), 0);
+    }
+
+    #[test]
+    fn add_sub_scale() {
+        let e = LinExpr::var(s(0)).add(&LinExpr::constant(3));
+        let f = e.scale(2); // 2*s0 + 6
+        assert_eq!(f.coef(s(0)), 2);
+        assert_eq!(f.constant_part(), 6);
+        let g = f.sub(&e); // s0 + 3
+        assert_eq!(g, e);
+    }
+
+    #[test]
+    fn substitute_replaces_all_occurrences() {
+        // 3*s0 + s1 + 1 with s0 := s2 - 2  =>  3*s2 + s1 - 5
+        let e = LinExpr::term(s(0), 3)
+            .add(&LinExpr::var(s(1)))
+            .offset(1);
+        let repl = LinExpr::var(s(2)).offset(-2);
+        let out = e.substitute(s(0), &repl);
+        assert_eq!(out.coef(s(2)), 3);
+        assert_eq!(out.coef(s(1)), 1);
+        assert_eq!(out.coef(s(0)), 0);
+        assert_eq!(out.constant_part(), -5);
+    }
+
+    #[test]
+    fn eval_respects_env() {
+        let e = LinExpr::term(s(0), 2).add(&LinExpr::term(s(1), -1)).offset(7);
+        let v = e.eval(&|v| match v {
+            Var::Sym(0) => Some(5),
+            Var::Sym(1) => Some(3),
+            _ => None,
+        });
+        assert_eq!(v, Some(2 * 5 - 3 + 7));
+        let unbound = e.eval(&|_| None);
+        assert_eq!(unbound, None);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = LinExpr::term(s(0), 2)
+            .add(&LinExpr::term(Var::Dim(0), -1))
+            .offset(-4);
+        assert_eq!(format!("{e}"), "-d0 + 2s0 - 4");
+    }
+
+    #[test]
+    fn gcd_of_coefs() {
+        let e = LinExpr::term(s(0), 6).add(&LinExpr::term(s(1), -9));
+        assert_eq!(e.coef_gcd(), 3);
+        assert_eq!(LinExpr::constant(5).coef_gcd(), 0);
+    }
+}

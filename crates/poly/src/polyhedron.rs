@@ -1,0 +1,958 @@
+//! Conjunctions of linear constraints with Fourier–Motzkin elimination.
+
+use crate::constraint::{Constraint, ConstraintKind};
+use crate::expr::{gcd, LinExpr, Var};
+use crate::MAX_CONSTRAINTS;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A (possibly unbounded) convex integer polyhedron: the conjunction of a
+/// set of linear constraints.
+///
+/// The empty conjunction is the *universe* (all assignments satisfy it).
+/// A polyhedron whose constraint system is detected contradictory is kept in
+/// a canonical `bottom` form.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Polyhedron {
+    constraints: Vec<Constraint>,
+    /// Set when the system has been *proven* unsatisfiable.
+    empty: bool,
+    /// Set when operations had to give up (too many constraints); the
+    /// polyhedron then denotes "unknown ⊇ true set" and must be treated as
+    /// the universe by may-analyses.
+    approximate: bool,
+}
+
+impl Polyhedron {
+    /// The universe polyhedron (no constraints).
+    pub fn universe() -> Self {
+        Self::default()
+    }
+
+    /// The canonical empty polyhedron.
+    pub fn bottom() -> Self {
+        Polyhedron {
+            constraints: Vec::new(),
+            empty: true,
+            approximate: false,
+        }
+    }
+
+    /// Build from constraints.
+    pub fn from_constraints(cs: impl IntoIterator<Item = Constraint>) -> Self {
+        let mut p = Polyhedron::universe();
+        for c in cs {
+            p.add_constraint(c);
+        }
+        p
+    }
+
+    /// True if this polyhedron has been proven empty.
+    pub fn is_proven_empty(&self) -> bool {
+        self.empty
+    }
+
+    /// True if operations lost precision on this polyhedron (it then
+    /// over-approximates the intended set).
+    pub fn is_approximate(&self) -> bool {
+        self.approximate
+    }
+
+    /// Mark as approximate (over-approximating).
+    pub fn mark_approximate(&mut self) {
+        self.approximate = true;
+    }
+
+    /// The constraints (empty slice for the universe or bottom).
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// True if there are no constraints and the polyhedron is not bottom.
+    pub fn is_universe(&self) -> bool {
+        !self.empty && self.constraints.is_empty()
+    }
+
+    /// Whether any constraint mentions `v`.
+    pub fn mentions(&self, v: Var) -> bool {
+        self.constraints.iter().any(|c| c.expr.mentions(v))
+    }
+
+    /// All variables mentioned by any constraint.
+    pub fn vars(&self) -> BTreeSet<Var> {
+        let mut out = BTreeSet::new();
+        for c in &self.constraints {
+            out.extend(c.expr.vars());
+        }
+        out
+    }
+
+    /// Add one constraint, folding trivial cases.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        if self.empty || c.is_trivially_true() {
+            return;
+        }
+        if c.is_trivially_false() {
+            *self = Polyhedron::bottom();
+            return;
+        }
+        if self.constraints.contains(&c) {
+            return;
+        }
+        if self.constraints.len() >= MAX_CONSTRAINTS {
+            // Sound for may-sets: dropping a constraint only enlarges.
+            self.approximate = true;
+            return;
+        }
+        self.constraints.push(c);
+    }
+
+    /// Conjunction of two polyhedra.
+    pub fn intersect(&self, other: &Polyhedron) -> Polyhedron {
+        if self.empty || other.empty {
+            return Polyhedron::bottom();
+        }
+        let mut out = self.clone();
+        out.approximate |= other.approximate;
+        for c in &other.constraints {
+            out.add_constraint(c.clone());
+        }
+        out.local_simplify();
+        out
+    }
+
+    /// Substitute `v := repl` in every constraint.
+    pub fn substitute(&self, v: Var, repl: &LinExpr) -> Polyhedron {
+        if self.empty {
+            return Polyhedron::bottom();
+        }
+        let mut out = Polyhedron {
+            constraints: Vec::with_capacity(self.constraints.len()),
+            empty: false,
+            approximate: self.approximate,
+        };
+        for c in &self.constraints {
+            out.add_constraint(c.substitute(v, repl));
+        }
+        out
+    }
+
+    /// Rename a variable (the target must be fresh).
+    pub fn rename(&self, from: Var, to: Var) -> Polyhedron {
+        debug_assert!(!self.mentions(to));
+        self.substitute(from, &LinExpr::var(to))
+    }
+
+    /// Fourier–Motzkin elimination of `v`, over-approximating the integer
+    /// projection (rational shadow).  Always sound for may-sets.
+    pub fn project_out(&self, v: Var) -> Polyhedron {
+        if self.empty {
+            return Polyhedron::bottom();
+        }
+        if !self.mentions(v) {
+            return self.clone();
+        }
+        // Equality substitution first: a·v + e == 0.
+        if let Some((idx, a)) = self.find_eq_with(v) {
+            let eq = &self.constraints[idx];
+            if a.abs() == 1 {
+                // v = -e / a exactly.
+                let repl = eq.expr.sub(&LinExpr::term(v, a)).scale(-a);
+                let mut rest = self.clone();
+                rest.constraints.remove(idx);
+                return rest.substitute(v, &repl).project_out(v);
+            }
+        }
+        let mut lower = Vec::new(); // a·v + e >= 0 with a > 0  =>  v >= -e/a
+        let mut upper = Vec::new(); // -b·v + f >= 0 with b > 0 =>  v <= f/b
+        let mut rest = Vec::new();
+        for c in &self.constraints {
+            // Expand equalities mentioning v into two inequalities.
+            let split: Vec<Constraint> = match c.kind {
+                ConstraintKind::EqZero if c.expr.mentions(v) => vec![
+                    Constraint::geq0(c.expr.clone()),
+                    Constraint::geq0(c.expr.scale(-1)),
+                ],
+                _ => vec![c.clone()],
+            };
+            for c in split {
+                let a = c.expr.coef(v);
+                if a > 0 {
+                    lower.push(c);
+                } else if a < 0 {
+                    upper.push(c);
+                } else {
+                    rest.push(c);
+                }
+            }
+        }
+        let mut out = Polyhedron {
+            constraints: Vec::new(),
+            empty: false,
+            approximate: self.approximate,
+        };
+        for c in rest {
+            out.add_constraint(c);
+        }
+        if lower.len() * upper.len() > MAX_CONSTRAINTS {
+            out.approximate = true;
+            out.local_simplify();
+            return out;
+        }
+        for l in &lower {
+            let a = l.expr.coef(v);
+            for u in &upper {
+                let b = -u.expr.coef(v);
+                debug_assert!(a > 0 && b > 0);
+                // b·(a·v + e) + a·(−b·v + f) = b·e + a·f >= 0
+                let g = gcd(a, b);
+                let combined = l.expr.scale(b / g).add(&u.expr.scale(a / g));
+                out.add_constraint(Constraint::geq0(combined));
+                if out.empty {
+                    return Polyhedron::bottom();
+                }
+            }
+        }
+        out.local_simplify();
+        out
+    }
+
+    /// Exact integer projection of `v`.  Returns `None` when exactness
+    /// cannot be guaranteed — required for must-write sections, which may
+    /// only shrink.
+    ///
+    /// Exactness cases:
+    /// * every bound on `v` has a ±1 coefficient (rational shadow = integer
+    ///   shadow);
+    /// * an equality with unit coefficient allows exact substitution;
+    /// * a lower/upper pair `a·v >= -e`, `a·v <= f` with *equal* coefficients
+    ///   whose combined slack `e + f` is a constant `>= a - 1`: any `a`
+    ///   consecutive integers contain a multiple of `a`, so every rational
+    ///   shadow point has an integer witness.  (This covers linearized
+    ///   rectangular loop nests like `d0 = i + m·j`.)
+    pub fn project_exact(&self, v: Var) -> Option<Polyhedron> {
+        if self.empty {
+            return Some(Polyhedron::bottom());
+        }
+        if !self.mentions(v) {
+            return Some(self.clone());
+        }
+        if let Some((_, a)) = self.find_eq_with(v) {
+            if a.abs() == 1 {
+                return Some(self.project_out(v));
+            }
+        }
+        // Partition the bounds (equalities with |coef| != 1 are inexact).
+        let mut lower = Vec::new();
+        let mut upper = Vec::new();
+        for c in &self.constraints {
+            let a = c.expr.coef(v);
+            if a == 0 {
+                continue;
+            }
+            if c.kind == ConstraintKind::EqZero {
+                return None; // non-unit equality: gcd reasoning needed
+            }
+            if a > 0 {
+                lower.push(c);
+            } else {
+                upper.push(c);
+            }
+        }
+        let all_lower_unit = lower.iter().all(|c| c.expr.coef(v) == 1);
+        let all_upper_unit = upper.iter().all(|c| c.expr.coef(v) == -1);
+        if all_lower_unit || all_upper_unit {
+            // A binding unit bound provides an integer witness that the
+            // cross-multiplied shadow constraints validate directly.
+            return Some(self.project_out(v));
+        }
+        // Discard unit bounds that are *integer-implied* by a non-unit bound
+        // of the same direction (ceil/floor tightening): e.g. `j >= 1` is
+        // implied by `6j >= d0 ∧ d0 >= 1` over the integers.  The exactness
+        // decision may then ignore them: rational-shadow(full) sits between
+        // integer-shadow(full) and rational-shadow(subsystem); when the
+        // subsystem is exact all three coincide.
+        let implied_lower = |unit: &Constraint| -> bool {
+            // unit: v + e1 >= 0, i.e. v >= -e1.
+            let e1 = unit.expr.sub(&LinExpr::var(v));
+            lower.iter().any(|c| {
+                let a = c.expr.coef(v);
+                if a <= 1 {
+                    return false;
+                }
+                // c: a·v + e >= 0 → v >= ceil(-e/a); implied when
+                // a·e1 - e + a - 1 >= 0 holds throughout.
+                let e = c.expr.sub(&LinExpr::term(v, a));
+                let need = e1.scale(a).sub(&e).offset(a - 1);
+                let mut test = self.clone();
+                for neg in Constraint::geq0(need).negate() {
+                    test.add_constraint(neg);
+                }
+                test.prove_empty()
+            })
+        };
+        let implied_upper = |unit: &Constraint| -> bool {
+            // unit: -v + f1 >= 0, i.e. v <= f1.
+            let f1 = unit.expr.add(&LinExpr::var(v));
+            upper.iter().any(|c| {
+                let b = -c.expr.coef(v);
+                if b <= 1 {
+                    return false;
+                }
+                // c: -b·v + f >= 0 → v <= floor(f/b); implied when
+                // b·f1 - f + b - 1 >= 0 holds throughout.
+                let f = c.expr.add(&LinExpr::term(v, b));
+                let need = f1.scale(b).sub(&f).offset(b - 1);
+                let mut test = self.clone();
+                for neg in Constraint::geq0(need).negate() {
+                    test.add_constraint(neg);
+                }
+                test.prove_empty()
+            })
+        };
+        let lower2: Vec<_> = lower
+            .iter()
+            .filter(|c| c.expr.coef(v) != 1 || !implied_lower(c))
+            .collect();
+        let upper2: Vec<_> = upper
+            .iter()
+            .filter(|c| c.expr.coef(v) != -1 || !implied_upper(c))
+            .collect();
+        // Single shared coefficient g with enough slack in every pair: any
+        // g consecutive integers contain a multiple of g.
+        let g = lower2.first().map(|c| c.expr.coef(v))?;
+        let uniform = lower2.iter().all(|c| c.expr.coef(v) == g)
+            && upper2.iter().all(|c| c.expr.coef(v) == -g);
+        if !uniform {
+            return None;
+        }
+        for l in &lower2 {
+            for u in &upper2 {
+                let slack = l.expr.add(&u.expr);
+                if !(slack.is_constant() && slack.constant_part() >= g - 1) {
+                    return None;
+                }
+            }
+        }
+        Some(self.project_out(v))
+    }
+
+    /// Eliminate every variable satisfying `pred` (over-approximating).
+    pub fn project_out_all(&self, pred: impl Fn(Var) -> bool) -> Polyhedron {
+        let mut p = self.clone();
+        loop {
+            let Some(v) = p.vars().into_iter().find(|&v| pred(v)) else {
+                return p;
+            };
+            p = p.project_out(v);
+        }
+    }
+
+    /// Attempt to *prove* the polyhedron empty over the **integers** by
+    /// Fourier–Motzkin elimination plus a modular-interval test on
+    /// equalities.  `true` means definitely empty; `false` means "could not
+    /// prove" (possibly non-empty).
+    ///
+    /// Results are memoized per thread: the analyses re-ask the same
+    /// emptiness questions constantly (every transfer-function subtraction
+    /// and every dependence test), and constraint systems are plain integer
+    /// data, so caching is exact.
+    pub fn prove_empty(&self) -> bool {
+        if self.empty {
+            return true;
+        }
+        if self.constraints.is_empty() {
+            return false;
+        }
+        // Key: the constraint list as built (construction is deterministic,
+        // so identical queries produce identical lists).  Look up by slice so
+        // the common case (a hit) never clones the constraints.
+        PROVE_EMPTY_CACHE.with(|cache| {
+            if let Some(&hit) = cache.borrow().get(self.constraints.as_slice()) {
+                return hit;
+            }
+            let result = self.prove_empty_uncached();
+            let mut c = cache.borrow_mut();
+            if c.len() > 200_000 {
+                c.clear();
+            }
+            c.insert(self.constraints.clone(), result);
+            result
+        })
+    }
+
+    fn prove_empty_uncached(&self) -> bool {
+        // Cheap pairwise contradiction check first: e >= 0 and -e - k >= 0 (k >= 1).
+        for (i, a) in self.constraints.iter().enumerate() {
+            for b in &self.constraints[i + 1..] {
+                if a.kind == ConstraintKind::GeqZero
+                    && b.kind == ConstraintKind::GeqZero
+                    && neg_var_parts(&a.expr, &b.expr)
+                    && a.expr.constant_part() + b.expr.constant_part() < 0
+                {
+                    return true;
+                }
+            }
+        }
+        let mut p = self.clone();
+        let mut fuel = 32usize;
+        loop {
+            if p.empty {
+                return true;
+            }
+            if p.num_constraints() <= 32 && p.modular_contradiction() {
+                return true;
+            }
+            let vars = p.vars();
+            let Some(&v) = vars.iter().next() else {
+                // Only constant constraints remain; add_constraint already
+                // folded falsities into `empty`.
+                return p.empty;
+            };
+            if fuel == 0 || p.approximate || p.num_constraints() > 48 {
+                // Budget exhausted: conservatively assume non-empty.
+                return false;
+            }
+            fuel -= 1;
+            // Prefer eliminating the variable with the fewest occurrences to
+            // delay blow-up.
+            let v = vars
+                .iter()
+                .copied()
+                .min_by_key(|&w| {
+                    p.constraints
+                        .iter()
+                        .filter(|c| c.expr.mentions(w))
+                        .count()
+                })
+                .unwrap_or(v);
+            p = p.project_out(v);
+        }
+    }
+
+    /// Modular-interval test (a GCD/Banerjee-style integer refinement):
+    /// for an equality `Σ aᵢvᵢ + c == 0` and a modulus `g > 1` dividing
+    /// some coefficients, the residual `R = Σ_{g∤aᵢ} aᵢvᵢ + c` must be a
+    /// multiple of `g`.  If the polyhedron bounds `R` into an interval
+    /// containing no multiple of `g`, the system has no integer solution.
+    /// (This is what separates `i1 + 64·j1 == i2 + 64·j2` accesses of
+    /// column-major 2-D arrays, which rational FM cannot.)
+    fn modular_contradiction(&self) -> bool {
+        let eqs: Vec<&Constraint> = self
+            .constraints
+            .iter()
+            .filter(|c| c.kind == ConstraintKind::EqZero)
+            .collect();
+        for eq in eqs {
+            let mut moduli: Vec<i64> = eq
+                .expr
+                .terms()
+                .map(|(_, a)| a.abs())
+                .filter(|&a| a > 1)
+                .collect();
+            moduli.sort_unstable();
+            moduli.dedup();
+            for g in moduli {
+                // Residual terms not divisible by g.
+                let mut r = LinExpr::constant(eq.expr.constant_part());
+                let mut has_divisible = false;
+                for (v, a) in eq.expr.terms() {
+                    if a % g == 0 {
+                        has_divisible = true;
+                    } else {
+                        r = r.add(&LinExpr::term(v, a));
+                    }
+                }
+                if !has_divisible {
+                    continue;
+                }
+                if r.is_constant() {
+                    if r.constant_part().rem_euclid(g) != 0 {
+                        return true;
+                    }
+                    continue;
+                }
+                // Bound R cheaply: direct interval reasoning for 1- and
+                // 2-variable residuals (the overwhelmingly common case:
+                // `i1 - i2 + c` difference patterns from dependence tests),
+                // falling back to a mini Fourier–Motzkin projection over R's
+                // support otherwise.
+                let bounds = self
+                    .bound_residual_cheap(&r, eq)
+                    .or_else(|| self.bound_residual_fm(&r, eq));
+                if let Some((lo, hi)) = bounds {
+                    if lo > hi {
+                        return true;
+                    }
+                    // Any multiple of g in [lo, hi]?
+                    let first = lo.div_euclid(g) + if lo.rem_euclid(g) != 0 { 1 } else { 0 };
+                    if first * g > hi {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Containment test: does `self ⊆ other` *provably* hold?
+    ///
+    /// `self ⊆ other` iff for every constraint `c` of `other`,
+    /// `self ∧ ¬c` is empty.  Negating equalities yields a disjunction, both
+    /// branches of which must be empty.
+    pub fn provably_subset_of(&self, other: &Polyhedron) -> bool {
+        if self.empty {
+            return true;
+        }
+        if other.empty {
+            return self.prove_empty();
+        }
+        if self.approximate {
+            // We only know an over-approximation of self.
+            return other.is_universe();
+        }
+        for c in &other.constraints {
+            for neg in c.negate() {
+                let mut test = self.clone();
+                test.add_constraint(neg);
+                if !test.prove_empty() {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Local simplification: dedup, drop constraints implied by an identical
+    /// stronger one (same variable part, weaker constant).
+    pub fn local_simplify(&mut self) {
+        if self.empty {
+            return;
+        }
+        self.constraints.sort_unstable();
+        self.constraints.dedup();
+        // a: e + c1 >= 0, b: e + c2 >= 0 with c1 <= c2 — keep only a.
+        let mut keep: Vec<Constraint> = Vec::with_capacity(self.constraints.len());
+        'outer: for c in std::mem::take(&mut self.constraints) {
+            if c.kind == ConstraintKind::GeqZero {
+                for k in &mut keep {
+                    if k.kind == ConstraintKind::GeqZero {
+                        let d = c.expr.sub(&k.expr);
+                        if d.is_constant() {
+                            if d.constant_part() >= 0 {
+                                // c is weaker; drop it.
+                                continue 'outer;
+                            } else {
+                                // c is stronger; replace k.
+                                *k = c.clone();
+                                continue 'outer;
+                            }
+                        }
+                    }
+                }
+            }
+            keep.push(c);
+        }
+        self.constraints = keep;
+        // Contradiction fold.
+        for (i, a) in self.constraints.iter().enumerate() {
+            for b in &self.constraints[i + 1..] {
+                if a.kind == ConstraintKind::GeqZero
+                    && b.kind == ConstraintKind::GeqZero
+                    && neg_var_parts(&a.expr, &b.expr)
+                    && a.expr.constant_part() + b.expr.constant_part() < 0
+                {
+                    *self = Polyhedron::bottom();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Check membership of a concrete point.
+    pub fn contains_point(&self, env: &dyn Fn(Var) -> Option<i64>) -> Option<bool> {
+        if self.empty {
+            return Some(false);
+        }
+        for c in &self.constraints {
+            let v = c.expr.eval(env)?;
+            let ok = match c.kind {
+                ConstraintKind::GeqZero => v >= 0,
+                ConstraintKind::EqZero => v == 0,
+            };
+            if !ok {
+                return Some(false);
+            }
+        }
+        Some(true)
+    }
+
+    /// Cheap residual bounding: unit constant bounds per variable, plus
+    /// difference bounds for two-variable ±k residuals (covers the
+    /// `i1 - i2 + c` dependence-test pattern).  Sound over-approximation.
+    fn bound_residual_cheap(&self, r: &LinExpr, skip: &Constraint) -> Option<(i64, i64)> {
+        let terms: Vec<(Var, i64)> = r.terms().collect();
+        let c0 = r.constant_part();
+        // Constant unit bounds per variable.
+        let var_bounds = |v: Var| -> (Option<i64>, Option<i64>) {
+            let mut lo = None;
+            let mut hi = None;
+            for c in &self.constraints {
+                if std::ptr::eq(c, skip) {
+                    continue;
+                }
+                let a = c.expr.coef(v);
+                if a == 0 || c.expr.num_vars() != 1 {
+                    continue;
+                }
+                let k = c.expr.constant_part();
+                match (c.kind, a) {
+                    (ConstraintKind::GeqZero, 1) => {
+                        lo = Some(lo.map_or(-k, |x: i64| x.max(-k)));
+                    }
+                    (ConstraintKind::GeqZero, -1) => {
+                        hi = Some(hi.map_or(k, |x: i64| x.min(k)));
+                    }
+                    (ConstraintKind::EqZero, 1) => {
+                        lo = Some(-k);
+                        hi = Some(-k);
+                    }
+                    _ => {}
+                }
+            }
+            (lo, hi)
+        };
+        match terms.as_slice() {
+            [(v, a)] => {
+                let (lo, hi) = var_bounds(*v);
+                let (lo, hi) = (lo?, hi?);
+                let (x, y) = (a * lo, a * hi);
+                Some((c0 + x.min(y), c0 + x.max(y)))
+            }
+            [(x, ax), (y, ay)] if *ax == -*ay => {
+                // r = k·(x − y) + c0: bound d = x − y from difference
+                // constraints and the interval product.
+                let k = *ax;
+                let (lox, hix) = var_bounds(*x);
+                let (loy, hiy) = var_bounds(*y);
+                let mut dlo = match (lox, hiy) {
+                    (Some(a), Some(b)) => Some(a - b),
+                    _ => None,
+                };
+                let mut dhi = match (hix, loy) {
+                    (Some(a), Some(b)) => Some(a - b),
+                    _ => None,
+                };
+                // Difference constraints ±(x − y) + c >= 0.
+                for c in &self.constraints {
+                    if std::ptr::eq(c, skip) || c.expr.num_vars() != 2 {
+                        continue;
+                    }
+                    let cx = c.expr.coef(*x);
+                    let cy = c.expr.coef(*y);
+                    let cc = c.expr.constant_part();
+                    if cx == 1 && cy == -1 && c.kind == ConstraintKind::GeqZero {
+                        // x − y + cc >= 0 → d >= −cc
+                        dlo = Some(dlo.map_or(-cc, |v: i64| v.max(-cc)));
+                    } else if cx == -1 && cy == 1 && c.kind == ConstraintKind::GeqZero {
+                        // −x + y + cc >= 0 → d <= cc
+                        dhi = Some(dhi.map_or(cc, |v: i64| v.min(cc)));
+                    }
+                }
+                let (dlo, dhi) = (dlo?, dhi?);
+                let (a, b) = (k * dlo, k * dhi);
+                Some((c0 + a.min(b), c0 + a.max(b)))
+            }
+            _ => None,
+        }
+    }
+
+    /// Fallback residual bounding via a mini Fourier–Motzkin projection over
+    /// the residual's support.
+    fn bound_residual_fm(&self, r: &LinExpr, skip: &Constraint) -> Option<(i64, i64)> {
+        let t = Var::Sym(u32::MAX);
+        if self.mentions(t) {
+            return None;
+        }
+        let support: BTreeSet<Var> = r.vars().collect();
+        let mut q = Polyhedron::universe();
+        for c in &self.constraints {
+            if std::ptr::eq(c, skip) {
+                continue;
+            }
+            if c.expr.vars().all(|v| support.contains(&v)) {
+                q.add_constraint(c.clone());
+            }
+        }
+        q.add_constraint(Constraint::eq(&LinExpr::var(t), r));
+        let proj = q.project_out_all(|v| v != t);
+        if proj.is_approximate() {
+            return None;
+        }
+        let mut lo: Option<i64> = None;
+        let mut hi: Option<i64> = None;
+        for c in proj.constraints() {
+            let a = c.expr.coef(t);
+            if a == 0 || !c.expr.sub(&LinExpr::term(t, a)).is_constant() {
+                continue;
+            }
+            let k = c.expr.constant_part();
+            match c.kind {
+                ConstraintKind::GeqZero if a > 0 => {
+                    // a·t + k >= 0 → t >= ceil(-k/a)
+                    let b = (-k).div_euclid(a) + if (-k).rem_euclid(a) != 0 { 1 } else { 0 };
+                    lo = Some(lo.map_or(b, |x: i64| x.max(b)));
+                }
+                ConstraintKind::GeqZero => {
+                    let b = k.div_euclid(-a);
+                    hi = Some(hi.map_or(b, |x: i64| x.min(b)));
+                }
+                ConstraintKind::EqZero if a.abs() == 1 => {
+                    let v = -k / a;
+                    lo = Some(lo.map_or(v, |x: i64| x.max(v)));
+                    hi = Some(hi.map_or(v, |x: i64| x.min(v)));
+                }
+                _ => {}
+            }
+        }
+        match (lo, hi) {
+            (Some(l), Some(h)) => Some((l, h)),
+            _ => None,
+        }
+    }
+
+    fn find_eq_with(&self, v: Var) -> Option<(usize, i64)> {
+        self.constraints.iter().enumerate().find_map(|(i, c)| {
+            if c.kind == ConstraintKind::EqZero {
+                let a = c.expr.coef(v);
+                if a != 0 {
+                    return Some((i, a));
+                }
+            }
+            None
+        })
+    }
+}
+
+/// True when the variable parts of `a` and `b` are exact negatives of each
+/// other (so `a + b` is a constant), checked without allocating.
+fn neg_var_parts(a: &LinExpr, b: &LinExpr) -> bool {
+    a.num_vars() == b.num_vars()
+        && a.terms()
+            .zip(b.terms())
+            .all(|((va, ca), (vb, cb))| va == vb && ca == -cb)
+}
+
+/// Clear this thread's emptiness-proof memo table (benchmark support: keeps
+/// timing comparisons across configurations honest).
+pub fn clear_prove_empty_cache() {
+    PROVE_EMPTY_CACHE.with(|c| c.borrow_mut().clear());
+}
+
+thread_local! {
+    /// Memo table for [`Polyhedron::prove_empty`]; exact (integer data).
+    static PROVE_EMPTY_CACHE: std::cell::RefCell<std::collections::HashMap<Vec<Constraint>, bool>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+impl fmt::Display for Polyhedron {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.empty {
+            return write!(f, "{{⊥}}");
+        }
+        if self.constraints.is_empty() {
+            return write!(f, "{{⊤}}");
+        }
+        write!(f, "{{ ")?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, " }}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(id: u32) -> Var {
+        Var::Sym(id)
+    }
+    fn x() -> LinExpr {
+        LinExpr::var(s(0))
+    }
+    fn y() -> LinExpr {
+        LinExpr::var(s(1))
+    }
+
+    /// 1 <= x <= 10
+    fn range_1_10() -> Polyhedron {
+        Polyhedron::from_constraints([
+            Constraint::geq(&x(), &LinExpr::constant(1)),
+            Constraint::leq(&x(), &LinExpr::constant(10)),
+        ])
+    }
+
+    #[test]
+    fn universe_and_bottom() {
+        assert!(Polyhedron::universe().is_universe());
+        assert!(Polyhedron::bottom().is_proven_empty());
+        assert!(Polyhedron::bottom().prove_empty());
+        assert!(!Polyhedron::universe().prove_empty());
+    }
+
+    #[test]
+    fn contradiction_is_detected_on_add() {
+        let p = Polyhedron::from_constraints([
+            Constraint::geq(&x(), &LinExpr::constant(5)),
+            Constraint::leq(&x(), &LinExpr::constant(2)),
+        ]);
+        assert!(p.prove_empty());
+    }
+
+    #[test]
+    fn projection_keeps_transitive_bounds() {
+        // 1 <= x <= 10, y = x + 2  ==> after eliminating x: 3 <= y <= 12
+        let mut p = range_1_10();
+        p.add_constraint(Constraint::eq(&y(), &x().offset(2)));
+        let q = p.project_out(s(0));
+        assert!(!q.mentions(s(0)));
+        let in_range = |v: i64| {
+            q.contains_point(&|var| if var == s(1) { Some(v) } else { None })
+                .unwrap()
+        };
+        assert!(in_range(3));
+        assert!(in_range(12));
+        assert!(!in_range(2));
+        assert!(!in_range(13));
+    }
+
+    #[test]
+    fn projection_of_unconstrained_var_is_identity() {
+        let p = range_1_10();
+        assert_eq!(p.project_out(s(7)), p);
+    }
+
+    #[test]
+    fn subset_tests() {
+        // [2,5] ⊆ [1,10]
+        let small = Polyhedron::from_constraints([
+            Constraint::geq(&x(), &LinExpr::constant(2)),
+            Constraint::leq(&x(), &LinExpr::constant(5)),
+        ]);
+        let big = range_1_10();
+        assert!(small.provably_subset_of(&big));
+        assert!(!big.provably_subset_of(&small));
+        assert!(Polyhedron::bottom().provably_subset_of(&small));
+        assert!(small.provably_subset_of(&Polyhedron::universe()));
+    }
+
+    #[test]
+    fn symbolic_subset() {
+        // {d0 == s0} ⊆ {s0 <= d0 <= s0 + 1}
+        let d = LinExpr::var(Var::Dim(0));
+        let n = LinExpr::var(s(0));
+        let point = Polyhedron::from_constraints([Constraint::eq(&d, &n)]);
+        let seg = Polyhedron::from_constraints([
+            Constraint::geq(&d, &n),
+            Constraint::leq(&d, &n.offset(1)),
+        ]);
+        assert!(point.provably_subset_of(&seg));
+        assert!(!seg.provably_subset_of(&point));
+    }
+
+    #[test]
+    fn exact_projection_rules() {
+        // Unbounded above: always exact (any shadow point extends upward).
+        let p = Polyhedron::from_constraints([Constraint::geq(&x().scale(2), &y())]);
+        assert!(p.project_exact(s(0)).is_some());
+        // Unit bounds: exact.
+        let q = range_1_10();
+        assert!(q.project_exact(s(0)).is_some());
+        // 2x == y as inequalities: slack 0 < 1 → NOT exact (only even y).
+        let tight = Polyhedron::from_constraints([
+            Constraint::geq(&x().scale(2), &y()),
+            Constraint::leq(&x().scale(2), &y()),
+        ]);
+        assert!(tight.project_exact(s(0)).is_none());
+        // y <= 6x <= y+5: any 6 consecutive integers contain a multiple of
+        // 6 → exact (the linearized rectangular-nest pattern).
+        let nest = Polyhedron::from_constraints([
+            Constraint::geq(&x().scale(6), &y()),
+            Constraint::leq(&x().scale(6), &y().offset(5)),
+        ]);
+        assert!(nest.project_exact(s(0)).is_some());
+        // Width 4 < 5 → may miss a multiple of 6 → not exact.
+        let thin = Polyhedron::from_constraints([
+            Constraint::geq(&x().scale(6), &y()),
+            Constraint::leq(&x().scale(6), &y().offset(4)),
+        ]);
+        assert!(thin.project_exact(s(0)).is_none());
+        // Redundant unit bound is discarded: add x >= 1 implied by
+        // 6x >= y ∧ y >= 1; exactness survives.
+        let with_unit = Polyhedron::from_constraints([
+            Constraint::geq(&x().scale(6), &y()),
+            Constraint::leq(&x().scale(6), &y().offset(5)),
+            Constraint::geq(&x(), &LinExpr::constant(1)),
+            Constraint::geq(&y(), &LinExpr::constant(1)),
+        ]);
+        assert!(with_unit.project_exact(s(0)).is_some());
+    }
+
+    #[test]
+    fn membership() {
+        let p = range_1_10();
+        let at = |v: i64| {
+            p.contains_point(&|var| if var == s(0) { Some(v) } else { None })
+                .unwrap()
+        };
+        assert!(at(1) && at(10) && !at(0) && !at(11));
+    }
+
+    #[test]
+    fn eq_substitution_path() {
+        // x == 3, x >= y  -> after projecting x: 3 >= y
+        let p = Polyhedron::from_constraints([
+            Constraint::eq(&x(), &LinExpr::constant(3)),
+            Constraint::geq(&x(), &y()),
+        ]);
+        let q = p.project_out(s(0));
+        let at = |v: i64| {
+            q.contains_point(&|var| if var == s(1) { Some(v) } else { None })
+                .unwrap()
+        };
+        assert!(at(3) && !at(4));
+    }
+
+    #[test]
+    fn dependence_style_emptiness() {
+        // Two iterations i1 != i2 writing a(i): {d0 == i1, d0 == i2, i1 < i2}
+        // must be provably empty (no cross-iteration overlap).
+        let d = LinExpr::var(Var::Dim(0));
+        let i1 = LinExpr::var(s(10));
+        let i2 = LinExpr::var(s(11));
+        let p = Polyhedron::from_constraints([
+            Constraint::eq(&d, &i1),
+            Constraint::eq(&d, &i2),
+            Constraint::lt(&i1, &i2),
+        ]);
+        assert!(p.prove_empty());
+
+        // Writing a(i) and reading a(i-1) across iterations overlaps:
+        // {d0 == i1, d0 == i2 - 1, i1 < i2} is satisfiable.
+        let q = Polyhedron::from_constraints([
+            Constraint::eq(&d, &i1),
+            Constraint::eq(&d, &i2.offset(-1)),
+            Constraint::lt(&i1, &i2),
+        ]);
+        assert!(!q.prove_empty());
+    }
+}

@@ -1,0 +1,100 @@
+//! The §4.1 case study as an interactive session: the Explorer guides a user
+//! through parallelizing the `mdg` kernel — guru target list, codeview,
+//! slices for the blocking dependence, a checked assertion, and the
+//! resulting speedup.
+//!
+//! ```text
+//! cargo run --release --example explorer_session
+//! ```
+
+use suif_analysis::Assertion;
+use suif_benchmarks::{apps, Scale};
+use suif_explorer::Explorer;
+use suif_parallel::{measure_parallel, measure_sequential, ParallelPlans, RuntimeConfig};
+
+fn main() {
+    let bench = apps::mdg(Scale::Test);
+    let program = bench.parse();
+
+    // Step 1 (§2.3.1): compile, auto-parallelize, profile, dynamic deps.
+    let mut ex = Explorer::new(&program, bench.input.clone()).expect("explorer");
+    let guru = ex.guru();
+    println!("== Parallelization Guru ==\n{}", guru.render());
+
+    // Step 2: the codeview (Fig. 4-2).
+    println!("{}", suif_explorer::codeview(&ex, &guru));
+
+    // Step 3: examine the top target's blocking dependence via slices
+    // (Fig. 4-3).
+    let target = guru.targets.first().expect("a target").clone();
+    println!("top target: {}\n", target.name);
+    let slices = ex.slices_for_dep(target.stmt, 0);
+    let mut lines = std::collections::BTreeSet::new();
+    let mut terms = std::collections::BTreeSet::new();
+    for (_, prog, ctrl) in &slices {
+        lines.extend(prog.lines.iter().copied());
+        lines.extend(ctrl.lines.iter().copied());
+        for s in prog.terminals.iter().chain(ctrl.terminals.iter()) {
+            if let Some((stmt, _)) = program.find_stmt(*s) {
+                terms.insert(stmt.line());
+            }
+        }
+    }
+    let li = ex
+        .analysis
+        .ctx
+        .tree
+        .loops
+        .iter()
+        .find(|l| l.stmt == target.stmt)
+        .unwrap()
+        .clone();
+    println!(
+        "slice of the dependence (S = in slice, ? = pruned):\n{}",
+        suif_explorer::source_view(&ex, li.line, li.end_line, &lines, &terms)
+    );
+
+    // Step 4: the user concludes rl is privatizable; the checker validates
+    // against the dynamic run, then the compiler re-parallelizes (§4.1.4).
+    let res = ex.assert_and_reanalyze(Assertion::Privatizable {
+        loop_name: li.name.clone(),
+        var: "rl".into(),
+    });
+    println!("assertion check: {res:?}");
+    let guru2 = ex.guru();
+    println!(
+        "coverage: {:.0}% -> {:.0}%",
+        guru.coverage * 100.0,
+        guru2.coverage * 100.0
+    );
+
+    // Step 5: run the re-parallelized program.
+    let bench_big = apps::mdg(Scale::Bench);
+    let big = bench_big.parse();
+    let pa = suif_analysis::Parallelizer::analyze(
+        &big,
+        suif_analysis::ParallelizeConfig {
+            assertions: ex.assertions.clone(),
+            ..Default::default()
+        },
+    );
+    let plans = ParallelPlans::from_analysis(&pa);
+    let seq = measure_sequential(&big, vec![]).unwrap();
+    let (par, _) = measure_parallel(
+        &big,
+        &plans,
+        RuntimeConfig {
+            threads: 2,
+            ..Default::default()
+        },
+        vec![],
+    )
+    .unwrap();
+    println!(
+        "mdg (bench size): sequential {:?}, parallel(2) {:?}  speedup {:.2}",
+        seq.elapsed,
+        par.elapsed,
+        seq.elapsed.as_secs_f64() / par.elapsed.as_secs_f64()
+    );
+    assert_eq!(seq.output.len(), par.output.len());
+}

@@ -1,0 +1,11 @@
+//! Workspace root: re-exports the SUIF Explorer reproduction crates for the
+//! examples and integration tests.  See README.md and DESIGN.md.
+
+pub use suif_analysis as analysis;
+pub use suif_benchmarks as benchmarks;
+pub use suif_dynamic as dynamic;
+pub use suif_explorer as explorer;
+pub use suif_ir as ir;
+pub use suif_parallel as parallel;
+pub use suif_poly as poly;
+pub use suif_slicing as slicing;

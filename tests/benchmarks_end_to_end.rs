@@ -1,0 +1,223 @@
+//! Workspace integration tests: every benchmark program must run
+//! sequentially, analyze, and produce identical output under the parallel
+//! runtime — auto-parallelized and with the case-study assertions applied.
+
+use suif_analysis::{Assertion, ParallelizeConfig, Parallelizer};
+use suif_benchmarks::{ch4_apps, ch5_apps, ch6_apps, BenchProgram, Scale};
+use suif_parallel::{
+    measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig,
+};
+
+fn to_assertions(p: &BenchProgram) -> Vec<Assertion> {
+    p.assertions
+        .iter()
+        .map(|a| {
+            if a.privatize {
+                Assertion::Privatizable {
+                    loop_name: a.loop_name.clone(),
+                    var: a.var.clone(),
+                }
+            } else {
+                Assertion::Independent {
+                    loop_name: a.loop_name.clone(),
+                    var: a.var.clone(),
+                }
+            }
+        })
+        .collect()
+}
+
+fn check_program(bench: &BenchProgram, with_assertions: bool) {
+    let program = bench.parse();
+    let seq = measure_sequential(&program, bench.input.clone())
+        .unwrap_or_else(|e| panic!("{} sequential run failed: {e}", bench.name));
+    assert!(!seq.output.is_empty(), "{} produced no output", bench.name);
+
+    let config = ParallelizeConfig {
+        assertions: if with_assertions {
+            to_assertions(bench)
+        } else {
+            vec![]
+        },
+        ..Default::default()
+    };
+    let pa = Parallelizer::analyze(&program, config);
+    let plans = ParallelPlans::from_analysis(&pa);
+    for finalization in [
+        Finalization::Serialized,
+        Finalization::StaggeredLocks { sections: 4 },
+    ] {
+        let (par, _stats) = measure_parallel(
+            &program,
+            &plans,
+            RuntimeConfig {
+                threads: 2,
+                min_parallel_iters: 2,
+                min_parallel_cost: 0,
+                finalization,
+                schedule: Default::default(),
+            },
+            bench.input.clone(),
+        )
+        .unwrap_or_else(|e| panic!("{} parallel run failed: {e}", bench.name));
+        assert_eq!(
+            close(&seq.output),
+            close(&par.output),
+            "{} (assertions={with_assertions}, {finalization:?}): parallel output diverged",
+            bench.name
+        );
+    }
+}
+
+/// Parse output lines into rounded numbers: parallel reductions reassociate
+/// floating-point sums, so compare to a relative tolerance by rounding.
+fn close(lines: &[String]) -> Vec<Vec<String>> {
+    lines
+        .iter()
+        .map(|l| {
+            l.split_whitespace()
+                .map(|tok| match tok.parse::<f64>() {
+                    Ok(v) => format!("{:.6e}", round_rel(v)),
+                    Err(_) => tok.to_string(),
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn round_rel(v: f64) -> f64 {
+    if v == 0.0 {
+        return 0.0;
+    }
+    let mag = v.abs().log10().floor();
+    let scale = 10f64.powf(mag - 8.0);
+    (v / scale).round() * scale
+}
+
+#[test]
+fn ch4_apps_run_and_match() {
+    for bench in ch4_apps(Scale::Test) {
+        check_program(&bench, false);
+        check_program(&bench, true);
+    }
+}
+
+#[test]
+fn ch5_apps_run_and_match() {
+    for bench in ch5_apps(Scale::Test) {
+        check_program(&bench, false);
+    }
+}
+
+#[test]
+fn ch6_apps_run_and_match() {
+    for bench in ch6_apps(Scale::Test) {
+        check_program(&bench, false);
+    }
+}
+
+#[test]
+fn case_study_loops_unlock_with_assertions() {
+    // The headline case-study claims: the named loops are sequential under
+    // automatic parallelization and parallel once the user's assertions are
+    // applied (§4.1.4, §4.2.4).
+    let expectations: Vec<(&str, Vec<&str>)> = vec![
+        ("mdg", vec!["interf/1000"]),
+        (
+            "hydro",
+            vec![
+                "vsetuv/85",
+                "vsetuv/105",
+                "vsetuv/155",
+                "vqterm/85",
+                "vh2200/1000",
+                "vsetgc/200",
+                "update/1000",
+            ],
+        ),
+        ("arc3d", vec!["stepf3d/701", "stepf3d/702", "stepf3d/801"]),
+        (
+            "flo88",
+            vec!["psmoo/50", "psmoo/100", "psmoo/150", "eflux/50", "dflux/30", "dflux/70"],
+        ),
+    ];
+    for bench in ch4_apps(Scale::Test) {
+        let Some((_, loops)) = expectations.iter().find(|(n, _)| *n == bench.name) else {
+            continue;
+        };
+        let program = bench.parse();
+        let auto = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let user = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                assertions: to_assertions(&bench),
+                ..Default::default()
+            },
+        );
+        for name in loops {
+            let li = auto
+                .ctx
+                .tree
+                .loops
+                .iter()
+                .find(|l| &l.name == name)
+                .unwrap_or_else(|| panic!("{}: loop {name} missing", bench.name));
+            assert!(
+                !auto.verdicts[&li.stmt].is_parallel(),
+                "{}: {name} should need user help, got {:?}",
+                bench.name,
+                auto.verdicts[&li.stmt]
+            );
+            assert!(
+                user.verdicts[&li.stmt].is_parallel(),
+                "{}: {name} should be parallel with assertions, got {:?}",
+                bench.name,
+                user.verdicts[&li.stmt]
+            );
+        }
+    }
+}
+
+#[test]
+fn reduction_suite_depends_on_reduction_recognition() {
+    // Fig. 6-4's shape: with reduction recognition off, the key loops of the
+    // reduction suite are sequential; with it on, they parallelize.
+    let key_loops: Vec<(&str, &str)> = vec![
+        ("bdna", "main/10"),
+        ("bdna", "main/30"),
+        ("cgm", "main/30"),
+        ("ora", "main/10"),
+        ("mdljdp2", "main/10"),
+        ("dyfesm", "main/10"),
+        ("trfd", "main/10"),
+    ];
+    for bench in ch6_apps(Scale::Test) {
+        let program = bench.parse();
+        let with = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let without = Parallelizer::analyze(
+            &program,
+            ParallelizeConfig {
+                enable_reduction: false,
+                ..Default::default()
+            },
+        );
+        for (pname, lname) in key_loops.iter().filter(|(p, _)| *p == bench.name) {
+            let li = with
+                .ctx
+                .tree
+                .loops
+                .iter()
+                .find(|l| &l.name == lname)
+                .unwrap_or_else(|| panic!("{pname}: loop {lname} missing"));
+            assert!(
+                with.verdicts[&li.stmt].is_parallel(),
+                "{pname}: {lname} should parallelize via reductions: {:?}",
+                with.verdicts[&li.stmt]
+            );
+            assert!(
+                !without.verdicts[&li.stmt].is_parallel(),
+                "{pname}: {lname} should be sequential without reduction recognition"
+            );
+        }
+    }
+}

@@ -1,0 +1,327 @@
+//! Targeted runtime-semantics tests for the SPMD executor: corners that the
+//! benchmark programs do not isolate.
+
+use suif_analysis::{Assertion, ParallelizeConfig, Parallelizer};
+use suif_parallel::{measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig};
+
+fn run_both(src: &str, assertions: Vec<Assertion>, threads: usize) -> (Vec<String>, Vec<String>) {
+    let program = suif_ir::parse_program(src).unwrap();
+    let seq = measure_sequential(&program, vec![]).unwrap();
+    let pa = Parallelizer::analyze(
+        &program,
+        ParallelizeConfig {
+            assertions,
+            ..Default::default()
+        },
+    );
+    let plans = ParallelPlans::from_analysis(&pa);
+    let (par, _) = measure_parallel(
+        &program,
+        &plans,
+        RuntimeConfig {
+            threads,
+            min_parallel_iters: 2,
+            min_parallel_cost: 0,
+            finalization: Finalization::Serialized,
+            schedule: Default::default(),
+        },
+        vec![],
+    )
+    .unwrap();
+    (seq.output, par.output)
+}
+
+#[test]
+fn negative_step_parallel_loop() {
+    let src = r#"program t
+proc main() {
+  real a[32]
+  int i
+  do 1 i = 32, 1, -1 {
+    a[i] = float(i) * 2.0
+  }
+  print a[1], a[32]
+}
+"#;
+    let (seq, par) = run_both(src, vec![], 3);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn strided_parallel_loop() {
+    let src = r#"program t
+proc main() {
+  real a[33]
+  int i
+  real s
+  do 1 i = 1, 33, 4 {
+    a[i] = float(i)
+  }
+  s = 0
+  do 2 i = 1, 33 {
+    s = s + a[i]
+  }
+  print s
+}
+"#;
+    let (seq, par) = run_both(src, vec![], 2);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn post_loop_induction_value_is_fortran_semantics() {
+    let src = r#"program t
+proc main() {
+  real a[10]
+  int i
+  do 1 i = 1, 10 {
+    a[i] = 1
+  }
+  print i
+}
+"#;
+    let (seq, par) = run_both(src, vec![], 2);
+    assert_eq!(seq, vec!["11"]);
+    assert_eq!(par, vec!["11"]);
+}
+
+#[test]
+fn common_block_privatization_groups_all_views() {
+    // Privatizing a common object must cover every view's members at
+    // consistent offsets: the callee writes through a differently-shaped
+    // view of the same block.
+    let src = r#"program t
+proc fill(int which) {
+  common /c/ real z[8]
+  int j
+  do 5 j = 1, 8 {
+    z[j] = float(which * 10 + j)
+  }
+}
+proc main() {
+  common /c/ real a[4], real b[4]
+  real out[16]
+  int i
+  do 1 i = 1, 16 {
+    call fill(i)
+    out[i] = a[2] + b[3]
+  }
+  print out[1], out[16]
+}
+"#;
+    let (seq, par) = run_both(
+        src,
+        vec![Assertion::Privatizable {
+            loop_name: "main/1".into(),
+            var: "a".into(),
+        }],
+        2,
+    );
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn reduction_region_outside_values_survive() {
+    // Reduction region is [1..8] of a 64-cell array; cells outside the
+    // region must keep their pre-loop values after the parallel run.
+    let src = r#"program t
+proc main() {
+  real acc[64], w[40]
+  int i, k
+  do 0 i = 1, 64 {
+    acc[i] = float(i) * 100.0
+  }
+  do 1 i = 1, 40 {
+    w[i] = float(i) * 0.5
+    do 2 k = 1, 8 {
+      acc[k] = acc[k] + w[i]
+    }
+  }
+  print acc[1], acc[8], acc[9], acc[64]
+}
+"#;
+    let (seq, par) = run_both(src, vec![], 4);
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn interprocedural_reduction_through_two_call_levels() {
+    let src = r#"program t
+proc leaf(real f[*], int at, real v) {
+  f[at] = f[at] + v
+}
+proc mid(real f[*], int el) {
+  call leaf(f, mod(el * 3, 20) + 1, float(el) * 0.25)
+  call leaf(f, mod(el * 7, 20) + 1, 1.0)
+}
+proc main() {
+  real force[20]
+  real chk
+  int el, i
+  do 1 el = 1, 60 {
+    call mid(force, el)
+  }
+  chk = 0
+  do 2 i = 1, 20 {
+    chk = chk + force[i] * force[i]
+  }
+  print chk
+}
+"#;
+    let program = suif_ir::parse_program(src).unwrap();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let l1 = pa.ctx.tree.loops.iter().find(|l| l.name == "main/1").unwrap();
+    assert!(
+        pa.verdicts[&l1.stmt].is_parallel(),
+        "two-level interprocedural reduction: {:?}",
+        pa.verdicts[&l1.stmt]
+    );
+    let (seq, par) = run_both(src, vec![], 3);
+    // FP reassociation tolerance: compare rounded.
+    let r = |v: &Vec<String>| -> f64 { v[0].parse().unwrap() };
+    assert!((r(&seq) - r(&par)).abs() < 1e-6 * r(&seq).abs().max(1.0));
+}
+
+#[test]
+fn zero_trip_parallel_loop() {
+    let src = r#"program t
+proc main() {
+  real a[8]
+  int i, n
+  n = 0
+  a[1] = 7
+  do 1 i = 1, n {
+    a[i] = 0
+  }
+  print a[1], i
+}
+"#;
+    let (seq, par) = run_both(src, vec![], 2);
+    assert_eq!(seq, par);
+    assert_eq!(seq, vec!["7 1"]);
+}
+
+#[test]
+fn worker_errors_propagate() {
+    // Out-of-bounds inside a parallel loop must surface as an error, not a
+    // hang or silent corruption.  idx is read from input so the analysis
+    // cannot fold it.
+    let src = r#"program t
+proc main() {
+  real a[8], b[8]
+  int i, idx
+  read idx
+  do 1 i = 1, 8 {
+    b[i] = a[i * idx]
+  }
+  print b[1]
+}
+"#;
+    let program = suif_ir::parse_program(src).unwrap();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let plans = ParallelPlans::from_analysis(&pa);
+    let res = measure_parallel(
+        &program,
+        &plans,
+        RuntimeConfig {
+            threads: 2,
+            min_parallel_iters: 2,
+            min_parallel_cost: 0,
+            finalization: Finalization::Serialized,
+            schedule: Default::default(),
+        },
+        vec![3.0],
+    );
+    assert!(res.is_err(), "expected out-of-bounds error");
+}
+
+#[test]
+fn cyclic_schedule_matches_block_and_balances_triangles() {
+    use suif_parallel::{parallel_ops, Schedule};
+    // A triangular workload: iteration i does O(i) work.
+    let src = r#"program t
+proc main() {
+  real acc[64]
+  int i, j
+  do 1 i = 1, 64 {
+    do 2 j = 1, i {
+      acc[i] = acc[i] + float(j) * 0.5
+    }
+  }
+  print acc[1], acc[64]
+}
+"#;
+    let program = suif_ir::parse_program(src).unwrap();
+    let seq = measure_sequential(&program, vec![]).unwrap();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let plans = ParallelPlans::from_analysis(&pa);
+    let mut costs = Vec::new();
+    for schedule in [Schedule::Block, Schedule::Cyclic] {
+        let cfg = RuntimeConfig {
+            threads: 2,
+            min_parallel_iters: 2,
+            min_parallel_cost: 0,
+            finalization: Finalization::Serialized,
+            schedule,
+        };
+        let (par, _) = measure_parallel(&program, &plans, cfg.clone(), vec![]).unwrap();
+        assert_eq!(seq.output, par.output, "{schedule:?}");
+        costs.push(parallel_ops(&program, &plans, &cfg, &[]).unwrap());
+    }
+    // Cyclic balances the triangle: its simulated critical path is shorter.
+    assert!(
+        costs[1] < costs[0],
+        "cyclic ({}) should beat block ({}) on a triangular loop",
+        costs[1],
+        costs[0]
+    );
+}
+
+#[test]
+fn reduction_cell_plus_output_dep_cell_stays_sequential() {
+    // Regression pinned from the random-program fuzzer: a[1] is a valid sum
+    // reduction but a[7] is plainly must-written by every iteration — an
+    // output dependence the reduction runtime cannot repair.  The loop must
+    // not be parallelized as "reduction on a", and parallel output must
+    // match sequential regardless.
+    let src = "program fuzz
+const n = 12
+proc main() {
+  real a0[n], a1[n], a2[n]
+  real s0, s1, s2
+  int i, j1, j2, j3
+  do 1 i = 1, n {
+    a0[i] = sin(float(i) * 0.7)
+    a1[i] = cos(float(i) * 0.3)
+    a2[i] = float(i) * 0.1
+  }
+  do 100 j1 = 1, 12 {
+    do 1002 j2 = 1, 12 {
+      a2[1] = a2[1] + 0.000
+      a2[7] = 0.000
+    }
+  }
+  do 101 j3 = 1, 12 {
+    if abs(a0[j3]) >= 0.0 {
+      s1 = (s0 + 0.000)
+    }
+    s0 = (a2[mod(j3 * 6, 12) + 1] * 1.401)
+  }
+  print s0, s1, s2, a0[1], a1[5], a2[11]
+}
+";
+    let program = suif_ir::parse_program(src).unwrap();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    for li in &pa.ctx.tree.loops {
+        if li.name == "main/100" || li.name == "main/1002" {
+            let v = pa.verdicts.get(&li.stmt).unwrap();
+            assert!(
+                !v.is_parallel(),
+                "{} must stay sequential (output dep on a2[7])",
+                li.name
+            );
+        }
+    }
+    let (seq, par) = run_both(src, vec![], 2);
+    assert_eq!(seq, par);
+}

@@ -1,0 +1,97 @@
+//! The liveness-enabled transformations must preserve program semantics:
+//! array contraction (§5.6) and common-block splitting (§5.5) are validated
+//! end-to-end through the interpreter.
+
+use suif_analysis::{contract, split, ParallelizeConfig, Parallelizer};
+use suif_benchmarks::{apps, Scale};
+use suif_parallel::measure_sequential;
+
+#[test]
+fn contraction_preserves_flo88_semantics() {
+    let bench = apps::flo88(Scale::Test, true);
+    let program = bench.parse();
+    let before = measure_sequential(&program, vec![]).unwrap();
+
+    let mut contracted = program.clone();
+    let mut applied = 0;
+    loop {
+        let pa = Parallelizer::analyze(&contracted, ParallelizeConfig::default());
+        let cands = contract::find_candidates(&pa);
+        let Some(c) = cands.first() else { break };
+        contracted = contract::apply(&contracted, c).expect("contraction rewrite");
+        applied += 1;
+        assert!(applied < 16, "contraction loop runaway");
+    }
+    assert!(applied >= 2, "d and t should both contract, got {applied}");
+    let after = measure_sequential(&contracted, vec![]).unwrap();
+    assert_eq!(before.output, after.output);
+
+    // The contracted program is strictly smaller in array footprint.
+    let footprint = |p: &suif_ir::Program| -> i64 {
+        p.vars
+            .iter()
+            .filter_map(|v| if v.is_array() { v.const_size() } else { None })
+            .sum()
+    };
+    assert!(footprint(&contracted) < footprint(&program));
+}
+
+#[test]
+fn splitting_preserves_hydro2d_semantics() {
+    let bench = apps::hydro2d(Scale::Test);
+    let program = bench.parse();
+    let before = measure_sequential(&program, vec![]).unwrap();
+
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let splits = split::find_splits(&pa);
+    assert_eq!(splits.len(), 5, "hydro2d's five splittable blocks (Fig 5-10)");
+    let split_p = split::apply_splits(&program, &splits).expect("split rewrite");
+    assert!(split_p.commons.len() > program.commons.len());
+    let after = measure_sequential(&split_p, vec![]).unwrap();
+    assert_eq!(before.output, after.output);
+}
+
+#[test]
+fn splitting_finds_arc3d_and_wave5_blocks() {
+    for (bench, expected) in [(apps::arc3d(Scale::Test), 1), (apps::wave5(Scale::Test), 1)] {
+        let program = bench.parse();
+        let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        let splits = split::find_splits(&pa);
+        assert_eq!(
+            splits.len(),
+            expected,
+            "{}: expected {expected} split(s)",
+            bench.name
+        );
+        let split_p = split::apply_splits(&program, &splits).expect("split rewrite");
+        let before = measure_sequential(&program, vec![]).unwrap();
+        let after = measure_sequential(&split_p, vec![]).unwrap();
+        assert_eq!(before.output, after.output, "{}", bench.name);
+    }
+}
+
+#[test]
+fn contracted_program_still_parallelizes() {
+    let bench = apps::flo88(Scale::Test, true);
+    let program = bench.parse();
+    let mut contracted = program.clone();
+    loop {
+        let pa = Parallelizer::analyze(&contracted, ParallelizeConfig::default());
+        let cands = contract::find_candidates(&pa);
+        let Some(c) = cands.first() else { break };
+        contracted = contract::apply(&contracted, c).unwrap();
+    }
+    let pa = Parallelizer::analyze(&contracted, ParallelizeConfig::default());
+    let l50 = pa
+        .ctx
+        .tree
+        .loops
+        .iter()
+        .find(|l| l.name == "psmoo/50")
+        .expect("psmoo/50 survives the rewrite");
+    assert!(
+        pa.verdicts[&l50.stmt].is_parallel(),
+        "{:?}",
+        pa.verdicts[&l50.stmt]
+    );
+}
