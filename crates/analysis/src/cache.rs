@@ -1,0 +1,222 @@
+//! Content-addressed per-procedure summary cache.
+//!
+//! The unit of caching is the [`ProcFlow`]: everything the bottom-up pass
+//! derives from one procedure.  Because [`crate::summarize::summarize_proc`]
+//! is a pure function of (procedure, callee flows) — fresh symbols come from
+//! the procedure's own block and array ids are interned eagerly in program
+//! order — a flow can be reused across analysis runs whenever its *content
+//! key* matches.
+//!
+//! The key hashes the procedure body (including its statement and variable
+//! ids, so edits that renumber ids downstream soundly miss), the layouts of
+//! every variable the procedure declares together with the storage object
+//! each one interns to, the full common-block layout, and the keys of all
+//! callees.  A `reload` therefore re-summarizes exactly the dirty cone: the
+//! edited procedures, everything whose ids shifted, and their transitive
+//! callers.
+//!
+//! The map is sharded under [`parking_lot::Mutex`] so scheduler workers on
+//! different procedures rarely contend.
+
+use crate::context::AnalysisCtx;
+use crate::summarize::ProcFlow;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use suif_ir::ProcId;
+
+const SHARDS: usize = 16;
+
+/// 128-bit FNV-1a.
+#[derive(Clone, Copy)]
+struct Fnv128(u128);
+
+impl Fnv128 {
+    const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+    const PRIME: u128 = 0x0000000001000000000000000000013b;
+
+    fn new() -> Fnv128 {
+        Fnv128(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// Content key of one procedure's flow under a given context.
+///
+/// `callee_keys` must already contain the key of every callee of `pid`
+/// (guaranteed when keys are computed in bottom-up order).
+pub fn proc_key(ctx: &AnalysisCtx<'_>, pid: ProcId, callee_keys: &HashMap<ProcId, u128>) -> u128 {
+    let program = ctx.program;
+    let proc = program.proc(pid);
+    let mut h = Fnv128::new();
+    h.write_u32(pid.0);
+    // Body, parameter list, and ids — `Debug` covers every `StmtId`,
+    // `VarId`, operator, and literal in the procedure.
+    h.write(format!("{proc:?}").as_bytes());
+    // Layout and storage identity of every variable the procedure sees.
+    // `array_of` pins the interned id so a flow is never replayed into a
+    // context that assigns the object a different id.
+    for v in proc.all_vars() {
+        h.write_u32(v.0);
+        h.write(format!("{:?}", program.var(v)).as_bytes());
+        h.write_u32(ctx.array_of(v).0);
+    }
+    // Whole common-block layout: member offsets and block sizes shift
+    // sections even when the procedure text is unchanged.
+    for c in &program.commons {
+        h.write(format!("{c:?}").as_bytes());
+    }
+    // Callee flows, in call-site order.
+    for &callee in ctx.cg.callees_of(pid) {
+        h.write_u32(callee.0);
+        h.write_u128(*callee_keys.get(&callee).expect("callee key computed first"));
+    }
+    h.0
+}
+
+/// A sharded, content-addressed `key -> Arc<ProcFlow>` map with hit/miss
+/// counters.  Shared across analysis runs of one daemon session.
+pub struct SummaryCache {
+    shards: [Mutex<HashMap<u128, Arc<ProcFlow>>>; SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SummaryCache {
+    fn default() -> Self {
+        SummaryCache::new()
+    }
+}
+
+impl SummaryCache {
+    /// An empty cache.
+    pub fn new() -> SummaryCache {
+        SummaryCache {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, Arc<ProcFlow>>> {
+        &self.shards[(key >> 64) as usize % SHARDS]
+    }
+
+    /// Look up a flow, counting the hit or miss.
+    pub fn get(&self, key: u128) -> Option<Arc<ProcFlow>> {
+        let found = self.shard(key).lock().get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Insert a freshly computed flow.
+    pub fn insert(&self, key: u128, flow: Arc<ProcFlow>) {
+        self.shard(key).lock().insert(key, flow);
+    }
+
+    /// `(hits, misses)` since creation (or the last [`SummaryCache::reset_counters`]).
+    pub fn counters(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Zero the hit/miss counters (entries are kept).
+    pub fn reset_counters(&self) {
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of cached flows.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry and zero the counters.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+        self.reset_counters();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use suif_ir::parse_program;
+
+    fn keys_of(src: &str) -> (HashMap<String, u128>, suif_ir::Program) {
+        let p = parse_program(src).unwrap();
+        let ctx = AnalysisCtx::new(&p);
+        let mut keys = HashMap::new();
+        for &pid in ctx.cg.bottom_up() {
+            let k = proc_key(&ctx, pid, &keys);
+            keys.insert(pid, k);
+        }
+        let by_name = p
+            .procedures
+            .iter()
+            .map(|pr| (pr.name.clone(), keys[&pr.id]))
+            .collect();
+        (by_name, p)
+    }
+
+    #[test]
+    fn key_is_stable_across_builds() {
+        let src =
+            "program t\nproc f(real q[*]) { q[1] = 0 }\nproc main() {\n real b[4]\n call f(b)\n}";
+        let (k1, _p1) = keys_of(src);
+        let (k2, _p2) = keys_of(src);
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    fn editing_a_leaf_invalidates_its_callers_only() {
+        let base = "program t\nproc f(real q[*]) { q[1] = 0 }\nproc g(real q[*]) { q[2] = 0 }\nproc main() {\n real b[4]\n call f(b)\n call g(b)\n}";
+        // Edit g's body; f precedes g in the source so its ids are unchanged.
+        let edit = "program t\nproc f(real q[*]) { q[1] = 0 }\nproc g(real q[*]) { q[3] = 0 }\nproc main() {\n real b[4]\n call f(b)\n call g(b)\n}";
+        let (k1, _) = keys_of(base);
+        let (k2, _) = keys_of(edit);
+        assert_eq!(k1["f"], k2["f"], "untouched leaf must keep its key");
+        assert_ne!(k1["g"], k2["g"], "edited body must change the key");
+        assert_ne!(k1["main"], k2["main"], "callers of the edit must miss");
+    }
+
+    #[test]
+    fn cache_counts_hits_and_misses() {
+        let c = SummaryCache::new();
+        assert!(c.get(42).is_none());
+        c.insert(42, Arc::new(ProcFlow::default()));
+        assert!(c.get(42).is_some());
+        assert_eq!(c.counters(), (1, 1));
+        assert_eq!(c.len(), 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.counters(), (0, 0));
+    }
+}

@@ -16,8 +16,40 @@
 //! subscripts (§5.2.1).
 
 use std::collections::HashMap;
-use suif_poly::{ArrayId, Constraint, LinExpr, PolySet, Polyhedron, Section, Var};
+use std::sync::atomic::{AtomicU32, Ordering};
 use suif_ir::{CallGraph, CommonId, Extent, Program, RegionTree, VarId, VarKind};
+use suif_poly::{ArrayId, Constraint, LinExpr, PolySet, Polyhedron, Section, Var};
+
+/// First analysis-allocated ("fresh") symbol id; ids below this are
+/// variable-value symbols (`Var::Sym(VarId.0)`).
+pub const FRESH_BASE: u32 = 0x4000_0000;
+
+/// Width of one per-procedure fresh-symbol block.  Each procedure's
+/// summarization draws fresh symbols exclusively from its own block, so the
+/// ids a procedure's summary contains depend only on that procedure — not on
+/// the order procedures are analyzed in.  That makes the parallel scheduler
+/// bit-identical to the sequential pass and per-procedure results cacheable.
+pub const PROC_FRESH_BLOCK: u32 = 1 << 20;
+
+/// First symbol id of the shared post-pass allocator used outside any
+/// procedure block (dependence tests, liveness, closure projection on merged
+/// summaries).
+pub const POST_PASS_BASE: u32 = 0x8000_0000;
+
+std::thread_local! {
+    /// The active per-procedure block on this thread: `(next, end)`.
+    static FRESH_BLOCK: std::cell::Cell<Option<(u32, u32)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Restores the previous thread-local block even on unwind.
+struct BlockGuard(Option<(u32, u32)>);
+
+impl Drop for BlockGuard {
+    fn drop(&mut self) {
+        FRESH_BLOCK.with(|b| b.set(self.0));
+    }
+}
 
 /// Identity of one analysis storage object.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -38,8 +70,10 @@ pub struct AnalysisCtx<'p> {
     pub cg: CallGraph,
     key_to_id: HashMap<ArrayKey, ArrayId>,
     id_to_key: Vec<ArrayKey>,
-    /// Next fresh symbol id (fresh symbols live above any `VarId`).
-    fresh_counter: std::cell::Cell<u32>,
+    /// Next post-pass fresh symbol id (fresh symbols live above any `VarId`).
+    /// Per-procedure summarization does not touch this counter — it draws
+    /// from the thread-local block installed by [`AnalysisCtx::with_fresh_block`].
+    fresh_counter: AtomicU32,
 }
 
 impl<'p> AnalysisCtx<'p> {
@@ -51,7 +85,7 @@ impl<'p> AnalysisCtx<'p> {
             cg: CallGraph::build(program),
             key_to_id: HashMap::new(),
             id_to_key: Vec::new(),
-            fresh_counter: std::cell::Cell::new(0x4000_0000),
+            fresh_counter: AtomicU32::new(POST_PASS_BASE),
         };
         // Intern every storage object deterministically.
         for b in 0..program.commons.len() {
@@ -109,23 +143,55 @@ impl<'p> AnalysisCtx<'p> {
     }
 
     /// A fresh symbol (used to rename per-iteration-varying symbols in
-    /// dependence tests).
+    /// dependence tests).  Inside [`AnalysisCtx::with_fresh_block`] the
+    /// symbol comes from the installed per-procedure block; outside, from
+    /// the shared post-pass counter.
     pub fn fresh_sym(&self) -> Var {
-        let n = self.fresh_counter.get();
-        self.fresh_counter.set(n + 1);
-        Var::Sym(n)
+        FRESH_BLOCK.with(|b| match b.get() {
+            Some((next, end)) => {
+                assert!(next < end, "per-procedure fresh-symbol block exhausted");
+                b.set(Some((next + 1, end)));
+                Var::Sym(next)
+            }
+            None => Var::Sym(self.fresh_counter.fetch_add(1, Ordering::Relaxed)),
+        })
     }
 
     /// Current fresh-symbol watermark: all fresh symbols allocated from now
-    /// on have ids `>=` this value.  Symbol ranges delimit loop-variance and
-    /// callee-origin classification.
+    /// on *in this allocation scope* have ids `>=` this value.  Symbol
+    /// ranges delimit loop-variance and callee-origin classification.
     pub fn fresh_watermark(&self) -> u32 {
-        self.fresh_counter.get()
+        FRESH_BLOCK.with(|b| match b.get() {
+            Some((next, _)) => next,
+            None => self.fresh_counter.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The fresh-symbol block of procedure `pid`: `[start, end)`.
+    pub fn proc_block(pid: suif_ir::ProcId) -> (u32, u32) {
+        assert!(
+            pid.0 < (POST_PASS_BASE - FRESH_BASE) / PROC_FRESH_BLOCK,
+            "too many procedures for per-procedure fresh-symbol blocks"
+        );
+        let start = FRESH_BASE + pid.0 * PROC_FRESH_BLOCK;
+        (start, start + PROC_FRESH_BLOCK)
+    }
+
+    /// Run `f` with this thread's fresh-symbol allocations drawn from
+    /// procedure `pid`'s block, starting at the block base.  Used by the
+    /// bottom-up pass so each procedure's symbols are a pure function of the
+    /// procedure, independent of analysis order and thread placement.
+    pub fn with_fresh_block<R>(&self, pid: suif_ir::ProcId, f: impl FnOnce() -> R) -> R {
+        let range = Self::proc_block(pid);
+        let prev = FRESH_BLOCK.with(|b| b.replace(Some(range)));
+        debug_assert!(prev.is_none(), "nested per-procedure fresh-symbol blocks");
+        let _guard = BlockGuard(prev);
+        f()
     }
 
     /// Is this a fresh (analysis-allocated) symbol?
     pub fn is_fresh(sym: Var) -> bool {
-        matches!(sym, Var::Sym(n) if n >= 0x4000_0000)
+        matches!(sym, Var::Sym(n) if n >= FRESH_BASE)
     }
 
     /// The symbol standing for a scalar variable's value.
@@ -136,7 +202,7 @@ impl<'p> AnalysisCtx<'p> {
     /// The variable behind a symbol, if it is a variable symbol.
     pub fn var_of_sym(sym: Var) -> Option<VarId> {
         match sym {
-            Var::Sym(n) if n < 0x4000_0000 => Some(VarId(n)),
+            Var::Sym(n) if n < FRESH_BASE => Some(VarId(n)),
             _ => None,
         }
     }
@@ -330,10 +396,7 @@ mod tests {
 
     #[test]
     fn column_major_linearization() {
-        let p = parse_program(
-            "program t\nproc main() {\n real a[2, 3]\n a[2, 3] = 0\n}",
-        )
-        .unwrap();
+        let p = parse_program("program t\nproc main() {\n real a[2, 3]\n a[2, 3] = 0\n}").unwrap();
         let ctx = AnalysisCtx::new(&p);
         let a = p.var_by_name("main", "a").unwrap();
         let lin = ctx
@@ -390,7 +453,11 @@ mod tests {
             ctx.array_of(b),
             &[LinExpr::var(AnalysisCtx::sym_of(k)).offset(1)],
         );
-        assert!(mapped.provably_subset_of(&expect) && expect.provably_subset_of(&mapped),
-            "mapped={} expect={}", mapped.set, expect.set);
+        assert!(
+            mapped.provably_subset_of(&expect) && expect.provably_subset_of(&mapped),
+            "mapped={} expect={}",
+            mapped.set,
+            expect.set
+        );
     }
 }

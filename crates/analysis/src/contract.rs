@@ -48,7 +48,9 @@ pub fn find_candidates(pa: &ProgramAnalysis<'_>) -> Vec<ContractionCandidate> {
                 continue;
             }
             let id = ctx.array_of(v);
-            let Some(s) = closed.acc.get(id) else { continue };
+            let Some(s) = closed.acc.get(id) else {
+                continue;
+            };
             if s.write.is_empty() {
                 continue;
             }
@@ -402,10 +404,7 @@ proc main() {
         let p = parse_program(PSMOO).unwrap();
         let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
         let cands = find_candidates(&pa);
-        let c = cands
-            .iter()
-            .find(|c| p.var(c.var).name == "d")
-            .unwrap();
+        let c = cands.iter().find(|c| p.var(c.var).name == "d").unwrap();
         let p2 = apply(&p, c).unwrap();
         let d2 = p2.var_by_name("main", "d").unwrap();
         assert_eq!(p2.var(d2).dims.len(), 1, "d contracted to rank 1");

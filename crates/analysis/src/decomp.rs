@@ -190,9 +190,7 @@ pub fn conflicts(pa: &ProgramAnalysis<'_>) -> Vec<DecompConflict> {
             }
         }
     }
-    out.dedup_by(|x, y| {
-        x.object_name == y.object_name && x.a.0 == y.a.0 && x.b.0 == y.b.0
-    });
+    out.dedup_by(|x, y| x.object_name == y.object_name && x.a.0 == y.a.0 && x.b.0 == y.b.0);
     out
 }
 

@@ -31,15 +31,12 @@ fn iteration_copy(
     index: Var,
 ) -> Section {
     let mut s = sec.substitute(iter.index_sym, &LinExpr::var(index));
-    loop {
-        let Some(v) = s
-            .set
-            .vars()
-            .into_iter()
-            .find(|&v| v != index && iter.is_varying(v))
-        else {
-            break;
-        };
+    while let Some(v) = s
+        .set
+        .vars()
+        .into_iter()
+        .find(|&v| v != index && iter.is_varying(v))
+    {
         s = s.substitute(v, &LinExpr::var(ctx.fresh_sym()));
     }
     s
@@ -254,7 +251,10 @@ mod tests {
             }
         }
 
-        fn with<R>(&self, f: impl FnOnce(&AnalysisCtx<'_>, &ArrayDataFlow, &suif_ir::RegionTree) -> R) -> R {
+        fn with<R>(
+            &self,
+            f: impl FnOnce(&AnalysisCtx<'_>, &ArrayDataFlow, &suif_ir::RegionTree) -> R,
+        ) -> R {
             let ctx = AnalysisCtx::new(&self.p);
             let df = ArrayDataFlow::analyze(&ctx);
             let tree = suif_ir::RegionTree::build(&self.p);

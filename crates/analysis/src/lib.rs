@@ -40,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod context;
 pub mod decomp;
 pub mod deps;
@@ -47,18 +48,21 @@ pub mod enhance;
 pub mod liveness;
 pub mod parallelize;
 pub mod reduction;
+pub mod schedule;
 pub mod summarize;
 pub mod symenv;
 
 pub mod contract;
 pub mod split;
 
+pub use cache::SummaryCache;
 pub use context::{AnalysisCtx, ArrayKey};
 pub use deps::{DepKind, DepTest};
 pub use liveness::{LivenessMode, LivenessResult};
 pub use parallelize::{
-    Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis, StaticDep,
-    VarClass,
+    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis,
+    StaticDep, VarClass,
 };
 pub use reduction::RedOp;
-pub use summarize::{ArrayDataFlow, LoopIterSummary};
+pub use schedule::{ScheduleOptions, ScheduleStats};
+pub use summarize::{ArrayDataFlow, LoopIterSummary, ProcFlow};

@@ -130,6 +130,7 @@ fn walk_region(
 
 /// Walk `body` in reverse with `after` = summary from the end of the body to
 /// the end of the region; returns the summary from the start of the body.
+#[allow(clippy::only_used_in_recursion)]
 fn backward(
     ctx: &AnalysisCtx<'_>,
     df: &ArrayDataFlow,
@@ -179,11 +180,7 @@ fn region_node_exposed_bits(
     df: &ArrayDataFlow,
     region: RegionId,
 ) -> HashSet<ArrayId> {
-    fn collect(
-        df: &ArrayDataFlow,
-        body: &[Stmt],
-        out: &mut HashSet<ArrayId>,
-    ) {
+    fn collect(df: &ArrayDataFlow, body: &[Stmt], out: &mut HashSet<ArrayId>) {
         for s in body {
             if let Some(n) = df.stmt_summary.get(&s.id()) {
                 out.extend(exposed_bits(&n.acc));
@@ -214,7 +211,6 @@ fn region_node_exposed_bits(
     out
 }
 
-
 /// Map a caller-side after-summary into callee terms (coarse but sound:
 /// common objects pass through with all symbols projected; objects passed as
 /// array arguments expose the whole formal; scalar copy-out actuals expose
@@ -230,9 +226,7 @@ fn map_after_to_callee(
     for (id, s) in caller_after.iter() {
         match ctx.key_of_id(id) {
             ArrayKey::Common(_) => {
-                let proj = |sec: &suif_poly::Section| {
-                    sec.project_symbols(|_| true)
-                };
+                let proj = |sec: &suif_poly::Section| sec.project_symbols(|_| true);
                 let mapped = SectionSummary {
                     read: proj(&s.read),
                     exposed: proj(&s.exposed),
@@ -256,7 +250,13 @@ fn map_after_to_callee(
         let fid = ctx.array_of(formal);
         let whole = ctx.whole_section(formal);
         let empty = suif_poly::Section::empty(fid, 1);
-        let pick = |nonempty: bool| if nonempty { whole.clone() } else { empty.clone() };
+        let pick = |nonempty: bool| {
+            if nonempty {
+                whole.clone()
+            } else {
+                empty.clone()
+            }
+        };
         let mapped = SectionSummary {
             read: pick(!s.read.is_empty()),
             exposed: pick(!s.exposed.is_empty()),
@@ -338,7 +338,7 @@ fn top_down_full(
     let mut proc_after: HashMap<ProcId, Option<AccessSummary>> = HashMap::new();
     proc_after.insert(ctx.program.main, Some(AccessSummary::empty()));
 
-    for &p in &ctx.cg.top_down() {
+    for &p in ctx.cg.bottom_up().iter().rev() {
         let r_p = ctx.tree.proc_regions[p.0 as usize];
         let entry = proc_after
             .get(&p)
@@ -348,18 +348,14 @@ fn top_down_full(
         after.insert(r_p, entry);
 
         // Loop regions of p, outermost first (pre-order in tree.loops).
-        let loops: Vec<_> = ctx.tree.loops_of_proc(p).cloned().collect();
-        for l in &loops {
+        for l in ctx.tree.loops_of_proc(p) {
             let parent_region = saved.stmt_region[&l.stmt];
             let s_rn = saved
                 .after
                 .get(&(parent_region, l.stmt))
                 .cloned()
                 .unwrap_or_default();
-            let after_parent = after
-                .get(&parent_region)
-                .cloned()
-                .unwrap_or_default();
+            let after_parent = after.get(&parent_region).cloned().unwrap_or_default();
             let after_loop = after_parent.transfer_before(&s_rn);
             after.insert(l.region, after_loop.clone());
             // Loop body: followed by possible further iterations, then the
@@ -372,10 +368,7 @@ fn top_down_full(
                 .cloned()
                 .unwrap_or_default();
             let mut body_after = AccessSummary::empty();
-            let ids: BTreeSet<ArrayId> = after_loop
-                .arrays()
-                .chain(closed.arrays())
-                .collect();
+            let ids: BTreeSet<ArrayId> = after_loop.arrays().chain(closed.arrays()).collect();
             for id in ids {
                 let e1 = after_loop.get(id);
                 let e2 = closed.get(id);
@@ -460,12 +453,11 @@ fn top_down_bits(
     let mut proc_after: HashMap<ProcId, HashSet<ArrayId>> = HashMap::new();
     proc_after.insert(ctx.program.main, HashSet::new());
 
-    for &p in &ctx.cg.top_down() {
+    for &p in ctx.cg.bottom_up().iter().rev() {
         let r_p = ctx.tree.proc_regions[p.0 as usize];
         after.insert(r_p, proc_after.get(&p).cloned().unwrap_or_default());
 
-        let loops: Vec<_> = ctx.tree.loops_of_proc(p).cloned().collect();
-        for l in &loops {
+        for l in ctx.tree.loops_of_proc(p) {
             let parent_region = saved.stmt_region[&l.stmt];
             let parent_bits = after.get(&parent_region).cloned().unwrap_or_default();
             let bits = if flow_sensitive {
@@ -622,6 +614,7 @@ mod tests {
     use crate::summarize::ArrayDataFlow;
     use suif_ir::parse_program;
 
+    #[allow(clippy::type_complexity)]
     fn run_modes(src: &str) -> (suif_ir::Program, Vec<(LivenessMode, HashMap<String, bool>)>) {
         let p = parse_program(src).unwrap();
         let mut results = Vec::new();
@@ -737,7 +730,11 @@ proc main() {
         for (mode, dead) in &results {
             match mode {
                 LivenessMode::FlowInsensitive => {
-                    assert_eq!(dead.get("main/1:a"), Some(&false), "FI counts earlier reads")
+                    assert_eq!(
+                        dead.get("main/1:a"),
+                        Some(&false),
+                        "FI counts earlier reads"
+                    )
                 }
                 _ => assert_eq!(
                     dead.get("main/1:a"),
@@ -817,12 +814,21 @@ proc main() {
         let ctx = AnalysisCtx::new(&p);
         let df = ArrayDataFlow::analyze(&ctx);
         let res = run(&ctx, &df, LivenessMode::Full);
-        let l1 = ctx.tree.loops.iter().find(|l| l.name == "work/1").unwrap().stmt;
+        let l1 = ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "work/1")
+            .unwrap()
+            .stmt;
         let buf = p.var_by_name("work", "buf").unwrap();
         let scratch = p.var_by_name("work", "scratch").unwrap();
         assert!(var_written(&ctx, &df, l1, buf));
         assert!(var_written(&ctx, &df, l1, scratch));
-        assert!(var_live_after(&ctx, &res, &df, l1, buf), "buf is read after");
+        assert!(
+            var_live_after(&ctx, &res, &df, l1, buf),
+            "buf is read after"
+        );
         assert!(
             !var_live_after(&ctx, &res, &df, l1, scratch),
             "scratch is dead after the loop"
@@ -900,4 +906,3 @@ proc main() {
         }
     }
 }
-

@@ -3,12 +3,15 @@
 //! configuration toggles the evaluation ablates and support for checked
 //! user assertions (§2.8).
 
+use crate::cache::SummaryCache;
 use crate::context::{AnalysisCtx, ArrayKey};
 use crate::deps::DepTest;
 use crate::liveness::{self, LivenessMode, LivenessResult};
 use crate::reduction::RedOp;
+use crate::schedule::{self, ScheduleOptions, ScheduleStats};
 use crate::summarize::ArrayDataFlow;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::Instant;
 use suif_ir::{Program, Ref, Stmt, StmtId, VarId};
 use suif_poly::ArrayId;
 
@@ -163,17 +166,43 @@ impl<'p> ProgramAnalysis<'p> {
     }
 }
 
+/// Wall-clock accounting of one analysis run (the daemon's `stats` data).
+#[derive(Clone, Debug, Default)]
+pub struct AnalyzeStats {
+    /// Bottom-up pass: sizes, cache traffic, worker utilization.
+    pub schedule: ScheduleStats,
+    /// Liveness pass seconds (0 when disabled).
+    pub liveness_secs: f64,
+    /// Per-loop classification seconds.
+    pub classify_secs: f64,
+    /// Whole-analysis seconds (context build included).
+    pub total_secs: f64,
+}
+
 /// The driver.
 pub struct Parallelizer;
 
 impl Parallelizer {
-    /// Analyze a program under a configuration.
+    /// Analyze a program under a configuration (sequential, uncached).
     pub fn analyze(program: &Program, config: ParallelizeConfig) -> ProgramAnalysis<'_> {
+        Parallelizer::analyze_with(program, config, &ScheduleOptions::sequential(), None).0
+    }
+
+    /// Analyze with an explicit schedule (parallel bottom-up pass) and an
+    /// optional cross-run summary cache.  The analysis result is identical
+    /// for every schedule and cache state; only [`AnalyzeStats`] differs.
+    pub fn analyze_with<'p>(
+        program: &'p Program,
+        config: ParallelizeConfig,
+        opts: &ScheduleOptions,
+        cache: Option<&SummaryCache>,
+    ) -> (ProgramAnalysis<'p>, AnalyzeStats) {
+        let t0 = Instant::now();
         let ctx = AnalysisCtx::new(program);
-        let df = ArrayDataFlow::analyze(&ctx);
-        let liveness = config
-            .liveness
-            .map(|mode| liveness::run(&ctx, &df, mode));
+        let (df, sched_stats) = schedule::run(&ctx, opts, cache);
+        let t1 = Instant::now();
+        let liveness = config.liveness.map(|mode| liveness::run(&ctx, &df, mode));
+        let t2 = Instant::now();
         let mut verdicts = HashMap::new();
         let dt = DepTest { ctx: &ctx, df: &df };
 
@@ -182,9 +211,7 @@ impl Parallelizer {
         let mut assert_independent: HashSet<(StmtId, ArrayId)> = HashSet::new();
         for a in &config.assertions {
             let (loop_name, var, set) = match a {
-                Assertion::Privatizable { loop_name, var } => {
-                    (loop_name, var, &mut assert_private)
-                }
+                Assertion::Privatizable { loop_name, var } => (loop_name, var, &mut assert_private),
                 Assertion::Independent { loop_name, var } => {
                     (loop_name, var, &mut assert_independent)
                 }
@@ -198,8 +225,7 @@ impl Parallelizer {
             }
         }
 
-        let loops: Vec<_> = ctx.tree.loops.clone();
-        for li in &loops {
+        for li in &ctx.tree.loops {
             let verdict = classify_loop(
                 &ctx,
                 &df,
@@ -214,13 +240,22 @@ impl Parallelizer {
             verdicts.insert(li.stmt, verdict);
         }
 
-        ProgramAnalysis {
-            ctx,
-            df,
-            liveness,
-            verdicts,
-            config,
-        }
+        let stats = AnalyzeStats {
+            schedule: sched_stats,
+            liveness_secs: (t2 - t1).as_secs_f64(),
+            classify_secs: t2.elapsed().as_secs_f64(),
+            total_secs: t0.elapsed().as_secs_f64(),
+        };
+        (
+            ProgramAnalysis {
+                ctx,
+                df,
+                liveness,
+                verdicts,
+                config,
+            },
+            stats,
+        )
     }
 }
 
@@ -473,9 +508,8 @@ mod tests {
 
     #[test]
     fn io_loop_stays_sequential() {
-        let (_, v) = analyze(
-            "program t\nproc main() {\n int i\n do 1 i = 1, 10 {\n print i\n }\n}",
-        );
+        let (_, v) =
+            analyze("program t\nproc main() {\n int i\n do 1 i = 1, 10 {\n print i\n }\n}");
         assert_eq!(v, vec![("main/1".to_string(), false)]);
     }
 

@@ -376,10 +376,7 @@ mod tests {
             "program t\nproc main() {\n real s, a[5]\n int i\n i = 1\n s = s + a[i]\n s = a[i] + s\n s = s - a[i]\n s = s * 2.0\n s = a[i]\n}",
         );
         let main = p.proc_by_name("main").unwrap();
-        let sites: Vec<Option<UpdateSite>> = main.body[1..]
-            .iter()
-            .map(recognize_stmt)
-            .collect();
+        let sites: Vec<Option<UpdateSite>> = main.body[1..].iter().map(recognize_stmt).collect();
         assert_eq!(sites[0].as_ref().unwrap().op, RedOp::Add);
         assert_eq!(sites[1].as_ref().unwrap().op, RedOp::Add);
         assert_eq!(sites[2].as_ref().unwrap().op, RedOp::Add); // s - e
@@ -407,10 +404,7 @@ mod tests {
         )
         .unwrap();
         let main = p.proc_by_name("main").unwrap();
-        assert_eq!(
-            recognize_stmt(&main.body[1]).unwrap().op,
-            RedOp::Min
-        );
+        assert_eq!(recognize_stmt(&main.body[1]).unwrap().op, RedOp::Min);
         let suif_ir::Stmt::If {
             cond,
             then_body,
@@ -444,10 +438,7 @@ mod tests {
     fn red_summary_validity() {
         use crate::context::AnalysisCtx;
         use suif_poly::LinExpr;
-        let p = parse_program(
-            "program t\nproc main() {\n real b[10]\n b[1] = 0\n}",
-        )
-        .unwrap();
+        let p = parse_program("program t\nproc main() {\n real b[10]\n b[1] = 0\n}").unwrap();
         let ctx = AnalysisCtx::new(&p);
         let b = p.var_by_name("main", "b").unwrap();
         let id = ctx.array_of(b);

@@ -87,8 +87,7 @@ pub fn find_splits(pa: &ProgramAnalysis<'_>) -> Vec<BlockSplit> {
         }
         // Propagate bottom-up through the call graph.
         for &p in ctx.cg.bottom_up() {
-            let mut set: HashSet<usize> =
-                proc_groups.get(&p).cloned().unwrap_or_default();
+            let mut set: HashSet<usize> = proc_groups.get(&p).cloned().unwrap_or_default();
             for &c in ctx.cg.callees_of(p) {
                 if let Some(cg) = proc_groups.get(&c) {
                     set.extend(cg.iter().copied());
@@ -132,9 +131,7 @@ fn split_is_legal(
 ) -> bool {
     let ctx = &pa.ctx;
     let program = ctx.program;
-    let block_id = ctx.array_of(
-        program.commons[block.0 as usize].views[0].members[0],
-    );
+    let block_id = ctx.array_of(program.commons[block.0 as usize].views[0].members[0]);
     let range = used_range(ctx, block);
 
     // Per-proc facts from the interprocedural summaries.
@@ -177,7 +174,6 @@ fn split_is_legal(
     // have written the block since the last full kill.  `None` group info on
     // a call means the callee does not touch the block.
     fn check_body(
-        pa: &ProgramAnalysis<'_>,
         body: &[Stmt],
         last: &mut HashSet<usize>,
         exposed_of: &dyn Fn(ProcId) -> bool,
@@ -207,11 +203,24 @@ fn split_is_legal(
                     ..
                 } => {
                     let mut l2 = last.clone();
-                    if !check_body(pa, then_body, last, exposed_of, writes, must_covers, proc_groups) {
+                    if !check_body(
+                        then_body,
+                        last,
+                        exposed_of,
+                        writes,
+                        must_covers,
+                        proc_groups,
+                    ) {
                         return false;
                     }
-                    if !check_body(pa, else_body, &mut l2, exposed_of, writes, must_covers, proc_groups)
-                    {
+                    if !check_body(
+                        else_body,
+                        &mut l2,
+                        exposed_of,
+                        writes,
+                        must_covers,
+                        proc_groups,
+                    ) {
                         return false;
                     }
                     last.extend(l2);
@@ -219,7 +228,7 @@ fn split_is_legal(
                 Stmt::Do { body, .. } => {
                     // Two passes ≈ fixed point for the cyclic flow.
                     for _ in 0..2 {
-                        if !check_body(pa, body, last, exposed_of, writes, must_covers, proc_groups) {
+                        if !check_body(body, last, exposed_of, writes, must_covers, proc_groups) {
                             return false;
                         }
                     }
@@ -233,7 +242,6 @@ fn split_is_legal(
     for proc in &program.procedures {
         let mut last = HashSet::new();
         if !check_body(
-            pa,
             &proc.body,
             &mut last,
             &exposed_of,
@@ -468,4 +476,3 @@ proc main() {
         let _ = Parallelizer::analyze(&p2, ParallelizeConfig::default());
     }
 }
-

@@ -15,10 +15,11 @@
 //! objects are dropped (Fortran-77 locals are undefined on re-entry), and
 //! remaining callee-origin symbols are projected away.
 
-use crate::context::{AnalysisCtx, ArrayKey};
+use crate::context::{AnalysisCtx, ArrayKey, FRESH_BASE};
 use crate::reduction::{self, RedSummary};
 use crate::symenv::SymEnv;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 use suif_ir::ast::BinOp;
 use suif_ir::{Arg, Expr, ProcId, Ref, Stmt, StmtId, VarId, VarKind};
 use suif_poly::{AccessSummary, Constraint, LinExpr, Section, SectionSummary, Var};
@@ -105,27 +106,87 @@ pub struct ArrayDataFlow {
     pub loop_closed_plain: HashMap<StmtId, AccessSummary>,
 }
 
+/// The per-procedure slice of the bottom-up result: everything the analysis
+/// of one procedure produces.  This is the unit of parallel scheduling and
+/// of content-addressed caching — given the same procedure (and the same
+/// callee flows), [`summarize_proc`] returns a bit-identical `ProcFlow`
+/// regardless of analysis order or thread placement, because each procedure
+/// draws fresh symbols from its own [`AnalysisCtx::proc_block`].
+#[derive(Clone, Debug, Default)]
+pub struct ProcFlow {
+    /// Whole-procedure summary (in the procedure's own symbols).
+    pub summary: NodeSummary,
+    /// Fresh-symbol range used while analyzing the procedure.
+    pub fresh: (u32, u32),
+    /// Node summary per statement of this procedure.
+    pub stmt_summary: HashMap<StmtId, NodeSummary>,
+    /// Per-iteration summaries per loop of this procedure.
+    pub loop_iter: HashMap<StmtId, LoopIterSummary>,
+    /// Plain closed access summaries per loop of this procedure.
+    pub loop_closed_plain: HashMap<StmtId, AccessSummary>,
+}
+
+/// Summarize one procedure given the flows of (at least) its callees.
+///
+/// Pure and deterministic: fresh symbols come from the procedure's own
+/// block, modified-scalar kills happen in sorted order, and callee data is
+/// read only through `callees`.
+pub fn summarize_proc(
+    ctx: &AnalysisCtx<'_>,
+    pid: ProcId,
+    callees: &HashMap<ProcId, Arc<ProcFlow>>,
+) -> ProcFlow {
+    ctx.with_fresh_block(pid, || {
+        let start = ctx.fresh_watermark();
+        let mut flow = ProcFlow::default();
+        let mut env = SymEnv::proc_entry();
+        let mut w = Walker {
+            ctx,
+            callees,
+            flow: &mut flow,
+            proc: pid,
+        };
+        let body = &ctx.program.proc(pid).body;
+        let sum = w.walk_body(body, &mut env);
+        let end = ctx.fresh_watermark();
+        flow.summary = sum;
+        flow.fresh = (start, end);
+        flow
+    })
+}
+
 impl ArrayDataFlow {
-    /// Run the bottom-up analysis over the whole program.
+    /// Run the bottom-up analysis over the whole program (sequentially; the
+    /// parallel scheduler in [`crate::schedule`] produces bit-identical
+    /// results).
     pub fn analyze(ctx: &AnalysisCtx<'_>) -> ArrayDataFlow {
         let mut df = ArrayDataFlow::default();
-        for &pid in &ctx.cg.bottom_up().to_vec() {
-            let start = ctx.fresh_watermark();
-            let mut env = SymEnv::proc_entry();
-            let mut w = Walker { ctx, df: &mut df, proc: pid };
-            let body = &ctx.program.proc(pid).body;
-            let sum = w.walk_body(body, &mut env);
-            let end = ctx.fresh_watermark();
-            df.proc_summary.insert(pid, sum);
-            df.proc_fresh.insert(pid, (start, end));
+        let mut flows: HashMap<ProcId, Arc<ProcFlow>> = HashMap::new();
+        for &pid in ctx.cg.bottom_up() {
+            let flow = Arc::new(summarize_proc(ctx, pid, &flows));
+            df.merge_proc(pid, &flow);
+            flows.insert(pid, flow);
         }
         df
+    }
+
+    /// Fold one procedure's flow into the program-wide maps.
+    pub fn merge_proc(&mut self, pid: ProcId, flow: &ProcFlow) {
+        self.proc_summary.insert(pid, flow.summary.clone());
+        self.proc_fresh.insert(pid, flow.fresh);
+        self.stmt_summary
+            .extend(flow.stmt_summary.iter().map(|(k, v)| (*k, v.clone())));
+        self.loop_iter
+            .extend(flow.loop_iter.iter().map(|(k, v)| (*k, v.clone())));
+        self.loop_closed_plain
+            .extend(flow.loop_closed_plain.iter().map(|(k, v)| (*k, v.clone())));
     }
 }
 
 struct Walker<'a, 'p> {
     ctx: &'a AnalysisCtx<'p>,
-    df: &'a mut ArrayDataFlow,
+    callees: &'a HashMap<ProcId, Arc<ProcFlow>>,
+    flow: &'a mut ProcFlow,
     proc: ProcId,
 }
 
@@ -134,7 +195,7 @@ impl<'a, 'p> Walker<'a, 'p> {
         let mut acc = NodeSummary::empty();
         for s in body {
             let ns = self.walk_stmt(s, env);
-            self.df.stmt_summary.insert(s.id(), ns.clone());
+            self.flow.stmt_summary.insert(s.id(), ns.clone());
             acc = acc.then(&ns);
         }
         acc
@@ -303,7 +364,9 @@ impl<'a, 'p> Walker<'a, 'p> {
             // Record statement summaries for the inner assign too (liveness
             // walks statement lists by id).
             if let Some(inner) = then_body.first() {
-                self.df.stmt_summary.insert(inner.id(), NodeSummary::empty());
+                self.flow
+                    .stmt_summary
+                    .insert(inner.id(), NodeSummary::empty());
             }
             env.kill(self.ctx, site.var);
             return ns.then(&w);
@@ -403,14 +466,13 @@ impl<'a, 'p> Walker<'a, 'p> {
                 .red
                 .map_sections(|s| Some(s.closure_keep(index_sym, &mut || ctx.fresh_sym()))),
         };
-        let varying_pred =
-            |v: Var| matches!(v, Var::Sym(n) if n >= fresh_start && n < fresh_end);
+        let varying_pred = |v: Var| matches!(v, Var::Sym(n) if n >= fresh_start && n < fresh_end);
         closed.acc = closed
             .acc
             .project_symbols_keep(&varying_pred, &mut || ctx.fresh_sym());
-        closed.red = closed.red.map_sections(|s| {
-            Some(s.project_symbols_keep(&varying_pred, &mut || ctx.fresh_sym()))
-        });
+        closed.red = closed
+            .red
+            .map_sections(|s| Some(s.project_symbols_keep(&varying_pred, &mut || ctx.fresh_sym())));
         // Unknown bounds ⇒ the loop may execute zero iterations (and the
         // iteration space is unconstrained): nothing is must-written.
         if bounds.is_none() {
@@ -425,9 +487,7 @@ impl<'a, 'p> Walker<'a, 'p> {
             }
         }
 
-        self.df
-            .loop_closed_plain
-            .insert(*id, closed.acc.clone());
+        self.flow.loop_closed_plain.insert(*id, closed.acc.clone());
 
         // §5.2.2.3: sharpen upwards-exposed reads — an exposed read of
         // iteration i2 is not exposed at the loop level when the must-writes
@@ -452,7 +512,7 @@ impl<'a, 'p> Walker<'a, 'p> {
             }
         }
 
-        self.df.loop_iter.insert(*id, iter);
+        self.flow.loop_iter.insert(*id, iter);
 
         // Post-loop environment: modified scalars and the index are unknown.
         for &v in &modified {
@@ -482,20 +542,11 @@ impl<'a, 'p> Walker<'a, 'p> {
             }
         }
 
-        let callee_sum = self
-            .df
-            .proc_summary
-            .get(&callee)
-            .cloned()
-            .unwrap_or_default();
+        let callee_flow = self.callees.get(&callee);
+        let callee_sum = callee_flow.map(|f| f.summary.clone()).unwrap_or_default();
 
         // Build formal-scalar symbol substitutions (caller values).
-        let callee_range = self
-            .df
-            .proc_fresh
-            .get(&callee)
-            .copied()
-            .unwrap_or((u32::MAX, u32::MAX));
+        let callee_range = callee_flow.map(|f| f.fresh).unwrap_or((u32::MAX, u32::MAX));
         let mut subs: Vec<(Var, LinExpr)> = Vec::new();
         for (k, &formal) in cproc.params.iter().enumerate() {
             if self.ctx.program.var(formal).is_array() {
@@ -532,12 +583,10 @@ impl<'a, 'p> Walker<'a, 'p> {
                                         }
                                         Arg::ArrayPart { var: av, base } => {
                                             let aff = self.affine_subs(base, env);
-                                            match aff
-                                                .and_then(|a| self.ctx.linear_index(*av, &a))
-                                            {
-                                                Some(b) => self
-                                                    .ctx
-                                                    .map_param_section(sec, *av, Some(b)),
+                                            match aff.and_then(|a| self.ctx.linear_index(*av, &a)) {
+                                                Some(b) => {
+                                                    self.ctx.map_param_section(sec, *av, Some(b))
+                                                }
                                                 None => self.ctx.whole_section(*av),
                                             }
                                         }
@@ -546,9 +595,7 @@ impl<'a, 'p> Walker<'a, 'p> {
                                 } else {
                                     // Scalar formal cell.
                                     match &args[index] {
-                                        Arg::ScalarVar(av) => {
-                                            self.ctx.access_section(*av, None)
-                                        }
+                                        Arg::ScalarVar(av) => self.ctx.access_section(*av, None),
                                         _ => return None, // by-value: no caller storage
                                     }
                                 }
@@ -568,9 +615,7 @@ impl<'a, 'p> Walker<'a, 'p> {
             // (including the caller's loop indices) must survive.
             let program = self.ctx.program;
             let projected = out.project_symbols(|v| match v {
-                Var::Sym(n) if n >= 0x4000_0000 => {
-                    n >= callee_range.0 && n < callee_range.1
-                }
+                Var::Sym(n) if n >= FRESH_BASE => n >= callee_range.0 && n < callee_range.1,
                 _ => AnalysisCtx::var_of_sym(v)
                     .map(|vid| program.var(vid).proc == callee)
                     .unwrap_or(false),
@@ -601,7 +646,7 @@ impl<'a, 'p> Walker<'a, 'p> {
                 .filter(|m| !m.set.is_approximate())
                 .filter(|m| {
                     m.set.vars().into_iter().all(|v| match v {
-                        Var::Sym(n) if n >= 0x4000_0000 => {
+                        Var::Sym(n) if n >= FRESH_BASE => {
                             !(n >= callee_range.0 && n < callee_range.1)
                         }
                         _ => AnalysisCtx::var_of_sym(v)
@@ -665,13 +710,16 @@ impl<'a, 'p> Walker<'a, 'p> {
 
     /// Scalars of the current procedure whose values may change while the
     /// body executes (assignment, read, loop index, call effects).
-    fn body_modified_scalars(&self, body: &[Stmt]) -> HashSet<VarId> {
-        let mut out = HashSet::new();
+    /// The result is ordered (`BTreeSet`) because the caller kills these
+    /// scalars in iteration order, and each kill allocates a fresh symbol —
+    /// the order must be deterministic.
+    fn body_modified_scalars(&self, body: &[Stmt]) -> BTreeSet<VarId> {
+        let mut out = BTreeSet::new();
         self.collect_modified(body, &mut out);
         out
     }
 
-    fn collect_modified(&self, body: &[Stmt], out: &mut HashSet<VarId>) {
+    fn collect_modified(&self, body: &[Stmt], out: &mut BTreeSet<VarId>) {
         for s in body {
             match s {
                 Stmt::Assign { lhs, .. } | Stmt::Read { lhs, .. } => {
@@ -701,7 +749,7 @@ impl<'a, 'p> Walker<'a, 'p> {
                         }
                     }
                     // Common scalars the callee may write.
-                    if let Some(csum) = self.df.proc_summary.get(callee) {
+                    if let Some(csum) = self.callees.get(callee).map(|f| &f.summary) {
                         let caller = self.ctx.program.proc(self.proc);
                         for &m in &caller.common_vars {
                             if self.ctx.program.var(m).is_array() {
@@ -769,8 +817,7 @@ fn constrain_node(ns: &NodeSummary, disjuncts: &[Vec<Constraint>]) -> NodeSummar
 /// must-writes.
 fn partition_union(a: &NodeSummary, b: &NodeSummary) -> NodeSummary {
     let mut acc = AccessSummary::empty();
-    let arrays: std::collections::BTreeSet<_> =
-        a.acc.arrays().chain(b.acc.arrays()).collect();
+    let arrays: std::collections::BTreeSet<_> = a.acc.arrays().chain(b.acc.arrays()).collect();
     for id in arrays {
         let merged = match (a.acc.get(id), b.acc.get(id)) {
             (Some(x), Some(y)) => SectionSummary {
@@ -793,6 +840,7 @@ fn partition_union(a: &NodeSummary, b: &NodeSummary) -> NodeSummary {
 
 /// Extract branch-predicate constraints from an affine comparison:
 /// `(positive disjuncts, negative disjuncts)`.
+#[allow(clippy::type_complexity)]
 fn cond_constraints(
     env: &SymEnv,
     cond: &Expr,
@@ -804,10 +852,22 @@ fn cond_constraints(
     let lb = env.affine(b)?;
     let single = |c: Constraint| vec![vec![c]];
     Some(match op {
-        BinOp::Lt => (single(Constraint::lt(&la, &lb)), single(Constraint::geq(&la, &lb))),
-        BinOp::Le => (single(Constraint::leq(&la, &lb)), single(Constraint::lt(&lb, &la))),
-        BinOp::Gt => (single(Constraint::lt(&lb, &la)), single(Constraint::geq(&lb, &la))),
-        BinOp::Ge => (single(Constraint::geq(&la, &lb)), single(Constraint::lt(&la, &lb))),
+        BinOp::Lt => (
+            single(Constraint::lt(&la, &lb)),
+            single(Constraint::geq(&la, &lb)),
+        ),
+        BinOp::Le => (
+            single(Constraint::leq(&la, &lb)),
+            single(Constraint::lt(&lb, &la)),
+        ),
+        BinOp::Gt => (
+            single(Constraint::lt(&lb, &la)),
+            single(Constraint::geq(&lb, &la)),
+        ),
+        BinOp::Ge => (
+            single(Constraint::geq(&la, &lb)),
+            single(Constraint::lt(&la, &lb)),
+        ),
         BinOp::Eq => (
             single(Constraint::eq(&la, &lb)),
             vec![
@@ -857,7 +917,11 @@ mod tests {
         let s = closed.acc.get(ctx.array_of(a)).unwrap();
         // Must-write covers a[1:10].
         let whole = ctx.whole_section(a);
-        assert!(whole.provably_subset_of(&s.must_write), "M = {}", s.must_write.set);
+        assert!(
+            whole.provably_subset_of(&s.must_write),
+            "M = {}",
+            s.must_write.set
+        );
         assert!(s.exposed.is_empty());
     }
 
@@ -870,7 +934,10 @@ mod tests {
         let l2 = loop_id(&p, "main/2");
         let a = p.var_by_name("main", "a").unwrap();
         let s = df.stmt_summary[&l2].acc.get(ctx.array_of(a)).unwrap();
-        assert!(!s.exposed.is_empty(), "reads of a are upwards-exposed in loop 2");
+        assert!(
+            !s.exposed.is_empty(),
+            "reads of a are upwards-exposed in loop 2"
+        );
     }
 
     #[test]
@@ -931,7 +998,10 @@ proc main() {
         let aif3 = p.var_by_name("main", "aif3").unwrap();
         let main = p.proc_by_name("main").unwrap();
         let call_id = main.body[1].id();
-        let s = df.stmt_summary[&call_id].acc.get(ctx.array_of(aif3)).unwrap();
+        let s = df.stmt_summary[&call_id]
+            .acc
+            .get(ctx.array_of(aif3))
+            .unwrap();
         use suif_poly::Var;
         let at = |v: i64| {
             s.write

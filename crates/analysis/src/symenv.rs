@@ -56,14 +56,13 @@ impl SymEnv {
     }
 
     /// Merge two branch environments: variables with differing values get a
-    /// fresh join symbol.
+    /// fresh join symbol.  Keys are visited in sorted order so the fresh
+    /// symbols a merge allocates are deterministic (summaries must be a pure
+    /// function of the procedure for the scheduler and summary cache).
     pub fn merge(&mut self, ctx: &AnalysisCtx<'_>, other: &SymEnv) {
-        let keys: Vec<VarId> = self
-            .vals
-            .keys()
-            .chain(other.vals.keys())
-            .copied()
-            .collect();
+        let mut keys: Vec<VarId> = self.vals.keys().chain(other.vals.keys()).copied().collect();
+        keys.sort_unstable();
+        keys.dedup();
         for v in keys {
             let a = self.value_of(v);
             let b = other.value_of(v);
@@ -192,11 +191,7 @@ mod tests {
         let env = SymEnv::proc_entry();
         use suif_ir::Expr as E;
         // a * b is not affine
-        let e = E::Binary(
-            BinOp::Mul,
-            Box::new(E::Scalar(a)),
-            Box::new(E::Scalar(b)),
-        );
+        let e = E::Binary(BinOp::Mul, Box::new(E::Scalar(a)), Box::new(E::Scalar(b)));
         assert!(env.affine(&e).is_none());
         // 3 * b is affine
         let e2 = E::Binary(BinOp::Mul, Box::new(E::Int(3)), Box::new(E::Scalar(b)));

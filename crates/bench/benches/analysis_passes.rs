@@ -13,9 +13,7 @@ fn bench_analysis(c: &mut Criterion) {
     let mut g = c.benchmark_group("analysis_hydro");
     g.sample_size(10);
 
-    g.bench_function("context_build", |b| {
-        b.iter(|| AnalysisCtx::new(&program))
-    });
+    g.bench_function("context_build", |b| b.iter(|| AnalysisCtx::new(&program)));
 
     g.bench_function("bottom_up_dataflow", |b| {
         let ctx = AnalysisCtx::new(&program);

@@ -72,14 +72,10 @@ fn bench_runtime(c: &mut Criterion) {
         b.iter(|| measure_sequential(&contracted, vec![]).unwrap())
     });
     g.bench_function("original_par2", |b| {
-        b.iter(|| {
-            measure_parallel(&program, &plans, RuntimeConfig::default(), vec![]).unwrap()
-        })
+        b.iter(|| measure_parallel(&program, &plans, RuntimeConfig::default(), vec![]).unwrap())
     });
     g.bench_function("contracted_par2", |b| {
-        b.iter(|| {
-            measure_parallel(&contracted, &plans2, RuntimeConfig::default(), vec![]).unwrap()
-        })
+        b.iter(|| measure_parallel(&contracted, &plans2, RuntimeConfig::default(), vec![]).unwrap())
     });
     g.finish();
 }

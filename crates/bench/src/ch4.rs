@@ -32,8 +32,12 @@ pub fn fig4_1(scale: Scale) -> String {
     ]);
     for bench in ch4_apps(Scale::Test) {
         let program = bench.parse();
-        let ex = Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
-            .expect("explorer");
+        let ex = Explorer::with_config(
+            &program,
+            explorer_config(&bench, false),
+            bench.input.clone(),
+        )
+        .expect("explorer");
         let guru = ex.guru();
         // Speedups on the larger scale.
         let big = ch4_apps(scale)
@@ -93,9 +97,12 @@ pub fn fig4_5() -> String {
 
 fn slice_figure(bench: BenchProgram, loop_name: &str, tag: &str) -> String {
     let program = bench.parse();
-    let mut ex =
-        Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
-            .unwrap();
+    let mut ex = Explorer::with_config(
+        &program,
+        explorer_config(&bench, false),
+        bench.input.clone(),
+    )
+    .unwrap();
     let li = ex
         .analysis
         .ctx
@@ -139,15 +146,24 @@ pub fn fig4_6() -> String {
 /// Fig. 4-7: number of loops requiring user intervention.
 pub fn fig4_7() -> String {
     let mut t = Table::new(&[
-        "program", "kind", "executed", "sequential", "important", "imp+no dyn dep",
-        "user-parallelized", "remaining important",
+        "program",
+        "kind",
+        "executed",
+        "sequential",
+        "important",
+        "imp+no dyn dep",
+        "user-parallelized",
+        "remaining important",
     ]);
     let mut totals = [0usize; 6];
     for bench in ch4_apps(Scale::Test) {
         let program = bench.parse();
-        let auto =
-            Explorer::with_config(&program, explorer_config(&bench, false), bench.input.clone())
-                .unwrap();
+        let auto = Explorer::with_config(
+            &program,
+            explorer_config(&bench, false),
+            bench.input.clone(),
+        )
+        .unwrap();
         let user_pa = common::analyze(&program, Some(&bench));
         let guru = auto.guru();
         let executed_set: HashSet<_> = auto
@@ -197,9 +213,16 @@ pub fn fig4_7() -> String {
                         .any(|&p| auto.analysis.ctx.tree.is_nested_in(tl.stmt, p))
                 })
                 .count();
-            for (i, v) in [executed, sequential, important.len(), no_dyn, user_par.len(), remaining]
-                .iter()
-                .enumerate()
+            for (i, v) in [
+                executed,
+                sequential,
+                important.len(),
+                no_dyn,
+                user_par.len(),
+                remaining,
+            ]
+            .iter()
+            .enumerate()
             {
                 totals[i] += v;
             }
@@ -225,7 +248,10 @@ pub fn fig4_7() -> String {
         totals[4].to_string(),
         totals[5].to_string(),
     ]);
-    format!("Fig 4-7: number of loops requiring user intervention\n{}", t.render())
+    format!(
+        "Fig 4-7: number of loops requiring user intervention\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 4-8: average slice sizes (program & control; full / loop / CR / AR)
@@ -352,9 +378,7 @@ fn collect_read_scalars(s: &suif_ir::Stmt, out: &mut Vec<suif_ir::VarId>) {
 /// Fig. 4-9: variables parallelized automatically vs with user input, over
 /// the user-parallelized loops.
 pub fn fig4_9() -> String {
-    let mut t = Table::new(&[
-        "", "class", "mdg", "arc3d", "hydro", "flo88", "total",
-    ]);
+    let mut t = Table::new(&["", "class", "mdg", "arc3d", "hydro", "flo88", "total"]);
     let benches = ch4_apps(Scale::Test);
     let mut rows: Vec<(&str, &str, [usize; 4])> = vec![
         ("automatic", "parallel arrays", [0; 4]),
@@ -368,12 +392,18 @@ pub fn fig4_9() -> String {
     for (bi, bench) in benches.iter().enumerate() {
         let program = bench.parse();
         let user_pa = common::analyze(&program, Some(bench));
-        let loops: HashSet<String> = bench.assertions.iter().map(|a| a.loop_name.clone()).collect();
+        let loops: HashSet<String> = bench
+            .assertions
+            .iter()
+            .map(|a| a.loop_name.clone())
+            .collect();
         for lname in &loops {
             let Some(li) = user_pa.ctx.tree.loops.iter().find(|l| &l.name == lname) else {
                 continue;
             };
-            let Some(v) = user_pa.verdicts.get(&li.stmt) else { continue };
+            let Some(v) = user_pa.verdicts.get(&li.stmt) else {
+                continue;
+            };
             let asserted: HashSet<&str> = bench
                 .assertions
                 .iter()
@@ -384,9 +414,7 @@ pub fn fig4_9() -> String {
                 let name = user_pa.ctx.array_name(obj);
                 let is_arr = user_pa.ctx.is_array_object(obj);
                 let user_supplied = asserted.contains(name.as_str())
-                    || asserted
-                        .iter()
-                        .any(|a| name == format!("/{a}/"));
+                    || asserted.iter().any(|a| name == format!("/{a}/"));
                 let idx = match (class, is_arr, user_supplied) {
                     (VarClass::Parallel, true, false) => Some(0),
                     (VarClass::Privatizable { .. }, true, false) => Some(1),
@@ -424,17 +452,19 @@ pub fn fig4_9() -> String {
 /// Fig. 4-10: parallelization with and without user intervention.
 pub fn fig4_10(scale: Scale) -> String {
     let mut t = Table::new(&[
-        "program", "mode", "coverage", "granularity", "speedup(2p)", "speedup(4p)",
+        "program",
+        "mode",
+        "coverage",
+        "granularity",
+        "speedup(2p)",
+        "speedup(4p)",
     ]);
     for bench in ch4_apps(Scale::Test) {
         for user in [false, true] {
             let program = bench.parse();
-            let ex = Explorer::with_config(
-                &program,
-                explorer_config(&bench, user),
-                bench.input.clone(),
-            )
-            .unwrap();
+            let ex =
+                Explorer::with_config(&program, explorer_config(&bench, user), bench.input.clone())
+                    .unwrap();
             let guru = ex.guru();
             let big = ch4_apps(scale)
                 .into_iter()

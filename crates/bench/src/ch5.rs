@@ -25,14 +25,22 @@ pub fn fig5_5() -> String {
             bench.num_lines().to_string(),
         ]);
     }
-    format!("Fig 5-5: liveness-suite program information\n{}", t.render())
+    format!(
+        "Fig 5-5: liveness-suite program information\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 5-6: total running time of the interprocedural analysis
 /// (base / +bottom-up / +flow-insensitive / +1-bit / +full top-down).
 pub fn fig5_6(scale: Scale) -> String {
     let mut t = Table::new(&[
-        "program", "base(ms)", "bottom-up(ms)", "flow-insens(ms)", "1-bit(ms)", "full(ms)",
+        "program",
+        "base(ms)",
+        "bottom-up(ms)",
+        "flow-insens(ms)",
+        "1-bit(ms)",
+        "full(ms)",
     ]);
     for bench in ch5_apps(scale) {
         let program = bench.parse();
@@ -69,7 +77,12 @@ pub fn fig5_6(scale: Scale) -> String {
 /// liveness variant.
 pub fn fig5_7() -> String {
     let mut t = Table::new(&[
-        "program", "#loop", "#mod", "%dead FI", "%dead 1-bit", "%dead full",
+        "program",
+        "#loop",
+        "#mod",
+        "%dead FI",
+        "%dead 1-bit",
+        "%dead full",
     ]);
     for bench in ch5_apps(Scale::Test) {
         let program = bench.parse();
@@ -119,7 +132,11 @@ pub fn fig5_7() -> String {
 /// resulting speedup per liveness variant.
 pub fn fig5_8(scale: Scale) -> String {
     let mut t = Table::new(&[
-        "program", "variant", "#dead priv", "#extra par loops", "speedup(2p)",
+        "program",
+        "variant",
+        "#dead priv",
+        "#extra par loops",
+        "speedup(2p)",
     ]);
     for bench in ch5_apps(scale) {
         let program = bench.parse();
@@ -158,10 +175,7 @@ pub fn fig5_8(scale: Scale) -> String {
                     }
                 }
             }
-            let extra = pa
-                .parallel_loops()
-                .difference(&base_parallel)
-                .count();
+            let extra = pa.parallel_loops().difference(&base_parallel).count();
             let plans = ParallelPlans::from_analysis(&pa);
             let s = common::speedup(&program, &plans, &bench.input, 2, 2);
             t.row(vec![
@@ -181,9 +195,7 @@ pub fn fig5_8(scale: Scale) -> String {
 
 /// Fig. 5-10: common-block splits and resulting speedups.
 pub fn fig5_10(scale: Scale) -> String {
-    let mut t = Table::new(&[
-        "program", "#splits", "speedup before", "speedup after",
-    ]);
+    let mut t = Table::new(&["program", "#splits", "speedup before", "speedup after"]);
     for bench in [apps::arc3d(scale), apps::wave5(scale), apps::hydro2d(scale)] {
         let program = bench.parse();
         let pa = common::analyze(&program, None);
@@ -238,9 +250,7 @@ pub fn fig5_11() -> String {
     if let Some(c) = cands.first() {
         if let Ok(p2) = contract::apply(&program, c) {
             let name = program.var(c.var).name.clone();
-            out.push_str(&format!(
-                "\nafter contracting `{name}`, psmoo becomes:\n"
-            ));
+            out.push_str(&format!("\nafter contracting `{name}`, psmoo becomes:\n"));
             if let Some(proc2) = p2.proc_by_name("psmoo") {
                 out.push_str(&suif_ir::pretty::proc_to_string(&p2, proc2));
             }
@@ -274,7 +284,11 @@ pub fn fig5_12(scale: Scale) -> String {
             .filter_map(|v| if v.is_array() { v.const_size() } else { None })
             .sum()
     };
-    let mut t = Table::new(&["threads", "speedup (no contraction)", "speedup (contracted)"]);
+    let mut t = Table::new(&[
+        "threads",
+        "speedup (no contraction)",
+        "speedup (contracted)",
+    ]);
     for threads in common::speedup_threads() {
         let s1 = common::speedup(&program, &plans, &bench.input, threads, 2);
         let s2 = common::speedup(&contracted, &plans2, &bench.input, threads, 2);

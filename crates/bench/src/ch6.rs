@@ -2,9 +2,7 @@
 
 use crate::common::{self, Table};
 use std::collections::HashMap;
-use suif_analysis::{
-    reduction, ParallelizeConfig, Parallelizer, RedOp,
-};
+use suif_analysis::{reduction, ParallelizeConfig, Parallelizer, RedOp};
 use suif_benchmarks::{ch6_apps, Scale};
 use suif_dynamic::machine::Machine;
 use suif_dynamic::{LoopProfiler, NoHooks};
@@ -31,9 +29,7 @@ pub fn fig6_2() -> String {
                     ..
                 } = s
                 {
-                    if let Some(site) =
-                        reduction::recognize_if_minmax(cond, then_body, else_body)
-                    {
+                    if let Some(site) = reduction::recognize_if_minmax(cond, then_body, else_body) {
                         *counts.entry(site.op).or_insert(0) += 1;
                     }
                 }
@@ -81,14 +77,20 @@ pub fn fig6_3() -> String {
             bench.num_lines().to_string(),
         ]);
     }
-    format!("Fig 6-3: reduction-suite program information\n{}", t.render())
+    format!(
+        "Fig 6-3: reduction-suite program information\n{}",
+        t.render()
+    )
 }
 
 /// Fig. 6-4: static impact of reductions — parallelizable loops with and
 /// without reduction recognition.
 pub fn fig6_4() -> String {
     let mut t = Table::new(&[
-        "program", "loops", "parallel w/o reductions", "parallel with reductions",
+        "program",
+        "loops",
+        "parallel w/o reductions",
+        "parallel with reductions",
     ]);
     for bench in ch6_apps(Scale::Test) {
         let program = bench.parse();
@@ -117,7 +119,10 @@ pub fn fig6_4() -> String {
 /// reductions have an impact.
 pub fn fig6_5() -> String {
     let mut t = Table::new(&[
-        "program", "coverage w/o red", "coverage with red", "granularity with red",
+        "program",
+        "coverage w/o red",
+        "coverage with red",
+        "granularity with red",
     ]);
     for bench in ch6_apps(Scale::Test) {
         let program = bench.parse();
@@ -155,7 +160,10 @@ pub fn fig6_5() -> String {
 
 fn reduction_speedups(scale: Scale, finalization: Finalization, tag: &str) -> String {
     let mut t = Table::new(&[
-        "program", "speedup w/o red (2p)", "speedup with red (2p)", "with red (4p)",
+        "program",
+        "speedup w/o red (2p)",
+        "speedup with red (2p)",
+        "with red (4p)",
     ]);
     for bench in ch6_apps(scale) {
         let program = bench.parse();
@@ -179,8 +187,7 @@ fn reduction_speedups(scale: Scale, finalization: Finalization, tag: &str) -> St
         let sp = |plans: &ParallelPlans, threads: usize| {
             let seq = suif_parallel::sequential_ops(&program, &bench.input).unwrap();
             let par =
-                suif_parallel::parallel_ops(&program, plans, &cfg(threads), &bench.input)
-                    .unwrap();
+                suif_parallel::parallel_ops(&program, plans, &cfg(threads), &bench.input).unwrap();
             seq as f64 / (par as f64).max(1.0)
         };
         t.row(vec![

@@ -36,10 +36,7 @@ pub fn analyze<'p>(program: &'p Program, user: Option<&BenchProgram>) -> Program
 }
 
 /// Analyze with an explicit liveness mode (or none).
-pub fn analyze_liveness_mode(
-    program: &Program,
-    mode: Option<LivenessMode>,
-) -> ProgramAnalysis<'_> {
+pub fn analyze_liveness_mode(program: &Program, mode: Option<LivenessMode>) -> ProgramAnalysis<'_> {
     Parallelizer::analyze(
         program,
         ParallelizeConfig {
@@ -72,8 +69,8 @@ pub fn speedup(
     _reps: usize,
 ) -> f64 {
     let seq = suif_parallel::sequential_ops(program, input).unwrap_or(u64::MAX);
-    let par = suif_parallel::parallel_ops(program, plans, &runtime(threads), input)
-        .unwrap_or(u64::MAX);
+    let par =
+        suif_parallel::parallel_ops(program, plans, &runtime(threads), input).unwrap_or(u64::MAX);
     if par == 0 {
         return 0.0;
     }

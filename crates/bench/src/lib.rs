@@ -14,9 +14,33 @@ pub mod misc;
 
 /// All figure ids in paper order.
 pub const ALL_FIGURES: &[&str] = &[
-    "fig2_1", "fig4_1", "fig4_2", "fig4_3", "fig4_5", "fig4_6", "fig4_7", "fig4_8", "fig4_9", "fig4_10",
-    "fig5_5", "fig5_6", "fig5_7", "fig5_8", "fig5_10", "fig5_11", "fig5_12", "fig6_1", "fig6_2",
-    "fig6_3", "fig6_4", "fig6_5", "fig6_6", "fig6_7", "abl_dyndep", "abl_schedule", "abl_subtract",
+    "fig2_1",
+    "fig4_1",
+    "fig4_2",
+    "fig4_3",
+    "fig4_5",
+    "fig4_6",
+    "fig4_7",
+    "fig4_8",
+    "fig4_9",
+    "fig4_10",
+    "fig5_5",
+    "fig5_6",
+    "fig5_7",
+    "fig5_8",
+    "fig5_10",
+    "fig5_11",
+    "fig5_12",
+    "fig6_1",
+    "fig6_2",
+    "fig6_3",
+    "fig6_4",
+    "fig6_5",
+    "fig6_6",
+    "fig6_7",
+    "abl_dyndep",
+    "abl_schedule",
+    "abl_subtract",
 ];
 
 /// Render one figure by id.

@@ -63,7 +63,8 @@ pub fn abl_dyndep() -> String {
         let with_deps = rep.deps.values().filter(|v| !v.is_empty()).count();
         out.push_str(&format!(
             "{:>20}  {:>8.1}  {:>4}\n",
-            cap.map(|c| c.to_string()).unwrap_or_else(|| "unlimited".into()),
+            cap.map(|c| c.to_string())
+                .unwrap_or_else(|| "unlimited".into()),
             wall.as_secs_f64() * 1e3,
             with_deps
         ));
@@ -76,7 +77,9 @@ pub fn abl_dyndep() -> String {
 /// paper's block-only runtime (§4.5).
 pub fn abl_schedule() -> String {
     use suif_analysis::{Assertion, ParallelizeConfig, Parallelizer};
-    use suif_parallel::{parallel_ops, sequential_ops, Finalization, ParallelPlans, RuntimeConfig, Schedule};
+    use suif_parallel::{
+        parallel_ops, sequential_ops, Finalization, ParallelPlans, RuntimeConfig, Schedule,
+    };
     let bench = apps::mdg(suif_benchmarks::Scale::Bench);
     let program = bench.parse();
     let pa = Parallelizer::analyze(

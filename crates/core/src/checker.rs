@@ -36,9 +36,7 @@ pub fn check_assertion(ex: &Explorer<'_>, a: &Assertion) -> CheckResult {
     };
     let proc_name = &ex.program.proc(li.proc).name;
     let Some(var) = ex.program.var_by_name(proc_name, var_name) else {
-        return CheckResult::Contradicted(format!(
-            "no variable `{var_name}` in `{proc_name}`"
-        ));
+        return CheckResult::Contradicted(format!("no variable `{var_name}` in `{proc_name}`"));
     };
 
     // Dynamic check: the Dynamic Dependence Analyzer models privatization
@@ -274,4 +272,3 @@ proc main() {
         );
     }
 }
-

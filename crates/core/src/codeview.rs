@@ -15,10 +15,7 @@ use std::collections::HashMap;
 /// Render the codeview: one row per source line, `marker depth | source`.
 pub fn codeview(ex: &Explorer<'_>, guru: &GuruReport) -> String {
     let parallel = ex.parallel_loops();
-    let focus: Vec<_> = guru
-        .important_targets()
-        .map(|t| t.stmt)
-        .collect();
+    let focus: Vec<_> = guru.important_targets().map(|t| t.stmt).collect();
     // Per line: (marker, depth) from the innermost covering loop.
     let mut line_info: HashMap<u32, (char, usize)> = HashMap::new();
     for li in &ex.analysis.ctx.tree.loops {

@@ -4,7 +4,8 @@
 use crate::guru::{self, GuruReport};
 use std::collections::HashSet;
 use suif_analysis::{
-    Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis, VarClass,
+    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis,
+    ScheduleOptions, SummaryCache, VarClass,
 };
 use suif_dynamic::machine::Machine;
 use suif_dynamic::{DynDepAnalyzer, DynDepConfig, DynDepReport, LoopProfiler, ProfileReport};
@@ -53,14 +54,28 @@ impl<'p> Explorer<'p> {
         config: ParallelizeConfig,
         input: Vec<f64>,
     ) -> Result<Explorer<'p>, ExplorerError> {
+        Self::with_schedule(program, config, input, &ScheduleOptions::sequential(), None)
+            .map(|(ex, _)| ex)
+    }
+
+    /// Start with an explicit bottom-up schedule (parallel workers) and an
+    /// optional cross-run summary cache (the daemon's incremental path).
+    /// Also returns the analysis timing/cache statistics.
+    pub fn with_schedule(
+        program: &'p Program,
+        config: ParallelizeConfig,
+        input: Vec<f64>,
+        opts: &ScheduleOptions,
+        cache: Option<&SummaryCache>,
+    ) -> Result<(Explorer<'p>, AnalyzeStats), ExplorerError> {
         let assertions = config.assertions.clone();
-        let analysis = Parallelizer::analyze(program, config);
+        let (analysis, stats) = Parallelizer::analyze_with(program, config, opts, cache);
 
         // Loop profile run (§2.5.1).
         let mut profiler = LoopProfiler::new();
         {
-            let mut m = Machine::new(program, &mut profiler)
-                .map_err(|e| ExplorerError(e.to_string()))?;
+            let mut m =
+                Machine::new(program, &mut profiler).map_err(|e| ExplorerError(e.to_string()))?;
             m.set_input(input.clone());
             m.run().map_err(|e| ExplorerError(e.to_string()))?;
         }
@@ -71,22 +86,24 @@ impl<'p> Explorer<'p> {
         let dd_config = dyndep_config(program, &analysis);
         let mut dd = DynDepAnalyzer::new(dd_config);
         {
-            let mut m =
-                Machine::new(program, &mut dd).map_err(|e| ExplorerError(e.to_string()))?;
+            let mut m = Machine::new(program, &mut dd).map_err(|e| ExplorerError(e.to_string()))?;
             m.set_input(input.clone());
             m.run().map_err(|e| ExplorerError(e.to_string()))?;
         }
         let dyndep = dd.report();
 
-        Ok(Explorer {
-            program,
-            analysis,
-            profile,
-            dyndep,
-            input,
-            slicer: None,
-            assertions,
-        })
+        Ok((
+            Explorer {
+                program,
+                analysis,
+                profile,
+                dyndep,
+                input,
+                slicer: None,
+                assertions,
+            },
+            stats,
+        ))
     }
 
     /// The set of loops the compiler parallelized.
@@ -130,7 +147,13 @@ impl<'p> Explorer<'p> {
             for &(stmt, _, _, _) in &dep.sites {
                 if let Some((s, _)) = self.program.find_stmt(stmt) {
                     let mut scalars: Vec<VarId> = Vec::new();
-                    collect_subscript_scalars(self.program, s, dep.object, &self.analysis, &mut scalars);
+                    collect_subscript_scalars(
+                        self.program,
+                        s,
+                        dep.object,
+                        &self.analysis,
+                        &mut scalars,
+                    );
                     for v in scalars {
                         sites.push((stmt, v));
                     }
@@ -147,10 +170,7 @@ impl<'p> Explorer<'p> {
         let program = self.program;
         let slicer = self.slicer();
         for (stmt, v) in sites {
-            let line = program
-                .find_stmt(stmt)
-                .map(|(s, _)| s.line())
-                .unwrap_or(0);
+            let line = program.find_stmt(stmt).map(|(s, _)| s.line()).unwrap_or(0);
             let prog = slicer
                 .slice_use(stmt, v, SliceKind::Program, &opts)
                 .unwrap_or_else(|| slicer.control_slice(stmt, &opts));

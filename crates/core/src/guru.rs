@@ -177,7 +177,11 @@ impl GuruReport {
                 t.granularity,
                 t.static_deps,
                 if t.dynamic_dep { "yes" } else { "no " },
-                if t.important { "IMPORTANT" } else { "(filtered)" },
+                if t.important {
+                    "IMPORTANT"
+                } else {
+                    "(filtered)"
+                },
             ));
         }
         out

@@ -348,8 +348,10 @@ proc main() {
 
     #[test]
     fn sampling_caps_tracking() {
-        let mut cfg = DynDepConfig::default();
-        cfg.max_iterations_per_invocation = Some(3);
+        let cfg = DynDepConfig {
+            max_iterations_per_invocation: Some(3),
+            ..DynDepConfig::default()
+        };
         // Dep appears only between iterations 8 and 9 — sampling misses it.
         let (_, tree, rep) = analyze(
             "program t\nproc main() {\n real a[12]\n int i\n do 1 i = 1, 10 {\n if i == 9 {\n a[1] = a[2]\n }\n if i == 8 {\n a[2] = 1\n }\n }\n}",

@@ -417,7 +417,10 @@ impl<'a> Machine<'a> {
     /// Evaluate the `(lo, hi, step)` bounds of a `do` statement in the
     /// current frame (used by the parallel runtime before forking).
     pub fn eval_do_bounds(&mut self, s: &Stmt) -> Result<(i64, i64, i64), RuntimeError> {
-        let Stmt::Do { lo, hi, step, line, .. } = s else {
+        let Stmt::Do {
+            lo, hi, step, line, ..
+        } = s
+        else {
             return rerr(0, "eval_do_bounds on a non-loop");
         };
         let lo = self.eval(lo)?.as_int();
@@ -432,12 +435,7 @@ impl<'a> Machine<'a> {
         Ok((lo, hi, step))
     }
 
-    fn exec_call(
-        &mut self,
-        callee: ProcId,
-        args: &[Arg],
-        line: u32,
-    ) -> Result<(), RuntimeError> {
+    fn exec_call(&mut self, callee: ProcId, args: &[Arg], line: u32) -> Result<(), RuntimeError> {
         let cproc = self.program.proc(callee);
         let mut frame = Frame::new(callee);
         // Evaluate actuals in the caller frame, then populate the callee.
@@ -542,12 +540,7 @@ impl<'a> Machine<'a> {
     }
 
     /// Address of `var[subs]` (1-based, column-major), with bounds checks.
-    pub fn element_addr(
-        &self,
-        var: VarId,
-        subs: &[i64],
-        line: u32,
-    ) -> Result<usize, RuntimeError> {
+    pub fn element_addr(&self, var: VarId, subs: &[i64], line: u32) -> Result<usize, RuntimeError> {
         let info = self.program.var(var);
         let base = self.array_base(var, line)?;
         let mut linear: i64 = 0;
@@ -621,12 +614,7 @@ impl<'a> Machine<'a> {
 
     /// Write a scalar without firing hooks (runtime-internal writes:
     /// induction variables, parameter slots, privatization setup).
-    pub fn set_scalar_raw(
-        &mut self,
-        v: VarId,
-        val: Value,
-        line: u32,
-    ) -> Result<(), RuntimeError> {
+    pub fn set_scalar_raw(&mut self, v: VarId, val: Value, line: u32) -> Result<(), RuntimeError> {
         let ty = self.program.var(v).ty;
         let addr = self.scalar_addr(v, line)?;
         self.mem_store(addr, convert(val, ty), line)
@@ -937,10 +925,8 @@ mod tests {
 
     #[test]
     fn bounds_violation_is_reported() {
-        let p = parse_program(
-            "program t\nproc main() {\n real a[3]\n int i\n i = 4\n a[i] = 0\n}",
-        )
-        .unwrap();
+        let p = parse_program("program t\nproc main() {\n real a[3]\n int i\n i = 4\n a[i] = 0\n}")
+            .unwrap();
         let mut hooks = NoHooks;
         let mut m = Machine::new(&p, &mut hooks).unwrap();
         let e = m.run().unwrap_err();

@@ -103,13 +103,7 @@ impl CallGraph {
     /// substitute for the hyperbolic call-graph viewer of §2.7).
     pub fn render_tree(&self, program: &Program) -> String {
         let mut out = String::new();
-        fn go(
-            cg: &CallGraph,
-            program: &Program,
-            p: ProcId,
-            depth: usize,
-            out: &mut String,
-        ) {
+        fn go(cg: &CallGraph, program: &Program, p: ProcId, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth));
             out.push_str(&program.proc(p).name);
             out.push('\n');
@@ -149,10 +143,8 @@ mod tests {
 
     #[test]
     fn callers_are_recorded() {
-        let p = parse_program(
-            "program t\nproc a() { }\nproc main() { call a() call a() }",
-        )
-        .unwrap();
+        let p =
+            parse_program("program t\nproc a() { }\nproc main() { call a() call a() }").unwrap();
         let cg = CallGraph::build(&p);
         let a = p.proc_by_name("a").unwrap().id;
         assert_eq!(cg.callers_of(a).len(), 2);

@@ -51,7 +51,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             '%' => push(&mut out, Punct::Percent, line, &mut i),
             '<' => push2(&mut out, bytes, Punct::Lt, Punct::Le, b'=', line, &mut i),
             '>' => push2(&mut out, bytes, Punct::Gt, Punct::Ge, b'=', line, &mut i),
-            '=' => push2(&mut out, bytes, Punct::Assign, Punct::EqEq, b'=', line, &mut i),
+            '=' => push2(
+                &mut out,
+                bytes,
+                Punct::Assign,
+                Punct::EqEq,
+                b'=',
+                line,
+                &mut i,
+            ),
             '!' => push2(&mut out, bytes, Punct::Not, Punct::Ne, b'=', line, &mut i),
             '&' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b'&' {
@@ -198,7 +206,9 @@ mod tests {
         assert!(kinds
             .iter()
             .any(|k| matches!(k, TokenKind::Real(v) if (*v - 150.0).abs() < 1e-9)));
-        assert!(kinds.iter().any(|k| matches!(k, TokenKind::Punct(Punct::Le))));
+        assert!(kinds
+            .iter()
+            .any(|k| matches!(k, TokenKind::Punct(Punct::Le))));
         assert!(matches!(kinds.last().unwrap(), TokenKind::Eof));
     }
 

@@ -611,7 +611,9 @@ mod tests {
         let main = &p.procs[0];
         assert_eq!(main.decls.len(), 2);
         match &main.body[0] {
-            AstStmt::Do { label, var, body, .. } => {
+            AstStmt::Do {
+                label, var, body, ..
+            } => {
                 assert_eq!(*label, Some(100));
                 assert_eq!(var, "i");
                 assert_eq!(body.len(), 1);
@@ -639,9 +641,7 @@ mod tests {
 
     #[test]
     fn parses_common_blocks() {
-        let p = parse_ok(
-            "program t\nproc f() {\n common /blk/ real x[10], int n\n x[1] = n\n}",
-        );
+        let p = parse_ok("program t\nproc f() {\n common /blk/ real x[10], int n\n x[1] = n\n}");
         match &p.procs[0].decls[0] {
             AstDecl::Common { block, vars, .. } => {
                 assert_eq!(block, "blk");
@@ -684,7 +684,11 @@ mod tests {
         let p = parse_ok("program t\nproc f() {\n real x\n x = 1 + 2 * 3\n}");
         match &p.procs[0].body[0] {
             AstStmt::Assign { rhs, .. } => match rhs {
-                AstExpr::Binary { op: BinOp::Add, rhs, .. } => {
+                AstExpr::Binary {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
                     assert!(matches!(**rhs, AstExpr::Binary { op: BinOp::Mul, .. }));
                 }
                 other => panic!("expected add at top, got {other:?}"),

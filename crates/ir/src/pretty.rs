@@ -30,7 +30,12 @@ pub fn proc_to_string(p: &Program, proc: &Procedure) -> String {
         .iter()
         .map(|&v| {
             let info = p.var(v);
-            format!("{} {}{}", ty_str(info.ty), info.name, dims_str(p, &info.dims))
+            format!(
+                "{} {}{}",
+                ty_str(info.ty),
+                info.name,
+                dims_str(p, &info.dims)
+            )
         })
         .collect();
     let _ = writeln!(out, "proc {}({}) {{", proc.name, params.join(", "));
@@ -49,7 +54,12 @@ pub fn proc_to_string(p: &Program, proc: &Procedure) -> String {
             .iter()
             .map(|&v| {
                 let info = p.var(v);
-                format!("{} {}{}", ty_str(info.ty), info.name, dims_str(p, &info.dims))
+                format!(
+                    "{} {}{}",
+                    ty_str(info.ty),
+                    info.name,
+                    dims_str(p, &info.dims)
+                )
             })
             .collect();
         let _ = writeln!(
@@ -285,8 +295,8 @@ proc main() {
 "#;
         let p1 = parse_program(src).unwrap();
         let printed = program_to_string(&p1);
-        let p2 = parse_program(&printed)
-            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        let p2 =
+            parse_program(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
         // Round-trip fixed point: printing again yields identical text.
         assert_eq!(printed, program_to_string(&p2));
     }

@@ -424,8 +424,7 @@ impl Program {
     /// Variable lookup by `proc/name`.
     pub fn var_by_name(&self, proc: &str, name: &str) -> Option<VarId> {
         let p = self.proc_by_name(proc)?;
-        p.all_vars()
-            .find(|&v| self.var(v).name == name)
+        p.all_vars().find(|&v| self.var(v).name == name)
     }
 
     /// Do two variables possibly denote overlapping storage?
@@ -438,8 +437,16 @@ impl Program {
             return true;
         }
         let (va, vb) = (self.var(a), self.var(b));
-        let (VarKind::Common { block: ba, offset: oa }, VarKind::Common { block: bb, offset: ob }) =
-            (&va.kind, &vb.kind)
+        let (
+            VarKind::Common {
+                block: ba,
+                offset: oa,
+            },
+            VarKind::Common {
+                block: bb,
+                offset: ob,
+            },
+        ) = (&va.kind, &vb.kind)
         else {
             return false;
         };
@@ -470,11 +477,7 @@ impl Program {
 
     /// Iterate over all statements of a procedure in pre-order, with nesting
     /// depth.
-    pub fn walk_stmts<'a>(
-        &'a self,
-        proc: ProcId,
-        f: &mut impl FnMut(&'a Stmt, usize),
-    ) {
+    pub fn walk_stmts<'a>(&'a self, proc: ProcId, f: &mut impl FnMut(&'a Stmt, usize)) {
         fn go<'a>(body: &'a [Stmt], depth: usize, f: &mut impl FnMut(&'a Stmt, usize)) {
             for s in body {
                 f(s, depth);

@@ -104,12 +104,7 @@ impl RegionTree {
         // Pre-compute per-procedure transitive properties.
         let props = ProcProps::compute(program);
         for proc in &program.procedures {
-            let rid = tree.new_region(
-                RegionKind::Proc(proc.id),
-                None,
-                proc.line,
-                proc.end_line,
-            );
+            let rid = tree.new_region(RegionKind::Proc(proc.id), None, proc.line, proc.end_line);
             tree.proc_regions.push(rid);
             tree.walk_body(program, proc.id, &proc.body, rid, 0, &props);
         }
@@ -159,25 +154,18 @@ impl RegionTree {
                     ..
                 } => {
                     let lr = self.new_region(
-                        RegionKind::Loop {
-                            proc,
-                            stmt: *id,
-                        },
+                        RegionKind::Loop { proc, stmt: *id },
                         Some(parent),
                         *line,
                         *end_line,
                     );
                     let br = self.new_region(
-                        RegionKind::LoopBody {
-                            proc,
-                            stmt: *id,
-                        },
+                        RegionKind::LoopBody { proc, stmt: *id },
                         Some(lr),
                         *line,
                         *end_line,
                     );
-                    let (has_io, has_calls, callee_lines) =
-                        props.body_props(program, body);
+                    let (has_io, has_calls, callee_lines) = props.body_props(body);
                     let own_lines = end_line.saturating_sub(*line).saturating_add(1);
                     let li = LoopInfo {
                         stmt: *id,
@@ -271,8 +259,7 @@ impl ProcProps {
             changed = false;
             for proc in &program.procedures {
                 let mut io = false;
-                let mut lines =
-                    proc.end_line.saturating_sub(proc.line).saturating_add(1);
+                let mut lines = proc.end_line.saturating_sub(proc.line).saturating_add(1);
                 program.walk_stmts(proc.id, &mut |s, _| match s {
                     Stmt::Print { .. } | Stmt::Read { .. } => io = true,
                     Stmt::Call { callee, .. } => {
@@ -293,18 +280,11 @@ impl ProcProps {
     }
 
     /// `(has_io, has_calls, callee_lines)` for a loop body.
-    fn body_props(&self, program: &Program, body: &[Stmt]) -> (bool, bool, u32) {
+    fn body_props(&self, body: &[Stmt]) -> (bool, bool, u32) {
         let mut io = false;
         let mut calls = false;
         let mut callee_lines = 0u32;
-        fn go(
-            props: &ProcProps,
-            program: &Program,
-            body: &[Stmt],
-            io: &mut bool,
-            calls: &mut bool,
-            lines: &mut u32,
-        ) {
+        fn go(props: &ProcProps, body: &[Stmt], io: &mut bool, calls: &mut bool, lines: &mut u32) {
             for s in body {
                 match s {
                     Stmt::Print { .. } | Stmt::Read { .. } => *io = true,
@@ -318,15 +298,15 @@ impl ProcProps {
                         else_body,
                         ..
                     } => {
-                        go(props, program, then_body, io, calls, lines);
-                        go(props, program, else_body, io, calls, lines);
+                        go(props, then_body, io, calls, lines);
+                        go(props, else_body, io, calls, lines);
                     }
-                    Stmt::Do { body, .. } => go(props, program, body, io, calls, lines),
+                    Stmt::Do { body, .. } => go(props, body, io, calls, lines),
                     _ => {}
                 }
             }
         }
-        go(self, program, body, &mut io, &mut calls, &mut callee_lines);
+        go(self, body, &mut io, &mut calls, &mut callee_lines);
         (io, calls, callee_lines)
     }
 }
@@ -381,7 +361,7 @@ proc main() {
         let outer = t.loops.iter().find(|l| l.name == "main/100").unwrap();
         assert!(outer.has_calls);
         assert!(!outer.has_io); // print is outside the loop
-        // Size includes the callee's lines.
+                                // Size includes the callee's lines.
         assert!(outer.size_lines > outer.end_line - outer.line + 1);
         let sub = t.loops.iter().find(|l| l.name == "sub/10").unwrap();
         assert!(!sub.has_calls);

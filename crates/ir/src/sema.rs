@@ -44,7 +44,10 @@ pub fn resolve(ast: &AstProgram, source: &str) -> Result<Program, SemaError> {
             return err(p.line, format!("duplicate procedure `{}`", p.name));
         }
         if consts.contains_key(&p.name) {
-            return err(p.line, format!("`{}` is both a const and a procedure", p.name));
+            return err(
+                p.line,
+                format!("`{}` is both a const and a procedure", p.name),
+            );
         }
     }
     let Some(&main) = proc_ids.get("main") else {
@@ -203,9 +206,7 @@ impl<'a> Resolver<'a> {
                             let Extent::Const(c) = ext else {
                                 return err(
                                     *line,
-                                    format!(
-                                        "common member `{name}` must have constant extents"
-                                    ),
+                                    format!("common member `{name}` must have constant extents"),
                                 );
                             };
                             size = size.saturating_mul(c);
@@ -215,10 +216,7 @@ impl<'a> Resolver<'a> {
                             name: name.clone(),
                             ty: conv_ty(*vty),
                             dims: exts,
-                            kind: VarKind::Common {
-                                block: cid,
-                                offset,
-                            },
+                            kind: VarKind::Common { block: cid, offset },
                             proc: id,
                             line: *line,
                         })?;
@@ -329,7 +327,10 @@ impl<'a> Resolver<'a> {
                 };
                 let info = &self.vars[vid.0 as usize];
                 if info.is_array() || info.ty != Type::Int {
-                    return err(*line, format!("loop variable `{var}` must be an int scalar"));
+                    return err(
+                        *line,
+                        format!("loop variable `{var}` must be an int scalar"),
+                    );
                 }
                 let lo = self.resolve_expr(lo, *line)?;
                 let hi = self.resolve_expr(hi, *line)?;
@@ -413,10 +414,7 @@ impl<'a> Resolver<'a> {
         let info = &self.vars[vid.0 as usize];
         if r.subs.is_empty() {
             if info.is_array() {
-                return err(
-                    r.line,
-                    format!("array `{}` needs subscripts here", r.name),
-                );
+                return err(r.line, format!("array `{}` needs subscripts here", r.name));
             }
             Ok(Ref::Scalar(vid))
         } else {
@@ -494,6 +492,7 @@ impl<'a> Resolver<'a> {
         }
     }
 
+    #[allow(clippy::only_used_in_recursion)]
     fn resolve_expr(&mut self, e: &AstExpr, line: u32) -> Result<Expr, SemaError> {
         Ok(match e {
             AstExpr::Int(v) => Expr::Int(*v),
@@ -505,10 +504,7 @@ impl<'a> Resolver<'a> {
                     }
                     let vid = self.lookup(r)?;
                     if self.vars[vid.0 as usize].is_array() {
-                        return err(
-                            r.line,
-                            format!("array `{}` used as a scalar value", r.name),
-                        );
+                        return err(r.line, format!("array `{}` used as a scalar value", r.name));
                     }
                     Expr::Scalar(vid)
                 } else {
@@ -536,9 +532,7 @@ impl<'a> Resolver<'a> {
                     Expr::Element(vid, subs)
                 }
             }
-            AstExpr::Unary { op, arg } => {
-                Expr::Unary(*op, Box::new(self.resolve_expr(arg, line)?))
-            }
+            AstExpr::Unary { op, arg } => Expr::Unary(*op, Box::new(self.resolve_expr(arg, line)?)),
             AstExpr::Binary { op, lhs, rhs } => Expr::Binary(
                 *op,
                 Box::new(self.resolve_expr(lhs, line)?),
@@ -575,11 +569,13 @@ fn compute_modified_params(procedures: &mut [Procedure], vars: &[VarInfo]) {
     let mut changed = true;
     while changed {
         changed = false;
-        let snapshot: Vec<Vec<bool>> =
-            procedures.iter().map(|p| p.modified_params.clone()).collect();
-        for pi in 0..procedures.len() {
-            let mut mods = procedures[pi].modified_params.clone();
-            let cur_proc = procedures[pi].id;
+        let snapshot: Vec<Vec<bool>> = procedures
+            .iter()
+            .map(|p| p.modified_params.clone())
+            .collect();
+        for proc in procedures.iter_mut() {
+            let mut mods = proc.modified_params.clone();
+            let cur_proc = proc.id;
             let mut mark = |v: VarId, mods: &mut Vec<bool>| {
                 if vars[v.0 as usize].proc == cur_proc {
                     if let Some(k) = param_index(vars, v) {
@@ -595,9 +591,7 @@ fn compute_modified_params(procedures: &mut [Procedure], vars: &[VarInfo]) {
             ) {
                 for s in body {
                     match s {
-                        Stmt::Assign { lhs, .. } | Stmt::Read { lhs, .. } => {
-                            mark(lhs.var(), mods)
-                        }
+                        Stmt::Assign { lhs, .. } | Stmt::Read { lhs, .. } => mark(lhs.var(), mods),
                         Stmt::If {
                             then_body,
                             else_body,
@@ -627,11 +621,11 @@ fn compute_modified_params(procedures: &mut [Procedure], vars: &[VarInfo]) {
                     }
                 }
             }
-            let body = std::mem::take(&mut procedures[pi].body);
+            let body = std::mem::take(&mut proc.body);
             walk(&body, &snapshot, &mut mark, &mut mods);
-            procedures[pi].body = body;
-            if mods != procedures[pi].modified_params {
-                procedures[pi].modified_params = mods;
+            proc.body = body;
+            if mods != proc.modified_params {
+                proc.modified_params = mods;
                 changed = true;
             }
         }
@@ -648,11 +642,7 @@ fn check_no_recursion(program: &Program) -> Result<(), SemaError> {
         Grey,
         Black,
     }
-    fn dfs(
-        program: &Program,
-        p: ProcId,
-        marks: &mut Vec<Mark>,
-    ) -> Result<(), SemaError> {
+    fn dfs(program: &Program, p: ProcId, marks: &mut Vec<Mark>) -> Result<(), SemaError> {
         marks[p.0 as usize] = Mark::Grey;
         let mut callees = Vec::new();
         program.walk_stmts(p, &mut |s, _| {
@@ -665,10 +655,7 @@ fn check_no_recursion(program: &Program) -> Result<(), SemaError> {
                 Mark::Grey => {
                     return err(
                         line,
-                        format!(
-                            "recursive call chain involving `{}`",
-                            program.proc(c).name
-                        ),
+                        format!("recursive call chain involving `{}`", program.proc(c).name),
                     )
                 }
                 Mark::White => dfs(program, c, marks)?,
@@ -775,19 +762,14 @@ mod tests {
 
     #[test]
     fn rejects_rank_mismatch() {
-        let e = parse_program(
-            "program t\nproc main() {\n real a[4, 4]\n a[1] = 0\n}",
-        )
-        .unwrap_err();
+        let e = parse_program("program t\nproc main() {\n real a[4, 4]\n a[1] = 0\n}").unwrap_err();
         assert!(e.to_string().contains("rank"));
     }
 
     #[test]
     fn rejects_symbolic_common_extent() {
-        let e = parse_program(
-            "program t\nproc main() {\n int n\n common /c/ real a[n]\n n = 1\n}",
-        )
-        .unwrap_err();
+        let e = parse_program("program t\nproc main() {\n int n\n common /c/ real a[n]\n n = 1\n}")
+            .unwrap_err();
         assert!(e.to_string().contains("constant"));
     }
 

@@ -46,17 +46,14 @@ fn sema_rejects_assign_to_const() {
 
 #[test]
 fn sema_rejects_call_arity_mismatch() {
-    let e = err_of(
-        "program t\nproc f(int a, int b) { a = b }\nproc main() { call f(1) }",
-    );
+    let e = err_of("program t\nproc f(int a, int b) { a = b }\nproc main() { call f(1) }");
     assert!(e.contains("argument"), "{e}");
 }
 
 #[test]
 fn sema_rejects_scalar_where_array_expected() {
-    let e = err_of(
-        "program t\nproc f(real a[*]) { a[1] = 0 }\nproc main() {\n real x\n call f(x)\n}",
-    );
+    let e =
+        err_of("program t\nproc f(real a[*]) { a[1] = 0 }\nproc main() {\n real x\n call f(x)\n}");
     assert!(e.contains("array"), "{e}");
 }
 

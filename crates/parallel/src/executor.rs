@@ -141,6 +141,7 @@ impl ParallelExecutor {
     /// Compute the privatization layout for this loop in the current frame.
     /// Returns the segments, the per-variable overrides (relative to the
     /// tail), and the tail's initial contents template.
+    #[allow(clippy::type_complexity)]
     fn build_layout(
         &self,
         m: &Machine<'_>,
@@ -155,12 +156,12 @@ impl ParallelExecutor {
         let mut group_of: HashMap<usize, usize> = HashMap::new();
 
         let add_group = |m: &Machine<'_>,
-                             v: VarId,
-                             role_for_new: SegRole,
-                             segments: &mut Vec<Segment>,
-                             overrides: &mut HashMap<VarId, usize>,
-                             next: &mut usize,
-                             group_of: &mut HashMap<usize, usize>|
+                         v: VarId,
+                         role_for_new: SegRole,
+                         segments: &mut Vec<Segment>,
+                         overrides: &mut HashMap<VarId, usize>,
+                         next: &mut usize,
+                         group_of: &mut HashMap<usize, usize>|
          -> Result<(), RuntimeError> {
             let info = program.var(v);
             // Group commons by block: privatize the whole block once.
@@ -179,10 +180,7 @@ impl ParallelExecutor {
                     if info.is_array() {
                         let base = m.array_base(v, line)?;
                         let n = m.array_elem_count(v, line)?.ok_or_else(|| RuntimeError {
-                            message: format!(
-                                "cannot size private copy of `{}`",
-                                info.name
-                            ),
+                            message: format!("cannot size private copy of `{}`", info.name),
                             line,
                         })?;
                         (base, n.max(0) as usize, 0)
@@ -212,7 +210,15 @@ impl ParallelExecutor {
         };
 
         for &v in &plan.private_vars {
-            add_group(m, v, SegRole::Private, &mut segments, &mut overrides, &mut next, &mut group_of)?;
+            add_group(
+                m,
+                v,
+                SegRole::Private,
+                &mut segments,
+                &mut overrides,
+                &mut next,
+                &mut group_of,
+            )?;
         }
         for &v in &plan.finalize_last {
             add_group(
@@ -275,11 +281,7 @@ fn scalar_base(m: &Machine<'_>, v: VarId, line: u32) -> Result<usize, RuntimeErr
 }
 
 impl LoopHandler for ParallelExecutor {
-    fn on_loop(
-        &mut self,
-        m: &mut Machine<'_>,
-        do_stmt: &Stmt,
-    ) -> Option<Result<(), RuntimeError>> {
+    fn on_loop(&mut self, m: &mut Machine<'_>, do_stmt: &Stmt) -> Option<Result<(), RuntimeError>> {
         let Stmt::Do {
             id,
             line,
@@ -388,71 +390,73 @@ impl LoopHandler for ParallelExecutor {
                 let layout = Arc::clone(&layout);
                 let segments = &segments;
                 let locks = &locks;
-                handles.push(scope.spawn(move || -> Result<(Vec<Value>, u64), RuntimeError> {
-                    let mut hooks = NoHooks;
-                    let shared = (shared_addr as *mut Value, shared_len);
-                    let mut worker = Machine::thread_view(
-                        program,
-                        layout,
-                        shared,
-                        frame,
-                        overrides,
-                        template,
-                        &mut hooks,
-                    );
-                    let run_iter = |worker: &mut Machine<'_>, k: i64| -> Result<(), RuntimeError> {
-                        let i = lo + k * step;
-                        worker.set_scalar_raw(*var, Value::Int(i), *line)?;
-                        worker.exec_body(body)
-                    };
-                    match schedule {
-                        Schedule::Block => {
-                            for k in k0..k1 {
-                                run_iter(&mut worker, k)?;
+                handles.push(
+                    scope.spawn(move || -> Result<(Vec<Value>, u64), RuntimeError> {
+                        let mut hooks = NoHooks;
+                        let shared = (shared_addr as *mut Value, shared_len);
+                        let mut worker = Machine::thread_view(
+                            program, layout, shared, frame, overrides, template, &mut hooks,
+                        );
+                        let run_iter =
+                            |worker: &mut Machine<'_>, k: i64| -> Result<(), RuntimeError> {
+                                let i = lo + k * step;
+                                worker.set_scalar_raw(*var, Value::Int(i), *line)?;
+                                worker.exec_body(body)
+                            };
+                        match schedule {
+                            Schedule::Block => {
+                                for k in k0..k1 {
+                                    run_iter(&mut worker, k)?;
+                                }
+                            }
+                            Schedule::Cyclic => {
+                                let mut k = t as i64;
+                                while k < n {
+                                    run_iter(&mut worker, k)?;
+                                    k += threads as i64;
+                                }
                             }
                         }
-                        Schedule::Cyclic => {
-                            let mut k = t as i64;
-                            while k < n {
-                                run_iter(&mut worker, k)?;
-                                k += threads as i64;
-                            }
-                        }
-                    }
-                    let ops = worker.ops();
-                    let private = worker.into_private();
-                    // Staggered in-worker finalization (§6.3.4).
-                    if let Finalization::StaggeredLocks { .. } = finalization {
-                        for seg in segments.iter() {
-                            if let SegRole::Reduction { op, lo: rlo, hi: rhi } = &seg.role {
-                                let span = rhi - rlo + 1;
-                                let per = span.div_ceil(nsections);
-                                for s in 0..nsections {
-                                    let sec = (t + s) % nsections;
-                                    let a = rlo + sec * per;
-                                    let b = (a + per).min(rhi + 1);
-                                    if a >= b {
-                                        continue;
-                                    }
-                                    let _guard = locks[sec].lock();
-                                    for k in a..b {
-                                        // SAFETY: disjoint-section writes
-                                        // serialized by the section lock;
-                                        // the View contract covers aliasing.
-                                        unsafe {
-                                            let p = (shared_addr as *mut Value)
-                                                .add(seg.shared_base + k);
-                                            let cur = (*p).as_real();
-                                            let mine = private[seg.tail_base + k].as_real();
-                                            *p = Value::Real(op.apply(cur, mine));
+                        let ops = worker.ops();
+                        let private = worker.into_private();
+                        // Staggered in-worker finalization (§6.3.4).
+                        if let Finalization::StaggeredLocks { .. } = finalization {
+                            for seg in segments.iter() {
+                                if let SegRole::Reduction {
+                                    op,
+                                    lo: rlo,
+                                    hi: rhi,
+                                } = &seg.role
+                                {
+                                    let span = rhi - rlo + 1;
+                                    let per = span.div_ceil(nsections);
+                                    for s in 0..nsections {
+                                        let sec = (t + s) % nsections;
+                                        let a = rlo + sec * per;
+                                        let b = (a + per).min(rhi + 1);
+                                        if a >= b {
+                                            continue;
+                                        }
+                                        let _guard = locks[sec].lock();
+                                        for k in a..b {
+                                            // SAFETY: disjoint-section writes
+                                            // serialized by the section lock;
+                                            // the View contract covers aliasing.
+                                            unsafe {
+                                                let p = (shared_addr as *mut Value)
+                                                    .add(seg.shared_base + k);
+                                                let cur = (*p).as_real();
+                                                let mine = private[seg.tail_base + k].as_real();
+                                                *p = Value::Real(op.apply(cur, mine));
+                                            }
                                         }
                                     }
                                 }
                             }
                         }
-                    }
-                    Ok((private, ops))
-                }));
+                        Ok((private, ops))
+                    }),
+                );
             }
             let mut tails = Vec::new();
             for h in handles {
@@ -478,9 +482,8 @@ impl LoopHandler for ParallelExecutor {
         let total_worker_ops: u64 = pairs.iter().map(|(_, o)| *o).sum();
         let tails: Vec<Vec<Value>> = pairs.into_iter().map(|(t, _)| t).collect();
         // Simulated critical path: max worker + spawn model.
-        let mut sim = max_worker_ops
-            + SPAWN_OVERHEAD_OPS
-            + PER_THREAD_OVERHEAD_OPS * threads as u64;
+        let mut sim =
+            max_worker_ops + SPAWN_OVERHEAD_OPS + PER_THREAD_OVERHEAD_OPS * threads as u64;
         // Finalization model (§6.3.4): serialized merging costs
         // threads × region size on the critical path; staggered locking
         // parallelizes it (≈ one region sweep).
@@ -512,7 +515,11 @@ impl LoopHandler for ParallelExecutor {
                         m.poke(seg.shared_base + k, last[seg.tail_base + k]);
                     }
                 }
-                SegRole::Reduction { op, lo: rlo, hi: rhi } => {
+                SegRole::Reduction {
+                    op,
+                    lo: rlo,
+                    hi: rhi,
+                } => {
                     if let Finalization::Serialized = self.config.finalization {
                         for tail in &tails {
                             for k in *rlo..=*rhi {
@@ -545,7 +552,11 @@ mod tests {
     use suif_analysis::{ParallelizeConfig, Parallelizer};
     use suif_ir::parse_program;
 
-    fn run_both(src: &str, threads: usize, finalization: Finalization) -> (Vec<String>, Vec<String>, RunStats) {
+    fn run_both(
+        src: &str,
+        threads: usize,
+        finalization: Finalization,
+    ) -> (Vec<String>, Vec<String>, RunStats) {
         let p = parse_program(src).unwrap();
         // Sequential reference.
         let mut hooks = NoHooks;

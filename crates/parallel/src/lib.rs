@@ -33,4 +33,4 @@ pub use measure::{
     best_parallel_time, best_sequential_time, measure_parallel, measure_sequential, parallel_ops,
     sequential_ops, Measurement,
 };
-pub use plan::{PlanEntry, PlanReduction, ParallelPlans};
+pub use plan::{ParallelPlans, PlanEntry, PlanReduction};

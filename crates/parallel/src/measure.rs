@@ -22,10 +22,7 @@ pub struct Measurement {
 }
 
 /// Run the program sequentially.
-pub fn measure_sequential(
-    program: &Program,
-    input: Vec<f64>,
-) -> Result<Measurement, RuntimeError> {
+pub fn measure_sequential(program: &Program, input: Vec<f64>) -> Result<Measurement, RuntimeError> {
     let mut hooks = NoHooks;
     let mut m = Machine::new(program, &mut hooks).map_err(|e| RuntimeError {
         message: e.to_string(),
@@ -185,8 +182,14 @@ proc main() {
         let par4 = parallel_ops(&p, &plans, &config(4), &[]).unwrap();
         // The simulated critical path must shrink with more workers on a
         // 4096-iteration loop (the spawn overhead is amortized).
-        assert!(par2 < seq, "2-thread sim ops {par2} not below sequential {seq}");
-        assert!(par4 < par2, "4-thread sim ops {par4} not below 2-thread {par2}");
+        assert!(
+            par2 < seq,
+            "2-thread sim ops {par2} not below sequential {seq}"
+        );
+        assert!(
+            par4 < par2,
+            "4-thread sim ops {par4} not below 2-thread {par2}"
+        );
     }
 
     #[test]

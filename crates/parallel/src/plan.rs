@@ -53,8 +53,7 @@ impl ParallelPlans {
             let Some(LoopVerdict::Parallel { plan, .. }) = pa.verdicts.get(&li.stmt) else {
                 continue;
             };
-            let depth = nest_depth(loop_body(program, li.stmt))
-                + if li.has_calls { 1 } else { 0 };
+            let depth = nest_depth(loop_body(program, li.stmt)) + if li.has_calls { 1 } else { 0 };
             let mut entry = PlanEntry {
                 // Lines × 4^depth: nested loops multiply per-iteration work.
                 body_weight: li.size_lines.max(1) << (2 * depth.min(8)),
@@ -225,7 +224,12 @@ pub fn const_range_dim0(sec: &Section) -> Option<(i64, i64)> {
         let (mut plo, mut phi): (Option<i64>, Option<i64>) = (None, None);
         for c in q.constraints() {
             let a = c.expr.coef(Var::Dim(0));
-            if a == 0 || !c.expr.sub(&suif_poly::LinExpr::term(Var::Dim(0), a)).is_constant() {
+            if a == 0
+                || !c
+                    .expr
+                    .sub(&suif_poly::LinExpr::term(Var::Dim(0), a))
+                    .is_constant()
+            {
                 continue;
             }
             let k = c.expr.constant_part();
@@ -289,8 +293,18 @@ proc main() {
         )
         .unwrap();
         let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
-        let l1 = pa.ctx.tree.loops.iter().find(|l| l.name == "main/1").unwrap();
-        assert!(pa.verdicts[&l1.stmt].is_parallel(), "{:?}", pa.verdicts[&l1.stmt]);
+        let l1 = pa
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1")
+            .unwrap();
+        assert!(
+            pa.verdicts[&l1.stmt].is_parallel(),
+            "{:?}",
+            pa.verdicts[&l1.stmt]
+        );
         let plans = ParallelPlans::from_analysis(&pa);
         let entry = &plans.loops[&l1.stmt];
         let names: Vec<String> = entry
@@ -323,7 +337,13 @@ proc main() {
         )
         .unwrap();
         let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
-        let l1 = pa.ctx.tree.loops.iter().find(|l| l.name == "main/1").unwrap();
+        let l1 = pa
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == "main/1")
+            .unwrap();
         assert!(pa.verdicts[&l1.stmt].is_parallel());
         let plans = ParallelPlans::from_analysis(&pa);
         let entry = &plans.loops[&l1.stmt];
@@ -382,7 +402,7 @@ proc main() {
 
     #[test]
     fn const_range_dim0_handles_points_intervals_and_symbols() {
-        use suif_poly::{ArrayId, Constraint, LinExpr, Polyhedron, PolySet, Section, Var};
+        use suif_poly::{ArrayId, Constraint, LinExpr, PolySet, Polyhedron, Section, Var};
         let id = ArrayId(0);
         let with_poly = |p: Polyhedron| {
             let mut s = Section::empty(id, 1);
@@ -437,7 +457,9 @@ proc main() {
             .iter()
             .map(|&pid| p.proc(pid).name.as_str())
             .collect();
-        assert!(names.contains(&"mid") && names.contains(&"leaf"), "{names:?}");
+        assert!(
+            names.contains(&"mid") && names.contains(&"leaf"),
+            "{names:?}"
+        );
     }
 }
-

@@ -253,9 +253,7 @@ mod tests {
     #[test]
     fn substitute_replaces_all_occurrences() {
         // 3*s0 + s1 + 1 with s0 := s2 - 2  =>  3*s2 + s1 - 5
-        let e = LinExpr::term(s(0), 3)
-            .add(&LinExpr::var(s(1)))
-            .offset(1);
+        let e = LinExpr::term(s(0), 3).add(&LinExpr::var(s(1))).offset(1);
         let repl = LinExpr::var(s(2)).offset(-2);
         let out = e.substitute(s(0), &repl);
         assert_eq!(out.coef(s(2)), 3);
@@ -266,7 +264,9 @@ mod tests {
 
     #[test]
     fn eval_respects_env() {
-        let e = LinExpr::term(s(0), 2).add(&LinExpr::term(s(1), -1)).offset(7);
+        let e = LinExpr::term(s(0), 2)
+            .add(&LinExpr::term(s(1), -1))
+            .offset(7);
         let v = e.eval(&|v| match v {
             Var::Sym(0) => Some(5),
             Var::Sym(1) => Some(3),

@@ -48,7 +48,7 @@ mod summary;
 
 pub use constraint::{Constraint, ConstraintKind};
 pub use expr::{LinExpr, Var};
-pub use polyhedron::{clear_prove_empty_cache, Polyhedron};
+pub use polyhedron::{clear_prove_empty_cache, prove_empty_cache_counters, Polyhedron};
 pub use polyset::PolySet;
 pub use section::{ArrayId, Section};
 pub use summary::{AccessSummary, SectionSummary};
@@ -83,7 +83,9 @@ thread_local! {
 /// The effective per-call subtract test budget for this thread
 /// ([`SUBTRACT_TEST_BUDGET`] unless overridden).
 pub fn subtract_test_budget() -> isize {
-    SUBTRACT_TEST_BUDGET_OVERRIDE.with(|c| c.get()).unwrap_or(SUBTRACT_TEST_BUDGET)
+    SUBTRACT_TEST_BUDGET_OVERRIDE
+        .with(|c| c.get())
+        .unwrap_or(SUBTRACT_TEST_BUDGET)
 }
 
 /// Override the subtract test budget on this thread (ablation/benchmark

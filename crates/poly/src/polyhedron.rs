@@ -5,6 +5,7 @@ use crate::expr::{gcd, LinExpr, Var};
 use crate::MAX_CONSTRAINTS;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A (possibly unbounded) convex integer polyhedron: the conjunction of a
 /// set of linear constraints.
@@ -358,10 +359,13 @@ impl Polyhedron {
     /// equalities.  `true` means definitely empty; `false` means "could not
     /// prove" (possibly non-empty).
     ///
-    /// Results are memoized per thread: the analyses re-ask the same
-    /// emptiness questions constantly (every transfer-function subtraction
-    /// and every dependence test), and constraint systems are plain integer
-    /// data, so caching is exact.
+    /// Results are memoized: the analyses re-ask the same emptiness
+    /// questions constantly (every transfer-function subtraction and every
+    /// dependence test), and constraint systems are plain integer data, so
+    /// caching is exact.  The memo is two-level — a thread-local L1 in front
+    /// of a sharded process-wide table — so parallel scheduler workers share
+    /// proofs across threads and across analysis runs without contending on
+    /// the hot path.
     pub fn prove_empty(&self) -> bool {
         if self.empty {
             return true;
@@ -372,18 +376,48 @@ impl Polyhedron {
         // Key: the constraint list as built (construction is deterministic,
         // so identical queries produce identical lists).  Look up by slice so
         // the common case (a hit) never clones the constraints.
-        PROVE_EMPTY_CACHE.with(|cache| {
-            if let Some(&hit) = cache.borrow().get(self.constraints.as_slice()) {
-                return hit;
-            }
-            let result = self.prove_empty_uncached();
+        let g = global_prove_empty_cache();
+        let epoch = g.epoch.load(Ordering::Acquire);
+        let l1_hit = PROVE_EMPTY_L1.with(|cache| {
             let mut c = cache.borrow_mut();
-            if c.len() > 200_000 {
-                c.clear();
+            if c.epoch != epoch {
+                // The global cache was cleared since this thread last looked:
+                // drop the now-invalid L1 wholesale.
+                c.epoch = epoch;
+                c.map.clear();
             }
-            c.insert(self.constraints.clone(), result);
-            result
-        })
+            c.map.get(self.constraints.as_slice()).copied()
+        });
+        if let Some(hit) = l1_hit {
+            g.hits.fetch_add(1, Ordering::Relaxed);
+            return hit;
+        }
+        let shard = g.shard_of(self.constraints.as_slice());
+        let global_hit = shard.lock().get(self.constraints.as_slice()).copied();
+        let result = match global_hit {
+            Some(hit) => {
+                g.hits.fetch_add(1, Ordering::Relaxed);
+                hit
+            }
+            None => {
+                let result = self.prove_empty_uncached();
+                g.misses.fetch_add(1, Ordering::Relaxed);
+                let mut s = shard.lock();
+                if s.len() > 100_000 {
+                    s.clear();
+                }
+                s.insert(self.constraints.clone(), result);
+                result
+            }
+        };
+        PROVE_EMPTY_L1.with(|cache| {
+            let mut c = cache.borrow_mut();
+            if c.map.len() > 100_000 {
+                c.map.clear();
+            }
+            c.map.insert(self.constraints.clone(), result);
+        });
+        result
     }
 
     fn prove_empty_uncached(&self) -> bool {
@@ -424,12 +458,7 @@ impl Polyhedron {
             let v = vars
                 .iter()
                 .copied()
-                .min_by_key(|&w| {
-                    p.constraints
-                        .iter()
-                        .filter(|c| c.expr.mentions(w))
-                        .count()
-                })
+                .min_by_key(|&w| p.constraints.iter().filter(|c| c.expr.mentions(w)).count())
                 .unwrap_or(v);
             p = p.project_out(v);
         }
@@ -748,16 +777,78 @@ fn neg_var_parts(a: &LinExpr, b: &LinExpr) -> bool {
             .all(|((va, ca), (vb, cb))| va == vb && ca == -cb)
 }
 
-/// Clear this thread's emptiness-proof memo table (benchmark support: keeps
-/// timing comparisons across configurations honest).
+/// Clear the emptiness-proof memo (benchmark support: keeps timing
+/// comparisons across configurations honest).  The process-wide table is
+/// emptied immediately; other threads' L1 tables are invalidated lazily via
+/// an epoch bump the next time they consult the cache.  Because the memo is
+/// exact (a pure function of the constraint system), a racing insert that
+/// lands after the clear is still correct — clearing only affects memory and
+/// timing, never results.
 pub fn clear_prove_empty_cache() {
-    PROVE_EMPTY_CACHE.with(|c| c.borrow_mut().clear());
+    let g = global_prove_empty_cache();
+    g.epoch.fetch_add(1, Ordering::AcqRel);
+    for s in &g.shards {
+        s.lock().clear();
+    }
+    PROVE_EMPTY_L1.with(|cache| {
+        let mut c = cache.borrow_mut();
+        c.map.clear();
+        c.epoch = g.epoch.load(Ordering::Acquire);
+    });
+}
+
+/// `(hits, misses)` of the emptiness-proof memo since process start
+/// (L1 hits count as hits).
+pub fn prove_empty_cache_counters() -> (u64, u64) {
+    let g = global_prove_empty_cache();
+    (
+        g.hits.load(Ordering::Relaxed),
+        g.misses.load(Ordering::Relaxed),
+    )
+}
+
+const PROVE_EMPTY_SHARDS: usize = 16;
+
+type ProveEmptyMap = std::collections::HashMap<Vec<Constraint>, bool>;
+
+/// Process-wide memo for [`Polyhedron::prove_empty`]; exact (integer data).
+struct GlobalProveEmptyCache {
+    shards: [parking_lot::Mutex<ProveEmptyMap>; PROVE_EMPTY_SHARDS],
+    /// Bumped by [`clear_prove_empty_cache`]; L1 tables holding an older
+    /// epoch discard themselves before use.
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl GlobalProveEmptyCache {
+    fn shard_of(&self, key: &[Constraint]) -> &parking_lot::Mutex<ProveEmptyMap> {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[h.finish() as usize % PROVE_EMPTY_SHARDS]
+    }
+}
+
+fn global_prove_empty_cache() -> &'static GlobalProveEmptyCache {
+    static CACHE: std::sync::OnceLock<GlobalProveEmptyCache> = std::sync::OnceLock::new();
+    CACHE.get_or_init(|| GlobalProveEmptyCache {
+        shards: std::array::from_fn(|_| parking_lot::Mutex::new(ProveEmptyMap::new())),
+        epoch: AtomicU64::new(1),
+        hits: AtomicU64::new(0),
+        misses: AtomicU64::new(0),
+    })
+}
+
+/// Per-thread L1 in front of the global memo: hot lookups touch no lock.
+struct ProveEmptyL1 {
+    epoch: u64,
+    map: ProveEmptyMap,
 }
 
 thread_local! {
-    /// Memo table for [`Polyhedron::prove_empty`]; exact (integer data).
-    static PROVE_EMPTY_CACHE: std::cell::RefCell<std::collections::HashMap<Vec<Constraint>, bool>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
+    static PROVE_EMPTY_L1: std::cell::RefCell<ProveEmptyL1> =
+        std::cell::RefCell::new(ProveEmptyL1 { epoch: 0, map: ProveEmptyMap::new() });
 }
 
 impl fmt::Display for Polyhedron {

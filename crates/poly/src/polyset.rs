@@ -476,4 +476,3 @@ mod tests {
         );
     }
 }
-

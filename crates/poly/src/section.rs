@@ -274,7 +274,8 @@ mod tests {
     fn point_section_contains_only_that_index() {
         let s = Section::point(a(), &[LinExpr::constant(5)]);
         let at = |v: i64| {
-            s.set.contains_point(&|var| if var == Var::Dim(0) { Some(v) } else { None })
+            s.set
+                .contains_point(&|var| if var == Var::Dim(0) { Some(v) } else { None })
                 .unwrap()
         };
         assert!(at(5) && !at(4));

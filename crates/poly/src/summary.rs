@@ -104,11 +104,7 @@ impl SectionSummary {
     /// projectable indices as fresh existential symbols (see
     /// [`Section::closure_keep`]); the must-write component stays exact or
     /// drops.
-    pub fn closure_with(
-        &self,
-        loop_index: Var,
-        fresh: &mut dyn FnMut() -> Var,
-    ) -> SectionSummary {
+    pub fn closure_with(&self, loop_index: Var, fresh: &mut dyn FnMut() -> Var) -> SectionSummary {
         let must = self
             .must_write
             .closure_exact(loop_index)
@@ -262,10 +258,18 @@ impl AccessSummary {
     /// must-write empty — correct, since the other path writes nothing).
     pub fn meet(&self, other: &AccessSummary) -> AccessSummary {
         let mut out = AccessSummary::empty();
-        let keys: std::collections::BTreeSet<ArrayId> =
-            self.per_array.keys().chain(other.per_array.keys()).copied().collect();
+        let keys: std::collections::BTreeSet<ArrayId> = self
+            .per_array
+            .keys()
+            .chain(other.per_array.keys())
+            .copied()
+            .collect();
         for a in keys {
-            let nd = *self.dims.get(&a).or_else(|| other.dims.get(&a)).unwrap_or(&1);
+            let nd = *self
+                .dims
+                .get(&a)
+                .or_else(|| other.dims.get(&a))
+                .unwrap_or(&1);
             let ea = SectionSummary::empty(a, nd);
             let x = self.per_array.get(&a).unwrap_or(&ea);
             let y = other.per_array.get(&a).unwrap_or(&ea);
@@ -278,10 +282,18 @@ impl AccessSummary {
     /// the code following the node).
     pub fn transfer_before(&self, node: &AccessSummary) -> AccessSummary {
         let mut out = AccessSummary::empty();
-        let keys: std::collections::BTreeSet<ArrayId> =
-            self.per_array.keys().chain(node.per_array.keys()).copied().collect();
+        let keys: std::collections::BTreeSet<ArrayId> = self
+            .per_array
+            .keys()
+            .chain(node.per_array.keys())
+            .copied()
+            .collect();
         for a in keys {
-            let nd = *self.dims.get(&a).or_else(|| node.dims.get(&a)).unwrap_or(&1);
+            let nd = *self
+                .dims
+                .get(&a)
+                .or_else(|| node.dims.get(&a))
+                .unwrap_or(&1);
             let ea = SectionSummary::empty(a, nd);
             let after = self.per_array.get(&a).unwrap_or(&ea);
             let n = node.per_array.get(&a).unwrap_or(&ea);
@@ -297,11 +309,7 @@ impl AccessSummary {
     }
 
     /// Structure-preserving closure across all arrays.
-    pub fn closure_with(
-        &self,
-        loop_index: Var,
-        fresh: &mut dyn FnMut() -> Var,
-    ) -> AccessSummary {
+    pub fn closure_with(&self, loop_index: Var, fresh: &mut dyn FnMut() -> Var) -> AccessSummary {
         let mut out = AccessSummary::empty();
         for s in self.per_array.values() {
             out.insert(s.closure_with(loop_index, fresh));
@@ -389,7 +397,7 @@ impl fmt::Display for AccessSummary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Constraint, Polyhedron, PolySet};
+    use crate::{Constraint, PolySet, Polyhedron};
 
     fn aid() -> ArrayId {
         ArrayId(7)
@@ -470,7 +478,11 @@ mod tests {
         let bound_lo = Constraint::geq(&LinExpr::var(i), &LinExpr::constant(1));
         let bound_hi = Constraint::leq(&LinExpr::var(i), &LinExpr::constant(9));
         body.write.set = body.write.set.constrain(&bound_lo).constrain(&bound_hi);
-        body.must_write.set = body.must_write.set.constrain(&bound_lo).constrain(&bound_hi);
+        body.must_write.set = body
+            .must_write
+            .set
+            .constrain(&bound_lo)
+            .constrain(&bound_hi);
         let closed = body.closure(i);
         assert!(closed.must_write.provably_subset_of(&range(1, 9)));
         assert!(range(1, 9).provably_subset_of(&closed.must_write));

@@ -17,17 +17,13 @@ const VARS: [Var; 3] = [Var::Sym(0), Var::Sym(1), Var::Sym(2)];
 const GRID: std::ops::RangeInclusive<i64> = -4..=4;
 
 fn lin_expr() -> impl Strategy<Value = LinExpr> {
-    (
-        prop::collection::vec(-3i64..=3, 3),
-        -6i64..=6,
-    )
-        .prop_map(|(coefs, c)| {
-            let mut e = LinExpr::constant(c);
-            for (i, &k) in coefs.iter().enumerate() {
-                e = e.add(&LinExpr::term(VARS[i], k));
-            }
-            e
-        })
+    (prop::collection::vec(-3i64..=3, 3), -6i64..=6).prop_map(|(coefs, c)| {
+        let mut e = LinExpr::constant(c);
+        for (i, &k) in coefs.iter().enumerate() {
+            e = e.add(&LinExpr::term(VARS[i], k));
+        }
+        e
+    })
 }
 
 fn constraint() -> impl Strategy<Value = Constraint> {

@@ -6,6 +6,7 @@
 //! suif-explorer slice   <file.mf> <loop>          # slices for a loop's first dependence
 //! suif-explorer run     <file.mf> [--threads N] [--input v,…]
 //! suif-explorer codeview <file.mf>
+//! suif-explorer serve   [--threads N] [--tcp ADDR]  # persistent daemon
 //! ```
 //!
 //! `--assert interf/1000:rl` privatizes `rl` in `interf/1000` after the
@@ -29,14 +30,46 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: suif-explorer <analyze|explore|slice|run|codeview> <file.mf> [options]\n\
+     \x20      suif-explorer serve [--threads N] [--tcp ADDR]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
-       --threads N          worker threads for `run` (default 2)\n\
-       --input v1,v2,…      `read` input values"
+       --threads N          worker threads for `run`/`serve`\n\
+       --input v1,v2,…      `read` input values\n\
+       --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)"
         .to_string()
 }
 
+fn serve(args: &[String]) -> Result<(), String> {
+    let mut threads = 0usize; // 0 = one scheduler worker per core
+    let mut tcp: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--threads needs a number")?;
+                i += 2;
+            }
+            "--tcp" => {
+                tcp = Some(args.get(i + 1).ok_or("--tcp needs an address")?.clone());
+                i += 2;
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    let res = match tcp {
+        Some(addr) => suif_server::serve_tcp(&addr, threads),
+        None => suif_server::serve_stdio(threads),
+    };
+    res.map_err(|e| e.to_string())
+}
+
 fn run(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(args);
+    }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),
         _ => return Err(usage()),
@@ -112,7 +145,11 @@ fn run(args: &[String]) -> Result<(), String> {
                 print!(
                     "  {:<20} {}",
                     li.name,
-                    if v.is_parallel() { "PARALLEL" } else { "sequential" }
+                    if v.is_parallel() {
+                        "PARALLEL"
+                    } else {
+                        "sequential"
+                    }
                 );
                 if let suif_analysis::LoopVerdict::Sequential { deps, .. } = v {
                     let names: Vec<&str> = deps.iter().map(|d| d.name.as_str()).collect();

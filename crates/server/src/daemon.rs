@@ -1,0 +1,182 @@
+//! The daemon loop: line-delimited JSON requests over stdio or TCP.
+//!
+//! One daemon holds at most one [`Session`] plus the cross-reload
+//! [`SummaryCache`].  The cache outlives sessions: a `load` after a `quit`
+//! or reconnect still reuses every summary whose content key matches.
+
+use crate::json::Json;
+use crate::proto::{err_response, ok_response, Request};
+use crate::session::Session;
+use std::io::{self, BufRead, Write};
+use std::sync::Arc;
+use suif_analysis::{ScheduleOptions, SummaryCache};
+
+/// A persistent analysis daemon.
+pub struct Daemon {
+    opts: ScheduleOptions,
+    cache: Arc<SummaryCache>,
+    session: Option<Session>,
+}
+
+impl Daemon {
+    /// A daemon with `threads` scheduler workers (`0` = one per core).
+    pub fn new(threads: usize) -> Daemon {
+        Daemon {
+            opts: ScheduleOptions { threads },
+            cache: Arc::new(SummaryCache::new()),
+            session: None,
+        }
+    }
+
+    fn with_session<R>(&mut self, f: impl FnOnce(&mut Session) -> R) -> Result<R, String> {
+        match self.session.as_mut() {
+            Some(s) => Ok(f(s)),
+            None => Err("no program loaded (send {\"cmd\":\"load\",\"text\":…} first)".into()),
+        }
+    }
+
+    /// Handle one request line; returns the response and whether to close.
+    pub fn handle_line(&mut self, line: &str) -> (Json, bool) {
+        let req = match Request::parse(line) {
+            Ok(r) => r,
+            Err(e) => return (err_response(&e.0), false),
+        };
+        let result: Result<Json, String> = match req {
+            Request::Load { text } => Session::open(&text, self.opts.clone(), self.cache.clone())
+                .map(|s| {
+                    let stats = s.stats_json();
+                    self.session = Some(s);
+                    stats
+                }),
+            Request::Reload { text } => match self.session.as_mut() {
+                // A reload without a session is just a load.
+                None => Session::open(&text, self.opts.clone(), self.cache.clone()).map(|s| {
+                    let stats = s.stats_json();
+                    self.session = Some(s);
+                    stats
+                }),
+                Some(s) => s.reload(&text).map(|()| s.stats_json()),
+            },
+            Request::Analyze => self.with_session(|s| s.analyze()),
+            Request::Guru => self.with_session(|s| s.guru_json()),
+            Request::Slice { loop_name } => self
+                .with_session(|s| s.slice_json(&loop_name))
+                .and_then(|r| r),
+            Request::Codeview => self.with_session(|s| s.codeview_json()),
+            Request::Stats => self.with_session(|s| s.stats_json()),
+            Request::Quit => return (ok_response(Json::obj([])), true),
+        };
+        match result {
+            Ok(payload) => (ok_response(payload), false),
+            Err(msg) => (err_response(&msg), false),
+        }
+    }
+
+    /// Serve one connection: read request lines from `input`, write one
+    /// response line each to `output`, until `quit` or EOF.
+    pub fn serve(&mut self, input: impl BufRead, output: &mut impl Write) -> io::Result<()> {
+        for line in input.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let (resp, quit) = self.handle_line(&line);
+            writeln!(output, "{resp}")?;
+            output.flush()?;
+            if quit {
+                break;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Serve on stdin/stdout until `quit` or EOF.
+pub fn serve_stdio(threads: usize) -> io::Result<()> {
+    let mut daemon = Daemon::new(threads);
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    daemon.serve(stdin.lock(), &mut stdout)
+}
+
+/// Serve on a TCP listener, one connection at a time.  The daemon — and
+/// with it the summary cache and loaded session — persists across
+/// connections.  Prints `listening on <addr>` to stdout once bound (bind to
+/// port 0 to let the OS pick).
+pub fn serve_tcp(addr: &str, threads: usize) -> io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    println!("listening on {}", listener.local_addr()?);
+    io::stdout().flush()?;
+    let mut daemon = Daemon::new(threads);
+    for conn in listener.incoming() {
+        let conn = conn?;
+        let reader = io::BufReader::new(conn.try_clone()?);
+        let mut writer = conn;
+        if daemon.serve(reader, &mut writer).is_err() {
+            // A dropped connection must not kill the daemon.
+            continue;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Json;
+
+    const SRC: &str = "program t\\nproc main() {\\n real a[10]\\n int i\\n do 1 i = 1, 10 {\\n  a[i] = i\\n }\\n print a[5]\\n}";
+
+    fn req(daemon: &mut Daemon, line: &str) -> Json {
+        let (resp, _) = daemon.handle_line(line);
+        resp
+    }
+
+    #[test]
+    fn daemon_round_trip() {
+        let mut d = Daemon::new(1);
+        // Queries before load fail cleanly.
+        let r = req(&mut d, r#"{"cmd":"analyze"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+
+        let r = req(&mut d, &format!(r#"{{"cmd":"load","text":"{SRC}"}}"#));
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(1));
+
+        let r = req(&mut d, r#"{"cmd":"analyze"}"#);
+        let loops = r.get("loops").and_then(Json::as_arr).unwrap();
+        assert_eq!(loops[0].get("parallel").and_then(Json::as_bool), Some(true));
+
+        // Warm re-analysis: zero procedures re-summarized.
+        let r = req(&mut d, r#"{"cmd":"stats"}"#);
+        assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(0));
+        assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(1));
+
+        // Parse errors and unknown commands answer, not crash.
+        let r = req(&mut d, "garbage");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let (_, quit) = d.handle_line(r#"{"cmd":"quit"}"#);
+        assert!(quit);
+    }
+
+    #[test]
+    fn serve_loop_over_buffers() {
+        let mut d = Daemon::new(1);
+        let input = format!(
+            "{}\n{}\n{}\n",
+            format_args!(r#"{{"cmd":"load","text":"{SRC}"}}"#),
+            r#"{"cmd":"guru"}"#,
+            r#"{"cmd":"quit"}"#
+        );
+        let mut out = Vec::new();
+        d.serve(io::BufReader::new(input.as_bytes()), &mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for l in &lines {
+            let v = Json::parse(l).unwrap();
+            assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{l}");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! suif-server: a persistent analysis daemon for the SUIF Explorer
+//! reproduction.
+//!
+//! The paper's Explorer is interactive — the user asks the Guru for targets,
+//! slices a dependence, asserts a fact, and re-checks — so the analysis must
+//! be resident: parse once, analyze once, then answer queries and re-analyze
+//! only what an edit dirtied. This crate provides that long-lived session
+//! behind the `suif-explorer serve` subcommand, speaking line-delimited JSON
+//! over stdio or TCP.
+
+pub mod daemon;
+pub mod json;
+pub mod proto;
+pub mod session;
+
+pub use daemon::{serve_stdio, serve_tcp, Daemon};
+pub use session::Session;

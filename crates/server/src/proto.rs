@@ -1,0 +1,116 @@
+//! Wire protocol: request parsing and response shaping.
+
+use crate::json::Json;
+
+/// A parsed client request.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Load a program from MiniF source text, replacing any current session.
+    Load { text: String },
+    /// Re-load edited source, re-analyzing only the dirty cone.
+    Reload { text: String },
+    /// Report per-loop parallelization verdicts.
+    Analyze,
+    /// Ranked Guru targets (coverage/granularity driven).
+    Guru,
+    /// Slice the dependences of one loop.
+    Slice { loop_name: String },
+    /// Render the annotated code view.
+    Codeview,
+    /// Daemon statistics: pass timings, cache counters, worker utilization.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Protocol-level failure, reported to the client as an error response.
+#[derive(Debug, Clone)]
+pub struct ProtoError(pub String);
+
+impl Request {
+    /// Parse one line of client input.
+    pub fn parse(line: &str) -> Result<Request, ProtoError> {
+        let v = Json::parse(line).map_err(|e| ProtoError(e.to_string()))?;
+        let cmd = v
+            .get("cmd")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ProtoError("missing string field \"cmd\"".into()))?;
+        let text_field = |v: &Json| -> Result<String, ProtoError> {
+            v.get("text")
+                .and_then(Json::as_str)
+                .map(str::to_string)
+                .ok_or_else(|| ProtoError(format!("{cmd} requires string field \"text\"")))
+        };
+        match cmd {
+            "load" => Ok(Request::Load {
+                text: text_field(&v)?,
+            }),
+            "reload" => Ok(Request::Reload {
+                text: text_field(&v)?,
+            }),
+            "analyze" => Ok(Request::Analyze),
+            "guru" => Ok(Request::Guru),
+            "slice" => {
+                let loop_name = v
+                    .get("loop")
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| ProtoError("slice requires string field \"loop\"".into()))?;
+                Ok(Request::Slice { loop_name })
+            }
+            "codeview" => Ok(Request::Codeview),
+            "stats" => Ok(Request::Stats),
+            "quit" => Ok(Request::Quit),
+            other => Err(ProtoError(format!("unknown cmd {other:?}"))),
+        }
+    }
+}
+
+/// Wrap a successful payload: `{"ok":true, ...payload}`.
+pub fn ok_response(payload: Json) -> Json {
+    match payload {
+        Json::Obj(mut m) => {
+            m.insert("ok".into(), Json::Bool(true));
+            Json::Obj(m)
+        }
+        other => Json::obj([("ok", Json::Bool(true)), ("result", other)]),
+    }
+}
+
+/// Wrap an error message: `{"ok":false,"error":msg}`.
+pub fn err_response(msg: &str) -> Json {
+    Json::obj([("ok", Json::Bool(false)), ("error", Json::str(msg))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_commands() {
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"load","text":"program p\nend"}"#),
+            Ok(Request::Load { .. })
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"stats"}"#),
+            Ok(Request::Stats)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"slice","loop":"main:1"}"#),
+            Ok(Request::Slice { .. })
+        ));
+        assert!(Request::parse(r#"{"cmd":"slice"}"#).is_err());
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn response_shapes() {
+        let ok = ok_response(Json::obj([("loops", Json::Arr(vec![]))]));
+        assert_eq!(ok.get("ok").and_then(Json::as_bool), Some(true));
+        let err = err_response("nope");
+        assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(err.get("error").and_then(Json::as_str), Some("nope"));
+    }
+}

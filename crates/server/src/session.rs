@@ -1,0 +1,312 @@
+//! A resident Explorer session: owns the parsed program, the analysis, and
+//! the cross-reload summary cache.
+//!
+//! The Explorer borrows the [`Program`] it analyzes; a daemon must own both.
+//! [`Session`] boxes the program (a stable heap address) and extends the
+//! borrow to `'static` internally.  Safety rests on two invariants: the
+//! `explorer` field is declared before `program` so it drops first, and the
+//! extended reference never escapes the session (every public return is
+//! owned JSON or plain data).
+
+use crate::json::Json;
+use std::sync::Arc;
+use suif_analysis::{AnalyzeStats, LoopVerdict, ScheduleOptions, SummaryCache};
+use suif_explorer::Explorer;
+use suif_ir::Program;
+
+/// One loaded program plus its resident analysis state.
+pub struct Session {
+    /// Borrows `program`; declared first so it drops first.
+    explorer: Explorer<'static>,
+    /// The owned program; boxed so its address survives moves of `Session`.
+    #[allow(dead_code)]
+    program: Box<Program>,
+    cache: Arc<SummaryCache>,
+    opts: ScheduleOptions,
+    /// Stats of the most recent analysis run.
+    pub last_stats: AnalyzeStats,
+    /// `(hits, misses)` of the summary cache during the most recent run.
+    pub last_cache_delta: (u64, u64),
+    /// Completed `load`/`reload` requests.
+    pub generation: u64,
+}
+
+fn build_explorer(
+    program: &'static Program,
+    opts: &ScheduleOptions,
+    cache: &SummaryCache,
+) -> Result<(Explorer<'static>, AnalyzeStats, (u64, u64)), String> {
+    let before = cache.counters();
+    let (explorer, stats) =
+        Explorer::with_schedule(program, Default::default(), Vec::new(), opts, Some(cache))
+            .map_err(|e| e.to_string())?;
+    let after = cache.counters();
+    Ok((explorer, stats, (after.0 - before.0, after.1 - before.1)))
+}
+
+impl Session {
+    /// Parse and analyze `source`, seeding (and drawing from) `cache`.
+    pub fn open(
+        source: &str,
+        opts: ScheduleOptions,
+        cache: Arc<SummaryCache>,
+    ) -> Result<Session, String> {
+        let program = Box::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
+        // SAFETY: `program` is heap-allocated and lives in this session
+        // until after `explorer` (field order) is dropped; the reference
+        // never leaves the session.
+        let pref: &'static Program = unsafe { &*(&*program as *const Program) };
+        let (explorer, stats, delta) = build_explorer(pref, &opts, &cache)?;
+        Ok(Session {
+            explorer,
+            program,
+            cache,
+            opts,
+            last_stats: stats,
+            last_cache_delta: delta,
+            generation: 1,
+        })
+    }
+
+    /// Replace the program with edited source.  The summary cache carries
+    /// over, so only the dirty cone (edited procedures, id-shifted ones, and
+    /// their transitive callers) is re-summarized.
+    pub fn reload(&mut self, source: &str) -> Result<(), String> {
+        let program = Box::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
+        // SAFETY: as in `open`.
+        let pref: &'static Program = unsafe { &*(&*program as *const Program) };
+        let (explorer, stats, delta) = build_explorer(pref, &self.opts, &self.cache)?;
+        // Install the new pair; the old explorer (borrowing the old program)
+        // is dropped here, before the old program.
+        self.explorer = explorer;
+        self.program = program;
+        self.last_stats = stats;
+        self.last_cache_delta = delta;
+        self.generation += 1;
+        Ok(())
+    }
+
+    /// Re-run the static analysis through the cache (a warm re-analysis of
+    /// an unchanged program summarizes zero procedures) and report per-loop
+    /// verdicts.
+    pub fn analyze(&mut self) -> Json {
+        let before = self.cache.counters();
+        let config = self.explorer.analysis.config.clone();
+        let (analysis, stats) = suif_analysis::Parallelizer::analyze_with(
+            self.explorer.program,
+            config,
+            &self.opts,
+            Some(&self.cache),
+        );
+        let after = self.cache.counters();
+        self.explorer.analysis = analysis;
+        self.last_stats = stats;
+        self.last_cache_delta = (after.0 - before.0, after.1 - before.1);
+        self.verdicts_json()
+    }
+
+    /// Per-loop verdicts of the current analysis, in source order.
+    pub fn verdicts_json(&self) -> Json {
+        let loops: Vec<Json> = self
+            .explorer
+            .analysis
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .map(|li| {
+                let v = &self.explorer.analysis.verdicts[&li.stmt];
+                let mut fields = vec![
+                    ("loop", Json::str(&li.name)),
+                    ("line", Json::int(li.line as i64)),
+                    ("parallel", Json::Bool(v.is_parallel())),
+                ];
+                if let LoopVerdict::Sequential { deps, has_io, .. } = v {
+                    fields.push((
+                        "deps",
+                        Json::Arr(deps.iter().map(|d| Json::str(&d.name)).collect()),
+                    ));
+                    fields.push(("io", Json::Bool(*has_io)));
+                }
+                Json::obj(fields)
+            })
+            .collect();
+        Json::obj([("loops", Json::Arr(loops))])
+    }
+
+    /// The Guru's ranked targets (§2.6).
+    pub fn guru_json(&self) -> Json {
+        let report = self.explorer.guru();
+        let targets: Vec<Json> = report
+            .targets
+            .iter()
+            .map(|t| {
+                Json::obj([
+                    ("loop", Json::str(&t.name)),
+                    ("coverage", Json::Num(t.coverage)),
+                    ("granularity", Json::Num(t.granularity)),
+                    ("static_deps", Json::int(t.static_deps as i64)),
+                    ("dynamic_dep", Json::Bool(t.dynamic_dep)),
+                    ("important", Json::Bool(t.important)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("coverage", Json::Num(report.coverage)),
+            ("granularity", Json::Num(report.granularity)),
+            ("targets", Json::Arr(targets)),
+            ("rendered", Json::str(report.render())),
+        ])
+    }
+
+    /// Program/control slices for the first unresolved dependence of a loop
+    /// (§2.6, Fig. 4-3).
+    pub fn slice_json(&mut self, loop_name: &str) -> Result<Json, String> {
+        let li = self
+            .explorer
+            .analysis
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == loop_name)
+            .ok_or_else(|| format!("no loop `{loop_name}`"))?
+            .clone();
+        let slices = self.explorer.slices_for_dep(li.stmt, 0);
+        let mut lines = std::collections::BTreeSet::new();
+        let mut terminals = std::collections::BTreeSet::new();
+        for (_, p, c) in &slices {
+            lines.extend(p.lines.iter().copied());
+            lines.extend(c.lines.iter().copied());
+            for s in p.terminals.iter().chain(c.terminals.iter()) {
+                if let Some((stmt, _)) = self.explorer.program.find_stmt(*s) {
+                    terminals.insert(stmt.line());
+                }
+            }
+        }
+        let view = if slices.is_empty() {
+            String::new()
+        } else {
+            suif_explorer::source_view(&self.explorer, li.line, li.end_line, &lines, &terminals)
+        };
+        Ok(Json::obj([
+            ("loop", Json::str(loop_name)),
+            ("slices", Json::int(slices.len() as i64)),
+            (
+                "lines",
+                Json::Arr(lines.iter().map(|&l| Json::int(l as i64)).collect()),
+            ),
+            (
+                "terminals",
+                Json::Arr(terminals.iter().map(|&l| Json::int(l as i64)).collect()),
+            ),
+            ("view", Json::str(&view)),
+        ]))
+    }
+
+    /// The annotated code view (§2.7).
+    pub fn codeview_json(&self) -> Json {
+        let guru = self.explorer.guru();
+        Json::obj([(
+            "view",
+            Json::str(suif_explorer::codeview(&self.explorer, &guru)),
+        )])
+    }
+
+    /// Daemon statistics: pass wall times, summary-cache traffic, worker
+    /// utilization, and emptiness-memo counters.
+    pub fn stats_json(&self) -> Json {
+        let s = &self.last_stats;
+        let (pe_hits, pe_misses) = suif_poly::prove_empty_cache_counters();
+        Json::obj([
+            ("generation", Json::int(self.generation as i64)),
+            ("procs", Json::int(s.schedule.procs as i64)),
+            ("levels", Json::int(s.schedule.levels as i64)),
+            ("threads", Json::int(s.schedule.threads as i64)),
+            ("summarized", Json::int(s.schedule.summarized as i64)),
+            ("cache_hits", Json::int(s.schedule.cache_hits as i64)),
+            ("cache_entries", Json::int(self.cache.len() as i64)),
+            ("utilization", Json::Num(s.schedule.utilization())),
+            (
+                "passes",
+                Json::obj([
+                    ("summarize", Json::Num(s.schedule.wall_secs)),
+                    ("liveness", Json::Num(s.liveness_secs)),
+                    ("classify", Json::Num(s.classify_secs)),
+                    ("total", Json::Num(s.total_secs)),
+                ]),
+            ),
+            (
+                "prove_empty",
+                Json::obj([
+                    ("hits", Json::int(pe_hits as i64)),
+                    ("misses", Json::int(pe_misses as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "program t
+proc inc(real q[*], int n) {
+ int i
+ do 1 i = 1, n {
+  q[i] = q[i] + 1
+ }
+}
+proc main() {
+ real b[8]
+ int i
+ do 2 i = 1, 8 {
+  b[i] = i
+ }
+ call inc(b, 8)
+ print b[3]
+}";
+
+    #[test]
+    fn session_loads_and_answers() {
+        let cache = Arc::new(SummaryCache::new());
+        let mut s = Session::open(SRC, ScheduleOptions::sequential(), cache).unwrap();
+        let v = s.verdicts_json();
+        let loops = v.get("loops").and_then(Json::as_arr).unwrap();
+        assert_eq!(loops.len(), 2);
+        assert!(loops
+            .iter()
+            .all(|l| l.get("parallel").and_then(Json::as_bool) == Some(true)));
+        assert_eq!(s.last_stats.schedule.summarized, 2);
+
+        // Warm re-analysis of the unchanged program summarizes nothing.
+        s.analyze();
+        assert_eq!(s.last_stats.schedule.summarized, 0);
+        assert_eq!(s.last_stats.schedule.cache_hits, 2);
+
+        // Reload with an edit to main only: the leaf `inc` stays cached.
+        let edited = SRC.replace("print b[3]", "print b[4]");
+        s.reload(&edited).unwrap();
+        assert_eq!(s.generation, 2);
+        assert_eq!(s.last_stats.schedule.cache_hits, 1, "inc must hit");
+        assert_eq!(s.last_stats.schedule.summarized, 1, "only main dirty");
+    }
+
+    #[test]
+    fn session_guru_and_codeview() {
+        let cache = Arc::new(SummaryCache::new());
+        let mut s = Session::open(SRC, ScheduleOptions::sequential(), cache).unwrap();
+        let g = s.guru_json();
+        assert!(g.get("coverage").and_then(Json::as_f64).is_some());
+        let cv = s.codeview_json();
+        assert!(cv
+            .get("view")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("do"));
+        assert!(s.slice_json("nosuch/1").is_err());
+        let sl = s.slice_json("main/2").unwrap();
+        assert_eq!(sl.get("loop").and_then(Json::as_str), Some("main/2"));
+    }
+}

@@ -33,10 +33,20 @@ proc main() {
 fn analyze_reports_verdicts_and_targets() {
     let f = write_temp("analyze", SEQ_SRC);
     let out = Command::new(BIN).arg("analyze").arg(&f).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("main/1") && text.contains("sequential"), "{text}");
-    assert!(text.contains("main/2") && text.contains("PARALLEL"), "{text}");
+    assert!(
+        text.contains("main/1") && text.contains("sequential"),
+        "{text}"
+    );
+    assert!(
+        text.contains("main/2") && text.contains("PARALLEL"),
+        "{text}"
+    );
     std::fs::remove_file(f).ok();
 }
 
@@ -47,7 +57,11 @@ fn slice_positional_loop_name_is_accepted() {
         .args(["slice".as_ref(), f.as_os_str(), "main/1".as_ref()])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     // The recurrence on `a` must be surfaced with slice lines.
     assert!(text.contains("a") && !text.trim().is_empty(), "{text}");
@@ -58,10 +72,19 @@ fn slice_positional_loop_name_is_accepted() {
 fn run_compares_sequential_and_parallel() {
     let f = write_temp("run", SEQ_SRC);
     let out = Command::new(BIN)
-        .args(["run".as_ref(), f.as_os_str(), "--threads".as_ref(), "2".as_ref()])
+        .args([
+            "run".as_ref(),
+            f.as_os_str(),
+            "--threads".as_ref(),
+            "2".as_ref(),
+        ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     // Program output goes to stdout; the timing summary goes to stderr.
     let stdout = String::from_utf8_lossy(&out.stdout);
     let stderr = String::from_utf8_lossy(&out.stderr);
@@ -77,7 +100,11 @@ fn run_compares_sequential_and_parallel() {
 fn codeview_renders_markers() {
     let f = write_temp("codeview", SEQ_SRC);
     let out = Command::new(BIN).arg("codeview").arg(&f).output().unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("codeview"), "{text}");
     std::fs::remove_file(f).ok();
@@ -97,7 +124,11 @@ fn explore_with_assertion_is_checked() {
         ])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("REJECTED"), "{text}");
     std::fs::remove_file(f).ok();

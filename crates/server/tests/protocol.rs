@@ -1,0 +1,175 @@
+//! End-to-end protocol round trip: spawn the real `suif-explorer serve`
+//! binary, speak line-delimited JSON over its stdio, and check every
+//! response.
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use suif_server::json::Json;
+
+const SRC: &str = "program t
+proc inc(real q[*], int n) {
+ int i
+ do 1 i = 1, n {
+  q[i] = q[i] + 1
+ }
+}
+proc main() {
+ real b[8]
+ int i
+ do 2 i = 1, 8 {
+  b[i] = i
+ }
+ call inc(b, 8)
+ print b[3]
+}";
+
+/// Minimal JSON string escaping for request payloads.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+struct Client {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Client {
+    fn spawn() -> Client {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_suif-explorer"))
+            .args(["serve", "--threads", "2"])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn suif-explorer serve");
+        let stdin = child.stdin.take().unwrap();
+        let stdout = BufReader::new(child.stdout.take().unwrap());
+        Client {
+            child,
+            stdin,
+            stdout,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.stdin, "{line}").expect("write request");
+        self.stdin.flush().unwrap();
+        let mut resp = String::new();
+        self.stdout.read_line(&mut resp).expect("read response");
+        Json::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response {resp:?}: {e:?}"))
+    }
+}
+
+impl Drop for Client {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+#[test]
+fn daemon_protocol_round_trip() {
+    let mut c = Client::spawn();
+
+    // Querying before load is a clean protocol error.
+    let r = c.request(r#"{"cmd":"analyze"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(r.get("error").and_then(Json::as_str).is_some());
+
+    // Load: stats payload, everything summarized once.
+    let r = c.request(&format!(r#"{{"cmd":"load","text":"{}"}}"#, escape(SRC)));
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(2));
+    assert_eq!(r.get("generation").and_then(Json::as_i64), Some(1));
+
+    // Analyze: both loops parallel.
+    let r = c.request(r#"{"cmd":"analyze"}"#);
+    let loops = r.get("loops").and_then(Json::as_arr).expect("loops");
+    assert_eq!(loops.len(), 2);
+    for l in loops {
+        assert_eq!(l.get("parallel").and_then(Json::as_bool), Some(true), "{l}");
+    }
+
+    // Warm-cache analyze: zero procedure re-summarizations in stats.
+    let r = c.request(r#"{"cmd":"stats"}"#);
+    assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(0), "{r}");
+    assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(2));
+    assert!(r.get("passes").and_then(|p| p.get("total")).is_some());
+    assert!(r.get("prove_empty").is_some());
+
+    // Guru and codeview render.
+    let r = c.request(r#"{"cmd":"guru"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    assert!(r.get("coverage").and_then(Json::as_f64).is_some());
+    let r = c.request(r#"{"cmd":"codeview"}"#);
+    assert!(r.get("view").and_then(Json::as_str).unwrap().contains("do"));
+
+    // Slice of a clean loop reports zero slices; unknown loops error.
+    let r = c.request(r#"{"cmd":"slice","loop":"main/2"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(r.get("slices").and_then(Json::as_i64), Some(0));
+    let r = c.request(r#"{"cmd":"slice","loop":"nope/1"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+
+    // Reload an edited main: the leaf `inc` stays cached.
+    let edited = SRC.replace("print b[3]", "print b[4]");
+    let r = c.request(&format!(
+        r#"{{"cmd":"reload","text":"{}"}}"#,
+        escape(&edited)
+    ));
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert_eq!(r.get("generation").and_then(Json::as_i64), Some(2));
+    assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(1), "{r}");
+    assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(1), "{r}");
+
+    // Malformed input answers, then quit closes cleanly.
+    let r = c.request("this is not json");
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+    let r = c.request(r#"{"cmd":"quit"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    let status = c.child.wait().expect("daemon exit");
+    assert!(status.success());
+}
+
+#[test]
+fn daemon_protocol_over_tcp() {
+    use std::net::TcpStream;
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_suif-explorer"))
+        .args(["serve", "--threads", "1", "--tcp", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn tcp daemon");
+    let mut banner = String::new();
+    BufReader::new(child.stdout.take().unwrap())
+        .read_line(&mut banner)
+        .expect("read banner");
+    let addr = banner
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut writer = stream;
+    let mut request = |line: &str| -> Json {
+        writeln!(writer, "{line}").unwrap();
+        writer.flush().unwrap();
+        let mut resp = String::new();
+        reader.read_line(&mut resp).unwrap();
+        Json::parse(resp.trim()).unwrap()
+    };
+
+    let r = request(&format!(r#"{{"cmd":"load","text":"{}"}}"#, escape(SRC)));
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    let r = request(r#"{"cmd":"analyze"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+    let r = request(r#"{"cmd":"quit"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+
+    let _ = child.kill();
+    let _ = child.wait();
+}

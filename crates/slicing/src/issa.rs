@@ -1,9 +1,7 @@
 //! Interprocedural SSA construction (§3.4).
 
 use std::collections::{HashMap, HashSet};
-use suif_ir::{
-    Arg, CommonId, Expr, ProcId, Program, Ref, Stmt, StmtId, VarId, VarKind,
-};
+use suif_ir::{Arg, CommonId, Expr, ProcId, Program, Ref, Stmt, StmtId, VarId, VarKind};
 
 /// A slicing variable: the alias-equivalence-class representative (§3.4.1):
 /// all members of one common block collapse into one variable; everything
@@ -177,7 +175,10 @@ fn compute_effects(program: &Program) -> HashMap<ProcId, ProcEffects> {
         for proc in &program.procedures {
             let mut used = out[&proc.id].used_commons.clone();
             let mut modc = out[&proc.id].mod_commons.clone();
-            let mut visit_var = |v: VarId, write: bool, used: &mut HashSet<CommonId>, modc: &mut HashSet<CommonId>| {
+            let mut visit_var = |v: VarId,
+                                 write: bool,
+                                 used: &mut HashSet<CommonId>,
+                                 modc: &mut HashSet<CommonId>| {
                 if let VarKind::Common { block, .. } = program.var(v).kind {
                     used.insert(block);
                     if write {
@@ -185,16 +186,23 @@ fn compute_effects(program: &Program) -> HashMap<ProcId, ProcEffects> {
                     }
                 }
             };
+            #[allow(clippy::type_complexity)]
             fn walk(
-                program: &Program,
                 body: &[Stmt],
                 out: &HashMap<ProcId, ProcEffects>,
                 visit: &mut dyn FnMut(VarId, bool, &mut HashSet<CommonId>, &mut HashSet<CommonId>),
                 used: &mut HashSet<CommonId>,
                 modc: &mut HashSet<CommonId>,
             ) {
-                let visit_expr = |e: &Expr, used: &mut HashSet<CommonId>, modc: &mut HashSet<CommonId>,
-                                      visit: &mut dyn FnMut(VarId, bool, &mut HashSet<CommonId>, &mut HashSet<CommonId>)| {
+                let visit_expr = |e: &Expr,
+                                  used: &mut HashSet<CommonId>,
+                                  modc: &mut HashSet<CommonId>,
+                                  visit: &mut dyn FnMut(
+                    VarId,
+                    bool,
+                    &mut HashSet<CommonId>,
+                    &mut HashSet<CommonId>,
+                )| {
                     e.visit_scalar_reads(&mut |v| visit(v, false, used, modc));
                     e.visit_element_reads(&mut |v, _| visit(v, false, used, modc));
                 };
@@ -222,8 +230,8 @@ fn compute_effects(program: &Program) -> HashMap<ProcId, ProcEffects> {
                             ..
                         } => {
                             visit_expr(cond, used, modc, visit);
-                            walk(program, then_body, out, visit, used, modc);
-                            walk(program, else_body, out, visit, used, modc);
+                            walk(then_body, out, visit, used, modc);
+                            walk(else_body, out, visit, used, modc);
                         }
                         Stmt::Do {
                             lo, hi, step, body, ..
@@ -233,15 +241,14 @@ fn compute_effects(program: &Program) -> HashMap<ProcId, ProcEffects> {
                             if let Some(st) = step {
                                 visit_expr(st, used, modc, visit);
                             }
-                            walk(program, body, out, visit, used, modc);
+                            walk(body, out, visit, used, modc);
                         }
                         Stmt::Call { callee, args, .. } => {
                             if let Some(eff) = out.get(callee) {
                                 used.extend(eff.used_commons.iter().copied());
                                 modc.extend(eff.mod_commons.iter().copied());
                                 for (k, a) in args.iter().enumerate() {
-                                    let w =
-                                        eff.modified_params.get(k).copied().unwrap_or(false);
+                                    let w = eff.modified_params.get(k).copied().unwrap_or(false);
                                     match a {
                                         Arg::ScalarVar(v)
                                         | Arg::ArrayWhole(v)
@@ -256,14 +263,7 @@ fn compute_effects(program: &Program) -> HashMap<ProcId, ProcEffects> {
                     }
                 }
             }
-            walk(
-                program,
-                &proc.body,
-                &out,
-                &mut visit_var,
-                &mut used,
-                &mut modc,
-            );
+            walk(&proc.body, &out, &mut visit_var, &mut used, &mut modc);
             let e = out.get_mut(&proc.id).unwrap();
             if used != e.used_commons || modc != e.mod_commons {
                 e.used_commons = used;
@@ -314,10 +314,7 @@ impl<'p> Builder<'p> {
         // Every variable starts at its parameter-in / entry value.
         for v in proc.all_vars() {
             let sv = SliceVar::of(self.program, v);
-            env.entry(sv).or_insert_with(|| {
-                
-                self.param_value(sv)
-            });
+            env.entry(sv).or_insert_with(|| self.param_value(sv));
         }
         self.build_body(&proc.body, &mut env);
         for (sv, val) in env {
@@ -430,11 +427,8 @@ impl<'p> Builder<'p> {
                     self.build_body(else_body, &mut env_else);
                     self.ctrl.pop();
                     // Join.
-                    let keys: HashSet<SliceVar> = env_then
-                        .keys()
-                        .chain(env_else.keys())
-                        .copied()
-                        .collect();
+                    let keys: HashSet<SliceVar> =
+                        env_then.keys().chain(env_else.keys()).copied().collect();
                     for sv in keys {
                         let a = env_then.get(&sv).copied();
                         let b = env_else.get(&sv).copied();
@@ -601,11 +595,7 @@ impl<'p> Builder<'p> {
     /// Variables (alias classes) a body may define, including call effects.
     fn body_defs(&self, body: &[Stmt]) -> Vec<SliceVar> {
         let mut out: HashSet<SliceVar> = HashSet::new();
-        fn walk(
-            b: &Builder<'_>,
-            body: &[Stmt],
-            out: &mut HashSet<SliceVar>,
-        ) {
+        fn walk(b: &Builder<'_>, body: &[Stmt], out: &mut HashSet<SliceVar>) {
             for s in body {
                 match s {
                     Stmt::Assign { lhs, .. } | Stmt::Read { lhs, .. } => {

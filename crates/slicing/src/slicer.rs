@@ -178,11 +178,8 @@ impl<'p> Slicer<'p> {
         let mut terminals = root.terminals.clone();
         let mut nodes = 1usize;
         let mut seen: HashSet<(ProcId, SliceVar)> = HashSet::new();
-        let mut work: VecDeque<((ProcId, SliceVar), usize)> = root
-            .formals
-            .iter()
-            .map(|&f| (f, 0usize))
-            .collect();
+        let mut work: VecDeque<((ProcId, SliceVar), usize)> =
+            root.formals.iter().map(|&f| (f, 0usize)).collect();
         while let Some(((proc, var), depth)) = work.pop_front() {
             if !seen.insert((proc, var)) {
                 continue;
@@ -261,12 +258,12 @@ impl<'p> Slicer<'p> {
             return false;
         };
         if sproc == loop_proc {
-            let line = self
-                .issa
-                .stmt_lines
-                .get(&stmt)
-                .copied()
-                .unwrap_or_else(|| self.program.find_stmt(stmt).map(|(s, _)| s.line()).unwrap_or(0));
+            let line = self.issa.stmt_lines.get(&stmt).copied().unwrap_or_else(|| {
+                self.program
+                    .find_stmt(stmt)
+                    .map(|(s, _)| s.line())
+                    .unwrap_or(0)
+            });
             return line >= loop_stmt.0 && line <= loop_stmt.1;
         }
         // Statements in procedures called from inside the loop are inside.
@@ -332,10 +329,8 @@ impl<'p> Slicer<'p> {
             }
         }
         // Kleene iteration.
-        let mut sums: HashMap<ValueId, Summary> = reach
-            .iter()
-            .map(|&v| (v, Summary::default()))
-            .collect();
+        let mut sums: HashMap<ValueId, Summary> =
+            reach.iter().map(|&v| (v, Summary::default())).collect();
         let mut changed = true;
         while changed {
             changed = false;
@@ -578,7 +573,11 @@ proc main() {
         // the if (6) and k = 1 (4).
         assert!(data.lines.contains(&5) && data.lines.contains(&7));
         assert!(!data.lines.contains(&6));
-        assert!(prog.lines.contains(&6) && prog.lines.contains(&4), "{:?}", prog.lines);
+        assert!(
+            prog.lines.contains(&6) && prog.lines.contains(&4),
+            "{:?}",
+            prog.lines
+        );
     }
 
     #[test]
@@ -809,8 +808,16 @@ proc main() {
                 },
             )
             .unwrap();
-        assert!(with_q.lines.contains(&13), "h = 3 via q: {:?}", with_q.lines);
-        assert!(!with_q.lines.contains(&7), "g = 1 excluded: {:?}", with_q.lines);
+        assert!(
+            with_q.lines.contains(&13),
+            "h = 3 via q: {:?}",
+            with_q.lines
+        );
+        assert!(
+            !with_q.lines.contains(&7),
+            "g = 1 excluded: {:?}",
+            with_q.lines
+        );
         let with_p = sl
             .slice_use(
                 f_update,

@@ -46,10 +46,8 @@ fn main() {
 
     // Contraction (§5.6): requires exposure-free, dependence-free,
     // dead-at-exit temporaries — all three facts come from the analyses.
-    let pa = suif_analysis::Parallelizer::analyze(
-        &program,
-        suif_analysis::ParallelizeConfig::default(),
-    );
+    let pa =
+        suif_analysis::Parallelizer::analyze(&program, suif_analysis::ParallelizeConfig::default());
     let cands = contract::find_candidates(&pa);
     println!("\n== contraction candidates ==");
     for c in &cands {
@@ -90,10 +88,8 @@ fn main() {
 
     let big = apps::flo88(Scale::Bench, true);
     let big_p = big.parse();
-    let pa_big = suif_analysis::Parallelizer::analyze(
-        &big_p,
-        suif_analysis::ParallelizeConfig::default(),
-    );
+    let pa_big =
+        suif_analysis::Parallelizer::analyze(&big_p, suif_analysis::ParallelizeConfig::default());
     let plans = ParallelPlans::from_analysis(&pa_big);
     let seq = measure_sequential(&big_p, vec![]).unwrap();
     let (par, _) = measure_parallel(

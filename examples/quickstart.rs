@@ -40,7 +40,11 @@ fn main() {
         println!(
             "  {:<12} {}",
             li.name,
-            if v.is_parallel() { "PARALLEL" } else { "sequential" }
+            if v.is_parallel() {
+                "PARALLEL"
+            } else {
+                "sequential"
+            }
         );
         for (obj, class) in v.classes() {
             println!("      {:<8} {:?}", analysis.ctx.array_name(*obj), class);
@@ -66,8 +70,5 @@ fn main() {
         "parallel loop invocations: {}",
         stats.parallel_invocations.values().sum::<u64>()
     );
-    println!(
-        "sequential {:?} vs parallel {:?}",
-        seq.elapsed, par.elapsed
-    );
+    println!("sequential {:?} vs parallel {:?}", seq.elapsed, par.elapsed);
 }

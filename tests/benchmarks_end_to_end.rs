@@ -138,7 +138,14 @@ fn case_study_loops_unlock_with_assertions() {
         ("arc3d", vec!["stepf3d/701", "stepf3d/702", "stepf3d/801"]),
         (
             "flo88",
-            vec!["psmoo/50", "psmoo/100", "psmoo/150", "eflux/50", "dflux/30", "dflux/70"],
+            vec![
+                "psmoo/50",
+                "psmoo/100",
+                "psmoo/150",
+                "eflux/50",
+                "dflux/30",
+                "dflux/70",
+            ],
         ),
     ];
     for bench in ch4_apps(Scale::Test) {

@@ -19,24 +19,26 @@ use proptest::prelude::*;
 use suif_analysis::{ParallelizeConfig, Parallelizer, VarClass};
 use suif_dynamic::machine::{Machine, NoHooks};
 use suif_dynamic::{DynDepAnalyzer, DynDepConfig};
-use suif_parallel::{measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig, Schedule};
+use suif_parallel::{
+    measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig, Schedule,
+};
 
 const N: i64 = 12; // array extent used throughout
 
 #[derive(Clone, Debug)]
 enum GExpr {
     Const(f64),
-    Scalar(usize),          // s<k>
-    Elem(usize, GSub),      // a<k>[sub]
+    Scalar(usize),     // s<k>
+    Elem(usize, GSub), // a<k>[sub]
     Add(Box<GExpr>, Box<GExpr>),
     Mul(Box<GExpr>, f64),
 }
 
 #[derive(Clone, Debug)]
 enum GSub {
-    LoopVar,                // i (innermost loop var)
-    LoopVarOff(i64),        // clamped i + c
-    Mixed(i64),             // mod(i * c, N) + 1
+    LoopVar,         // i (innermost loop var)
+    LoopVarOff(i64), // clamped i + c
+    Mixed(i64),      // mod(i * c, N) + 1
     Const(i64),
 }
 
@@ -47,7 +49,7 @@ enum GStmt {
     Update(usize, GSub, GExpr), // a[sub] = a[sub] + e
     ScalarSum(usize, GExpr),    // s = s + e
     If(GSub, Vec<GStmt>),       // if a0[sub] >= 0 { .. } (always true: a0 >= 0)
-    Loop(Vec<GStmt>), // nested do over a fresh variable
+    Loop(Vec<GStmt>),           // nested do over a fresh variable
 }
 
 fn gsub() -> impl Strategy<Value = GSub> {
@@ -67,8 +69,7 @@ fn gexpr() -> impl Strategy<Value = GExpr> {
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| GExpr::Add(Box::new(a), Box::new(b))),
             (inner, -2.0..2.0f64).prop_map(|(a, c)| GExpr::Mul(Box::new(a), c)),
         ]
     })
@@ -194,7 +195,7 @@ fn render_program(loops: &[Vec<GStmt>]) -> String {
     let vars: Vec<String> = (1..=nloops.max(1)).map(|k| format!("j{k}")).collect();
     out.push_str(&format!("  int i, {}\n", vars.join(", ")));
     // Initialize arrays deterministically.
-    out.push_str(&"  do 1 i = 1, n {\n    a0[i] = sin(float(i) * 0.7)\n    a1[i] = cos(float(i) * 0.3)\n    a2[i] = float(i) * 0.1\n  }\n".to_string());
+    out.push_str("  do 1 i = 1, n {\n    a0[i] = sin(float(i) * 0.7)\n    a1[i] = cos(float(i) * 0.3)\n    a2[i] = float(i) * 0.1\n  }\n");
     let mut label = 0u32;
     for (k, l) in loops.iter().enumerate() {
         label += 1;
@@ -215,7 +216,7 @@ fn canon(lines: &[String]) -> Vec<Vec<String>> {
         .map(|l| {
             l.split_whitespace()
                 .map(|t| match t.parse::<f64>() {
-                    Ok(v) if v == 0.0 => "0".to_string(),
+                    Ok(0.0) => "0".to_string(),
                     Ok(v) => {
                         let mag = v.abs().log10().floor();
                         let scale = 10f64.powf(mag - 6.0);

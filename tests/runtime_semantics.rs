@@ -2,7 +2,9 @@
 //! benchmark programs do not isolate.
 
 use suif_analysis::{Assertion, ParallelizeConfig, Parallelizer};
-use suif_parallel::{measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig};
+use suif_parallel::{
+    measure_parallel, measure_sequential, Finalization, ParallelPlans, RuntimeConfig,
+};
 
 fn run_both(src: &str, assertions: Vec<Assertion>, threads: usize) -> (Vec<String>, Vec<String>) {
     let program = suif_ir::parse_program(src).unwrap();
@@ -170,7 +172,13 @@ proc main() {
 "#;
     let program = suif_ir::parse_program(src).unwrap();
     let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
-    let l1 = pa.ctx.tree.loops.iter().find(|l| l.name == "main/1").unwrap();
+    let l1 = pa
+        .ctx
+        .tree
+        .loops
+        .iter()
+        .find(|l| l.name == "main/1")
+        .unwrap();
     assert!(
         pa.verdicts[&l1.stmt].is_parallel(),
         "two-level interprocedural reduction: {:?}",

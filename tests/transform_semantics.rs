@@ -44,7 +44,11 @@ fn splitting_preserves_hydro2d_semantics() {
 
     let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
     let splits = split::find_splits(&pa);
-    assert_eq!(splits.len(), 5, "hydro2d's five splittable blocks (Fig 5-10)");
+    assert_eq!(
+        splits.len(),
+        5,
+        "hydro2d's five splittable blocks (Fig 5-10)"
+    );
     let split_p = split::apply_splits(&program, &splits).expect("split rewrite");
     assert!(split_p.commons.len() > program.commons.len());
     let after = measure_sequential(&split_p, vec![]).unwrap();

@@ -1,0 +1,538 @@
+//! Vendored offline shim for the slice of the `proptest` API used in this
+//! workspace.
+//!
+//! The build environment has no registry access, so this crate reimplements
+//! exactly what the test suite consumes: the [`Strategy`] trait with
+//! `prop_map` / `prop_recursive` / `boxed`, range and tuple and `Just`
+//! strategies, `collection::vec`, `bool::ANY`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert!`, `prop_assert_eq!` macros backed by a
+//! deterministic SplitMix64 generator. Differences from real proptest: no
+//! shrinking (failures report the raw generated inputs) and no persistence;
+//! case counts and the per-test RNG seed are fully deterministic, so a
+//! failing case reproduces on every run.
+
+pub mod strategy {
+    use std::fmt;
+    use std::rc::Rc;
+
+    use crate::test_runner::TestRng;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: fmt::Debug;
+
+        /// Produce one value from the deterministic RNG stream.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: fmt::Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { source: self, f }
+        }
+
+        /// Build a bounded-depth recursive strategy: `recurse` is applied
+        /// `depth` times to the strategy for the previous level, starting
+        /// from `self` as the leaf strategy. `desired_size` and
+        /// `expected_branch_size` are accepted for API compatibility; depth
+        /// alone bounds recursion here.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R,
+        {
+            let mut strat = self.boxed();
+            for _ in 0..depth {
+                strat = recurse(strat).boxed();
+            }
+            strat
+        }
+
+        /// Erase the strategy's concrete type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+        }
+    }
+
+    /// A type-erased, cheaply cloneable strategy.
+    pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: fmt::Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Weighted choice between boxed strategies; built by `prop_oneof!`.
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// Build a union from `(weight, strategy)` arms. Weights must not
+        /// all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Union<T> {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! requires a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, strat) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return strat.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi - lo + 1) as u64;
+                    (lo + rng.below(span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategies!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    impl Strategy for std::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategies! {
+        (A 0, B 1)
+        (A 0, B 1, C 2)
+        (A 0, B 1, C 2, D 3)
+        (A 0, B 1, C 2, D 3, E 4)
+    }
+}
+
+pub mod collection {
+    use std::fmt;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive length bounds for a generated collection.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            assert!(r.start() <= r.end(), "empty vec size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Generate a `Vec` whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Result of [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.hi - self.size.lo) as u64 + 1;
+            let len = self.size.lo + rng.below(span) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy yielding uniformly random booleans.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// The canonical boolean strategy (`prop::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.below(2) == 1
+        }
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// Per-test configuration; only the case count is meaningful here.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Run `cases` generated inputs per test.
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            // Smaller than upstream's 256: these suites drive whole-program
+            // analyses per case, and determinism makes repeats redundant.
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// A failed `prop_assert!` / `prop_assert_eq!` within one case.
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Build a failure carrying `msg`.
+        pub fn fail(msg: String) -> TestCaseError {
+            TestCaseError(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// SplitMix64 deterministic generator; one independent stream per test,
+    /// seeded from the test's name.
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Derive a deterministic stream from a test name.
+        pub fn from_name(name: &str) -> TestRng {
+            let mut seed: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                seed ^= u64::from(b);
+                seed = seed.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            TestRng { state: seed }
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform value in `[0, n)`. `n` must be positive.
+        pub fn below(&mut self, n: u64) -> u64 {
+            debug_assert!(n > 0);
+            // Modulo bias is irrelevant at test-strategy scales.
+            self.next_u64() % n
+        }
+
+        /// Uniform value in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Namespace mirror of upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::bool;
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Weighted (`w => strat`) or uniform choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Fail the current case (with an optional formatted message) unless `cond`
+/// holds. Only valid inside a `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`. Only valid inside a
+/// `proptest!` test body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{}: `{:?}` == `{:?}`", format!($($fmt)+), l, r
+        );
+    }};
+}
+
+/// Define `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+            for case in 0..config.cases {
+                let vals = ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                let repr = format!("{:?}", vals);
+                let ($($arg,)+) = vals;
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                ));
+                match outcome {
+                    ::core::result::Result::Ok(::core::result::Result::Ok(())) => {}
+                    ::core::result::Result::Ok(::core::result::Result::Err(e)) => {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            case + 1, config.cases, e, repr
+                        );
+                    }
+                    ::core::result::Result::Err(payload) => {
+                        eprintln!(
+                            "proptest case {}/{} panicked\n  inputs: {}",
+                            case + 1, config.cases, repr
+                        );
+                        ::std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn small() -> impl Strategy<Value = i64> {
+        prop_oneof![
+            4 => 0i64..10,
+            1 => Just(-1i64),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        #[test]
+        fn ranges_stay_in_bounds(x in small(), v in prop::collection::vec(0usize..3, 1..4)) {
+            prop_assert!((-1..10).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert!(v.iter().all(|&e| e < 3));
+        }
+
+        #[test]
+        fn recursive_depth_is_bounded(n in leaf_or_pair()) {
+            prop_assert!(depth(&n) <= 3, "depth {} too deep: {:?}", depth(&n), n);
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] i64),
+        Pair(Box<Tree>, Box<Tree>),
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 1,
+            Tree::Pair(a, b) => 1 + depth(a).max(depth(b)),
+        }
+    }
+
+    fn leaf_or_pair() -> BoxedStrategy<Tree> {
+        (0i64..5)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(2, 8, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(a, b)| Tree::Pair(Box::new(a), Box::new(b)))
+            })
+    }
+
+    #[test]
+    fn deterministic_streams() {
+        let gen = || {
+            let mut rng = TestRng::from_name("deterministic_streams");
+            (0..8).map(|_| rng.below(1000)).collect::<Vec<_>>()
+        };
+        assert_eq!(gen(), gen());
+    }
+}
