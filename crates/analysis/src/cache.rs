@@ -24,34 +24,34 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use suif_ir::ProcId;
+use suif_ir::{LoopInfo, ProcId};
 
 const SHARDS: usize = 16;
 
-/// 128-bit FNV-1a.
+/// 128-bit FNV-1a (shared with the pipeline's fact hashes).
 #[derive(Clone, Copy)]
-struct Fnv128(u128);
+pub(crate) struct Fnv128(pub(crate) u128);
 
 impl Fnv128 {
     const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
     const PRIME: u128 = 0x0000000001000000000000000000013b;
 
-    fn new() -> Fnv128 {
+    pub(crate) fn new() -> Fnv128 {
         Fnv128(Self::OFFSET)
     }
 
-    fn write(&mut self, bytes: &[u8]) {
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
         for &b in bytes {
             self.0 ^= b as u128;
             self.0 = self.0.wrapping_mul(Self::PRIME);
         }
     }
 
-    fn write_u32(&mut self, v: u32) {
+    pub(crate) fn write_u32(&mut self, v: u32) {
         self.write(&v.to_le_bytes());
     }
 
-    fn write_u128(&mut self, v: u128) {
+    pub(crate) fn write_u128(&mut self, v: u128) {
         self.write(&v.to_le_bytes());
     }
 }
@@ -86,6 +86,39 @@ pub fn proc_key(ctx: &AnalysisCtx<'_>, pid: ProcId, callee_keys: &HashMap<ProcId
         h.write_u32(callee.0);
         h.write_u128(*callee_keys.get(&callee).expect("callee key computed first"));
     }
+    h.0
+}
+
+/// Content keys of every procedure, computed in bottom-up order (so each
+/// key sees its callees' keys).
+pub fn all_proc_keys(ctx: &AnalysisCtx<'_>) -> HashMap<ProcId, u128> {
+    let mut keys = HashMap::new();
+    for &pid in ctx.cg.bottom_up() {
+        let k = proc_key(ctx, pid, &keys);
+        keys.insert(pid, k);
+    }
+    keys
+}
+
+/// Whole-program content key: the fold of every procedure key in bottom-up
+/// order.  Changes exactly when some procedure's flow could change.
+pub fn program_key(ctx: &AnalysisCtx<'_>, proc_keys: &HashMap<ProcId, u128>) -> u128 {
+    let mut h = Fnv128::new();
+    for &pid in ctx.cg.bottom_up() {
+        h.write_u32(pid.0);
+        h.write_u128(proc_keys[&pid]);
+    }
+    h.0
+}
+
+/// Region-granular content key of one loop: the owning procedure's key
+/// (which already covers the loop body and every callee transitively) plus
+/// the loop's identity within it.
+pub fn loop_key(li: &LoopInfo, proc_keys: &HashMap<ProcId, u128>) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u128(proc_keys[&li.proc]);
+    h.write_u32(li.stmt.0);
+    h.write(li.name.as_bytes());
     h.0
 }
 

@@ -217,6 +217,47 @@ fn contractible_dim(
     candidate_dims.iter().position(|&ok| ok)
 }
 
+struct ContractPass<'a, 'p> {
+    pa: &'a ProgramAnalysis<'p>,
+}
+
+impl crate::pipeline::Pass for ContractPass<'_, '_> {
+    type Output = Vec<ContractionCandidate>;
+    fn key(&self) -> crate::pipeline::FactKey {
+        crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Contract,
+            crate::pipeline::Scope::Program,
+        )
+    }
+    fn input_hash(&self) -> u128 {
+        self.pa.epoch_hash
+    }
+    fn deps(&self) -> Vec<crate::pipeline::FactKey> {
+        vec![
+            crate::pipeline::FactKey::new(
+                crate::pipeline::PassId::Summarize,
+                crate::pipeline::Scope::Program,
+            ),
+            crate::pipeline::FactKey::new(
+                crate::pipeline::PassId::Liveness,
+                crate::pipeline::Scope::Program,
+            ),
+        ]
+    }
+    fn run(&self) -> Vec<ContractionCandidate> {
+        find_candidates(self.pa)
+    }
+}
+
+/// Demand-driven [`find_candidates`]: computed the first time a query asks,
+/// reused from the fact store afterwards.
+pub fn find_candidates_cached(
+    pa: &ProgramAnalysis<'_>,
+    store: &crate::pipeline::FactStore,
+) -> std::sync::Arc<Vec<ContractionCandidate>> {
+    store.demand(&ContractPass { pa })
+}
+
 /// Apply one contraction: returns the rewritten (re-resolved) program.
 pub fn apply(program: &Program, cand: &ContractionCandidate) -> Result<Program, String> {
     let mut p = program.clone();

@@ -194,6 +194,62 @@ pub fn conflicts(pa: &ProgramAnalysis<'_>) -> Vec<DecompConflict> {
     out
 }
 
+/// The advisory as one program-scope fact: partitionings plus conflicts.
+#[derive(Clone, Debug)]
+pub struct DecompFact {
+    /// Per-(loop, array) partitioning facts.
+    pub partitionings: Vec<Partitioning>,
+    /// Conflicting decompositions between parallel loops.
+    pub conflicts: Vec<DecompConflict>,
+}
+
+struct DecompPass<'a, 'p> {
+    pa: &'a ProgramAnalysis<'p>,
+}
+
+impl crate::pipeline::Pass for DecompPass<'_, '_> {
+    type Output = DecompFact;
+    fn key(&self) -> crate::pipeline::FactKey {
+        crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Decomp,
+            crate::pipeline::Scope::Program,
+        )
+    }
+    fn input_hash(&self) -> u128 {
+        self.pa.epoch_hash
+    }
+    fn deps(&self) -> Vec<crate::pipeline::FactKey> {
+        // The advisory reads the verdicts, so an invalidated classification
+        // fact (a user assertion) dirties it too.
+        let mut d = vec![crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Summarize,
+            crate::pipeline::Scope::Program,
+        )];
+        for &stmt in self.pa.verdicts.keys() {
+            d.push(crate::pipeline::FactKey::new(
+                crate::pipeline::PassId::Classify,
+                crate::pipeline::Scope::Loop(stmt),
+            ));
+        }
+        d
+    }
+    fn run(&self) -> DecompFact {
+        DecompFact {
+            partitionings: partitionings(self.pa),
+            conflicts: conflicts(self.pa),
+        }
+    }
+}
+
+/// Demand-driven advisory: computed the first time a query asks, reused
+/// from the fact store afterwards.
+pub fn advisory_cached(
+    pa: &ProgramAnalysis<'_>,
+    store: &crate::pipeline::FactStore,
+) -> std::sync::Arc<DecompFact> {
+    store.demand(&DecompPass { pa })
+}
+
 /// Render the advisory (the textual Fig. 4-6).
 pub fn render_advisory(pa: &ProgramAnalysis<'_>) -> String {
     let mut out = String::new();

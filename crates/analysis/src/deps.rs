@@ -234,6 +234,60 @@ impl<'a, 'p> DepTest<'a, 'p> {
     }
 }
 
+/// The demand-driven carried-dependence fact of one loop: every storage
+/// object the loop accesses, mapped to its carried conflict (if any).
+pub type CarriedDeps = std::collections::BTreeMap<ArrayId, Option<DepKind>>;
+
+struct DepsPass<'a, 'p> {
+    pa: &'a crate::parallelize::ProgramAnalysis<'p>,
+    loop_stmt: StmtId,
+}
+
+impl crate::pipeline::Pass for DepsPass<'_, '_> {
+    type Output = CarriedDeps;
+    fn key(&self) -> crate::pipeline::FactKey {
+        crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Deps,
+            crate::pipeline::Scope::Loop(self.loop_stmt),
+        )
+    }
+    fn input_hash(&self) -> u128 {
+        let mut h = crate::cache::Fnv128::new();
+        h.write_u128(self.pa.epoch_hash);
+        h.write_u32(self.loop_stmt.0);
+        h.0
+    }
+    fn deps(&self) -> Vec<crate::pipeline::FactKey> {
+        vec![crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Summarize,
+            crate::pipeline::Scope::Program,
+        )]
+    }
+    fn run(&self) -> CarriedDeps {
+        let dt = DepTest {
+            ctx: &self.pa.ctx,
+            df: &self.pa.df,
+        };
+        let mut out = CarriedDeps::new();
+        if let Some(iter) = self.pa.df.loop_iter.get(&self.loop_stmt) {
+            for id in iter.sum.acc.arrays() {
+                out.insert(id, dt.has_carried_dep(self.loop_stmt, id));
+            }
+        }
+        out
+    }
+}
+
+/// Compute (or reuse) the carried-dependence table of one loop through the
+/// fact store — a demand-only pass, run the first time a query asks.
+pub fn carried_deps_cached(
+    pa: &crate::parallelize::ProgramAnalysis<'_>,
+    store: &crate::pipeline::FactStore,
+    loop_stmt: StmtId,
+) -> std::sync::Arc<CarriedDeps> {
+    store.demand(&DepsPass { pa, loop_stmt })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -47,6 +47,7 @@ pub mod deps;
 pub mod enhance;
 pub mod liveness;
 pub mod parallelize;
+pub mod pipeline;
 pub mod reduction;
 pub mod schedule;
 pub mod summarize;
@@ -60,9 +61,10 @@ pub use context::{AnalysisCtx, ArrayKey};
 pub use deps::{DepKind, DepTest};
 pub use liveness::{LivenessMode, LivenessResult};
 pub use parallelize::{
-    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis,
-    StaticDep, VarClass,
+    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, PassStat,
+    ProgramAnalysis, StaticDep, VarClass,
 };
+pub use pipeline::{FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
 pub use reduction::RedOp;
 pub use schedule::{ScheduleOptions, ScheduleStats};
 pub use summarize::{ArrayDataFlow, LoopIterSummary, ProcFlow};

@@ -3,16 +3,18 @@
 //! configuration toggles the evaluation ablates and support for checked
 //! user assertions (§2.8).
 
-use crate::cache::SummaryCache;
+use crate::cache::{self, Fnv128, SummaryCache};
 use crate::context::{AnalysisCtx, ArrayKey};
 use crate::deps::DepTest;
 use crate::liveness::{self, LivenessMode, LivenessResult};
+use crate::pipeline::{FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
 use crate::reduction::RedOp;
 use crate::schedule::{self, ScheduleOptions, ScheduleStats};
 use crate::summarize::ArrayDataFlow;
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
-use suif_ir::{Program, Ref, Stmt, StmtId, VarId};
+use suif_ir::{LoopInfo, Program, Ref, Stmt, StmtId, VarId};
 use suif_poly::ArrayId;
 
 /// Classification of one storage object within one loop (the Fig. 4-9
@@ -140,14 +142,20 @@ impl Default for ParallelizeConfig {
 pub struct ProgramAnalysis<'p> {
     /// Shared context (region tree, call graph, array interner).
     pub ctx: AnalysisCtx<'p>,
-    /// Bottom-up data flow.
-    pub df: ArrayDataFlow,
-    /// Liveness result (if enabled).
-    pub liveness: Option<LivenessResult>,
+    /// Bottom-up data flow (a shared fact — reused across incremental runs).
+    pub df: Arc<ArrayDataFlow>,
+    /// Liveness result (if enabled; shared like `df`).
+    pub liveness: Option<Arc<LivenessResult>>,
     /// Per-loop verdicts.
     pub verdicts: HashMap<StmtId, LoopVerdict>,
     /// The configuration used.
     pub config: ParallelizeConfig,
+    /// Assertions that named a loop or variable that does not exist (they
+    /// are ignored by the analysis, but never silently).
+    pub warnings: Vec<String>,
+    /// Content hash of (program, config, resolved assertions) — the input
+    /// hash of every demand-driven advisory fact over this analysis.
+    pub epoch_hash: u128,
 }
 
 impl<'p> ProgramAnalysis<'p> {
@@ -166,17 +174,67 @@ impl<'p> ProgramAnalysis<'p> {
     }
 }
 
-/// Wall-clock accounting of one analysis run (the daemon's `stats` data).
+/// One pass's share of an analysis run, from the [`FactStore`] counters.
+#[derive(Clone, Copy, Debug)]
+pub struct PassStat {
+    /// Which pass.
+    pub pass: PassId,
+    /// Seconds spent running it this analysis.
+    pub secs: f64,
+    /// Facts computed (pass invocations) this analysis.
+    pub invocations: u64,
+    /// Demands served from the store this analysis.
+    pub reused: u64,
+}
+
+/// Accounting of one analysis run (the daemon's `stats` data), measured by
+/// the fact store's per-pass counters rather than hand-rolled timers.
 #[derive(Clone, Debug, Default)]
 pub struct AnalyzeStats {
-    /// Bottom-up pass: sizes, cache traffic, worker utilization.
+    /// Bottom-up pass: sizes, cache traffic, worker utilization.  When the
+    /// whole-program summary fact was reused, `summarized`/`cache_hits` are
+    /// zero and the timing fields are zero — the scheduler never ran.
     pub schedule: ScheduleStats,
-    /// Liveness pass seconds (0 when disabled).
-    pub liveness_secs: f64,
-    /// Per-loop classification seconds.
-    pub classify_secs: f64,
+    /// Per-pass deltas for this run, in [`PassId`] order.
+    pub passes: Vec<PassStat>,
+    /// Facts computed across all passes this run.
+    pub facts_computed: u64,
+    /// Facts served from the store this run.
+    pub facts_reused: u64,
     /// Whole-analysis seconds (context build included).
     pub total_secs: f64,
+}
+
+impl AnalyzeStats {
+    /// The stat row of one pass, if it saw any traffic this run.
+    pub fn pass(&self, id: PassId) -> Option<&PassStat> {
+        self.passes.iter().find(|p| p.pass == id)
+    }
+
+    /// Seconds one pass ran this analysis (0 when idle or fully reused).
+    pub fn pass_secs(&self, id: PassId) -> f64 {
+        self.pass(id).map(|p| p.secs).unwrap_or(0.0)
+    }
+
+    /// Liveness seconds (compatibility accessor).
+    pub fn liveness_secs(&self) -> f64 {
+        self.pass_secs(PassId::Liveness)
+    }
+
+    /// Classification seconds (compatibility accessor).
+    pub fn classify_secs(&self) -> f64 {
+        self.pass_secs(PassId::Classify)
+    }
+
+    /// Fraction of demanded facts served from the store, in `[0, 1]`.
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.facts_computed + self.facts_reused;
+        if total == 0 {
+            0.0
+        } else {
+            self.facts_reused as f64 / total as f64
+        }
+    }
 }
 
 /// The driver.
@@ -191,61 +249,104 @@ impl Parallelizer {
     /// Analyze with an explicit schedule (parallel bottom-up pass) and an
     /// optional cross-run summary cache.  The analysis result is identical
     /// for every schedule and cache state; only [`AnalyzeStats`] differs.
+    /// Runs through a private, single-use [`FactStore`].
     pub fn analyze_with<'p>(
         program: &'p Program,
         config: ParallelizeConfig,
         opts: &ScheduleOptions,
         cache: Option<&SummaryCache>,
     ) -> (ProgramAnalysis<'p>, AnalyzeStats) {
+        Parallelizer::analyze_in(program, config, opts, cache, &FactStore::new())
+    }
+
+    /// Analyze through a shared [`FactStore`]: every pass becomes a fact
+    /// demand, so a re-analysis after a config or assertion change replays
+    /// only the facts whose input hashes moved.  The store may live across
+    /// runs (and across `reload`s of edited programs — stale facts miss on
+    /// their content hash).
+    pub fn analyze_in<'p>(
+        program: &'p Program,
+        config: ParallelizeConfig,
+        opts: &ScheduleOptions,
+        cache: Option<&SummaryCache>,
+        store: &FactStore,
+    ) -> (ProgramAnalysis<'p>, AnalyzeStats) {
         let t0 = Instant::now();
+        let metrics_before = store.metrics();
         let ctx = AnalysisCtx::new(program);
-        let (df, sched_stats) = schedule::run(&ctx, opts, cache);
-        let t1 = Instant::now();
-        let liveness = config.liveness.map(|mode| liveness::run(&ctx, &df, mode));
-        let t2 = Instant::now();
-        let mut verdicts = HashMap::new();
-        let dt = DepTest { ctx: &ctx, df: &df };
+        let proc_keys = cache::all_proc_keys(&ctx);
+        let pkey = cache::program_key(&ctx, &proc_keys);
 
-        // Resolve assertions to (loop, object) pairs.
-        let mut assert_private: HashSet<(StmtId, ArrayId)> = HashSet::new();
-        let mut assert_independent: HashSet<(StmtId, ArrayId)> = HashSet::new();
-        for a in &config.assertions {
-            let (loop_name, var, set) = match a {
-                Assertion::Privatizable { loop_name, var } => (loop_name, var, &mut assert_private),
-                Assertion::Independent { loop_name, var } => {
-                    (loop_name, var, &mut assert_independent)
-                }
-            };
-            let Some(li) = ctx.tree.loops.iter().find(|l| &l.name == loop_name) else {
-                continue;
-            };
-            let proc_name = &program.proc(li.proc).name;
-            if let Some(v) = program.var_by_name(proc_name, var) {
-                set.insert((li.stmt, ctx.array_of(v)));
+        // Whole-program summaries (§5.2) as one program-scope fact.
+        let summarized_before = store.metrics_for(PassId::Summarize).invocations;
+        let summary = store.demand(&SummarizePass {
+            ctx: &ctx,
+            opts,
+            cache,
+            hash: pkey,
+        });
+        let df = summary.df.clone();
+        let schedule = if store.metrics_for(PassId::Summarize).invocations > summarized_before {
+            summary.stats.clone()
+        } else {
+            // The fact was reused: the scheduler never ran, so report its
+            // shape but no traffic or timing.
+            ScheduleStats {
+                summarized: 0,
+                cache_hits: 0,
+                wall_secs: 0.0,
+                busy_secs: 0.0,
+                proc_secs: Vec::new(),
+                ..summary.stats.clone()
             }
-        }
+        };
 
+        // Liveness (§5.2) as a program-scope fact over the summaries.
+        let liveness: Option<Arc<LivenessResult>> = config.liveness.map(|mode| {
+            let mut h = Fnv128::new();
+            h.write_u128(pkey);
+            h.write(format!("{mode:?}").as_bytes());
+            store.demand(&LivenessPass {
+                ctx: &ctx,
+                df: &df,
+                mode,
+                hash: h.0,
+            })
+        });
+
+        // Resolve assertions to (loop, object) pairs, collecting a warning
+        // for every assertion that names a missing loop or variable.
+        let (assert_private, assert_independent, warnings) = resolve_assertions(&ctx, &config);
+        let epoch_hash = epoch_hash(pkey, &config, &assert_private, &assert_independent);
+
+        // Per-loop classification: one loop-scope fact each, keyed by the
+        // region's content hash plus exactly the assertions that resolved
+        // onto it — asserting one loop re-classifies only that loop.
+        let mut verdicts = HashMap::new();
         for li in &ctx.tree.loops {
-            let verdict = classify_loop(
-                &ctx,
-                &df,
-                &dt,
-                liveness.as_ref(),
+            let lkey = cache::loop_key(li, &proc_keys);
+            let hash = classify_hash(
+                pkey,
+                lkey,
                 &config,
                 li.stmt,
-                li.has_io,
                 &assert_private,
                 &assert_independent,
             );
-            verdicts.insert(li.stmt, verdict);
+            let verdict = store.demand(&ClassifyPass {
+                ctx: &ctx,
+                df: &df,
+                liveness: liveness.as_deref(),
+                config: &config,
+                li,
+                hash,
+                assert_private: &assert_private,
+                assert_independent: &assert_independent,
+            });
+            verdicts.insert(li.stmt, (*verdict).clone());
         }
 
-        let stats = AnalyzeStats {
-            schedule: sched_stats,
-            liveness_secs: (t2 - t1).as_secs_f64(),
-            classify_secs: t2.elapsed().as_secs_f64(),
-            total_secs: t0.elapsed().as_secs_f64(),
-        };
+        let stats = run_stats(store, &metrics_before, schedule, t0.elapsed().as_secs_f64());
         (
             ProgramAnalysis {
                 ctx,
@@ -253,8 +354,258 @@ impl Parallelizer {
                 liveness,
                 verdicts,
                 config,
+                warnings,
+                epoch_hash,
             },
             stats,
+        )
+    }
+}
+
+/// Resolved assertion marks `(stmt, object)`, one set per assertion kind,
+/// plus the warnings for assertions that resolved to nothing.
+type ResolvedAssertions = (
+    HashSet<(StmtId, ArrayId)>,
+    HashSet<(StmtId, ArrayId)>,
+    Vec<String>,
+);
+
+/// Resolve the configured assertions against the region tree; unresolved
+/// ones produce warnings instead of being silently dropped.
+fn resolve_assertions(ctx: &AnalysisCtx<'_>, config: &ParallelizeConfig) -> ResolvedAssertions {
+    let program = ctx.program;
+    let mut assert_private: HashSet<(StmtId, ArrayId)> = HashSet::new();
+    let mut assert_independent: HashSet<(StmtId, ArrayId)> = HashSet::new();
+    let mut warnings: Vec<String> = Vec::new();
+    for a in &config.assertions {
+        let (kind, loop_name, var, set) = match a {
+            Assertion::Privatizable { loop_name, var } => {
+                ("privatizable", loop_name, var, &mut assert_private)
+            }
+            Assertion::Independent { loop_name, var } => {
+                ("independent", loop_name, var, &mut assert_independent)
+            }
+        };
+        let Some(li) = ctx.tree.loops.iter().find(|l| &l.name == loop_name) else {
+            let w =
+                format!("unresolved assertion: no loop `{loop_name}` (asserted {kind} `{var}`)");
+            if !warnings.contains(&w) {
+                warnings.push(w);
+            }
+            continue;
+        };
+        let proc_name = &program.proc(li.proc).name;
+        match program.var_by_name(proc_name, var) {
+            Some(v) => {
+                set.insert((li.stmt, ctx.array_of(v)));
+            }
+            None => {
+                let w = format!(
+                    "unresolved assertion: no variable `{var}` in `{proc_name}` (asserted {kind} on `{loop_name}`)"
+                );
+                if !warnings.contains(&w) {
+                    warnings.push(w);
+                }
+            }
+        }
+    }
+    (assert_private, assert_independent, warnings)
+}
+
+/// Fingerprint of the resolved assertions restricted to one loop (or to all
+/// loops, for [`epoch_hash`]): sorted, so set iteration order is immaterial.
+fn write_assertion_marks(
+    h: &mut Fnv128,
+    only_loop: Option<StmtId>,
+    assert_private: &HashSet<(StmtId, ArrayId)>,
+    assert_independent: &HashSet<(StmtId, ArrayId)>,
+) {
+    let mut marks: Vec<(u32, u32, u8)> = Vec::new();
+    for &(s, id) in assert_private {
+        if only_loop.map(|l| l == s).unwrap_or(true) {
+            marks.push((s.0, id.0, 1));
+        }
+    }
+    for &(s, id) in assert_independent {
+        if only_loop.map(|l| l == s).unwrap_or(true) {
+            marks.push((s.0, id.0, 2));
+        }
+    }
+    marks.sort_unstable();
+    for (s, id, kind) in marks {
+        h.write_u32(s);
+        h.write_u32(id);
+        h.write(&[kind]);
+    }
+}
+
+/// Input hash of one loop's classification fact.
+fn classify_hash(
+    pkey: u128,
+    lkey: u128,
+    config: &ParallelizeConfig,
+    loop_stmt: StmtId,
+    assert_private: &HashSet<(StmtId, ArrayId)>,
+    assert_independent: &HashSet<(StmtId, ArrayId)>,
+) -> u128 {
+    let mut h = Fnv128::new();
+    // The program key is part of the hash because classification reads
+    // whole-program facts (summaries and top-down liveness).
+    h.write_u128(pkey);
+    h.write_u128(lkey);
+    h.write(format!("{:?}", config.liveness).as_bytes());
+    h.write(&[config.enable_reduction as u8]);
+    write_assertion_marks(&mut h, Some(loop_stmt), assert_private, assert_independent);
+    h.0
+}
+
+/// Input hash shared by every demand-driven advisory over one analysis.
+fn epoch_hash(
+    pkey: u128,
+    config: &ParallelizeConfig,
+    assert_private: &HashSet<(StmtId, ArrayId)>,
+    assert_independent: &HashSet<(StmtId, ArrayId)>,
+) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_u128(pkey);
+    h.write(format!("{:?}", config.liveness).as_bytes());
+    h.write(&[config.enable_reduction as u8]);
+    write_assertion_marks(&mut h, None, assert_private, assert_independent);
+    h.0
+}
+
+/// Build the run's [`AnalyzeStats`] from the store-counter delta.
+fn run_stats(
+    store: &FactStore,
+    before: &BTreeMap<PassId, PassMetrics>,
+    schedule: ScheduleStats,
+    total_secs: f64,
+) -> AnalyzeStats {
+    let after = store.metrics();
+    let mut passes = Vec::new();
+    let mut facts_computed = 0;
+    let mut facts_reused = 0;
+    for (pass, m) in &after {
+        let b = before.get(pass).copied().unwrap_or_default();
+        let (invocations, reused) = (m.invocations - b.invocations, m.reused - b.reused);
+        if invocations == 0 && reused == 0 {
+            continue;
+        }
+        facts_computed += invocations;
+        facts_reused += reused;
+        passes.push(PassStat {
+            pass: *pass,
+            secs: m.secs - b.secs,
+            invocations,
+            reused,
+        });
+    }
+    AnalyzeStats {
+        schedule,
+        passes,
+        facts_computed,
+        facts_reused,
+        total_secs,
+    }
+}
+
+/// The whole-program summary fact: the merged data flow plus the schedule
+/// stats of the run that computed it.
+pub struct SummaryFact {
+    /// Merged bottom-up data flow.
+    pub df: Arc<ArrayDataFlow>,
+    /// How the computing run was scheduled (reused runs report zero traffic).
+    pub stats: ScheduleStats,
+}
+
+struct SummarizePass<'a, 'p> {
+    ctx: &'a AnalysisCtx<'p>,
+    opts: &'a ScheduleOptions,
+    cache: Option<&'a SummaryCache>,
+    hash: u128,
+}
+
+impl Pass for SummarizePass<'_, '_> {
+    type Output = SummaryFact;
+    fn key(&self) -> FactKey {
+        FactKey::new(PassId::Summarize, Scope::Program)
+    }
+    fn input_hash(&self) -> u128 {
+        self.hash
+    }
+    fn run(&self) -> SummaryFact {
+        let (df, stats) = schedule::run(self.ctx, self.opts, self.cache);
+        SummaryFact {
+            df: Arc::new(df),
+            stats,
+        }
+    }
+}
+
+struct LivenessPass<'a, 'p> {
+    ctx: &'a AnalysisCtx<'p>,
+    df: &'a ArrayDataFlow,
+    mode: LivenessMode,
+    hash: u128,
+}
+
+impl Pass for LivenessPass<'_, '_> {
+    type Output = LivenessResult;
+    fn key(&self) -> FactKey {
+        FactKey::new(PassId::Liveness, Scope::Program)
+    }
+    fn input_hash(&self) -> u128 {
+        self.hash
+    }
+    fn deps(&self) -> Vec<FactKey> {
+        vec![FactKey::new(PassId::Summarize, Scope::Program)]
+    }
+    fn run(&self) -> LivenessResult {
+        liveness::run(self.ctx, self.df, self.mode)
+    }
+}
+
+struct ClassifyPass<'a, 'p> {
+    ctx: &'a AnalysisCtx<'p>,
+    df: &'a ArrayDataFlow,
+    liveness: Option<&'a LivenessResult>,
+    config: &'a ParallelizeConfig,
+    li: &'a LoopInfo,
+    hash: u128,
+    assert_private: &'a HashSet<(StmtId, ArrayId)>,
+    assert_independent: &'a HashSet<(StmtId, ArrayId)>,
+}
+
+impl Pass for ClassifyPass<'_, '_> {
+    type Output = LoopVerdict;
+    fn key(&self) -> FactKey {
+        FactKey::new(PassId::Classify, Scope::Loop(self.li.stmt))
+    }
+    fn input_hash(&self) -> u128 {
+        self.hash
+    }
+    fn deps(&self) -> Vec<FactKey> {
+        let mut d = vec![FactKey::new(PassId::Summarize, Scope::Program)];
+        if self.liveness.is_some() {
+            d.push(FactKey::new(PassId::Liveness, Scope::Program));
+        }
+        d
+    }
+    fn run(&self) -> LoopVerdict {
+        let dt = DepTest {
+            ctx: self.ctx,
+            df: self.df,
+        };
+        classify_loop(
+            self.ctx,
+            self.df,
+            &dt,
+            self.liveness,
+            self.config,
+            self.li.stmt,
+            self.li.has_io,
+            self.assert_private,
+            self.assert_independent,
         )
     }
 }

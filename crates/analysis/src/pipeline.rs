@@ -1,0 +1,395 @@
+//! The demand-driven pass pipeline: a [`Pass`] trait plus a region-granular
+//! [`FactStore`].
+//!
+//! Every analysis driver (summaries, liveness, per-loop classification, and
+//! the demand-only advisories in [`crate::contract`], [`crate::decomp`],
+//! [`crate::split`], [`crate::deps`]) is expressed as a pass producing one
+//! *fact* per scope — the whole program, one procedure, or one loop region.
+//! The store memoizes facts under a `(PassId, Scope)` key together with the
+//! 128-bit content hash of the pass inputs ([`crate::cache`] keys extended
+//! to region granularity), so a demand is answered three ways:
+//!
+//! 1. **reuse** — a valid entry whose input hash matches is returned as-is
+//!    (counted in [`PassMetrics::reused`]);
+//! 2. **recompute** — a missing, stale-hash, or invalidated entry runs the
+//!    pass, times it, and overwrites the entry;
+//! 3. **invalidate** — an external event (a user assertion, an edit) marks
+//!    one fact dirty; the recorded dependency edges propagate to every fact
+//!    that transitively depends on it, so the next demand recomputes exactly
+//!    the dirty cone.
+//!
+//! Facts are stored as `Arc<dyn Any>` so heterogeneous pass outputs share
+//! one map; [`FactStore::demand`] downcasts back to the pass's typed output.
+//! All methods take `&self` — the store is shared across analysis runs of
+//! one daemon session the same way the summary cache is.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+use std::time::Instant;
+use suif_ir::{ProcId, StmtId};
+
+/// Identity of an analysis pass (one per driver ported onto the pipeline).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PassId {
+    /// Bottom-up interprocedural array data-flow summaries.
+    Summarize,
+    /// Interprocedural array liveness.
+    Liveness,
+    /// Per-loop parallelization verdict.
+    Classify,
+    /// Per-loop carried-dependence table (demand-only).
+    Deps,
+    /// Array-contraction candidates (demand-only).
+    Contract,
+    /// Data-decomposition advisory (demand-only).
+    Decomp,
+    /// Common-block live-range splits (demand-only).
+    Split,
+}
+
+impl PassId {
+    /// Every pass, in pipeline order.
+    pub const ALL: [PassId; 7] = [
+        PassId::Summarize,
+        PassId::Liveness,
+        PassId::Classify,
+        PassId::Deps,
+        PassId::Contract,
+        PassId::Decomp,
+        PassId::Split,
+    ];
+
+    /// Stable lower-case name (used in the daemon's `stats` payload).
+    pub fn name(self) -> &'static str {
+        match self {
+            PassId::Summarize => "summarize",
+            PassId::Liveness => "liveness",
+            PassId::Classify => "classify",
+            PassId::Deps => "deps",
+            PassId::Contract => "contract",
+            PassId::Decomp => "decomp",
+            PassId::Split => "split",
+        }
+    }
+}
+
+/// The region a fact describes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Scope {
+    /// The whole program.
+    Program,
+    /// One procedure.
+    Proc(ProcId),
+    /// One loop region, named by its `do` statement.
+    Loop(StmtId),
+}
+
+/// The key of one fact: which pass, over which region.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FactKey {
+    /// The producing pass.
+    pub pass: PassId,
+    /// The region analyzed.
+    pub scope: Scope,
+}
+
+impl FactKey {
+    /// Shorthand constructor.
+    pub fn new(pass: PassId, scope: Scope) -> FactKey {
+        FactKey { pass, scope }
+    }
+}
+
+/// One schedulable unit of analysis.
+///
+/// A pass is a *pure function of its input hash*: two demands with the same
+/// [`Pass::key`] and [`Pass::input_hash`] must produce interchangeable
+/// outputs.  [`Pass::deps`] declares the facts this one reads, recorded as
+/// dependency edges for [`FactStore::invalidate`].
+pub trait Pass {
+    /// The fact type this pass produces.
+    type Output: Send + Sync + 'static;
+
+    /// Where the fact lives in the store.
+    fn key(&self) -> FactKey;
+
+    /// Content hash of everything the output depends on.
+    fn input_hash(&self) -> u128;
+
+    /// Keys of the facts this pass reads (dependency edges).
+    fn deps(&self) -> Vec<FactKey> {
+        Vec::new()
+    }
+
+    /// Compute the fact.
+    fn run(&self) -> Self::Output;
+}
+
+/// Per-pass counters: how often it ran, how often a demand was served from
+/// the store, and the seconds spent in [`Pass::run`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PassMetrics {
+    /// Times [`Pass::run`] executed.
+    pub invocations: u64,
+    /// Demands answered by a valid, hash-matching entry.
+    pub reused: u64,
+    /// Total seconds inside [`Pass::run`].
+    pub secs: f64,
+}
+
+struct FactEntry {
+    hash: u128,
+    value: Arc<dyn Any + Send + Sync>,
+    deps: Vec<FactKey>,
+    valid: bool,
+}
+
+/// A memoizing store of analysis facts keyed by `(pass, scope)`.
+#[derive(Default)]
+pub struct FactStore {
+    facts: Mutex<HashMap<FactKey, FactEntry>>,
+    metrics: Mutex<BTreeMap<PassId, PassMetrics>>,
+}
+
+impl FactStore {
+    /// An empty store.
+    pub fn new() -> FactStore {
+        FactStore::default()
+    }
+
+    /// Demand a fact: reuse a valid entry whose input hash matches, else run
+    /// the pass, record its output (with dependency edges), and return it.
+    pub fn demand<P: Pass>(&self, pass: &P) -> Arc<P::Output> {
+        let key = pass.key();
+        let hash = pass.input_hash();
+        {
+            let facts = self.facts.lock();
+            if let Some(e) = facts.get(&key) {
+                if e.valid && e.hash == hash {
+                    if let Ok(v) = e.value.clone().downcast::<P::Output>() {
+                        self.metrics.lock().entry(key.pass).or_default().reused += 1;
+                        return v;
+                    }
+                }
+            }
+        }
+        // Run outside the lock: a pass may demand its own inputs.
+        let t0 = Instant::now();
+        let out = Arc::new(pass.run());
+        let secs = t0.elapsed().as_secs_f64();
+        self.facts.lock().insert(
+            key,
+            FactEntry {
+                hash,
+                value: out.clone(),
+                deps: pass.deps(),
+                valid: true,
+            },
+        );
+        let mut metrics = self.metrics.lock();
+        let m = metrics.entry(key.pass).or_default();
+        m.invocations += 1;
+        m.secs += secs;
+        out
+    }
+
+    /// Mark one fact dirty and propagate along the recorded dependency
+    /// edges: every fact that transitively depends on `key` is invalidated
+    /// too.  Returns the number of entries marked dirty.  The next demand
+    /// for each recomputes regardless of its stored hash.
+    pub fn invalidate(&self, key: FactKey) -> usize {
+        let mut facts = self.facts.lock();
+        let mut frontier = vec![key];
+        let mut dirtied = 0usize;
+        while let Some(k) = frontier.pop() {
+            if let Some(e) = facts.get_mut(&k) {
+                if e.valid {
+                    e.valid = false;
+                    dirtied += 1;
+                } else if k != key {
+                    continue; // already propagated through this fact
+                }
+            }
+            let dependents: Vec<FactKey> = facts
+                .iter()
+                .filter(|(_, e)| e.valid && e.deps.contains(&k))
+                .map(|(&dk, _)| dk)
+                .collect();
+            frontier.extend(dependents);
+        }
+        dirtied
+    }
+
+    /// Invalidate every fact of one pass (and, transitively, the facts
+    /// depending on them).  Hash mismatches already handle program edits;
+    /// this is for events that change pass semantics wholesale.
+    pub fn invalidate_pass(&self, pass: PassId) -> usize {
+        let keys: Vec<FactKey> = self
+            .facts
+            .lock()
+            .keys()
+            .filter(|k| k.pass == pass)
+            .copied()
+            .collect();
+        keys.into_iter().map(|k| self.invalidate(k)).sum()
+    }
+
+    /// Snapshot of the per-pass counters.
+    pub fn metrics(&self) -> BTreeMap<PassId, PassMetrics> {
+        self.metrics.lock().clone()
+    }
+
+    /// Counters of one pass (zeros when it never ran).
+    pub fn metrics_for(&self, pass: PassId) -> PassMetrics {
+        self.metrics.lock().get(&pass).copied().unwrap_or_default()
+    }
+
+    /// Zero all counters (facts are kept).
+    pub fn reset_metrics(&self) {
+        self.metrics.lock().clear();
+    }
+
+    /// Number of stored facts (valid or dirty).
+    pub fn len(&self) -> usize {
+        self.facts.lock().len()
+    }
+
+    /// Is the store empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every fact and zero the counters.
+    pub fn clear(&self) {
+        self.facts.lock().clear();
+        self.reset_metrics();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountingPass<'a> {
+        key: FactKey,
+        hash: u128,
+        deps: Vec<FactKey>,
+        runs: &'a AtomicU64,
+        output: i64,
+    }
+
+    impl Pass for CountingPass<'_> {
+        type Output = i64;
+        fn key(&self) -> FactKey {
+            self.key
+        }
+        fn input_hash(&self) -> u128 {
+            self.hash
+        }
+        fn deps(&self) -> Vec<FactKey> {
+            self.deps.clone()
+        }
+        fn run(&self) -> i64 {
+            self.runs.fetch_add(1, Ordering::Relaxed);
+            self.output
+        }
+    }
+
+    fn key(pass: PassId, stmt: u32) -> FactKey {
+        FactKey::new(pass, Scope::Loop(StmtId(stmt)))
+    }
+
+    #[test]
+    fn demand_memoizes_by_hash() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let p = CountingPass {
+            key: key(PassId::Classify, 1),
+            hash: 7,
+            deps: vec![],
+            runs: &runs,
+            output: 42,
+        };
+        assert_eq!(*store.demand(&p), 42);
+        assert_eq!(*store.demand(&p), 42);
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "second demand reuses");
+        let m = store.metrics_for(PassId::Classify);
+        assert_eq!((m.invocations, m.reused), (1, 1));
+
+        // A changed input hash recomputes and overwrites.
+        let p2 = CountingPass { hash: 8, ..p };
+        store.demand(&p2);
+        assert_eq!(runs.load(Ordering::Relaxed), 2);
+        assert_eq!(store.len(), 1, "same key overwritten, not duplicated");
+    }
+
+    #[test]
+    fn invalidation_follows_dependency_edges() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let summarize = CountingPass {
+            key: FactKey::new(PassId::Summarize, Scope::Program),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 1,
+        };
+        let liveness = CountingPass {
+            key: FactKey::new(PassId::Liveness, Scope::Program),
+            hash: 1,
+            deps: vec![summarize.key()],
+            runs: &runs,
+            output: 2,
+        };
+        let classify = CountingPass {
+            key: key(PassId::Classify, 9),
+            hash: 1,
+            deps: vec![liveness.key()],
+            runs: &runs,
+            output: 3,
+        };
+        let other = CountingPass {
+            key: key(PassId::Classify, 10),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 4,
+        };
+        store.demand(&summarize);
+        store.demand(&liveness);
+        store.demand(&classify);
+        store.demand(&other);
+        assert_eq!(runs.load(Ordering::Relaxed), 4);
+
+        // Invalidating the root dirties the chain but not the unrelated fact.
+        assert_eq!(store.invalidate(summarize.key()), 3);
+        store.demand(&other);
+        assert_eq!(runs.load(Ordering::Relaxed), 4, "untouched fact reused");
+        store.demand(&classify);
+        assert_eq!(runs.load(Ordering::Relaxed), 5, "dirty fact recomputed");
+
+        // Invalidating a leaf touches only the leaf.
+        assert_eq!(store.invalidate(other.key()), 1);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let p = CountingPass {
+            key: key(PassId::Deps, 1),
+            hash: 0,
+            deps: vec![],
+            runs: &runs,
+            output: 0,
+        };
+        store.demand(&p);
+        assert!(!store.is_empty());
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.metrics_for(PassId::Deps), PassMetrics::default());
+    }
+}

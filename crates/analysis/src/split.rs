@@ -107,6 +107,47 @@ pub fn find_splits(pa: &ProgramAnalysis<'_>) -> Vec<BlockSplit> {
     out
 }
 
+struct SplitPass<'a, 'p> {
+    pa: &'a ProgramAnalysis<'p>,
+}
+
+impl crate::pipeline::Pass for SplitPass<'_, '_> {
+    type Output = Vec<BlockSplit>;
+    fn key(&self) -> crate::pipeline::FactKey {
+        crate::pipeline::FactKey::new(
+            crate::pipeline::PassId::Split,
+            crate::pipeline::Scope::Program,
+        )
+    }
+    fn input_hash(&self) -> u128 {
+        self.pa.epoch_hash
+    }
+    fn deps(&self) -> Vec<crate::pipeline::FactKey> {
+        vec![
+            crate::pipeline::FactKey::new(
+                crate::pipeline::PassId::Summarize,
+                crate::pipeline::Scope::Program,
+            ),
+            crate::pipeline::FactKey::new(
+                crate::pipeline::PassId::Liveness,
+                crate::pipeline::Scope::Program,
+            ),
+        ]
+    }
+    fn run(&self) -> Vec<BlockSplit> {
+        find_splits(self.pa)
+    }
+}
+
+/// Demand-driven [`find_splits`]: computed the first time a query asks,
+/// reused from the fact store afterwards.
+pub fn find_splits_cached(
+    pa: &ProgramAnalysis<'_>,
+    store: &crate::pipeline::FactStore,
+) -> std::sync::Arc<Vec<BlockSplit>> {
+    store.demand(&SplitPass { pa })
+}
+
 /// The used range of the block: union of every view's extent.
 fn used_range(ctx: &AnalysisCtx<'_>, block: CommonId) -> Section {
     let program = ctx.program;

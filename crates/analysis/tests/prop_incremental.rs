@@ -1,0 +1,180 @@
+//! Property: incremental assertion replay through a shared [`FactStore`] is
+//! observationally identical to a from-scratch `Parallelizer::analyze`, and
+//! each new assertion replays at most the asserted loop's classify pass —
+//! never the summaries, the liveness, or any other loop's classification.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use suif_analysis::{
+    Assertion, FactStore, ParallelizeConfig, Parallelizer, PassId, ProgramAnalysis, ScheduleOptions,
+};
+
+/// A generated program: `n` leaf procedures (elementwise when the constant
+/// is even, a loop-carried recurrence when odd) called in sequence by main.
+fn gen_src(consts: &[i64]) -> String {
+    let mut s = String::from("program gen\n");
+    for (k, c) in consts.iter().enumerate() {
+        if c % 2 == 0 {
+            s.push_str(&format!(
+                "proc f{k}(real q[*], int n) {{\n int i\n do 1 i = 1, n {{\n  q[i] = q[i] + {c}\n }}\n}}\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "proc f{k}(real q[*], int n) {{\n int i\n do 1 i = 2, n {{\n  q[i] = q[i - 1] + {c}\n }}\n}}\n"
+            ));
+        }
+    }
+    s.push_str("proc main() {\n real b[16]\n int i\n do 9 i = 1, 16 {\n  b[i] = i\n }\n");
+    for k in 0..consts.len() {
+        s.push_str(&format!(" call f{k}(b, 16)\n"));
+    }
+    s.push_str(" print b[3]\n}\n");
+    s
+}
+
+/// Loop-name → verdict Debug repr; the observational fingerprint.
+fn fingerprint(pa: &ProgramAnalysis<'_>) -> BTreeMap<String, String> {
+    pa.ctx
+        .tree
+        .loops
+        .iter()
+        .map(|li| (li.name.clone(), format!("{:?}", pa.verdicts[&li.stmt])))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn incremental_replay_matches_scratch(
+        consts in prop::collection::vec(-4i64..5, 1..4),
+        picks in prop::collection::vec((0usize..6, 0usize..2), 1..6),
+    ) {
+        let src = gen_src(&consts);
+        let program = suif_ir::parse_program(&src).unwrap();
+        let store = FactStore::new();
+        let opts = ScheduleOptions::sequential();
+
+        let (pa0, _) = Parallelizer::analyze_in(
+            &program, ParallelizeConfig::default(), &opts, None, &store);
+        let fresh0 = Parallelizer::analyze(&program, ParallelizeConfig::default());
+        prop_assert_eq!(fingerprint(&pa0), fingerprint(&fresh0));
+
+        let mut assertions: Vec<Assertion> = Vec::new();
+        for (slot, kind) in picks {
+            // Target one of the leaves, main's init loop, or a bogus name.
+            let loop_name = if slot < consts.len() {
+                format!("f{slot}/1")
+            } else if slot == consts.len() {
+                "main/9".to_string()
+            } else {
+                "nosuch/1".to_string()
+            };
+            let var = if slot < consts.len() { "q" } else { "b" };
+            let a = if kind == 0 {
+                Assertion::Privatizable { loop_name: loop_name.clone(), var: var.into() }
+            } else {
+                Assertion::Independent { loop_name: loop_name.clone(), var: var.into() }
+            };
+            let already = assertions.contains(&a);
+            let resolvable = !loop_name.starts_with("nosuch");
+            assertions.push(a);
+            let config = ParallelizeConfig {
+                assertions: assertions.clone(),
+                ..Default::default()
+            };
+
+            let classify_before = store.metrics_for(PassId::Classify).invocations;
+            let summarize_before = store.metrics_for(PassId::Summarize).invocations;
+            let liveness_before = store.metrics_for(PassId::Liveness).invocations;
+            let (pa, _) = Parallelizer::analyze_in(&program, config.clone(), &opts, None, &store);
+            let delta = store.metrics_for(PassId::Classify).invocations - classify_before;
+
+            // At most the asserted loop reclassifies; a duplicate or
+            // unresolvable assertion replays nothing at all.
+            prop_assert!(delta <= 1, "one assertion replayed {} classify passes", delta);
+            if already || !resolvable {
+                prop_assert_eq!(delta, 0, "no-op assertion must replay nothing");
+            }
+            prop_assert_eq!(
+                store.metrics_for(PassId::Summarize).invocations, summarize_before,
+                "summaries must never re-run on an assertion");
+            prop_assert_eq!(
+                store.metrics_for(PassId::Liveness).invocations, liveness_before,
+                "liveness must never re-run on an assertion");
+
+            // Verdicts identical to a from-scratch analysis of the same set.
+            let fresh = Parallelizer::analyze(&program, config);
+            prop_assert_eq!(fingerprint(&pa), fingerprint(&fresh));
+
+            // Unresolved assertions warn instead of disappearing.
+            if !resolvable {
+                prop_assert!(
+                    pa.warnings.iter().any(|w| w.contains("unresolved assertion")),
+                    "missing unresolved-assertion warning: {:?}", pa.warnings);
+            }
+        }
+    }
+}
+
+/// Deterministic acceptance check: one assertion re-runs exactly one
+/// classify pass, zero summarize/liveness passes, and lands on verdicts
+/// bit-identical to a full recompute.
+#[test]
+fn one_assertion_replays_one_classify_pass() {
+    let src = "program t\nproc main() {\n real a[8], c[8]\n int i, j\n a[1] = 1\n \
+               do 1 i = 2, 8 {\n  a[i] = a[i - 1] + 1\n }\n \
+               do 2 j = 1, 8 {\n  c[j] = j\n }\n print a[3]\n print c[3]\n}";
+    let program = suif_ir::parse_program(src).unwrap();
+    let store = FactStore::new();
+    let opts = ScheduleOptions::sequential();
+    let (pa, _) =
+        Parallelizer::analyze_in(&program, ParallelizeConfig::default(), &opts, None, &store);
+    let seq = pa
+        .ctx
+        .tree
+        .loops
+        .iter()
+        .find(|l| l.name == "main/1")
+        .unwrap()
+        .stmt;
+    assert!(
+        !pa.verdicts[&seq].is_parallel(),
+        "recurrence starts sequential"
+    );
+    let base = store.metrics();
+
+    let config = ParallelizeConfig {
+        assertions: vec![Assertion::Independent {
+            loop_name: "main/1".into(),
+            var: "a".into(),
+        }],
+        ..Default::default()
+    };
+    let (pa, stats) = Parallelizer::analyze_in(&program, config.clone(), &opts, None, &store);
+    let after = store.metrics();
+
+    assert!(
+        pa.verdicts[&seq].is_parallel(),
+        "assertion overrides the dep"
+    );
+    assert_eq!(
+        after[&PassId::Classify].invocations - base[&PassId::Classify].invocations,
+        1,
+        "exactly the asserted loop reclassified"
+    );
+    assert_eq!(
+        after[&PassId::Summarize].invocations,
+        base[&PassId::Summarize].invocations
+    );
+    assert_eq!(
+        after[&PassId::Liveness].invocations,
+        base[&PassId::Liveness].invocations
+    );
+    assert_eq!(stats.facts_computed, 1);
+    assert!(stats.facts_reused >= 2, "other loop + summaries + liveness");
+
+    // Bit-identical to the from-scratch analysis under the same config.
+    let fresh = Parallelizer::analyze(&program, config);
+    assert_eq!(fingerprint(&pa), fingerprint(&fresh));
+}

@@ -1,0 +1,62 @@
+//! Benchmark smoke run for CI: one cold ch4 (mdg) analysis plus one
+//! assertion replay through the same fact store, emitting pass timings and
+//! fact-reuse counters to `BENCH_2.json`.
+//!
+//! The replay numbers are the PR's claim in miniature: after the user's
+//! assertions, only the asserted loops' classify passes re-run and every
+//! other fact is served from the store (`reuse_ratio` close to 1).
+
+use std::sync::Arc;
+use suif_analysis::{AnalyzeStats, FactStore, ParallelizeConfig, ScheduleOptions};
+use suif_bench::common;
+use suif_benchmarks::{apps, Scale};
+use suif_explorer::Explorer;
+
+fn stats_json(s: &AnalyzeStats) -> String {
+    let passes: Vec<String> = s
+        .passes
+        .iter()
+        .map(|p| {
+            format!(
+                "\"{}\":{{\"secs\":{:.6},\"invocations\":{},\"reused\":{}}}",
+                p.pass.name(),
+                p.secs,
+                p.invocations,
+                p.reused
+            )
+        })
+        .collect();
+    format!(
+        "{{\"total_secs\":{:.6},\"facts_computed\":{},\"facts_reused\":{},\
+         \"reuse_ratio\":{:.4},\"passes\":{{{}}}}}",
+        s.total_secs,
+        s.facts_computed,
+        s.facts_reused,
+        s.reuse_ratio(),
+        passes.join(",")
+    )
+}
+
+fn main() {
+    let bench = apps::mdg(Scale::Test);
+    let program = bench.parse();
+    let store = Arc::new(FactStore::new());
+    let (mut ex, cold) = Explorer::with_store(
+        &program,
+        ParallelizeConfig::default(),
+        bench.input.clone(),
+        &ScheduleOptions::sequential(),
+        None,
+        store,
+    )
+    .expect("analyze mdg");
+    let replay = ex.apply_assertions(common::assertions(&bench));
+    let json = format!(
+        "{{\"bench\":\"{}\",\"cold\":{},\"assert_replay\":{}}}",
+        bench.name,
+        stats_json(&cold),
+        stats_json(&replay)
+    );
+    std::fs::write("BENCH_2.json", &json).expect("write BENCH_2.json");
+    println!("{json}");
+}

@@ -69,13 +69,15 @@ pub fn fig4_1(scale: Scale) -> String {
 pub fn fig4_2() -> String {
     let bench = apps::mdg(Scale::Test);
     let program = bench.parse();
+    let mut ex = Explorer::with_config(&program, explorer_config(&bench, false), vec![]).unwrap();
     let before = {
-        let ex = Explorer::with_config(&program, explorer_config(&bench, false), vec![]).unwrap();
         let guru = ex.guru();
         suif_explorer::codeview(&ex, &guru)
     };
+    // Replay the user's assertions through the resident fact store: only
+    // the asserted loops reclassify, and the profile runs are kept.
+    ex.apply_assertions(common::assertions(&bench));
     let after = {
-        let ex = Explorer::with_config(&program, explorer_config(&bench, true), vec![]).unwrap();
         let guru = ex.guru();
         suif_explorer::codeview(&ex, &guru)
     };
@@ -460,11 +462,19 @@ pub fn fig4_10(scale: Scale) -> String {
         "speedup(4p)",
     ]);
     for bench in ch4_apps(Scale::Test) {
+        let program = bench.parse();
+        // One Explorer per program; the user's assertions are replayed into
+        // it instead of rebuilding (and re-profiling) from scratch.
+        let mut ex = Explorer::with_config(
+            &program,
+            explorer_config(&bench, false),
+            bench.input.clone(),
+        )
+        .unwrap();
         for user in [false, true] {
-            let program = bench.parse();
-            let ex =
-                Explorer::with_config(&program, explorer_config(&bench, user), bench.input.clone())
-                    .unwrap();
+            if user {
+                ex.apply_assertions(common::assertions(&bench));
+            }
             let guru = ex.guru();
             let big = ch4_apps(scale)
                 .into_iter()

@@ -3,9 +3,11 @@
 
 use crate::guru::{self, GuruReport};
 use std::collections::HashSet;
+use std::sync::Arc;
 use suif_analysis::{
-    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, ProgramAnalysis,
-    ScheduleOptions, SummaryCache, VarClass,
+    contract::ContractionCandidate, decomp::DecompFact, deps::CarriedDeps, split::BlockSplit,
+    AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, ParallelizeConfig, Parallelizer,
+    PassId, ProgramAnalysis, ScheduleOptions, Scope, SummaryCache, VarClass,
 };
 use suif_dynamic::machine::Machine;
 use suif_dynamic::{DynDepAnalyzer, DynDepConfig, DynDepReport, LoopProfiler, ProfileReport};
@@ -40,6 +42,11 @@ pub struct Explorer<'p> {
     slicer: Option<Slicer<'p>>,
     /// Assertions applied so far.
     pub assertions: Vec<Assertion>,
+    /// The fact store every static pass runs through; assertion replay
+    /// recomputes only the invalidated cone of facts.
+    store: Arc<FactStore>,
+    /// Bottom-up schedule used for (re-)analysis.
+    opts: ScheduleOptions,
 }
 
 impl<'p> Explorer<'p> {
@@ -68,8 +75,29 @@ impl<'p> Explorer<'p> {
         opts: &ScheduleOptions,
         cache: Option<&SummaryCache>,
     ) -> Result<(Explorer<'p>, AnalyzeStats), ExplorerError> {
+        Self::with_store(
+            program,
+            config,
+            input,
+            opts,
+            cache,
+            Arc::new(FactStore::new()),
+        )
+    }
+
+    /// Start against a shared [`FactStore`] (the daemon's resident path):
+    /// every static pass is demanded through `store`, so facts surviving a
+    /// reload or an assertion replay are reused instead of recomputed.
+    pub fn with_store(
+        program: &'p Program,
+        config: ParallelizeConfig,
+        input: Vec<f64>,
+        opts: &ScheduleOptions,
+        cache: Option<&SummaryCache>,
+        store: Arc<FactStore>,
+    ) -> Result<(Explorer<'p>, AnalyzeStats), ExplorerError> {
         let assertions = config.assertions.clone();
-        let (analysis, stats) = Parallelizer::analyze_with(program, config, opts, cache);
+        let (analysis, stats) = Parallelizer::analyze_in(program, config, opts, cache, &store);
 
         // Loop profile run (§2.5.1).
         let mut profiler = LoopProfiler::new();
@@ -101,6 +129,8 @@ impl<'p> Explorer<'p> {
                 input,
                 slicer: None,
                 assertions,
+                store,
+                opts: opts.clone(),
             },
             stats,
         ))
@@ -180,18 +210,91 @@ impl<'p> Explorer<'p> {
         out
     }
 
+    /// Re-run the static analysis with a new assertion set, replaying only
+    /// the invalidated facts through the session's store.  The profile and
+    /// dynamic-dependence reports are **kept** — the program and input did
+    /// not change, so the interpreter runs would be identical.
+    pub fn apply_assertions(&mut self, assertions: Vec<Assertion>) -> AnalyzeStats {
+        self.assertions = assertions.clone();
+        let config = ParallelizeConfig {
+            assertions,
+            ..self.analysis.config.clone()
+        };
+        let (analysis, stats) =
+            Parallelizer::analyze_in(self.program, config, &self.opts, None, &self.store);
+        self.analysis = analysis;
+        stats
+    }
+
     /// Apply an assertion (after checking it, §2.8) and re-parallelize.
     pub fn assert_and_reanalyze(&mut self, a: Assertion) -> crate::checker::CheckResult {
+        self.assert_and_reanalyze_with_stats(a).0
+    }
+
+    /// [`Explorer::assert_and_reanalyze`], also returning the replay's
+    /// statistics (`None` when the assertion was contradicted and nothing
+    /// re-ran).  The assertion is an *invalidation event*: the asserted
+    /// loop's classification fact and its dependents are marked dirty, and
+    /// the replay recomputes exactly that cone.
+    pub fn assert_and_reanalyze_with_stats(
+        &mut self,
+        a: Assertion,
+    ) -> (crate::checker::CheckResult, Option<AnalyzeStats>) {
         let res = crate::checker::check_assertion(self, &a);
-        if !matches!(res, crate::checker::CheckResult::Contradicted(_)) {
-            self.assertions.push(a);
-            let config = ParallelizeConfig {
-                assertions: self.assertions.clone(),
-                ..self.analysis.config.clone()
-            };
-            self.analysis = Parallelizer::analyze(self.program, config);
+        if matches!(res, crate::checker::CheckResult::Contradicted(_)) {
+            return (res, None);
         }
-        res
+        let loop_name = match &a {
+            Assertion::Privatizable { loop_name, .. } => loop_name,
+            Assertion::Independent { loop_name, .. } => loop_name,
+        };
+        if let Some(li) = self
+            .analysis
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| &l.name == loop_name)
+        {
+            self.store
+                .invalidate(FactKey::new(PassId::Classify, Scope::Loop(li.stmt)));
+        }
+        let mut assertions = self.assertions.clone();
+        assertions.push(a);
+        let stats = self.apply_assertions(assertions);
+        (res, Some(stats))
+    }
+
+    /// Warnings from the current analysis (assertions naming missing loops
+    /// or variables).
+    pub fn warnings(&self) -> &[String] {
+        &self.analysis.warnings
+    }
+
+    /// The shared fact store (per-pass metrics, invalidation).
+    pub fn store(&self) -> &Arc<FactStore> {
+        &self.store
+    }
+
+    /// Demand-driven array-contraction candidates (§5.6); computed on first
+    /// query, reused afterwards.
+    pub fn contractions(&self) -> Arc<Vec<ContractionCandidate>> {
+        suif_analysis::contract::find_candidates_cached(&self.analysis, &self.store)
+    }
+
+    /// Demand-driven data-decomposition advisory (§4.2.4).
+    pub fn decomp_advisory(&self) -> Arc<DecompFact> {
+        suif_analysis::decomp::advisory_cached(&self.analysis, &self.store)
+    }
+
+    /// Demand-driven common-block live-range splits (§5.5).
+    pub fn block_splits(&self) -> Arc<Vec<BlockSplit>> {
+        suif_analysis::split::find_splits_cached(&self.analysis, &self.store)
+    }
+
+    /// Demand-driven carried-dependence table of one loop.
+    pub fn carried_deps(&self, loop_stmt: StmtId) -> Arc<CarriedDeps> {
+        suif_analysis::deps::carried_deps_cached(&self.analysis, &self.store, loop_stmt)
     }
 }
 

@@ -62,6 +62,12 @@ impl Daemon {
             Request::Slice { loop_name } => self
                 .with_session(|s| s.slice_json(&loop_name))
                 .and_then(|r| r),
+            Request::Assert {
+                loop_name,
+                var,
+                independent,
+            } => self.with_session(|s| s.assert_json(&loop_name, &var, independent)),
+            Request::Advisory => self.with_session(|s| s.advisory_json()),
             Request::Codeview => self.with_session(|s| s.codeview_json()),
             Request::Stats => self.with_session(|s| s.stats_json()),
             Request::Quit => return (ok_response(Json::obj([])), true),
@@ -147,10 +153,23 @@ mod tests {
         let loops = r.get("loops").and_then(Json::as_arr).unwrap();
         assert_eq!(loops[0].get("parallel").and_then(Json::as_bool), Some(true));
 
-        // Warm re-analysis: zero procedures re-summarized.
+        // Warm re-analysis: every fact reused, the scheduler never ran.
         let r = req(&mut d, r#"{"cmd":"stats"}"#);
         assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(0));
-        assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(1));
+        assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(0));
+        let facts = r.get("facts").unwrap();
+        assert_eq!(facts.get("computed").and_then(Json::as_i64), Some(0));
+        assert!(facts.get("reused").and_then(Json::as_i64).unwrap() > 0);
+
+        // Assertions and advisories answer over the wire.
+        let r = req(
+            &mut d,
+            r#"{"cmd":"assert","loop":"main/1","var":"a","kind":"independent"}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert!(r.get("assertion").and_then(Json::as_str).is_some());
+        let r = req(&mut d, r#"{"cmd":"advisory"}"#);
+        assert!(r.get("contractions").and_then(Json::as_arr).is_some());
 
         // Parse errors and unknown commands answer, not crash.
         let r = req(&mut d, "garbage");

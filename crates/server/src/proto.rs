@@ -15,6 +15,14 @@ pub enum Request {
     Guru,
     /// Slice the dependences of one loop.
     Slice { loop_name: String },
+    /// Check and apply a user assertion (an incremental invalidation event).
+    Assert {
+        loop_name: String,
+        var: String,
+        independent: bool,
+    },
+    /// Demand-driven advisories: contraction, decomposition, block splits.
+    Advisory,
     /// Render the annotated code view.
     Codeview,
     /// Daemon statistics: pass timings, cache counters, worker utilization.
@@ -58,6 +66,31 @@ impl Request {
                     .ok_or_else(|| ProtoError("slice requires string field \"loop\"".into()))?;
                 Ok(Request::Slice { loop_name })
             }
+            "assert" => {
+                let field = |name: &str| -> Result<String, ProtoError> {
+                    v.get(name)
+                        .and_then(Json::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| ProtoError(format!("assert requires string field {name:?}")))
+                };
+                let loop_name = field("loop")?;
+                let var = field("var")?;
+                let independent = match v.get("kind").and_then(Json::as_str) {
+                    None | Some("private") => false,
+                    Some("independent") => true,
+                    Some(other) => {
+                        return Err(ProtoError(format!(
+                            "assert kind must be \"private\" or \"independent\", got {other:?}"
+                        )))
+                    }
+                };
+                Ok(Request::Assert {
+                    loop_name,
+                    var,
+                    independent,
+                })
+            }
+            "advisory" => Ok(Request::Advisory),
             "codeview" => Ok(Request::Codeview),
             "stats" => Ok(Request::Stats),
             "quit" => Ok(Request::Quit),
@@ -101,6 +134,26 @@ mod tests {
             Ok(Request::Slice { .. })
         ));
         assert!(Request::parse(r#"{"cmd":"slice"}"#).is_err());
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"assert","loop":"main/1","var":"a","kind":"independent"}"#),
+            Ok(Request::Assert {
+                independent: true,
+                ..
+            })
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"assert","loop":"main/1","var":"a"}"#),
+            Ok(Request::Assert {
+                independent: false,
+                ..
+            })
+        ));
+        assert!(Request::parse(r#"{"cmd":"assert","loop":"main/1"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"assert","loop":"l","var":"v","kind":"bogus"}"#).is_err());
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"advisory"}"#),
+            Ok(Request::Advisory)
+        ));
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err());
     }

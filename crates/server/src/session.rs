@@ -10,7 +10,9 @@
 
 use crate::json::Json;
 use std::sync::Arc;
-use suif_analysis::{AnalyzeStats, LoopVerdict, ScheduleOptions, SummaryCache};
+use suif_analysis::{
+    AnalyzeStats, Assertion, FactStore, LoopVerdict, ScheduleOptions, SummaryCache,
+};
 use suif_explorer::Explorer;
 use suif_ir::Program;
 
@@ -22,6 +24,9 @@ pub struct Session {
     #[allow(dead_code)]
     program: Box<Program>,
     cache: Arc<SummaryCache>,
+    /// Fact store shared across analyses and reloads of this session;
+    /// stale facts miss on their content hash, surviving ones are reused.
+    store: Arc<FactStore>,
     opts: ScheduleOptions,
     /// Stats of the most recent analysis run.
     pub last_stats: AnalyzeStats,
@@ -35,11 +40,18 @@ fn build_explorer(
     program: &'static Program,
     opts: &ScheduleOptions,
     cache: &SummaryCache,
+    store: Arc<FactStore>,
 ) -> Result<(Explorer<'static>, AnalyzeStats, (u64, u64)), String> {
     let before = cache.counters();
-    let (explorer, stats) =
-        Explorer::with_schedule(program, Default::default(), Vec::new(), opts, Some(cache))
-            .map_err(|e| e.to_string())?;
+    let (explorer, stats) = Explorer::with_store(
+        program,
+        Default::default(),
+        Vec::new(),
+        opts,
+        Some(cache),
+        store,
+    )
+    .map_err(|e| e.to_string())?;
     let after = cache.counters();
     Ok((explorer, stats, (after.0 - before.0, after.1 - before.1)))
 }
@@ -56,11 +68,13 @@ impl Session {
         // until after `explorer` (field order) is dropped; the reference
         // never leaves the session.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
-        let (explorer, stats, delta) = build_explorer(pref, &opts, &cache)?;
+        let store = Arc::new(FactStore::new());
+        let (explorer, stats, delta) = build_explorer(pref, &opts, &cache, store.clone())?;
         Ok(Session {
             explorer,
             program,
             cache,
+            store,
             opts,
             last_stats: stats,
             last_cache_delta: delta,
@@ -68,14 +82,16 @@ impl Session {
         })
     }
 
-    /// Replace the program with edited source.  The summary cache carries
-    /// over, so only the dirty cone (edited procedures, id-shifted ones, and
-    /// their transitive callers) is re-summarized.
+    /// Replace the program with edited source.  The summary cache and fact
+    /// store carry over, so only the dirty cone (edited procedures,
+    /// id-shifted ones, and their transitive callers) is re-summarized and
+    /// only hash-mismatched facts are recomputed.
     pub fn reload(&mut self, source: &str) -> Result<(), String> {
         let program = Box::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
         // SAFETY: as in `open`.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
-        let (explorer, stats, delta) = build_explorer(pref, &self.opts, &self.cache)?;
+        let (explorer, stats, delta) =
+            build_explorer(pref, &self.opts, &self.cache, self.store.clone())?;
         // Install the new pair; the old explorer (borrowing the old program)
         // is dropped here, before the old program.
         self.explorer = explorer;
@@ -86,23 +102,119 @@ impl Session {
         Ok(())
     }
 
-    /// Re-run the static analysis through the cache (a warm re-analysis of
-    /// an unchanged program summarizes zero procedures) and report per-loop
-    /// verdicts.
+    /// Re-run the static analysis through the fact store (a warm
+    /// re-analysis of an unchanged program reuses every fact and runs no
+    /// pass) and report per-loop verdicts.
     pub fn analyze(&mut self) -> Json {
         let before = self.cache.counters();
         let config = self.explorer.analysis.config.clone();
-        let (analysis, stats) = suif_analysis::Parallelizer::analyze_with(
+        let (analysis, stats) = suif_analysis::Parallelizer::analyze_in(
             self.explorer.program,
             config,
             &self.opts,
             Some(&self.cache),
+            &self.store,
         );
         let after = self.cache.counters();
         self.explorer.analysis = analysis;
         self.last_stats = stats;
         self.last_cache_delta = (after.0 - before.0, after.1 - before.1);
-        self.verdicts_json()
+        let loops = self
+            .verdicts_json()
+            .get("loops")
+            .cloned()
+            .unwrap_or(Json::Arr(vec![]));
+        Json::obj([
+            ("loops", loops),
+            ("warnings", warnings_json(&self.explorer)),
+        ])
+    }
+
+    /// Check and apply one user assertion (§2.8): an invalidation event
+    /// that replays only the asserted loop's classification and its
+    /// dependent facts.  Returns the checker verdict, the refreshed loop
+    /// verdicts, and any unresolved-assertion warnings.
+    pub fn assert_json(&mut self, loop_name: &str, var: &str, independent: bool) -> Json {
+        let a = if independent {
+            Assertion::Independent {
+                loop_name: loop_name.into(),
+                var: var.into(),
+            }
+        } else {
+            Assertion::Privatizable {
+                loop_name: loop_name.into(),
+                var: var.into(),
+            }
+        };
+        let (res, stats) = self.explorer.assert_and_reanalyze_with_stats(a);
+        if let Some(stats) = stats {
+            self.last_stats = stats;
+        }
+        let (verdict, detail) = match &res {
+            suif_explorer::CheckResult::Consistent => ("consistent", String::new()),
+            suif_explorer::CheckResult::Warning(w) => ("warning", w.clone()),
+            suif_explorer::CheckResult::Contradicted(w) => ("contradicted", w.clone()),
+        };
+        let mut fields = vec![
+            ("assertion", Json::str(verdict)),
+            (
+                "loops",
+                self.verdicts_json()
+                    .get("loops")
+                    .cloned()
+                    .unwrap_or(Json::Arr(vec![])),
+            ),
+            ("warnings", warnings_json(&self.explorer)),
+        ];
+        if !detail.is_empty() {
+            fields.insert(1, ("detail", Json::str(&detail)));
+        }
+        Json::obj(fields)
+    }
+
+    /// The demand-driven advisories (contraction §5.6, decomposition
+    /// §4.2.4, block splitting §5.5) — computed on first request, served
+    /// from the fact store afterwards.
+    pub fn advisory_json(&self) -> Json {
+        let contractions: Vec<Json> = self
+            .explorer
+            .contractions()
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("var", Json::str(&self.explorer.program.var(c.var).name)),
+                    ("dim", Json::int(c.dim as i64)),
+                ])
+            })
+            .collect();
+        let advisory = self.explorer.decomp_advisory();
+        let conflicts: Vec<Json> = advisory
+            .conflicts
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("object", Json::str(&c.object_name)),
+                    ("a", Json::str(&c.a.0)),
+                    ("b", Json::str(&c.b.0)),
+                ])
+            })
+            .collect();
+        let splits: Vec<Json> = self
+            .explorer
+            .block_splits()
+            .iter()
+            .map(|s| {
+                Json::obj([
+                    ("block", Json::str(&s.name)),
+                    ("groups", Json::int(s.groups.len() as i64)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("contractions", Json::Arr(contractions)),
+            ("decomp_conflicts", Json::Arr(conflicts)),
+            ("splits", Json::Arr(splits)),
+        ])
     }
 
     /// Per-loop verdicts of the current analysis, in source order.
@@ -156,6 +268,7 @@ impl Session {
             ("granularity", Json::Num(report.granularity)),
             ("targets", Json::Arr(targets)),
             ("rendered", Json::str(report.render())),
+            ("warnings", warnings_json(&self.explorer)),
         ])
     }
 
@@ -213,11 +326,27 @@ impl Session {
         )])
     }
 
-    /// Daemon statistics: pass wall times, summary-cache traffic, worker
-    /// utilization, and emptiness-memo counters.
+    /// Daemon statistics: per-pass timings and invocation/reuse counters
+    /// from the fact store, summary-cache traffic, worker utilization, and
+    /// emptiness-memo counters.
     pub fn stats_json(&self) -> Json {
         let s = &self.last_stats;
         let (pe_hits, pe_misses) = suif_poly::prove_empty_cache_counters();
+        let mut passes: Vec<(&'static str, Json)> = s
+            .passes
+            .iter()
+            .map(|p| {
+                (
+                    p.pass.name(),
+                    Json::obj([
+                        ("secs", Json::Num(p.secs)),
+                        ("invocations", Json::int(p.invocations as i64)),
+                        ("reused", Json::int(p.reused as i64)),
+                    ]),
+                )
+            })
+            .collect();
+        passes.push(("total", Json::Num(s.total_secs)));
         Json::obj([
             ("generation", Json::int(self.generation as i64)),
             ("procs", Json::int(s.schedule.procs as i64)),
@@ -227,13 +356,14 @@ impl Session {
             ("cache_hits", Json::int(s.schedule.cache_hits as i64)),
             ("cache_entries", Json::int(self.cache.len() as i64)),
             ("utilization", Json::Num(s.schedule.utilization())),
+            ("passes", Json::obj(passes)),
             (
-                "passes",
+                "facts",
                 Json::obj([
-                    ("summarize", Json::Num(s.schedule.wall_secs)),
-                    ("liveness", Json::Num(s.liveness_secs)),
-                    ("classify", Json::Num(s.classify_secs)),
-                    ("total", Json::Num(s.total_secs)),
+                    ("computed", Json::int(s.facts_computed as i64)),
+                    ("reused", Json::int(s.facts_reused as i64)),
+                    ("ratio", Json::Num(s.reuse_ratio())),
+                    ("entries", Json::int(self.store.len() as i64)),
                 ]),
             ),
             (
@@ -245,6 +375,11 @@ impl Session {
             ),
         ])
     }
+}
+
+/// Unresolved-assertion warnings of the current analysis, as a JSON array.
+fn warnings_json(ex: &Explorer<'_>) -> Json {
+    Json::Arr(ex.warnings().iter().map(|w| Json::str(w.clone())).collect())
 }
 
 #[cfg(test)]
@@ -280,10 +415,16 @@ proc main() {
             .all(|l| l.get("parallel").and_then(Json::as_bool) == Some(true)));
         assert_eq!(s.last_stats.schedule.summarized, 2);
 
-        // Warm re-analysis of the unchanged program summarizes nothing.
+        // Warm re-analysis of the unchanged program reuses every fact: no
+        // procedure is re-summarized and the scheduler never runs.
         s.analyze();
         assert_eq!(s.last_stats.schedule.summarized, 0);
-        assert_eq!(s.last_stats.schedule.cache_hits, 2);
+        assert_eq!(s.last_stats.schedule.cache_hits, 0);
+        assert_eq!(s.last_stats.facts_computed, 0, "all facts from the store");
+        assert!(
+            s.last_stats.facts_reused >= 4,
+            "summaries + liveness + loops"
+        );
 
         // Reload with an edit to main only: the leaf `inc` stays cached.
         let edited = SRC.replace("print b[3]", "print b[4]");
@@ -291,6 +432,75 @@ proc main() {
         assert_eq!(s.generation, 2);
         assert_eq!(s.last_stats.schedule.cache_hits, 1, "inc must hit");
         assert_eq!(s.last_stats.schedule.summarized, 1, "only main dirty");
+    }
+
+    #[test]
+    fn session_assertions_replay_incrementally() {
+        let cache = Arc::new(SummaryCache::new());
+        let mut s = Session::open(SRC, ScheduleOptions::sequential(), cache).unwrap();
+        let classify_before = s
+            .store
+            .metrics_for(suif_analysis::PassId::Classify)
+            .invocations;
+
+        // Asserting on one loop replays only that loop's classification.
+        let r = s.assert_json("main/2", "b", true);
+        assert_eq!(
+            r.get("assertion").and_then(Json::as_str),
+            Some("consistent")
+        );
+        let classify_after = s
+            .store
+            .metrics_for(suif_analysis::PassId::Classify)
+            .invocations;
+        assert_eq!(classify_after - classify_before, 1, "one loop reclassified");
+        assert_eq!(
+            s.store
+                .metrics_for(suif_analysis::PassId::Summarize)
+                .invocations,
+            1,
+            "summaries never re-ran"
+        );
+
+        // An assertion the checker can disprove is rejected with a detail.
+        let r = s.assert_json("nosuch/9", "b", false);
+        assert_eq!(
+            r.get("assertion").and_then(Json::as_str),
+            Some("contradicted")
+        );
+        assert!(r
+            .get("detail")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("no loop"));
+
+        // Every analyze payload carries the warnings channel.
+        let a = s.analyze();
+        assert!(a.get("warnings").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn session_advisory_and_stats_payload() {
+        let cache = Arc::new(SummaryCache::new());
+        let mut s = Session::open(SRC, ScheduleOptions::sequential(), cache).unwrap();
+        let adv = s.advisory_json();
+        assert!(adv.get("contractions").and_then(Json::as_arr).is_some());
+        assert!(adv.get("splits").and_then(Json::as_arr).is_some());
+
+        s.analyze();
+        let st = s.stats_json();
+        let passes = st.get("passes").unwrap();
+        assert!(passes.get("total").and_then(Json::as_f64).is_some());
+        let classify = passes.get("classify").unwrap();
+        assert_eq!(
+            classify.get("invocations").and_then(Json::as_f64),
+            Some(0.0),
+            "warm analyze recomputes nothing"
+        );
+        assert_eq!(classify.get("reused").and_then(Json::as_f64), Some(2.0));
+        let facts = st.get("facts").unwrap();
+        assert_eq!(facts.get("computed").and_then(Json::as_f64), Some(0.0));
+        assert!(facts.get("ratio").and_then(Json::as_f64).unwrap() > 0.99);
     }
 
     #[test]

@@ -34,8 +34,8 @@ fn gen_src(consts: &[i64]) -> String {
 
 fn fresh_verdicts(src: &str) -> Json {
     let cache = Arc::new(SummaryCache::new());
-    let s = Session::open(src, ScheduleOptions::sequential(), cache).unwrap();
-    s.verdicts_json()
+    let mut s = Session::open(src, ScheduleOptions::sequential(), cache).unwrap();
+    s.analyze()
 }
 
 proptest! {

@@ -92,12 +92,36 @@ fn daemon_protocol_round_trip() {
         assert_eq!(l.get("parallel").and_then(Json::as_bool), Some(true), "{l}");
     }
 
-    // Warm-cache analyze: zero procedure re-summarizations in stats.
+    // Warm analyze: every fact served from the store, the scheduler and
+    // summary cache never touched.
     let r = c.request(r#"{"cmd":"stats"}"#);
     assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(0), "{r}");
-    assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(2));
+    assert_eq!(r.get("cache_hits").and_then(Json::as_i64), Some(0));
     assert!(r.get("passes").and_then(|p| p.get("total")).is_some());
+    let classify = r.get("passes").and_then(|p| p.get("classify")).unwrap();
+    assert_eq!(classify.get("invocations").and_then(Json::as_i64), Some(0));
+    assert_eq!(classify.get("reused").and_then(Json::as_i64), Some(2));
+    let facts = r.get("facts").expect("facts object");
+    assert_eq!(facts.get("computed").and_then(Json::as_i64), Some(0), "{r}");
+    assert!(facts.get("ratio").and_then(Json::as_f64).unwrap() > 0.99);
     assert!(r.get("prove_empty").is_some());
+
+    // Assert on one loop: checked, applied, loops refreshed.
+    let r = c.request(r#"{"cmd":"assert","loop":"main/2","var":"b","kind":"independent"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert_eq!(
+        r.get("assertion").and_then(Json::as_str),
+        Some("consistent"),
+        "{r}"
+    );
+    assert!(r.get("warnings").and_then(Json::as_arr).is_some());
+
+    // Advisories answer on demand.
+    let r = c.request(r#"{"cmd":"advisory"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert!(r.get("contractions").and_then(Json::as_arr).is_some());
+    assert!(r.get("decomp_conflicts").and_then(Json::as_arr).is_some());
+    assert!(r.get("splits").and_then(Json::as_arr).is_some());
 
     // Guru and codeview render.
     let r = c.request(r#"{"cmd":"guru"}"#);
