@@ -62,9 +62,9 @@ pub use deps::{DepKind, DepTest};
 pub use liveness::{LivenessMode, LivenessResult};
 pub use parallelize::{
     AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, PassStat,
-    ProgramAnalysis, StaticDep, VarClass,
+    PrefetchOutcome, ProgramAnalysis, StaticDep, VarClass,
 };
-pub use pipeline::{FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
+pub use pipeline::{ExecStats, Executor, FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
 pub use reduction::RedOp;
 pub use schedule::{ScheduleOptions, ScheduleStats};
 pub use summarize::{ArrayDataFlow, LoopIterSummary, ProcFlow};

@@ -7,7 +7,7 @@ use crate::cache::{self, Fnv128, SummaryCache};
 use crate::context::{AnalysisCtx, ArrayKey};
 use crate::deps::DepTest;
 use crate::liveness::{self, LivenessMode, LivenessResult};
-use crate::pipeline::{FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
+use crate::pipeline::{ExecStats, FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
 use crate::reduction::RedOp;
 use crate::schedule::{self, ScheduleOptions, ScheduleStats};
 use crate::summarize::ArrayDataFlow;
@@ -201,8 +201,13 @@ pub struct AnalyzeStats {
     pub facts_computed: u64,
     /// Facts served from the store this run.
     pub facts_reused: u64,
+    /// Facts that deduped against an in-flight computation this run.
+    pub facts_deduped: u64,
     /// Whole-analysis seconds (context build included).
     pub total_secs: f64,
+    /// How the per-loop classify fan-out ran ([`FactStore::demand_all`]):
+    /// worker count, per-worker busy seconds, and the fan-out wall-clock.
+    pub demand_exec: ExecStats,
 }
 
 impl AnalyzeStats {
@@ -321,9 +326,121 @@ impl Parallelizer {
 
         // Per-loop classification: one loop-scope fact each, keyed by the
         // region's content hash plus exactly the assertions that resolved
-        // onto it — asserting one loop re-classifies only that loop.
+        // onto it — asserting one loop re-classifies only that loop.  The
+        // demands fan out across the shared executor; results come back in
+        // loop order and verdicts contain no fresh symbols, so the parallel
+        // run is observationally identical to the sequential one.
+        let exec = opts.executor();
+        let passes: Vec<ClassifyPass<'_, '_>> = ctx
+            .tree
+            .loops
+            .iter()
+            .map(|li| {
+                let lkey = cache::loop_key(li, &proc_keys);
+                let hash = classify_hash(
+                    pkey,
+                    lkey,
+                    &config,
+                    li.stmt,
+                    &assert_private,
+                    &assert_independent,
+                );
+                ClassifyPass {
+                    ctx: &ctx,
+                    df: &df,
+                    liveness: liveness.as_deref(),
+                    config: &config,
+                    li,
+                    hash,
+                    assert_private: &assert_private,
+                    assert_independent: &assert_independent,
+                }
+            })
+            .collect();
+        let (facts, demand_exec) = store.demand_all(&passes, &exec);
+        drop(passes);
         let mut verdicts = HashMap::new();
-        for li in &ctx.tree.loops {
+        for (li, verdict) in ctx.tree.loops.iter().zip(facts) {
+            verdicts.insert(li.stmt, (*verdict).clone());
+        }
+
+        let mut stats = run_stats(store, &metrics_before, schedule, t0.elapsed().as_secs_f64());
+        stats.demand_exec = demand_exec;
+        (
+            ProgramAnalysis {
+                ctx,
+                df,
+                liveness,
+                verdicts,
+                config,
+                warnings,
+                epoch_hash,
+            },
+            stats,
+        )
+    }
+
+    /// Speculatively compute the classify and carried-dependence facts of
+    /// selected loops through a shared [`FactStore`], without building a
+    /// full [`ProgramAnalysis`] for the caller.
+    ///
+    /// The server spawns this on a background thread after `guru`, naming
+    /// the top-ranked loops: the next interactive query on one of them
+    /// answers from the store.  `cancel` is polled between facts so an
+    /// invalidation event (`assert`, `reload`) stops the speculation; a
+    /// fact already `Running` when the event lands is stored dirty by the
+    /// fact store itself, so cancellation never races a stale answer in.
+    ///
+    /// Returns the keys of every fact demanded (for hit/waste accounting)
+    /// and whether the run was cancelled early.
+    pub fn prefetch_loops(
+        program: &Program,
+        config: ParallelizeConfig,
+        opts: &ScheduleOptions,
+        cache: Option<&SummaryCache>,
+        store: &FactStore,
+        loop_names: &[String],
+        cancel: &(dyn Fn() -> bool + Sync),
+    ) -> PrefetchOutcome {
+        let mut out = PrefetchOutcome::default();
+        if cancel() {
+            out.cancelled = true;
+            return out;
+        }
+        let ctx = AnalysisCtx::new(program);
+        let proc_keys = cache::all_proc_keys(&ctx);
+        let pkey = cache::program_key(&ctx, &proc_keys);
+        let summary = store.demand(&SummarizePass {
+            ctx: &ctx,
+            opts,
+            cache,
+            hash: pkey,
+        });
+        let df = summary.df.clone();
+        let liveness: Option<Arc<LivenessResult>> = config.liveness.map(|mode| {
+            let mut h = Fnv128::new();
+            h.write_u128(pkey);
+            h.write(format!("{mode:?}").as_bytes());
+            store.demand(&LivenessPass {
+                ctx: &ctx,
+                df: &df,
+                mode,
+                hash: h.0,
+            })
+        });
+        let (assert_private, assert_independent, warnings) = resolve_assertions(&ctx, &config);
+        let epoch_hash = epoch_hash(pkey, &config, &assert_private, &assert_independent);
+
+        let mut verdicts = HashMap::new();
+        let mut stmts: Vec<StmtId> = Vec::new();
+        for name in loop_names {
+            if cancel() {
+                out.cancelled = true;
+                break;
+            }
+            let Some(li) = ctx.tree.loops.iter().find(|l| &l.name == name) else {
+                continue;
+            };
             let lkey = cache::loop_key(li, &proc_keys);
             let hash = classify_hash(
                 pkey,
@@ -344,22 +461,42 @@ impl Parallelizer {
                 assert_independent: &assert_independent,
             });
             verdicts.insert(li.stmt, (*verdict).clone());
+            out.keys
+                .push(FactKey::new(PassId::Classify, Scope::Loop(li.stmt)));
+            stmts.push(li.stmt);
         }
 
-        let stats = run_stats(store, &metrics_before, schedule, t0.elapsed().as_secs_f64());
-        (
-            ProgramAnalysis {
-                ctx,
-                df,
-                liveness,
-                verdicts,
-                config,
-                warnings,
-                epoch_hash,
-            },
-            stats,
-        )
+        // The carried-dependence advisory needs a full analysis view; reuse
+        // the facts just demanded.
+        let pa = ProgramAnalysis {
+            ctx,
+            df,
+            liveness,
+            verdicts,
+            config,
+            warnings,
+            epoch_hash,
+        };
+        for stmt in stmts {
+            if cancel() {
+                out.cancelled = true;
+                break;
+            }
+            crate::deps::carried_deps_cached(&pa, store, stmt);
+            out.keys.push(FactKey::new(PassId::Deps, Scope::Loop(stmt)));
+        }
+        out
     }
+}
+
+/// What [`Parallelizer::prefetch_loops`] did: the fact keys it demanded
+/// (classify then deps, in ranked-loop order) and whether it was cancelled.
+#[derive(Clone, Debug, Default)]
+pub struct PrefetchOutcome {
+    /// Every fact key demanded before cancellation.
+    pub keys: Vec<FactKey>,
+    /// Whether `cancel()` stopped the run early.
+    pub cancelled: bool,
 }
 
 /// Resolved assertion marks `(stmt, object)`, one set per assertion kind,
@@ -372,11 +509,15 @@ type ResolvedAssertions = (
 
 /// Resolve the configured assertions against the region tree; unresolved
 /// ones produce warnings instead of being silently dropped.
+///
+/// Warnings are sorted by source position (the named loop's `do` line, with
+/// loop-less warnings last) and then text, so the order is deterministic
+/// regardless of assertion order or demand schedule.
 fn resolve_assertions(ctx: &AnalysisCtx<'_>, config: &ParallelizeConfig) -> ResolvedAssertions {
     let program = ctx.program;
     let mut assert_private: HashSet<(StmtId, ArrayId)> = HashSet::new();
     let mut assert_independent: HashSet<(StmtId, ArrayId)> = HashSet::new();
-    let mut warnings: Vec<String> = Vec::new();
+    let mut warnings: Vec<(u32, String)> = Vec::new();
     for a in &config.assertions {
         let (kind, loop_name, var, set) = match a {
             Assertion::Privatizable { loop_name, var } => {
@@ -387,11 +528,10 @@ fn resolve_assertions(ctx: &AnalysisCtx<'_>, config: &ParallelizeConfig) -> Reso
             }
         };
         let Some(li) = ctx.tree.loops.iter().find(|l| &l.name == loop_name) else {
-            let w =
-                format!("unresolved assertion: no loop `{loop_name}` (asserted {kind} `{var}`)");
-            if !warnings.contains(&w) {
-                warnings.push(w);
-            }
+            warnings.push((
+                u32::MAX,
+                format!("unresolved assertion: no loop `{loop_name}` (asserted {kind} `{var}`)"),
+            ));
             continue;
         };
         let proc_name = &program.proc(li.proc).name;
@@ -400,15 +540,18 @@ fn resolve_assertions(ctx: &AnalysisCtx<'_>, config: &ParallelizeConfig) -> Reso
                 set.insert((li.stmt, ctx.array_of(v)));
             }
             None => {
-                let w = format!(
-                    "unresolved assertion: no variable `{var}` in `{proc_name}` (asserted {kind} on `{loop_name}`)"
-                );
-                if !warnings.contains(&w) {
-                    warnings.push(w);
-                }
+                warnings.push((
+                    li.line,
+                    format!(
+                        "unresolved assertion: no variable `{var}` in `{proc_name}` (asserted {kind} on `{loop_name}`)"
+                    ),
+                ));
             }
         }
     }
+    warnings.sort();
+    warnings.dedup();
+    let warnings = warnings.into_iter().map(|(_, w)| w).collect();
     (assert_private, assert_independent, warnings)
 }
 
@@ -485,14 +628,17 @@ fn run_stats(
     let mut passes = Vec::new();
     let mut facts_computed = 0;
     let mut facts_reused = 0;
+    let mut facts_deduped = 0;
     for (pass, m) in &after {
         let b = before.get(pass).copied().unwrap_or_default();
         let (invocations, reused) = (m.invocations - b.invocations, m.reused - b.reused);
-        if invocations == 0 && reused == 0 {
+        let deduped = m.deduped - b.deduped;
+        if invocations == 0 && reused == 0 && deduped == 0 {
             continue;
         }
         facts_computed += invocations;
         facts_reused += reused;
+        facts_deduped += deduped;
         passes.push(PassStat {
             pass: *pass,
             secs: m.secs - b.secs,
@@ -505,7 +651,9 @@ fn run_stats(
         passes,
         facts_computed,
         facts_reused,
+        facts_deduped,
         total_secs,
+        demand_exec: ExecStats::default(),
     }
 }
 

@@ -1,5 +1,5 @@
-//! The demand-driven pass pipeline: a [`Pass`] trait plus a region-granular
-//! [`FactStore`].
+//! The demand-driven pass pipeline: a [`Pass`] trait plus a concurrent,
+//! region-granular [`FactStore`] and the shared [`Executor`] worker pool.
 //!
 //! Every analysis driver (summaries, liveness, per-loop classification, and
 //! the demand-only advisories in [`crate::contract`], [`crate::decomp`],
@@ -18,14 +18,35 @@
 //!    that transitively depends on it, so the next demand recomputes exactly
 //!    the dirty cone.
 //!
+//! # Concurrency
+//!
+//! The store is sharded: a fact key hashes to one of [`SHARD_COUNT`] shards,
+//! each an independently locked map, so demands of unrelated facts never
+//! contend.  Each entry carries an explicit state machine:
+//!
+//! ```text
+//! Absent ──claim──▶ Running ──store──▶ Ready {valid, hash}
+//!                      ▲                   │
+//!                      └──stale/invalid────┘
+//! ```
+//!
+//! Concurrent demands of the *same* key dedup in flight: the first thread
+//! claims the `Running` slot and computes; the rest block on the shard's
+//! condvar and share the finished `Arc` (counted in [`PassMetrics::deduped`],
+//! with blocked time in [`PassMetrics::wait_secs`]).  An invalidation that
+//! arrives while the entry is `Running` marks the claim, and the runner
+//! stores its result already-dirty — the runner's own caller still gets the
+//! value it asked for, but no later demand is served the stale fact.
+//!
 //! Facts are stored as `Arc<dyn Any>` so heterogeneous pass outputs share
 //! one map; [`FactStore::demand`] downcasts back to the pass's typed output.
 //! All methods take `&self` — the store is shared across analysis runs of
 //! one daemon session the same way the summary cache is.
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use suif_ir::{ProcId, StmtId};
@@ -135,8 +156,13 @@ pub struct PassMetrics {
     pub invocations: u64,
     /// Demands answered by a valid, hash-matching entry.
     pub reused: u64,
+    /// Demands that found the fact `Running` and shared the in-flight
+    /// result instead of recomputing it.
+    pub deduped: u64,
     /// Total seconds inside [`Pass::run`].
     pub secs: f64,
+    /// Total seconds demands spent blocked on in-flight computations.
+    pub wait_secs: f64,
 }
 
 struct FactEntry {
@@ -146,11 +172,77 @@ struct FactEntry {
     valid: bool,
 }
 
-/// A memoizing store of analysis facts keyed by `(pass, scope)`.
+/// Entry state machine: `Absent` is represented by the key missing from the
+/// shard map entirely.
+enum Slot {
+    /// A thread is computing this fact; `invalidated` records an
+    /// invalidation that arrived mid-run so the result is stored dirty.
+    Running { invalidated: bool },
+    /// The fact is stored (possibly dirty or stale-hashed).
+    Ready(FactEntry),
+}
+
+/// Number of independently locked shards in the store.
+pub const SHARD_COUNT: usize = 16;
+
 #[derive(Default)]
+struct Shard {
+    slots: Mutex<HashMap<FactKey, Slot>>,
+    ready: Condvar,
+}
+
+/// A memoizing, concurrency-safe store of analysis facts keyed by
+/// `(pass, scope)`.  See the module docs for the entry state machine.
 pub struct FactStore {
-    facts: Mutex<HashMap<FactKey, FactEntry>>,
+    shards: Vec<Shard>,
     metrics: Mutex<BTreeMap<PassId, PassMetrics>>,
+}
+
+impl Default for FactStore {
+    fn default() -> FactStore {
+        FactStore {
+            shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+}
+
+fn shard_index(key: &FactKey) -> usize {
+    // FNV-1a over the key's discriminants; cheap and well-spread for the
+    // small id spaces involved.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    eat(key.pass as u64);
+    match key.scope {
+        Scope::Program => eat(u64::MAX),
+        Scope::Proc(p) => eat(0x1_0000_0000 | p.0 as u64),
+        Scope::Loop(s) => eat(0x2_0000_0000 | s.0 as u64),
+    }
+    (h as usize) % SHARD_COUNT
+}
+
+/// Removes an abandoned `Running` claim if the pass panics, so blocked
+/// waiters retry instead of deadlocking.
+struct RunClaim<'a> {
+    shard: &'a Shard,
+    key: FactKey,
+    armed: bool,
+}
+
+impl Drop for RunClaim<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut slots = self.shard.slots.lock();
+            if matches!(slots.get(&self.key), Some(Slot::Running { .. })) {
+                slots.remove(&self.key);
+            }
+            drop(slots);
+            self.shard.ready.notify_all();
+        }
+    }
 }
 
 impl FactStore {
@@ -159,35 +251,80 @@ impl FactStore {
         FactStore::default()
     }
 
-    /// Demand a fact: reuse a valid entry whose input hash matches, else run
-    /// the pass, record its output (with dependency edges), and return it.
+    fn shard(&self, key: &FactKey) -> &Shard {
+        &self.shards[shard_index(key)]
+    }
+
+    /// Demand a fact: reuse a valid entry whose input hash matches, share an
+    /// in-flight computation of the same key, or claim the entry and run the
+    /// pass, recording its output (with dependency edges).
     pub fn demand<P: Pass>(&self, pass: &P) -> Arc<P::Output> {
         let key = pass.key();
         let hash = pass.input_hash();
+        let shard = self.shard(&key);
+        let mut wait_start: Option<Instant> = None;
         {
-            let facts = self.facts.lock();
-            if let Some(e) = facts.get(&key) {
-                if e.valid && e.hash == hash {
-                    if let Ok(v) = e.value.clone().downcast::<P::Output>() {
-                        self.metrics.lock().entry(key.pass).or_default().reused += 1;
-                        return v;
+            let mut slots = shard.slots.lock();
+            loop {
+                match slots.get(&key) {
+                    Some(Slot::Ready(e)) if e.valid && e.hash == hash => {
+                        if let Ok(v) = e.value.clone().downcast::<P::Output>() {
+                            drop(slots);
+                            let mut metrics = self.metrics.lock();
+                            let m = metrics.entry(key.pass).or_default();
+                            match wait_start {
+                                Some(t) => {
+                                    m.deduped += 1;
+                                    m.wait_secs += t.elapsed().as_secs_f64();
+                                }
+                                None => m.reused += 1,
+                            }
+                            return v;
+                        }
+                        // A type mismatch is a stale entry in disguise;
+                        // recompute below.
+                        break;
                     }
+                    Some(Slot::Running { .. }) => {
+                        wait_start.get_or_insert_with(Instant::now);
+                        shard.ready.wait(&mut slots);
+                        continue;
+                    }
+                    _ => break, // absent, dirty, or stale hash: recompute
                 }
             }
+            slots.insert(key, Slot::Running { invalidated: false });
         }
+        if let Some(t) = wait_start {
+            // Waited on a runner that produced a different hash (or got
+            // poisoned); still account the blocked time.
+            self.metrics.lock().entry(key.pass).or_default().wait_secs += t.elapsed().as_secs_f64();
+        }
+        let mut claim = RunClaim {
+            shard,
+            key,
+            armed: true,
+        };
         // Run outside the lock: a pass may demand its own inputs.
         let t0 = Instant::now();
         let out = Arc::new(pass.run());
         let secs = t0.elapsed().as_secs_f64();
-        self.facts.lock().insert(
-            key,
-            FactEntry {
-                hash,
-                value: out.clone(),
-                deps: pass.deps(),
-                valid: true,
-            },
-        );
+        let deps = pass.deps();
+        {
+            let mut slots = shard.slots.lock();
+            let valid = !matches!(slots.get(&key), Some(Slot::Running { invalidated: true }));
+            slots.insert(
+                key,
+                Slot::Ready(FactEntry {
+                    hash,
+                    value: out.clone(),
+                    deps,
+                    valid,
+                }),
+            );
+        }
+        claim.armed = false;
+        shard.ready.notify_all();
         let mut metrics = self.metrics.lock();
         let m = metrics.entry(key.pass).or_default();
         m.invocations += 1;
@@ -195,29 +332,71 @@ impl FactStore {
         out
     }
 
+    /// Demand many facts of one pass type concurrently across `exec`.
+    ///
+    /// Results come back in input order, so parallel demand is
+    /// observationally identical to demanding each pass in sequence (pass
+    /// outputs are pure functions of their input hash, and in-flight dedup
+    /// guarantees each key runs at most once).
+    pub fn demand_all<P: Pass + Sync>(
+        &self,
+        passes: &[P],
+        exec: &Executor,
+    ) -> (Vec<Arc<P::Output>>, ExecStats) {
+        let results: Vec<Mutex<Option<Arc<P::Output>>>> =
+            passes.iter().map(|_| Mutex::new(None)).collect();
+        let stats = exec.run(passes.len(), |i| {
+            *results[i].lock() = Some(self.demand(&passes[i]));
+        });
+        let out = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("demand_all worker stored a result"))
+            .collect();
+        (out, stats)
+    }
+
     /// Mark one fact dirty and propagate along the recorded dependency
     /// edges: every fact that transitively depends on `key` is invalidated
-    /// too.  Returns the number of entries marked dirty.  The next demand
-    /// for each recomputes regardless of its stored hash.
+    /// too.  Returns the number of entries marked dirty (an entry currently
+    /// `Running` counts — its result will be stored already-dirty).  The
+    /// next demand for each recomputes regardless of its stored hash.
     pub fn invalidate(&self, key: FactKey) -> usize {
-        let mut facts = self.facts.lock();
         let mut frontier = vec![key];
+        let mut visited: std::collections::HashSet<FactKey> = std::collections::HashSet::new();
         let mut dirtied = 0usize;
         while let Some(k) = frontier.pop() {
-            if let Some(e) = facts.get_mut(&k) {
-                if e.valid {
-                    e.valid = false;
-                    dirtied += 1;
-                } else if k != key {
-                    continue; // already propagated through this fact
+            if !visited.insert(k) {
+                continue;
+            }
+            let newly = {
+                let mut slots = self.shard(&k).slots.lock();
+                match slots.get_mut(&k) {
+                    Some(Slot::Ready(e)) if e.valid => {
+                        e.valid = false;
+                        true
+                    }
+                    Some(Slot::Running { invalidated }) if !*invalidated => {
+                        *invalidated = true;
+                        true
+                    }
+                    _ => false,
+                }
+            };
+            if newly {
+                dirtied += 1;
+            }
+            if newly || k == key {
+                for shard in &self.shards {
+                    let slots = shard.slots.lock();
+                    for (dk, slot) in slots.iter() {
+                        if let Slot::Ready(e) = slot {
+                            if e.valid && e.deps.contains(&k) && !visited.contains(dk) {
+                                frontier.push(*dk);
+                            }
+                        }
+                    }
                 }
             }
-            let dependents: Vec<FactKey> = facts
-                .iter()
-                .filter(|(_, e)| e.valid && e.deps.contains(&k))
-                .map(|(&dk, _)| dk)
-                .collect();
-            frontier.extend(dependents);
         }
         dirtied
     }
@@ -226,14 +405,29 @@ impl FactStore {
     /// depending on them).  Hash mismatches already handle program edits;
     /// this is for events that change pass semantics wholesale.
     pub fn invalidate_pass(&self, pass: PassId) -> usize {
-        let keys: Vec<FactKey> = self
-            .facts
-            .lock()
-            .keys()
-            .filter(|k| k.pass == pass)
-            .copied()
-            .collect();
+        let mut keys: Vec<FactKey> = Vec::new();
+        for shard in &self.shards {
+            keys.extend(shard.slots.lock().keys().filter(|k| k.pass == pass));
+        }
         keys.into_iter().map(|k| self.invalidate(k)).sum()
+    }
+
+    /// Snapshot of the recorded dependency edges of every valid fact, in
+    /// deterministic key order (used by the observational-equivalence
+    /// property tests).
+    pub fn dependency_edges(&self) -> BTreeMap<FactKey, Vec<FactKey>> {
+        let mut out = BTreeMap::new();
+        for shard in &self.shards {
+            let slots = shard.slots.lock();
+            for (k, slot) in slots.iter() {
+                if let Slot::Ready(e) = slot {
+                    if e.valid {
+                        out.insert(*k, e.deps.clone());
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// Snapshot of the per-pass counters.
@@ -251,9 +445,9 @@ impl FactStore {
         self.metrics.lock().clear();
     }
 
-    /// Number of stored facts (valid or dirty).
+    /// Number of stored facts (valid, dirty, or in flight).
     pub fn len(&self) -> usize {
-        self.facts.lock().len()
+        self.shards.iter().map(|s| s.slots.lock().len()).sum()
     }
 
     /// Is the store empty?
@@ -261,10 +455,115 @@ impl FactStore {
         self.len() == 0
     }
 
-    /// Drop every fact and zero the counters.
+    /// Drop every fact and zero the counters.  Must not race an in-flight
+    /// demand (callers clear between analysis runs, never during one).
     pub fn clear(&self) {
-        self.facts.lock().clear();
+        for shard in &self.shards {
+            shard.slots.lock().clear();
+            shard.ready.notify_all();
+        }
         self.reset_metrics();
+    }
+}
+
+/// A reusable pool of scoped workers pulling indexed work items off a shared
+/// claim counter.  Both the bottom-up scheduler ([`crate::schedule::run`])
+/// and [`FactStore::demand_all`] fan out across it, so worker-count policy
+/// (including the `SUIF_EXECUTOR_THREADS` stress override) lives in one
+/// place.
+#[derive(Clone, Debug)]
+pub struct Executor {
+    threads: usize,
+}
+
+/// What one [`Executor::run`] did: worker count, per-worker busy seconds,
+/// and the fan-out's wall-clock.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Workers actually spawned (≤ configured threads, ≥ 1).
+    pub workers: usize,
+    /// Wall-clock seconds of the whole fan-out.
+    pub wall_secs: f64,
+    /// Busy seconds per worker, indexed by worker id.
+    pub worker_busy_secs: Vec<f64>,
+}
+
+impl ExecStats {
+    /// Summed busy seconds across workers.
+    pub fn busy_secs(&self) -> f64 {
+        self.worker_busy_secs.iter().sum()
+    }
+}
+
+impl Executor {
+    /// An executor with the given worker budget; `0` means one per core.
+    /// The `SUIF_EXECUTOR_THREADS` environment variable, when set to a
+    /// positive integer, overrides the budget (the CI thread-stress job
+    /// forces 2 and 8 this way — safe because parallel demand is
+    /// observationally identical to sequential).
+    pub fn new(threads: usize) -> Executor {
+        Executor {
+            threads: Executor::resolve(threads),
+        }
+    }
+
+    /// Resolve a requested thread count to the effective one (env override,
+    /// then `0` → available cores).
+    pub fn resolve(threads: usize) -> usize {
+        if let Ok(v) = std::env::var("SUIF_EXECUTOR_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        if threads != 0 {
+            return threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
+    /// The resolved worker budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `work(0..n)` across the pool: workers claim indices from a shared
+    /// atomic counter until exhausted.  With one worker (or one item) the
+    /// work runs inline on the calling thread — no spawn overhead, identical
+    /// results either way.
+    pub fn run(&self, n: usize, work: impl Fn(usize) + Sync) -> ExecStats {
+        let t0 = Instant::now();
+        let workers = self.threads.min(n).max(1);
+        let claim = AtomicUsize::new(0);
+        let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
+        let body = |w: usize| {
+            let start = Instant::now();
+            loop {
+                let i = claim.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                work(i);
+            }
+            *busy[w].lock() = start.elapsed().as_secs_f64();
+        };
+        if workers == 1 {
+            body(0);
+        } else {
+            std::thread::scope(|s| {
+                for w in 0..workers {
+                    s.spawn(move || body(w));
+                }
+            });
+        }
+        ExecStats {
+            workers,
+            wall_secs: t0.elapsed().as_secs_f64(),
+            worker_busy_secs: busy.into_iter().map(Mutex::into_inner).collect(),
+        }
     }
 }
 
@@ -391,5 +690,201 @@ mod tests {
         store.clear();
         assert!(store.is_empty());
         assert_eq!(store.metrics_for(PassId::Deps), PassMetrics::default());
+    }
+
+    #[test]
+    fn dependency_edges_snapshot() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let a = CountingPass {
+            key: FactKey::new(PassId::Summarize, Scope::Program),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 1,
+        };
+        let b = CountingPass {
+            key: key(PassId::Classify, 3),
+            hash: 1,
+            deps: vec![a.key()],
+            runs: &runs,
+            output: 2,
+        };
+        store.demand(&a);
+        store.demand(&b);
+        let edges = store.dependency_edges();
+        assert_eq!(edges.len(), 2);
+        assert_eq!(edges[&b.key()], vec![a.key()]);
+        // Dirty entries drop out of the snapshot.
+        store.invalidate(a.key());
+        assert!(store.dependency_edges().is_empty());
+    }
+
+    /// A pass whose run blocks until every participating thread has at
+    /// least entered the race, so concurrent demands reliably observe the
+    /// `Running` state.
+    struct GatedPass<'a> {
+        key: FactKey,
+        runs: &'a AtomicU64,
+        arrivals: &'a AtomicU64,
+        expected: u64,
+    }
+
+    impl Pass for GatedPass<'_> {
+        type Output = i64;
+        fn key(&self) -> FactKey {
+            self.key
+        }
+        fn input_hash(&self) -> u128 {
+            1
+        }
+        fn run(&self) -> i64 {
+            self.runs.fetch_add(1, Ordering::SeqCst);
+            let t0 = Instant::now();
+            while self.arrivals.load(Ordering::SeqCst) < self.expected && t0.elapsed().as_secs() < 5
+            {
+                std::thread::yield_now();
+            }
+            // Give the last arrivals time to reach the shard lock and park.
+            std::thread::sleep(std::time::Duration::from_millis(100));
+            7
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_demands_run_exactly_once() {
+        const N: u64 = 8;
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let arrivals = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..N {
+                s.spawn(|| {
+                    let p = GatedPass {
+                        key: key(PassId::Classify, 5),
+                        runs: &runs,
+                        arrivals: &arrivals,
+                        expected: N,
+                    };
+                    arrivals.fetch_add(1, Ordering::SeqCst);
+                    assert_eq!(*store.demand(&p), 7);
+                });
+            }
+        });
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "exactly-once execution");
+        let m = store.metrics_for(PassId::Classify);
+        assert_eq!(m.invocations, 1);
+        assert_eq!(m.deduped + m.reused, N - 1, "everyone else was served");
+    }
+
+    #[test]
+    fn invalidate_while_running_never_serves_stale() {
+        let store = Arc::new(FactStore::new());
+        let runs = Arc::new(AtomicU64::new(0));
+        let started = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicU64::new(0));
+
+        struct HeldPass {
+            key: FactKey,
+            runs: Arc<AtomicU64>,
+            started: Arc<AtomicU64>,
+            release: Arc<AtomicU64>,
+        }
+        impl Pass for HeldPass {
+            type Output = u64;
+            fn key(&self) -> FactKey {
+                self.key
+            }
+            fn input_hash(&self) -> u128 {
+                9
+            }
+            fn run(&self) -> u64 {
+                let n = self.runs.fetch_add(1, Ordering::SeqCst) + 1;
+                self.started.store(1, Ordering::SeqCst);
+                let t0 = Instant::now();
+                while self.release.load(Ordering::SeqCst) == 0 && t0.elapsed().as_secs() < 5 {
+                    std::thread::yield_now();
+                }
+                n
+            }
+        }
+
+        let k = key(PassId::Deps, 4);
+        let runner = {
+            let (store, runs, started, release) = (
+                store.clone(),
+                runs.clone(),
+                started.clone(),
+                release.clone(),
+            );
+            std::thread::spawn(move || {
+                let p = HeldPass {
+                    key: k,
+                    runs,
+                    started,
+                    release,
+                };
+                *store.demand(&p)
+            })
+        };
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        // The fact is mid-run; an invalidation must dirty the claim.
+        assert_eq!(store.invalidate(k), 1);
+        release.store(1, Ordering::SeqCst);
+        // The runner's own caller still gets the value it computed…
+        assert_eq!(runner.join().unwrap(), 1);
+        // …but the next demand recomputes instead of serving the stale fact.
+        let p = HeldPass {
+            key: k,
+            runs: runs.clone(),
+            started: started.clone(),
+            release: release.clone(),
+        };
+        assert_eq!(*store.demand(&p), 2, "stale fact not served");
+        assert_eq!(store.metrics_for(PassId::Deps).invocations, 2);
+    }
+
+    #[test]
+    fn demand_all_preserves_input_order() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let passes: Vec<CountingPass<'_>> = (0..20)
+            .map(|i| CountingPass {
+                key: key(PassId::Classify, 100 + i),
+                hash: 1,
+                deps: vec![],
+                runs: &runs,
+                output: i64::from(i),
+            })
+            .collect();
+        let exec = Executor::new(4);
+        let (got, stats) = store.demand_all(&passes, &exec);
+        assert_eq!(runs.load(Ordering::Relaxed), 20);
+        for (i, v) in got.iter().enumerate() {
+            assert_eq!(**v, i as i64, "results in input order");
+        }
+        assert!(stats.workers >= 1 && stats.worker_busy_secs.len() == stats.workers);
+
+        // A second fan-out reuses every fact.
+        let (_, _) = store.demand_all(&passes, &exec);
+        assert_eq!(runs.load(Ordering::Relaxed), 20);
+        assert_eq!(store.metrics_for(PassId::Classify).reused, 20);
+    }
+
+    #[test]
+    fn executor_claims_every_index_once() {
+        let exec = Executor::new(3);
+        let hits: Vec<AtomicU64> = (0..37).map(|_| AtomicU64::new(0)).collect();
+        let stats = exec.run(hits.len(), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+        // SUIF_EXECUTOR_THREADS (the thread-stress CI job) overrides the
+        // constructor's count, so bound by whichever is in force.
+        assert!(stats.workers <= exec.threads().max(1));
+        assert_eq!(stats.worker_busy_secs.len(), stats.workers);
+        assert!(stats.busy_secs() >= 0.0 && stats.wall_secs >= 0.0);
     }
 }

@@ -20,10 +20,10 @@
 
 use crate::cache::{proc_key, SummaryCache};
 use crate::context::AnalysisCtx;
+use crate::pipeline::Executor;
 use crate::summarize::{summarize_proc, ArrayDataFlow, ProcFlow};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use suif_ir::{CallGraph, ProcId};
@@ -44,13 +44,15 @@ impl ScheduleOptions {
         ScheduleOptions { threads: 1 }
     }
 
-    fn resolved_threads(&self) -> usize {
-        if self.threads != 0 {
-            return self.threads;
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
+    /// The effective worker count (honoring the `SUIF_EXECUTOR_THREADS`
+    /// override and `0` → cores), shared with [`Executor::resolve`].
+    pub fn resolved_threads(&self) -> usize {
+        Executor::resolve(self.threads)
+    }
+
+    /// An [`Executor`] sized by these options.
+    pub fn executor(&self) -> Executor {
+        Executor::new(self.threads)
     }
 }
 
@@ -73,6 +75,9 @@ pub struct ScheduleStats {
     /// Summed busy seconds across workers; utilization is
     /// `busy_secs / (threads * wall_secs)`.
     pub busy_secs: f64,
+    /// Busy seconds per worker id, accumulated across levels (the server's
+    /// `stats` surfaces these individually, not only the total).
+    pub worker_busy_secs: Vec<f64>,
     /// Per-procedure summarize seconds, bottom-up order (cache hits report
     /// the lookup time, effectively 0).
     pub proc_secs: Vec<(ProcId, f64)>,
@@ -121,7 +126,8 @@ pub fn run(
 ) -> (ArrayDataFlow, ScheduleStats) {
     let t0 = Instant::now();
     let lvls = levels(&ctx.cg);
-    let threads = opts.resolved_threads().max(1);
+    let exec = opts.executor();
+    let threads = exec.threads().max(1);
     let mut flows: HashMap<ProcId, Arc<ProcFlow>> = HashMap::new();
     let mut keys: HashMap<ProcId, u128> = HashMap::new();
     let mut stats = ScheduleStats {
@@ -142,41 +148,32 @@ pub fn run(
             }
         }
         let done: Mutex<Vec<LevelResult>> = Mutex::new(Vec::with_capacity(level.len()));
-        let claim = AtomicUsize::new(0);
-        let busy: Mutex<f64> = Mutex::new(0.0);
-        let workers = threads.min(level.len()).max(1);
-        let work = |_w: usize| {
-            let start = Instant::now();
-            loop {
-                let i = claim.fetch_add(1, Ordering::Relaxed);
-                let Some(&pid) = level.get(i) else { break };
-                let p0 = Instant::now();
-                let (flow, hit) = match cache {
-                    Some(c) => match c.get(keys[&pid]) {
-                        Some(f) => (f, true),
-                        None => {
-                            let f = Arc::new(summarize_proc(ctx, pid, &flows));
-                            c.insert(keys[&pid], f.clone());
-                            (f, false)
-                        }
-                    },
-                    None => (Arc::new(summarize_proc(ctx, pid, &flows)), false),
-                };
-                done.lock()
-                    .push((pid, flow, p0.elapsed().as_secs_f64(), hit));
-            }
-            *busy.lock() += start.elapsed().as_secs_f64();
-        };
-        if workers == 1 {
-            work(0);
-        } else {
-            std::thread::scope(|s| {
-                for w in 0..workers {
-                    s.spawn(move || work(w));
-                }
-            });
+        let level_stats = exec.run(level.len(), |i| {
+            let pid = level[i];
+            let p0 = Instant::now();
+            let (flow, hit) = match cache {
+                Some(c) => match c.get(keys[&pid]) {
+                    Some(f) => (f, true),
+                    None => {
+                        let f = Arc::new(summarize_proc(ctx, pid, &flows));
+                        c.insert(keys[&pid], f.clone());
+                        (f, false)
+                    }
+                },
+                None => (Arc::new(summarize_proc(ctx, pid, &flows)), false),
+            };
+            done.lock()
+                .push((pid, flow, p0.elapsed().as_secs_f64(), hit));
+        });
+        stats.busy_secs += level_stats.busy_secs();
+        if stats.worker_busy_secs.len() < level_stats.worker_busy_secs.len() {
+            stats
+                .worker_busy_secs
+                .resize(level_stats.worker_busy_secs.len(), 0.0);
         }
-        stats.busy_secs += *busy.lock();
+        for (w, secs) in level_stats.worker_busy_secs.iter().enumerate() {
+            stats.worker_busy_secs[w] += secs;
+        }
         for (pid, flow, secs, hit) in done.into_inner() {
             if hit {
                 stats.cache_hits += 1;

@@ -392,23 +392,63 @@ impl Polyhedron {
             g.hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
+        // Global lookup with in-flight deduplication: a miss inserts a
+        // `Running` marker and computes outside the lock; concurrent demands
+        // for the same system block on the shard's condvar and share the
+        // result instead of recomputing it.  (Without this, parallel
+        // classify workers each redo the expensive proofs that structurally
+        // similar loops share, and the fan-out loses its speedup to
+        // duplicated work.)  Proof subqueries recurse through `prove_empty`,
+        // but the recursion graph is acyclic — a cycle would already be
+        // infinite recursion sequentially — so waiting cannot deadlock.
         let shard = g.shard_of(self.constraints.as_slice());
-        let global_hit = shard.lock().get(self.constraints.as_slice()).copied();
-        let result = match global_hit {
-            Some(hit) => {
-                g.hits.fetch_add(1, Ordering::Relaxed);
-                hit
-            }
-            None => {
-                let result = self.prove_empty_uncached();
-                g.misses.fetch_add(1, Ordering::Relaxed);
-                let mut s = shard.lock();
-                if s.len() > 100_000 {
-                    s.clear();
+        let result = loop {
+            let mut m = shard.map.lock();
+            match m.get(self.constraints.as_slice()) {
+                Some(ProveSlot::Done(r)) => {
+                    g.hits.fetch_add(1, Ordering::Relaxed);
+                    break *r;
                 }
-                s.insert(self.constraints.clone(), result);
-                result
+                Some(ProveSlot::Running) => {
+                    shard.done.wait(&mut m);
+                    continue;
+                }
+                None => {}
             }
+            m.insert(self.constraints.clone(), ProveSlot::Running);
+            drop(m);
+            // If the proof unwinds, the marker must not strand waiters.
+            struct Claim<'a> {
+                shard: &'a ProveShard,
+                key: &'a [Constraint],
+                armed: bool,
+            }
+            impl Drop for Claim<'_> {
+                fn drop(&mut self) {
+                    if self.armed {
+                        self.shard.map.lock().remove(self.key);
+                        self.shard.done.notify_all();
+                    }
+                }
+            }
+            let mut claim = Claim {
+                shard,
+                key: self.constraints.as_slice(),
+                armed: true,
+            };
+            let result = self.prove_empty_uncached();
+            claim.armed = false;
+            g.misses.fetch_add(1, Ordering::Relaxed);
+            let mut m = shard.map.lock();
+            if m.len() > 100_000 {
+                // Evict finished entries only: a `Running` marker has live
+                // waiters (or a live runner) attached to it.
+                m.retain(|_, v| matches!(v, ProveSlot::Running));
+            }
+            m.insert(self.constraints.clone(), ProveSlot::Done(result));
+            drop(m);
+            shard.done.notify_all();
+            break result;
         };
         PROVE_EMPTY_L1.with(|cache| {
             let mut c = cache.borrow_mut();
@@ -788,7 +828,9 @@ pub fn clear_prove_empty_cache() {
     let g = global_prove_empty_cache();
     g.epoch.fetch_add(1, Ordering::AcqRel);
     for s in &g.shards {
-        s.lock().clear();
+        // In-flight markers survive a clear: their runners are live and
+        // will finish (and notify) normally; only finished proofs drop.
+        s.map.lock().retain(|_, v| matches!(v, ProveSlot::Running));
     }
     PROVE_EMPTY_L1.with(|cache| {
         let mut c = cache.borrow_mut();
@@ -811,9 +853,23 @@ const PROVE_EMPTY_SHARDS: usize = 16;
 
 type ProveEmptyMap = std::collections::HashMap<Vec<Constraint>, bool>;
 
+/// One global-memo entry: the finished proof, or a marker that some thread
+/// is computing it right now (waiters block on the shard's condvar).
+enum ProveSlot {
+    Running,
+    Done(bool),
+}
+
+/// One shard of the global memo: slot map plus the condvar `Running`
+/// waiters sleep on.
+struct ProveShard {
+    map: parking_lot::Mutex<std::collections::HashMap<Vec<Constraint>, ProveSlot>>,
+    done: parking_lot::Condvar,
+}
+
 /// Process-wide memo for [`Polyhedron::prove_empty`]; exact (integer data).
 struct GlobalProveEmptyCache {
-    shards: [parking_lot::Mutex<ProveEmptyMap>; PROVE_EMPTY_SHARDS],
+    shards: [ProveShard; PROVE_EMPTY_SHARDS],
     /// Bumped by [`clear_prove_empty_cache`]; L1 tables holding an older
     /// epoch discard themselves before use.
     epoch: AtomicU64,
@@ -822,7 +878,7 @@ struct GlobalProveEmptyCache {
 }
 
 impl GlobalProveEmptyCache {
-    fn shard_of(&self, key: &[Constraint]) -> &parking_lot::Mutex<ProveEmptyMap> {
+    fn shard_of(&self, key: &[Constraint]) -> &ProveShard {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
@@ -833,7 +889,10 @@ impl GlobalProveEmptyCache {
 fn global_prove_empty_cache() -> &'static GlobalProveEmptyCache {
     static CACHE: std::sync::OnceLock<GlobalProveEmptyCache> = std::sync::OnceLock::new();
     CACHE.get_or_init(|| GlobalProveEmptyCache {
-        shards: std::array::from_fn(|_| parking_lot::Mutex::new(ProveEmptyMap::new())),
+        shards: std::array::from_fn(|_| ProveShard {
+            map: parking_lot::Mutex::new(std::collections::HashMap::new()),
+            done: parking_lot::Condvar::new(),
+        }),
         epoch: AtomicU64::new(1),
         hits: AtomicU64::new(0),
         misses: AtomicU64::new(0),

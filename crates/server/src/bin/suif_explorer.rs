@@ -6,7 +6,7 @@
 //! suif-explorer slice   <file.mf> <loop>          # slices for a loop's first dependence
 //! suif-explorer run     <file.mf> [--threads N] [--input v,…]
 //! suif-explorer codeview <file.mf>
-//! suif-explorer serve   [--threads N] [--tcp ADDR]  # persistent daemon
+//! suif-explorer serve   [--threads N] [--tcp ADDR] [--speculate N]  # persistent daemon
 //! ```
 //!
 //! `--assert interf/1000:rl` privatizes `rl` in `interf/1000` after the
@@ -30,18 +30,21 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: suif-explorer <analyze|explore|slice|run|codeview> <file.mf> [options]\n\
-     \x20      suif-explorer serve [--threads N] [--tcp ADDR]\n\
+     \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
        --input v1,v2,…      `read` input values\n\
-       --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)"
+       --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)\n\
+       --speculate N        pre-classify up to N guru-ranked loops in the\n\
+                            background after each `guru` (serve only; default 4)"
         .to_string()
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
     let mut threads = 0usize; // 0 = one scheduler worker per core
     let mut tcp: Option<String> = None;
+    let mut speculate = 4usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -56,12 +59,19 @@ fn serve(args: &[String]) -> Result<(), String> {
                 tcp = Some(args.get(i + 1).ok_or("--tcp needs an address")?.clone());
                 i += 2;
             }
+            "--speculate" => {
+                speculate = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--speculate needs a number (0 disables)")?;
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
     let res = match tcp {
-        Some(addr) => suif_server::serve_tcp(&addr, threads),
-        None => suif_server::serve_stdio(threads),
+        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate),
+        None => suif_server::serve_stdio(threads, speculate),
     };
     res.map_err(|e| e.to_string())
 }

@@ -16,15 +16,25 @@ pub struct Daemon {
     opts: ScheduleOptions,
     cache: Arc<SummaryCache>,
     session: Option<Session>,
+    speculate: usize,
 }
 
 impl Daemon {
-    /// A daemon with `threads` scheduler workers (`0` = one per core).
+    /// A daemon with `threads` scheduler workers (`0` = one per core) and
+    /// speculative pre-classification off.
     pub fn new(threads: usize) -> Daemon {
+        Daemon::with_speculation(threads, 0)
+    }
+
+    /// [`Daemon::new`] plus a speculation budget: after each `guru`
+    /// response, the facts of up to `speculate` top-ranked loops are
+    /// demanded on a background thread.
+    pub fn with_speculation(threads: usize, speculate: usize) -> Daemon {
         Daemon {
             opts: ScheduleOptions { threads },
             cache: Arc::new(SummaryCache::new()),
             session: None,
+            speculate,
         }
     }
 
@@ -42,15 +52,26 @@ impl Daemon {
             Err(e) => return (err_response(&e.0), false),
         };
         let result: Result<Json, String> = match req {
-            Request::Load { text } => Session::open(&text, self.opts.clone(), self.cache.clone())
-                .map(|s| {
-                    let stats = s.stats_json();
-                    self.session = Some(s);
-                    stats
-                }),
+            Request::Load { text } => Session::open_with_speculation(
+                &text,
+                self.opts.clone(),
+                self.cache.clone(),
+                self.speculate,
+            )
+            .map(|s| {
+                let stats = s.stats_json();
+                self.session = Some(s);
+                stats
+            }),
             Request::Reload { text } => match self.session.as_mut() {
                 // A reload without a session is just a load.
-                None => Session::open(&text, self.opts.clone(), self.cache.clone()).map(|s| {
+                None => Session::open_with_speculation(
+                    &text,
+                    self.opts.clone(),
+                    self.cache.clone(),
+                    self.speculate,
+                )
+                .map(|s| {
                     let stats = s.stats_json();
                     self.session = Some(s);
                     stats
@@ -98,8 +119,8 @@ impl Daemon {
 }
 
 /// Serve on stdin/stdout until `quit` or EOF.
-pub fn serve_stdio(threads: usize) -> io::Result<()> {
-    let mut daemon = Daemon::new(threads);
+pub fn serve_stdio(threads: usize, speculate: usize) -> io::Result<()> {
+    let mut daemon = Daemon::with_speculation(threads, speculate);
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     daemon.serve(stdin.lock(), &mut stdout)
@@ -109,11 +130,11 @@ pub fn serve_stdio(threads: usize) -> io::Result<()> {
 /// with it the summary cache and loaded session — persists across
 /// connections.  Prints `listening on <addr>` to stdout once bound (bind to
 /// port 0 to let the OS pick).
-pub fn serve_tcp(addr: &str, threads: usize) -> io::Result<()> {
+pub fn serve_tcp(addr: &str, threads: usize, speculate: usize) -> io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
     io::stdout().flush()?;
-    let mut daemon = Daemon::new(threads);
+    let mut daemon = Daemon::with_speculation(threads, speculate);
     for conn in listener.incoming() {
         let conn = conn?;
         let reader = io::BufReader::new(conn.try_clone()?);

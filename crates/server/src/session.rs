@@ -2,32 +2,70 @@
 //! the cross-reload summary cache.
 //!
 //! The Explorer borrows the [`Program`] it analyzes; a daemon must own both.
-//! [`Session`] boxes the program (a stable heap address) and extends the
-//! borrow to `'static` internally.  Safety rests on two invariants: the
-//! `explorer` field is declared before `program` so it drops first, and the
-//! extended reference never escapes the session (every public return is
-//! owned JSON or plain data).
+//! [`Session`] puts the program behind an `Arc` (a stable heap address) and
+//! extends the borrow to `'static` internally.  Safety rests on two
+//! invariants: the `explorer` field is declared before `program` so it drops
+//! first, and the extended reference never escapes the session (every public
+//! return is owned JSON or plain data).  The `Arc` additionally keeps an old
+//! program alive for any background speculation thread that still holds a
+//! clone across a `reload`.
+//!
+//! # Speculative pre-classification
+//!
+//! With a non-zero speculation budget, every `guru` response spawns a
+//! background thread that demands the classify and carried-dependence facts
+//! of the top-ranked loops through the shared fact store, so the user's next
+//! query on a ranked loop answers from the store.  Invalidation events
+//! (`assert`, `reload`) bump an epoch counter the thread polls between
+//! facts, cancelling the rest; a fact mid-`Running` when the event lands is
+//! stored dirty by the store itself, so a stale answer is never served.
+//! `stats` reports how many facts were speculated, how many were later
+//! claimed by a query (hits), and how many an invalidation wasted.
 
 use crate::json::Json;
-use std::sync::Arc;
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use suif_analysis::{
-    AnalyzeStats, Assertion, FactStore, LoopVerdict, ScheduleOptions, SummaryCache,
+    AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, Parallelizer, PassId,
+    ScheduleOptions, Scope, SummaryCache,
 };
 use suif_explorer::Explorer;
-use suif_ir::Program;
+use suif_ir::{Program, StmtId};
+
+/// Speculation bookkeeping shared with the background prefetch thread.
+#[derive(Default)]
+struct SpecState {
+    /// Facts demanded speculatively (across all guru requests).
+    spawned: u64,
+    /// Speculated facts later claimed by an interactive query.
+    hits: u64,
+    /// Speculated facts discarded by an invalidation event.
+    wasted: u64,
+    /// Speculated facts not yet claimed or wasted.
+    pending: HashSet<FactKey>,
+}
 
 /// One loaded program plus its resident analysis state.
 pub struct Session {
     /// Borrows `program`; declared first so it drops first.
     explorer: Explorer<'static>,
-    /// The owned program; boxed so its address survives moves of `Session`.
+    /// The owned program; `Arc` so its address survives moves of `Session`
+    /// and the speculation thread can hold it across a `reload`.
     #[allow(dead_code)]
-    program: Box<Program>,
+    program: Arc<Program>,
     cache: Arc<SummaryCache>,
     /// Fact store shared across analyses and reloads of this session;
     /// stale facts miss on their content hash, surviving ones are reused.
     store: Arc<FactStore>,
     opts: ScheduleOptions,
+    /// Max ranked loops to pre-classify after each `guru` (0 = off).
+    spec_budget: usize,
+    /// Bumped on every invalidation event; the speculation thread stops
+    /// when the epoch it started under is gone.
+    spec_epoch: Arc<AtomicU64>,
+    spec_state: Arc<Mutex<SpecState>>,
+    spec_handle: Option<std::thread::JoinHandle<()>>,
     /// Stats of the most recent analysis run.
     pub last_stats: AnalyzeStats,
     /// `(hits, misses)` of the summary cache during the most recent run.
@@ -58,15 +96,29 @@ fn build_explorer(
 
 impl Session {
     /// Parse and analyze `source`, seeding (and drawing from) `cache`.
+    /// Speculative pre-classification is off; see
+    /// [`Session::open_with_speculation`].
     pub fn open(
         source: &str,
         opts: ScheduleOptions,
         cache: Arc<SummaryCache>,
     ) -> Result<Session, String> {
-        let program = Box::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
-        // SAFETY: `program` is heap-allocated and lives in this session
-        // until after `explorer` (field order) is dropped; the reference
-        // never leaves the session.
+        Session::open_with_speculation(source, opts, cache, 0)
+    }
+
+    /// [`Session::open`] with a speculation budget: after each `guru`, the
+    /// classify and carried-dependence facts of up to `spec_budget`
+    /// top-ranked loops are demanded on a background thread.
+    pub fn open_with_speculation(
+        source: &str,
+        opts: ScheduleOptions,
+        cache: Arc<SummaryCache>,
+        spec_budget: usize,
+    ) -> Result<Session, String> {
+        let program = Arc::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
+        // SAFETY: the program is heap-allocated behind an `Arc` held by this
+        // session until after `explorer` (field order) is dropped; the
+        // reference never leaves the session.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
         let store = Arc::new(FactStore::new());
         let (explorer, stats, delta) = build_explorer(pref, &opts, &cache, store.clone())?;
@@ -76,6 +128,10 @@ impl Session {
             cache,
             store,
             opts,
+            spec_budget,
+            spec_epoch: Arc::new(AtomicU64::new(0)),
+            spec_state: Arc::new(Mutex::new(SpecState::default())),
+            spec_handle: None,
             last_stats: stats,
             last_cache_delta: delta,
             generation: 1,
@@ -85,15 +141,20 @@ impl Session {
     /// Replace the program with edited source.  The summary cache and fact
     /// store carry over, so only the dirty cone (edited procedures,
     /// id-shifted ones, and their transitive callers) is re-summarized and
-    /// only hash-mismatched facts are recomputed.
+    /// only hash-mismatched facts are recomputed.  In-flight speculation is
+    /// cancelled and everything it pre-computed is written off as wasted.
     pub fn reload(&mut self, source: &str) -> Result<(), String> {
-        let program = Box::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
-        // SAFETY: as in `open`.
+        self.cancel_speculation();
+        self.spec_waste_all();
+        let program = Arc::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
+        // SAFETY: as in `open_with_speculation`.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
         let (explorer, stats, delta) =
             build_explorer(pref, &self.opts, &self.cache, self.store.clone())?;
         // Install the new pair; the old explorer (borrowing the old program)
-        // is dropped here, before the old program.
+        // is dropped here, before the old program.  A speculation thread
+        // still holding the old `Arc` keeps the old program alive until it
+        // notices the epoch moved.
         self.explorer = explorer;
         self.program = program;
         self.last_stats = stats;
@@ -102,10 +163,98 @@ impl Session {
         Ok(())
     }
 
+    /// Bump the invalidation epoch and wait out any in-flight speculation
+    /// (it polls the epoch between facts, so the join is bounded by one
+    /// pass).
+    fn cancel_speculation(&mut self) {
+        self.spec_epoch.fetch_add(1, Ordering::SeqCst);
+        if let Some(h) = self.spec_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Test/bench hook: block until background speculation finishes.
+    pub fn wait_speculation(&mut self) {
+        if let Some(h) = self.spec_handle.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Write off every pending speculated fact (a whole-program event).
+    fn spec_waste_all(&self) {
+        let mut st = self.spec_state.lock().unwrap();
+        st.wasted += st.pending.len() as u64;
+        st.pending.clear();
+    }
+
+    /// Write off the speculated facts an assertion on `stmt` invalidates:
+    /// the loop's own classification, and every carried-dependence fact
+    /// (their input hash folds the assertion epoch, so all of them are
+    /// stale).
+    fn spec_waste_assert(&self, stmt: StmtId) {
+        let mut st = self.spec_state.lock().unwrap();
+        let doomed: Vec<FactKey> = st
+            .pending
+            .iter()
+            .filter(|k| k.pass == PassId::Deps || k.scope == Scope::Loop(stmt))
+            .copied()
+            .collect();
+        for k in doomed {
+            st.pending.remove(&k);
+            st.wasted += 1;
+        }
+    }
+
+    /// Claim speculated facts an interactive query just consumed.
+    fn spec_claim(&self, keys: &[FactKey]) {
+        let mut st = self.spec_state.lock().unwrap();
+        for k in keys {
+            if st.pending.remove(k) {
+                st.hits += 1;
+            }
+        }
+    }
+
+    /// Spawn the background prefetch of the top-ranked loops' facts.
+    fn spawn_speculation(&mut self, ranked: Vec<String>) {
+        if self.spec_budget == 0 || ranked.is_empty() {
+            return;
+        }
+        // One speculation at a time: retire (and cancel) the previous run.
+        self.cancel_speculation();
+        let names: Vec<String> = ranked.into_iter().take(self.spec_budget).collect();
+        let program = self.program.clone();
+        let store = self.store.clone();
+        let cache = self.cache.clone();
+        let config = self.explorer.analysis.config.clone();
+        let opts = self.opts.clone();
+        let epoch = self.spec_epoch.clone();
+        let my_epoch = epoch.load(Ordering::SeqCst);
+        let state = self.spec_state.clone();
+        self.spec_handle = Some(std::thread::spawn(move || {
+            let cancel = move || epoch.load(Ordering::SeqCst) != my_epoch;
+            let out = Parallelizer::prefetch_loops(
+                &program,
+                config,
+                &opts,
+                Some(&cache),
+                &store,
+                &names,
+                &cancel,
+            );
+            let mut st = state.lock().unwrap();
+            st.spawned += out.keys.len() as u64;
+            st.pending.extend(out.keys);
+        }));
+    }
+
     /// Re-run the static analysis through the fact store (a warm
     /// re-analysis of an unchanged program reuses every fact and runs no
     /// pass) and report per-loop verdicts.
     pub fn analyze(&mut self) -> Json {
+        // Let in-flight speculation land first so the run's counter deltas
+        // are not interleaved with background demands.
+        self.wait_speculation();
         let before = self.cache.counters();
         let config = self.explorer.analysis.config.clone();
         let (analysis, stats) = suif_analysis::Parallelizer::analyze_in(
@@ -146,6 +295,21 @@ impl Session {
                 var: var.into(),
             }
         };
+        // An assertion is an invalidation event: stop speculation and write
+        // off the speculated facts whose input hashes it moves.
+        self.cancel_speculation();
+        if let Some(stmt) = self
+            .explorer
+            .analysis
+            .ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == loop_name)
+            .map(|l| l.stmt)
+        {
+            self.spec_waste_assert(stmt);
+        }
         let (res, stats) = self.explorer.assert_and_reanalyze_with_stats(a);
         if let Some(stats) = stats {
             self.last_stats = stats;
@@ -176,9 +340,10 @@ impl Session {
     /// §4.2.4, block splitting §5.5) — computed on first request, served
     /// from the fact store afterwards.
     pub fn advisory_json(&self) -> Json {
-        let contractions: Vec<Json> = self
-            .explorer
-            .contractions()
+        // Demand all three program-scope advisory facts concurrently; on a
+        // warm store each is a reuse hit.
+        let (contractions_fact, advisory, splits_fact) = self.explorer.all_advisories();
+        let contractions: Vec<Json> = contractions_fact
             .iter()
             .map(|c| {
                 Json::obj([
@@ -187,7 +352,6 @@ impl Session {
                 ])
             })
             .collect();
-        let advisory = self.explorer.decomp_advisory();
         let conflicts: Vec<Json> = advisory
             .conflicts
             .iter()
@@ -199,9 +363,7 @@ impl Session {
                 ])
             })
             .collect();
-        let splits: Vec<Json> = self
-            .explorer
-            .block_splits()
+        let splits: Vec<Json> = splits_fact
             .iter()
             .map(|s| {
                 Json::obj([
@@ -246,8 +408,10 @@ impl Session {
         Json::obj([("loops", Json::Arr(loops))])
     }
 
-    /// The Guru's ranked targets (§2.6).
-    pub fn guru_json(&self) -> Json {
+    /// The Guru's ranked targets (§2.6).  With a speculation budget, the
+    /// top-ranked loops' classify and carried-dependence facts are demanded
+    /// on a background thread before the user asks.
+    pub fn guru_json(&mut self) -> Json {
         let report = self.explorer.guru();
         let targets: Vec<Json> = report
             .targets
@@ -263,13 +427,15 @@ impl Session {
                 ])
             })
             .collect();
-        Json::obj([
+        let payload = Json::obj([
             ("coverage", Json::Num(report.coverage)),
             ("granularity", Json::Num(report.granularity)),
             ("targets", Json::Arr(targets)),
             ("rendered", Json::str(report.render())),
             ("warnings", warnings_json(&self.explorer)),
-        ])
+        ]);
+        self.spawn_speculation(report.targets.iter().map(|t| t.name.clone()).collect());
+        payload
     }
 
     /// Program/control slices for the first unresolved dependence of a loop
@@ -285,6 +451,28 @@ impl Session {
             .find(|l| l.name == loop_name)
             .ok_or_else(|| format!("no loop `{loop_name}`"))?
             .clone();
+        // The slice answers from the loop's classification and carried-deps
+        // facts — exactly what speculation pre-computes for ranked loops.
+        self.spec_claim(&[
+            FactKey::new(PassId::Classify, Scope::Loop(li.stmt)),
+            FactKey::new(PassId::Deps, Scope::Loop(li.stmt)),
+        ]);
+        let carried = self.explorer.carried_deps(li.stmt);
+        let carried_json: Vec<Json> = carried
+            .iter()
+            .map(|(obj, kind)| {
+                Json::obj([
+                    (
+                        "object",
+                        Json::str(self.explorer.analysis.ctx.array_name(*obj)),
+                    ),
+                    (
+                        "kind",
+                        Json::str(kind.map(|k| format!("{k:?}")).unwrap_or_default()),
+                    ),
+                ])
+            })
+            .collect();
         let slices = self.explorer.slices_for_dep(li.stmt, 0);
         let mut lines = std::collections::BTreeSet::new();
         let mut terminals = std::collections::BTreeSet::new();
@@ -304,6 +492,7 @@ impl Session {
         };
         Ok(Json::obj([
             ("loop", Json::str(loop_name)),
+            ("carried_deps", Json::Arr(carried_json)),
             ("slices", Json::int(slices.len() as i64)),
             (
                 "lines",
@@ -347,6 +536,8 @@ impl Session {
             })
             .collect();
         passes.push(("total", Json::Num(s.total_secs)));
+        let worker_secs = |v: &[f64]| Json::Arr(v.iter().map(|&b| Json::Num(b)).collect());
+        let spec = self.spec_state.lock().unwrap();
         Json::obj([
             ("generation", Json::int(self.generation as i64)),
             ("procs", Json::int(s.schedule.procs as i64)),
@@ -356,14 +547,39 @@ impl Session {
             ("cache_hits", Json::int(s.schedule.cache_hits as i64)),
             ("cache_entries", Json::int(self.cache.len() as i64)),
             ("utilization", Json::Num(s.schedule.utilization())),
+            (
+                "workers",
+                Json::obj([
+                    (
+                        "schedule_busy_secs",
+                        worker_secs(&s.schedule.worker_busy_secs),
+                    ),
+                    (
+                        "demand_busy_secs",
+                        worker_secs(&s.demand_exec.worker_busy_secs),
+                    ),
+                    ("demand_wall_secs", Json::Num(s.demand_exec.wall_secs)),
+                ]),
+            ),
             ("passes", Json::obj(passes)),
             (
                 "facts",
                 Json::obj([
                     ("computed", Json::int(s.facts_computed as i64)),
                     ("reused", Json::int(s.facts_reused as i64)),
+                    ("deduped", Json::int(s.facts_deduped as i64)),
                     ("ratio", Json::Num(s.reuse_ratio())),
                     ("entries", Json::int(self.store.len() as i64)),
+                ]),
+            ),
+            (
+                "speculation",
+                Json::obj([
+                    ("budget", Json::int(self.spec_budget as i64)),
+                    ("spawned", Json::int(spec.spawned as i64)),
+                    ("hits", Json::int(spec.hits as i64)),
+                    ("wasted", Json::int(spec.wasted as i64)),
+                    ("pending", Json::int(spec.pending.len() as i64)),
                 ]),
             ),
             (
@@ -374,6 +590,14 @@ impl Session {
                 ]),
             ),
         ])
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        // Stop background speculation before the session's state unwinds
+        // (the thread owns `Arc`s, so this is tidiness, not soundness).
+        self.cancel_speculation();
     }
 }
 

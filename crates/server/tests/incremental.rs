@@ -4,8 +4,10 @@
 //! change *what is recomputed*, never *what is computed*.
 
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use suif_analysis::{ScheduleOptions, SummaryCache};
+use suif_analysis::{FactKey, FactStore, Pass, PassId, ScheduleOptions, Scope, SummaryCache};
+use suif_ir::StmtId;
 use suif_server::json::Json;
 use suif_server::Session;
 
@@ -102,4 +104,156 @@ proptest! {
             );
         }
     }
+}
+
+/// A pass whose `run` blocks until released, so a test can invalidate the
+/// fact while its computation is in flight.
+struct GatedPass {
+    started: Arc<AtomicBool>,
+    release: Arc<AtomicU64>,
+    source: Arc<AtomicU64>,
+}
+
+impl Pass for GatedPass {
+    type Output = u64;
+    fn key(&self) -> FactKey {
+        FactKey::new(PassId::Classify, Scope::Loop(StmtId(7)))
+    }
+    fn input_hash(&self) -> u128 {
+        1
+    }
+    fn run(&self) -> u64 {
+        // The input is read when the pass starts; the edit lands after.
+        let v = self.source.load(Ordering::SeqCst);
+        self.started.store(true, Ordering::SeqCst);
+        while self.release.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+        v
+    }
+}
+
+/// Regression: an `invalidate` racing a `demand` must not let the store
+/// serve the in-flight (now stale) result to later demands.  The running
+/// demand still gets the value it computed, but the entry is stored
+/// invalid, so the next demand recomputes and sees the new input.
+#[test]
+fn invalidation_during_demand_is_not_served_stale() {
+    let store = Arc::new(FactStore::new());
+    let started = Arc::new(AtomicBool::new(false));
+    let release = Arc::new(AtomicU64::new(0));
+    let source = Arc::new(AtomicU64::new(1));
+    let key = FactKey::new(PassId::Classify, Scope::Loop(StmtId(7)));
+
+    let runner = {
+        let (store, started, release, source) = (
+            store.clone(),
+            started.clone(),
+            release.clone(),
+            source.clone(),
+        );
+        std::thread::spawn(move || {
+            *store.demand(&GatedPass {
+                started,
+                release,
+                source,
+            })
+        })
+    };
+    while !started.load(Ordering::SeqCst) {
+        std::thread::yield_now();
+    }
+
+    // The fact's input changes while its pass is running.
+    source.store(2, Ordering::SeqCst);
+    assert_eq!(store.invalidate(key), 1, "the running slot is dirtied");
+    release.store(1, Ordering::SeqCst);
+
+    // The runner raced the edit: it observes its own (stale) computation…
+    assert_eq!(runner.join().unwrap(), 1);
+
+    // …but the store does not.  A fresh demand recomputes from the new
+    // input instead of serving the entry stored by the invalidated run.
+    let v = *store.demand(&GatedPass {
+        started: started.clone(),
+        release: release.clone(),
+        source: source.clone(),
+    });
+    assert_eq!(v, 2, "stale in-flight result must not satisfy new demands");
+    let m = store.metrics_for(PassId::Classify);
+    assert_eq!(m.invocations, 2, "the invalidated run is not reused");
+    assert_eq!(m.reused, 0);
+}
+
+/// Sources whose recurrence loops are sequential, so the guru ranks them
+/// and speculation has something to prefetch.
+fn spec_src(consts: &[i64]) -> String {
+    gen_src(consts)
+}
+
+/// After `guru`, the session pre-demands the ranked loops' classify and
+/// carried-dependence facts in the background; a later `slice` on a ranked
+/// loop claims them as speculation hits in `stats`.
+#[test]
+fn speculation_prefetch_hits_are_reported() {
+    let src = spec_src(&[1, 3]); // two sequential recurrence loops
+    let cache = Arc::new(SummaryCache::new());
+    let mut s =
+        Session::open_with_speculation(&src, ScheduleOptions::sequential(), cache, 4).unwrap();
+
+    let g = s.guru_json();
+    let targets = g.get("targets").and_then(Json::as_arr).unwrap();
+    assert!(!targets.is_empty(), "recurrence loops must be guru targets");
+    s.wait_speculation();
+
+    let st = s.stats_json();
+    let spec = st.get("speculation").unwrap();
+    assert_eq!(spec.get("budget").and_then(Json::as_i64), Some(4));
+    assert!(
+        spec.get("spawned").and_then(Json::as_i64).unwrap() > 0,
+        "{st}"
+    );
+    assert_eq!(spec.get("hits").and_then(Json::as_i64), Some(0));
+
+    let first = targets[0].get("loop").and_then(Json::as_str).unwrap();
+    s.slice_json(first).unwrap();
+    let st = s.stats_json();
+    let spec = st.get("speculation").unwrap();
+    assert!(
+        spec.get("hits").and_then(Json::as_i64).unwrap() >= 1,
+        "slice on a ranked loop must claim speculated facts: {st}"
+    );
+}
+
+/// A reload racing background speculation cancels it, writes the pending
+/// prefetches off as wasted, and — the invalidation-during-demand property
+/// at session level — answers exactly what a fresh analysis of the edited
+/// source answers.
+#[test]
+fn reload_during_speculation_stays_consistent() {
+    let base = spec_src(&[1, 3, 5]);
+    let edited = spec_src(&[1, 4, 5]); // flips f1 recurrence → elementwise
+
+    let cache = Arc::new(SummaryCache::new());
+    let mut s =
+        Session::open_with_speculation(&base, ScheduleOptions::sequential(), cache, 4).unwrap();
+    s.guru_json(); // spawns background speculation
+    s.reload(&edited).unwrap(); // cancels it mid-flight
+    let warm = s.analyze();
+
+    let fresh_cache = Arc::new(SummaryCache::new());
+    let mut fresh = Session::open(&edited, ScheduleOptions::sequential(), fresh_cache).unwrap();
+    assert_eq!(
+        warm.to_string(),
+        fresh.analyze().to_string(),
+        "reload racing speculation diverged from fresh analysis"
+    );
+
+    let st = s.stats_json();
+    let spec = st.get("speculation").unwrap();
+    assert_eq!(
+        spec.get("pending").and_then(Json::as_i64),
+        Some(0),
+        "cancelled speculation must not leave claimable facts: {st}"
+    );
 }

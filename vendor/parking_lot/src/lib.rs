@@ -2,7 +2,8 @@
 //!
 //! The build environment has no access to crates.io, so this workspace
 //! vendors the small slice of `parking_lot` it uses: [`Mutex`] and
-//! [`RwLock`] with guard-returning (non-poisoning) `lock`/`read`/`write`.
+//! [`RwLock`] with guard-returning (non-poisoning) `lock`/`read`/`write`,
+//! plus a [`Condvar`] that waits on a [`MutexGuard`] in place.
 //! Implemented over `std::sync`; a poisoned std lock (a panic while held)
 //! is recovered into the inner data rather than propagated, matching
 //! parking_lot's no-poisoning semantics.
@@ -10,7 +11,7 @@
 #![warn(missing_docs)]
 
 use std::sync::{
-    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
     RwLockReadGuard as StdReadGuard, RwLockWriteGuard as StdWriteGuard,
 };
 
@@ -19,7 +20,11 @@ use std::sync::{
 pub struct Mutex<T: ?Sized>(StdMutex<T>);
 
 /// Guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(StdMutexGuard<'a, T>);
+///
+/// The inner std guard lives in an `Option` so [`Condvar::wait`] can move
+/// it through `std::sync::Condvar::wait` (which consumes and returns the
+/// guard) without unsafe code; outside that window it is always `Some`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<StdMutexGuard<'a, T>>);
 
 impl<T> Mutex<T> {
     /// Create a new mutex.
@@ -36,14 +41,14 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(|e| e.into_inner()))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(|e| e.into_inner())))
     }
 
     /// Try to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(e.into_inner())),
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard(Some(e.into_inner()))),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -57,13 +62,49 @@ impl<T: ?Sized> Mutex<T> {
 impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.0
+            .as_deref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.0
+            .as_deref_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+/// A condition variable usable with [`MutexGuard`], parking_lot style:
+/// `wait` takes the guard by `&mut` and reacquires the lock before
+/// returning.
+#[derive(Default, Debug)]
+pub struct Condvar(StdCondvar);
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub const fn new() -> Condvar {
+        Condvar(StdCondvar::new())
+    }
+
+    /// Atomically release the guarded lock and block until notified; the
+    /// lock is reacquired before returning.  Spurious wakeups are possible —
+    /// callers must re-check their predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        let inner = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.0 = Some(inner);
+    }
+
+    /// Wake one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wake every waiting thread.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -136,6 +177,27 @@ mod tests {
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        use std::sync::Arc;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                cv.wait(&mut done);
+            }
+            *done
+        });
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_all();
+        }
+        assert!(h.join().unwrap());
     }
 
     #[test]
