@@ -54,6 +54,7 @@ pub mod summarize;
 pub mod symenv;
 
 pub mod contract;
+pub mod snapshot;
 pub mod split;
 
 pub use cache::SummaryCache;
@@ -64,7 +65,10 @@ pub use parallelize::{
     AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, PassStat,
     PrefetchOutcome, ProgramAnalysis, StaticDep, VarClass,
 };
-pub use pipeline::{ExecStats, Executor, FactKey, FactStore, Pass, PassId, PassMetrics, Scope};
+pub use pipeline::{
+    ExecStats, Executor, ExportedFact, FactKey, FactStore, Pass, PassId, PassMetrics, Scope,
+};
 pub use reduction::RedOp;
 pub use schedule::{ScheduleOptions, ScheduleStats};
+pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use summarize::{ArrayDataFlow, LoopIterSummary, ProcFlow};

@@ -487,6 +487,54 @@ impl Parallelizer {
         }
         out
     }
+
+    /// The input hash every fact key *would* carry if analyzed right now —
+    /// computed from the program content and configuration alone, without
+    /// running any pass.  This is the warm-start validator: a persisted
+    /// fact whose stored hash matches the expected one is provably current
+    /// (the hashes fold the region content keys, the configuration, and
+    /// the resolved assertion marks); anything else is stale and must be
+    /// evicted rather than imported.
+    pub fn expected_fact_hashes(
+        program: &Program,
+        config: &ParallelizeConfig,
+    ) -> HashMap<FactKey, u128> {
+        let ctx = AnalysisCtx::new(program);
+        let proc_keys = cache::all_proc_keys(&ctx);
+        let pkey = cache::program_key(&ctx, &proc_keys);
+        let mut out = HashMap::new();
+        out.insert(FactKey::new(PassId::Summarize, Scope::Program), pkey);
+        if let Some(mode) = config.liveness {
+            let mut h = Fnv128::new();
+            h.write_u128(pkey);
+            h.write(format!("{mode:?}").as_bytes());
+            out.insert(FactKey::new(PassId::Liveness, Scope::Program), h.0);
+        }
+        let (assert_private, assert_independent, _warnings) = resolve_assertions(&ctx, config);
+        let eh = epoch_hash(pkey, config, &assert_private, &assert_independent);
+        for li in &ctx.tree.loops {
+            let lkey = cache::loop_key(li, &proc_keys);
+            out.insert(
+                FactKey::new(PassId::Classify, Scope::Loop(li.stmt)),
+                classify_hash(
+                    pkey,
+                    lkey,
+                    config,
+                    li.stmt,
+                    &assert_private,
+                    &assert_independent,
+                ),
+            );
+            let mut h = Fnv128::new();
+            h.write_u128(eh);
+            h.write_u32(li.stmt.0);
+            out.insert(FactKey::new(PassId::Deps, Scope::Loop(li.stmt)), h.0);
+        }
+        for pass in [PassId::Contract, PassId::Decomp, PassId::Split] {
+            out.insert(FactKey::new(pass, Scope::Program), eh);
+        }
+        out
+    }
 }
 
 /// What [`Parallelizer::prefetch_loops`] did: the fact keys it demanded

@@ -172,6 +172,36 @@ struct FactEntry {
     valid: bool,
 }
 
+/// One fact lifted out of (or injected into) the store: key, input hash,
+/// dependency edges, and the type-erased value.  Produced by
+/// [`FactStore::export`], consumed by [`FactStore::import`] and the
+/// snapshot codec ([`crate::snapshot`]).
+#[derive(Clone)]
+pub struct ExportedFact {
+    /// The fact's store key.
+    pub key: FactKey,
+    /// The input hash the value was computed under.
+    pub hash: u128,
+    /// Recorded dependency edges (facts this one reads).
+    pub deps: Vec<FactKey>,
+    /// The fact value, type-erased exactly as stored.
+    pub value: Arc<dyn Any + Send + Sync>,
+}
+
+thread_local! {
+    /// Seconds this thread spent parked inside [`FactStore::demand`]
+    /// waiting on another thread's in-flight computation.  [`Executor::run`]
+    /// subtracts the delta accumulated during a worker's loop from that
+    /// worker's busy seconds, so blocked time is charged to
+    /// [`PassMetrics::wait_secs`] once — never double-counted as executor
+    /// busy time.
+    static DEMAND_WAIT_SECS: std::cell::Cell<f64> = const { std::cell::Cell::new(0.0) };
+}
+
+fn note_demand_wait(secs: f64) {
+    DEMAND_WAIT_SECS.with(|w| w.set(w.get() + secs));
+}
+
 /// Entry state machine: `Absent` is represented by the key missing from the
 /// shard map entirely.
 enum Slot {
@@ -274,8 +304,11 @@ impl FactStore {
                             let m = metrics.entry(key.pass).or_default();
                             match wait_start {
                                 Some(t) => {
+                                    let waited = t.elapsed().as_secs_f64();
                                     m.deduped += 1;
-                                    m.wait_secs += t.elapsed().as_secs_f64();
+                                    m.wait_secs += waited;
+                                    drop(metrics);
+                                    note_demand_wait(waited);
                                 }
                                 None => m.reused += 1,
                             }
@@ -298,7 +331,9 @@ impl FactStore {
         if let Some(t) = wait_start {
             // Waited on a runner that produced a different hash (or got
             // poisoned); still account the blocked time.
-            self.metrics.lock().entry(key.pass).or_default().wait_secs += t.elapsed().as_secs_f64();
+            let waited = t.elapsed().as_secs_f64();
+            self.metrics.lock().entry(key.pass).or_default().wait_secs += waited;
+            note_demand_wait(waited);
         }
         let mut claim = RunClaim {
             shard,
@@ -455,6 +490,60 @@ impl FactStore {
         self.len() == 0
     }
 
+    /// Lift every *valid, finished* fact out of the store for persistence,
+    /// in deterministic key order.  Cooperates with the entry state
+    /// machine: `Running` slots (a computation in flight — possibly a
+    /// speculative pre-classification) and invalidated entries are skipped,
+    /// so a snapshot taken at any moment never contains a racing or stale
+    /// result.
+    pub fn export(&self) -> Vec<ExportedFact> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let slots = shard.slots.lock();
+            for (k, slot) in slots.iter() {
+                if let Slot::Ready(e) = slot {
+                    if e.valid {
+                        out.push(ExportedFact {
+                            key: *k,
+                            hash: e.hash,
+                            deps: e.deps.clone(),
+                            value: e.value.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        out.sort_by_key(|f| f.key);
+        out
+    }
+
+    /// Seed the store with previously exported facts (a warm start).
+    /// Each fact lands as a valid `Ready` entry; keys that already hold a
+    /// slot — `Running` or `Ready` — are left untouched, so importing into
+    /// a live store never clobbers newer work.  Returns how many facts were
+    /// installed.  The caller is responsible for validating each fact's
+    /// input hash against the current program first
+    /// ([`crate::Parallelizer::expected_fact_hashes`]); a fact imported
+    /// with a stale hash is harmless (the next demand misses on the hash
+    /// and recomputes) but wastes memory.
+    pub fn import(&self, facts: Vec<ExportedFact>) -> usize {
+        let mut installed = 0;
+        for f in facts {
+            let shard = self.shard(&f.key);
+            let mut slots = shard.slots.lock();
+            if let std::collections::hash_map::Entry::Vacant(v) = slots.entry(f.key) {
+                v.insert(Slot::Ready(FactEntry {
+                    hash: f.hash,
+                    value: f.value,
+                    deps: f.deps,
+                    valid: true,
+                }));
+                installed += 1;
+            }
+        }
+        installed
+    }
+
     /// Drop every fact and zero the counters.  Must not race an in-flight
     /// demand (callers clear between analysis runs, never during one).
     pub fn clear(&self) {
@@ -541,6 +630,11 @@ impl Executor {
         let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
         let body = |w: usize| {
             let start = Instant::now();
+            // A worker parked inside `FactStore::demand` (deduping on an
+            // in-flight fact) is not busy: that interval is charged to
+            // `PassMetrics::wait_secs` by the store, so subtract it here
+            // rather than double-count it as executor busy time.
+            let wait_before = DEMAND_WAIT_SECS.with(std::cell::Cell::get);
             loop {
                 let i = claim.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
@@ -548,7 +642,8 @@ impl Executor {
                 }
                 work(i);
             }
-            *busy[w].lock() = start.elapsed().as_secs_f64();
+            let waited = DEMAND_WAIT_SECS.with(std::cell::Cell::get) - wait_before;
+            *busy[w].lock() = (start.elapsed().as_secs_f64() - waited).max(0.0);
         };
         if workers == 1 {
             body(0);
@@ -871,6 +966,194 @@ mod tests {
         let (_, _) = store.demand_all(&passes, &exec);
         assert_eq!(runs.load(Ordering::Relaxed), 20);
         assert_eq!(store.metrics_for(PassId::Classify).reused, 20);
+    }
+
+    #[test]
+    fn export_and_import_round_trip_preserves_entries() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let a = CountingPass {
+            key: FactKey::new(PassId::Summarize, Scope::Program),
+            hash: 5,
+            deps: vec![],
+            runs: &runs,
+            output: 10,
+        };
+        let b = CountingPass {
+            key: key(PassId::Classify, 2),
+            hash: 6,
+            deps: vec![a.key()],
+            runs: &runs,
+            output: 20,
+        };
+        store.demand(&a);
+        store.demand(&b);
+        let exported = store.export();
+        assert_eq!(exported.len(), 2);
+        assert_eq!(exported[0].key, a.key(), "deterministic key order");
+
+        // Import into a fresh store: demands reuse, nothing recomputes.
+        let fresh = FactStore::new();
+        assert_eq!(fresh.import(exported.clone()), 2);
+        assert_eq!(*fresh.demand(&a), 10);
+        assert_eq!(*fresh.demand(&b), 20);
+        assert_eq!(runs.load(Ordering::Relaxed), 2, "imported facts reused");
+        assert_eq!(fresh.metrics_for(PassId::Classify).reused, 1);
+        // Dependency edges survive the round trip: invalidating the root
+        // dirties the imported dependent.
+        assert_eq!(fresh.invalidate(a.key()), 2);
+
+        // Import never clobbers existing slots.
+        let occupied = FactStore::new();
+        let newer = CountingPass {
+            key: key(PassId::Classify, 2),
+            hash: 999,
+            deps: vec![],
+            runs: &runs,
+            output: 77,
+        };
+        occupied.demand(&newer);
+        assert_eq!(occupied.import(store.export()), 1, "only the absent key");
+        assert_eq!(*occupied.demand(&newer), 77, "existing entry untouched");
+    }
+
+    /// Regression (persistence × speculation): an export taken while a
+    /// demand is mid-`Running`, or after an entry was invalidated, must not
+    /// contain that slot — a snapshot written during speculative
+    /// pre-classification never persists racing or stale results.
+    #[test]
+    fn export_skips_running_and_invalid_slots() {
+        let store = Arc::new(FactStore::new());
+        let runs = AtomicU64::new(0);
+        let done = CountingPass {
+            key: key(PassId::Classify, 1),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 1,
+        };
+        store.demand(&done);
+
+        let started = Arc::new(AtomicU64::new(0));
+        let release = Arc::new(AtomicU64::new(0));
+        let runner = {
+            let (store, started, release) = (store.clone(), started.clone(), release.clone());
+            std::thread::spawn(move || {
+                struct Held {
+                    started: Arc<AtomicU64>,
+                    release: Arc<AtomicU64>,
+                }
+                impl Pass for Held {
+                    type Output = i64;
+                    fn key(&self) -> FactKey {
+                        key(PassId::Classify, 2)
+                    }
+                    fn input_hash(&self) -> u128 {
+                        1
+                    }
+                    fn run(&self) -> i64 {
+                        self.started.store(1, Ordering::SeqCst);
+                        let t0 = Instant::now();
+                        while self.release.load(Ordering::SeqCst) == 0 && t0.elapsed().as_secs() < 5
+                        {
+                            std::thread::yield_now();
+                        }
+                        2
+                    }
+                }
+                *store.demand(&Held { started, release })
+            })
+        };
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+
+        // Mid-flight: the Running slot must not be exported.
+        let snap = store.export();
+        assert_eq!(snap.len(), 1, "running slot excluded from export");
+        assert_eq!(snap[0].key, key(PassId::Classify, 1));
+
+        // The in-flight fact is invalidated before it finishes (the
+        // epoch-cancel race): once stored, it is dirty — still unexported.
+        assert_eq!(store.invalidate(key(PassId::Classify, 2)), 1);
+        release.store(1, Ordering::SeqCst);
+        runner.join().unwrap();
+        let snap = store.export();
+        assert_eq!(snap.len(), 1, "invalidated result excluded from export");
+
+        // Invalidate the finished fact too: nothing left to persist.
+        store.invalidate(key(PassId::Classify, 1));
+        assert!(store.export().is_empty());
+    }
+
+    /// Pins the `wait_secs` accounting: a worker of `demand_all` that
+    /// blocks on a fact some other thread (e.g. the speculation claimant)
+    /// is computing charges the parked interval to `wait_secs` exactly
+    /// once, and the executor's per-worker busy seconds exclude it — the
+    /// same interval must never be double-counted as busy *and* waiting.
+    #[test]
+    fn demand_all_worker_busy_excludes_blocked_wait() {
+        const HOLD_MS: u64 = 200;
+        let store = Arc::new(FactStore::new());
+        let started = Arc::new(AtomicU64::new(0));
+
+        struct SlowPass {
+            started: Arc<AtomicU64>,
+        }
+        impl Pass for SlowPass {
+            type Output = i64;
+            fn key(&self) -> FactKey {
+                key(PassId::Classify, 50)
+            }
+            fn input_hash(&self) -> u128 {
+                1
+            }
+            fn run(&self) -> i64 {
+                self.started.store(1, Ordering::SeqCst);
+                std::thread::sleep(std::time::Duration::from_millis(HOLD_MS));
+                5
+            }
+        }
+
+        // The "speculation claimant": grabs the Running slot first.
+        let claimant = {
+            let (store, started) = (store.clone(), started.clone());
+            std::thread::spawn(move || *store.demand(&SlowPass { started }))
+        };
+        while started.load(Ordering::SeqCst) == 0 {
+            std::thread::yield_now();
+        }
+
+        // A demand_all fan-out whose only item dedups against the claimant:
+        // the worker parks for ~HOLD_MS inside `demand`.
+        let passes = vec![SlowPass {
+            started: started.clone(),
+        }];
+        let (got, stats) = store.demand_all(&passes, &Executor::new(1));
+        assert_eq!(*got[0], 5);
+        assert_eq!(claimant.join().unwrap(), 5);
+
+        let m = store.metrics_for(PassId::Classify);
+        assert_eq!(m.invocations, 1, "the claimant ran the pass once");
+        assert_eq!(m.deduped, 1, "the worker deduped against it");
+        let hold = HOLD_MS as f64 / 1000.0;
+        assert!(
+            m.wait_secs >= hold * 0.5,
+            "blocked time lands in wait_secs once: {}",
+            m.wait_secs
+        );
+        assert!(
+            m.wait_secs < hold * 3.0,
+            "wait_secs must not double-count the parked interval: {}",
+            m.wait_secs
+        );
+        // The executor must not also bill the parked interval as busy.
+        assert!(
+            stats.busy_secs() < hold * 0.5,
+            "worker busy seconds must exclude time parked in demand: {} (wait {})",
+            stats.busy_secs(),
+            m.wait_secs
+        );
     }
 
     #[test]

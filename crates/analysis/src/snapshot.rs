@@ -1,0 +1,1012 @@
+//! Durable fact-store snapshots: a versioned, checksummed binary encoding
+//! of the store's keys, input hashes, dependency edges, and the values of
+//! the cheaply-encodable passes, plus the [`suif_poly`] emptiness-proof
+//! memo.  This is what lets a daemon restart warm (§2: the analysis state
+//! of an interactive session must outlive any one process).
+//!
+//! # What is persisted
+//!
+//! Only facts whose values have a small, stable wire form are encoded:
+//! classify verdicts ([`crate::LoopVerdict`]), carried-dependence tables
+//! ([`crate::deps::CarriedDeps`]), and the three advisories (contraction,
+//! decomposition, block splits).  `Summarize` and `Liveness` facts hold
+//! large graph-shaped results that are cheaper to recompute than to encode;
+//! they are deliberately *not* persisted (see `docs/pipeline.md`).
+//!
+//! # Crash safety
+//!
+//! The file layout is `magic · version · payload-length · FNV-128 checksum ·
+//! payload`.  [`write_atomic`] writes a temp file in the same directory and
+//! renames it over the target, so a crash mid-write leaves either the old
+//! snapshot or none.  [`Snapshot::decode`] verifies magic, version, length,
+//! and checksum before touching the payload; any mismatch is a
+//! [`SnapshotError`] and the caller cold-starts.  A fact entry that decodes
+//! to an unknown pass or a malformed value is dropped individually
+//! (degrading that fact to `Absent`), never served wrong.
+//!
+//! Loaded entries must additionally be re-validated against freshly
+//! computed input hashes ([`crate::Parallelizer::expected_fact_hashes`])
+//! before import — the snapshot records what *was* true, the hash check
+//! proves it still is.
+
+use crate::cache::Fnv128;
+use crate::context::ArrayKey;
+use crate::contract::ContractionCandidate;
+use crate::decomp::{DecompConflict, DecompFact, Partitioning, Stride};
+use crate::deps::{CarriedDeps, DepKind};
+use crate::parallelize::{LoopPlan, LoopVerdict, StaticDep, VarClass};
+use crate::pipeline::{ExportedFact, FactKey, PassId, Scope};
+use crate::reduction::RedOp;
+use crate::split::BlockSplit;
+use std::any::Any;
+use std::path::Path;
+use std::sync::Arc;
+use suif_ir::{CommonId, ProcId, StmtId, VarId};
+use suif_poly::{ArrayId, Constraint, ConstraintKind, LinExpr, Var};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SUIFSNAP";
+
+/// Current snapshot format version.  Bump on any wire-format change; a
+/// mismatch discards the whole file (cold start), never misreads it.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to load (the caller cold-starts either way).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The file is shorter than a header.
+    TooShort,
+    /// The magic bytes are wrong (not a snapshot file).
+    BadMagic,
+    /// The version is not [`SNAPSHOT_VERSION`].
+    BadVersion(u32),
+    /// The payload is shorter than the header's recorded length (torn
+    /// write).
+    Truncated,
+    /// The payload checksum does not match (corruption).
+    BadChecksum,
+    /// The payload structure itself is malformed.
+    Malformed,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::TooShort => write!(f, "file shorter than a snapshot header"),
+            SnapshotError::BadMagic => write!(f, "bad magic (not a snapshot file)"),
+            SnapshotError::BadVersion(v) => {
+                write!(f, "version {v} (this build reads {SNAPSHOT_VERSION})")
+            }
+            SnapshotError::Truncated => write!(f, "truncated payload (torn write)"),
+            SnapshotError::BadChecksum => write!(f, "payload checksum mismatch (corruption)"),
+            SnapshotError::Malformed => write!(f, "malformed payload"),
+        }
+    }
+}
+
+/// An in-memory snapshot: the encodable facts plus the emptiness-proof
+/// memo, ready to encode to (or just decoded from) the wire format.
+#[derive(Default)]
+pub struct Snapshot {
+    /// Encodable facts, in deterministic key order.
+    pub facts: Vec<ExportedFact>,
+    /// Finished emptiness proofs (`prove_empty` memo entries).
+    pub prove_empty: Vec<(Vec<Constraint>, bool)>,
+    /// Entries dropped during decode because their pass tag or value bytes
+    /// were not understood (each degrades to `Absent`).
+    pub undecodable: u64,
+}
+
+/// Is this pass's value persisted in snapshots?  `Summarize` and `Liveness`
+/// results are recompute-on-demand instead.
+pub fn is_encodable(pass: PassId) -> bool {
+    matches!(
+        pass,
+        PassId::Classify | PassId::Deps | PassId::Contract | PassId::Decomp | PassId::Split
+    )
+}
+
+impl Snapshot {
+    /// Build a snapshot from exported store entries (non-encodable passes
+    /// are filtered out) and memo entries.
+    pub fn new(
+        mut facts: Vec<ExportedFact>,
+        prove_empty: Vec<(Vec<Constraint>, bool)>,
+    ) -> Snapshot {
+        facts.retain(|f| is_encodable(f.key.pass));
+        facts.sort_by_key(|f| f.key);
+        Snapshot {
+            facts,
+            prove_empty,
+            undecodable: 0,
+        }
+    }
+
+    /// Encode to the complete file byte stream (header + payload).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut p = Enc::default();
+        p.u32(self.facts.len() as u32);
+        for f in &self.facts {
+            p.u8(pass_tag(f.key.pass));
+            p.scope(f.key.scope);
+            p.u128(f.hash);
+            p.u32(f.deps.len() as u32);
+            for d in &f.deps {
+                p.u8(pass_tag(d.pass));
+                p.scope(d.scope);
+            }
+            let mut v = Enc::default();
+            encode_value(f.key.pass, &f.value, &mut v);
+            p.u32(v.buf.len() as u32);
+            p.buf.extend_from_slice(&v.buf);
+        }
+        p.u32(self.prove_empty.len() as u32);
+        for (cs, result) in &self.prove_empty {
+            p.u32(cs.len() as u32);
+            for c in cs {
+                p.constraint(c);
+            }
+            p.u8(*result as u8);
+        }
+
+        let mut h = Fnv128::new();
+        h.write(&p.buf);
+        let mut out = Vec::with_capacity(36 + p.buf.len());
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(p.buf.len() as u64).to_le_bytes());
+        out.extend_from_slice(&h.0.to_le_bytes());
+        out.extend_from_slice(&p.buf);
+        out
+    }
+
+    /// Decode a complete file byte stream, verifying magic, version,
+    /// length, and checksum.  Individual entries with unknown pass tags or
+    /// malformed value bytes are dropped (counted in
+    /// [`Snapshot::undecodable`]); structural damage to the payload framing
+    /// fails the whole snapshot instead.
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < 36 {
+            return Err(SnapshotError::TooShort);
+        }
+        if bytes[..8] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+        if version != SNAPSHOT_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let len = u64::from_le_bytes(bytes[12..20].try_into().unwrap()) as usize;
+        let checksum = u128::from_le_bytes(bytes[20..36].try_into().unwrap());
+        let payload = &bytes[36..];
+        if payload.len() != len {
+            return Err(SnapshotError::Truncated);
+        }
+        let mut h = Fnv128::new();
+        h.write(payload);
+        if h.0 != checksum {
+            return Err(SnapshotError::BadChecksum);
+        }
+
+        let mut d = Dec {
+            buf: payload,
+            pos: 0,
+        };
+        let mut snap = Snapshot::default();
+        let nfacts = d.u32().ok_or(SnapshotError::Malformed)?;
+        for _ in 0..nfacts {
+            let pass_byte = d.u8().ok_or(SnapshotError::Malformed)?;
+            let scope = d.scope().ok_or(SnapshotError::Malformed)?;
+            let hash = d.u128().ok_or(SnapshotError::Malformed)?;
+            let ndeps = d.u32().ok_or(SnapshotError::Malformed)?;
+            let mut deps = Vec::with_capacity(ndeps.min(1024) as usize);
+            let mut deps_ok = true;
+            for _ in 0..ndeps {
+                let dp = d.u8().ok_or(SnapshotError::Malformed)?;
+                let ds = d.scope().ok_or(SnapshotError::Malformed)?;
+                match pass_of(dp) {
+                    Some(p) => deps.push(FactKey::new(p, ds)),
+                    None => deps_ok = false,
+                }
+            }
+            let vlen = d.u32().ok_or(SnapshotError::Malformed)? as usize;
+            let vbytes = d.take(vlen).ok_or(SnapshotError::Malformed)?;
+            let Some(pass) = pass_of(pass_byte).filter(|p| is_encodable(*p) && deps_ok) else {
+                snap.undecodable += 1;
+                continue;
+            };
+            match decode_value(pass, vbytes) {
+                Some(value) => snap.facts.push(ExportedFact {
+                    key: FactKey::new(pass, scope),
+                    hash,
+                    deps,
+                    value,
+                }),
+                None => snap.undecodable += 1,
+            }
+        }
+        let nmemo = d.u32().ok_or(SnapshotError::Malformed)?;
+        for _ in 0..nmemo {
+            let ncs = d.u32().ok_or(SnapshotError::Malformed)?;
+            let mut cs = Vec::with_capacity(ncs.min(1024) as usize);
+            for _ in 0..ncs {
+                cs.push(d.constraint().ok_or(SnapshotError::Malformed)?);
+            }
+            let result = d.bool_val().ok_or(SnapshotError::Malformed)?;
+            snap.prove_empty.push((cs, result));
+        }
+        if d.pos != d.buf.len() {
+            return Err(SnapshotError::Malformed);
+        }
+        Ok(snap)
+    }
+}
+
+/// Write `bytes` to `path` atomically: temp file in the same directory,
+/// then rename.  A crash mid-write leaves the previous snapshot (or no
+/// file) — never a torn one under POSIX rename semantics.
+pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    std::fs::create_dir_all(dir)?;
+    let tmp = dir.join(format!(
+        ".{}.tmp.{}",
+        path.file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "snapshot".into()),
+        std::process::id()
+    ));
+    std::fs::write(&tmp, bytes)?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            let _ = std::fs::remove_file(&tmp);
+            Err(e)
+        }
+    }
+}
+
+fn pass_tag(p: PassId) -> u8 {
+    match p {
+        PassId::Summarize => 0,
+        PassId::Liveness => 1,
+        PassId::Classify => 2,
+        PassId::Deps => 3,
+        PassId::Contract => 4,
+        PassId::Decomp => 5,
+        PassId::Split => 6,
+    }
+}
+
+fn pass_of(tag: u8) -> Option<PassId> {
+    Some(match tag {
+        0 => PassId::Summarize,
+        1 => PassId::Liveness,
+        2 => PassId::Classify,
+        3 => PassId::Deps,
+        4 => PassId::Contract,
+        5 => PassId::Decomp,
+        6 => PassId::Split,
+        _ => return None,
+    })
+}
+
+/// Little-endian byte encoder.
+#[derive(Default)]
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn string(&mut self, s: &str) {
+        self.u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+    fn scope(&mut self, s: Scope) {
+        match s {
+            Scope::Program => self.u8(0),
+            Scope::Proc(p) => {
+                self.u8(1);
+                self.u32(p.0);
+            }
+            Scope::Loop(s) => {
+                self.u8(2);
+                self.u32(s.0);
+            }
+        }
+    }
+    fn var(&mut self, v: Var) {
+        match v {
+            Var::Dim(d) => {
+                self.u8(0);
+                self.u8(d);
+            }
+            Var::Sym(s) => {
+                self.u8(1);
+                self.u32(s);
+            }
+        }
+    }
+    fn lin_expr(&mut self, e: &LinExpr) {
+        self.i64(e.constant_part());
+        self.u32(e.num_vars() as u32);
+        for (v, c) in e.terms() {
+            self.var(v);
+            self.i64(c);
+        }
+    }
+    fn constraint(&mut self, c: &Constraint) {
+        self.u8(match c.kind {
+            ConstraintKind::GeqZero => 0,
+            ConstraintKind::EqZero => 1,
+        });
+        self.lin_expr(&c.expr);
+    }
+    fn array_key(&mut self, k: &ArrayKey) {
+        match k {
+            ArrayKey::Common(c) => {
+                self.u8(0);
+                self.u32(c.0);
+            }
+            ArrayKey::Var(v) => {
+                self.u8(1);
+                self.u32(v.0);
+            }
+        }
+    }
+    fn red_op(&mut self, op: RedOp) {
+        self.u8(match op {
+            RedOp::Add => 0,
+            RedOp::Mul => 1,
+            RedOp::Min => 2,
+            RedOp::Max => 3,
+        });
+    }
+    fn var_class(&mut self, c: &VarClass) {
+        match c {
+            VarClass::Parallel => self.u8(0),
+            VarClass::Privatizable { needs_finalization } => {
+                self.u8(1);
+                self.u8(*needs_finalization as u8);
+            }
+            VarClass::Reduction(op) => {
+                self.u8(2);
+                self.red_op(*op);
+            }
+            VarClass::Dep => self.u8(3),
+        }
+    }
+    fn classes(&mut self, m: &std::collections::BTreeMap<ArrayId, VarClass>) {
+        self.u32(m.len() as u32);
+        for (id, c) in m {
+            self.u32(id.0);
+            self.var_class(c);
+        }
+    }
+    fn stride(&mut self, s: &Stride) {
+        match s {
+            Stride::Elements(n) => {
+                self.u8(0);
+                self.i64(*n);
+            }
+            Stride::Irregular => self.u8(1),
+        }
+    }
+}
+
+/// Bounds-checked little-endian byte decoder; every method returns `None`
+/// on underrun or an invalid tag, so damage degrades instead of panicking.
+struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn i64(&mut self) -> Option<i64> {
+        Some(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn u128(&mut self) -> Option<u128> {
+        Some(u128::from_le_bytes(self.take(16)?.try_into().unwrap()))
+    }
+    fn bool_val(&mut self) -> Option<bool> {
+        match self.u8()? {
+            0 => Some(false),
+            1 => Some(true),
+            _ => None,
+        }
+    }
+    fn string(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+    fn scope(&mut self) -> Option<Scope> {
+        Some(match self.u8()? {
+            0 => Scope::Program,
+            1 => Scope::Proc(ProcId(self.u32()?)),
+            2 => Scope::Loop(StmtId(self.u32()?)),
+            _ => return None,
+        })
+    }
+    fn var(&mut self) -> Option<Var> {
+        Some(match self.u8()? {
+            0 => Var::Dim(self.u8()?),
+            1 => Var::Sym(self.u32()?),
+            _ => return None,
+        })
+    }
+    fn lin_expr(&mut self) -> Option<LinExpr> {
+        let c = self.i64()?;
+        let n = self.u32()?;
+        let mut e = LinExpr::constant(c);
+        for _ in 0..n {
+            let v = self.var()?;
+            let coef = self.i64()?;
+            e = e.add(&LinExpr::term(v, coef));
+        }
+        Some(e)
+    }
+    fn constraint(&mut self) -> Option<Constraint> {
+        let kind = self.u8()?;
+        let expr = self.lin_expr()?;
+        Some(match kind {
+            0 => Constraint::geq0(expr),
+            1 => Constraint::eq0(expr),
+            _ => return None,
+        })
+    }
+    fn array_key(&mut self) -> Option<ArrayKey> {
+        Some(match self.u8()? {
+            0 => ArrayKey::Common(CommonId(self.u32()?)),
+            1 => ArrayKey::Var(VarId(self.u32()?)),
+            _ => return None,
+        })
+    }
+    fn red_op(&mut self) -> Option<RedOp> {
+        Some(match self.u8()? {
+            0 => RedOp::Add,
+            1 => RedOp::Mul,
+            2 => RedOp::Min,
+            3 => RedOp::Max,
+            _ => return None,
+        })
+    }
+    fn var_class(&mut self) -> Option<VarClass> {
+        Some(match self.u8()? {
+            0 => VarClass::Parallel,
+            1 => VarClass::Privatizable {
+                needs_finalization: self.bool_val()?,
+            },
+            2 => VarClass::Reduction(self.red_op()?),
+            3 => VarClass::Dep,
+            _ => return None,
+        })
+    }
+    fn classes(&mut self) -> Option<std::collections::BTreeMap<ArrayId, VarClass>> {
+        let n = self.u32()?;
+        let mut m = std::collections::BTreeMap::new();
+        for _ in 0..n {
+            let id = ArrayId(self.u32()?);
+            m.insert(id, self.var_class()?);
+        }
+        Some(m)
+    }
+    fn stride(&mut self) -> Option<Stride> {
+        Some(match self.u8()? {
+            0 => Stride::Elements(self.i64()?),
+            1 => Stride::Irregular,
+            _ => return None,
+        })
+    }
+}
+
+fn encode_verdict(v: &LoopVerdict, e: &mut Enc) {
+    match v {
+        LoopVerdict::Parallel { plan, classes } => {
+            e.u8(0);
+            e.u32(plan.private.len() as u32);
+            for k in &plan.private {
+                e.array_key(k);
+            }
+            e.u32(plan.finalize_last.len() as u32);
+            for k in &plan.finalize_last {
+                e.array_key(k);
+            }
+            e.u32(plan.reductions.len() as u32);
+            for (k, op) in &plan.reductions {
+                e.array_key(k);
+                e.red_op(*op);
+            }
+            e.classes(classes);
+        }
+        LoopVerdict::Sequential {
+            deps,
+            has_io,
+            classes,
+        } => {
+            e.u8(1);
+            e.u32(deps.len() as u32);
+            for d in deps {
+                e.u32(d.object.0);
+                e.string(&d.name);
+                e.u32(d.vars.len() as u32);
+                for v in &d.vars {
+                    e.u32(v.0);
+                }
+                e.u32(d.sites.len() as u32);
+                for (s, line, w, call) in &d.sites {
+                    e.u32(s.0);
+                    e.u32(*line);
+                    e.u8(*w as u8);
+                    e.u8(*call as u8);
+                }
+            }
+            e.u8(*has_io as u8);
+            e.classes(classes);
+        }
+    }
+}
+
+fn decode_verdict(d: &mut Dec<'_>) -> Option<LoopVerdict> {
+    Some(match d.u8()? {
+        0 => {
+            let mut plan = LoopPlan::default();
+            for _ in 0..d.u32()? {
+                plan.private.push(d.array_key()?);
+            }
+            for _ in 0..d.u32()? {
+                plan.finalize_last.push(d.array_key()?);
+            }
+            for _ in 0..d.u32()? {
+                let k = d.array_key()?;
+                plan.reductions.push((k, d.red_op()?));
+            }
+            LoopVerdict::Parallel {
+                plan,
+                classes: d.classes()?,
+            }
+        }
+        1 => {
+            let ndeps = d.u32()?;
+            let mut deps = Vec::with_capacity(ndeps.min(1024) as usize);
+            for _ in 0..ndeps {
+                let object = ArrayId(d.u32()?);
+                let name = d.string()?;
+                let mut vars = Vec::new();
+                for _ in 0..d.u32()? {
+                    vars.push(VarId(d.u32()?));
+                }
+                let mut sites = Vec::new();
+                for _ in 0..d.u32()? {
+                    let s = StmtId(d.u32()?);
+                    let line = d.u32()?;
+                    let w = d.bool_val()?;
+                    let call = d.bool_val()?;
+                    sites.push((s, line, w, call));
+                }
+                deps.push(StaticDep {
+                    object,
+                    name,
+                    vars,
+                    sites,
+                });
+            }
+            let has_io = d.bool_val()?;
+            LoopVerdict::Sequential {
+                deps,
+                has_io,
+                classes: d.classes()?,
+            }
+        }
+        _ => return None,
+    })
+}
+
+/// Encode one fact value; the pass selects the concrete type behind the
+/// `Any`.  A type mismatch encodes an empty payload, which decodes to
+/// `None` and drops the entry — degradation, not corruption.
+fn encode_value(pass: PassId, value: &Arc<dyn Any + Send + Sync>, e: &mut Enc) {
+    match pass {
+        PassId::Classify => {
+            if let Some(v) = value.downcast_ref::<LoopVerdict>() {
+                encode_verdict(v, e);
+            }
+        }
+        PassId::Deps => {
+            if let Some(v) = value.downcast_ref::<CarriedDeps>() {
+                e.u32(v.len() as u32);
+                for (id, kind) in v {
+                    e.u32(id.0);
+                    e.u8(match kind {
+                        None => 0,
+                        Some(DepKind::WriteRead) => 1,
+                        Some(DepKind::WriteWrite) => 2,
+                    });
+                }
+            }
+        }
+        PassId::Contract => {
+            if let Some(v) = value.downcast_ref::<Vec<ContractionCandidate>>() {
+                e.u32(v.len() as u32);
+                for c in v {
+                    e.u32(c.var.0);
+                    e.u32(c.loop_stmt.0);
+                    e.u32(c.dim as u32);
+                }
+            }
+        }
+        PassId::Decomp => {
+            if let Some(v) = value.downcast_ref::<DecompFact>() {
+                e.u32(v.partitionings.len() as u32);
+                for p in &v.partitionings {
+                    e.u32(p.loop_stmt.0);
+                    e.string(&p.loop_name);
+                    e.u32(p.object.0);
+                    e.string(&p.object_name);
+                    e.stride(&p.stride);
+                    e.u8(p.writes as u8);
+                }
+                e.u32(v.conflicts.len() as u32);
+                for c in &v.conflicts {
+                    e.string(&c.object_name);
+                    e.string(&c.a.0);
+                    e.stride(&c.a.1);
+                    e.string(&c.b.0);
+                    e.stride(&c.b.1);
+                }
+            }
+        }
+        PassId::Split => {
+            if let Some(v) = value.downcast_ref::<Vec<BlockSplit>>() {
+                e.u32(v.len() as u32);
+                for s in v {
+                    e.u32(s.block.0);
+                    e.string(&s.name);
+                    e.u32(s.groups.len() as u32);
+                    for g in &s.groups {
+                        e.u32(g.len() as u32);
+                        for p in g {
+                            e.u32(p.0);
+                        }
+                    }
+                }
+            }
+        }
+        PassId::Summarize | PassId::Liveness => {}
+    }
+}
+
+/// Decode one fact value; `None` drops the entry (degrades to `Absent`).
+/// The value must consume its byte slice exactly — trailing bytes mean a
+/// format drift this build does not understand.
+fn decode_value(pass: PassId, bytes: &[u8]) -> Option<Arc<dyn Any + Send + Sync>> {
+    let mut d = Dec { buf: bytes, pos: 0 };
+    let value: Arc<dyn Any + Send + Sync> = match pass {
+        PassId::Classify => Arc::new(decode_verdict(&mut d)?),
+        PassId::Deps => {
+            let n = d.u32()?;
+            let mut m = CarriedDeps::new();
+            for _ in 0..n {
+                let id = ArrayId(d.u32()?);
+                let kind = match d.u8()? {
+                    0 => None,
+                    1 => Some(DepKind::WriteRead),
+                    2 => Some(DepKind::WriteWrite),
+                    _ => return None,
+                };
+                m.insert(id, kind);
+            }
+            Arc::new(m)
+        }
+        PassId::Contract => {
+            let n = d.u32()?;
+            let mut v = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let var = VarId(d.u32()?);
+                let loop_stmt = StmtId(d.u32()?);
+                let dim = d.u32()? as usize;
+                v.push(ContractionCandidate {
+                    var,
+                    loop_stmt,
+                    dim,
+                });
+            }
+            Arc::new(v)
+        }
+        PassId::Decomp => {
+            let n = d.u32()?;
+            let mut partitionings = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let loop_stmt = StmtId(d.u32()?);
+                let loop_name = d.string()?;
+                let object = ArrayId(d.u32()?);
+                let object_name = d.string()?;
+                let stride = d.stride()?;
+                let writes = d.bool_val()?;
+                partitionings.push(Partitioning {
+                    loop_stmt,
+                    loop_name,
+                    object,
+                    object_name,
+                    stride,
+                    writes,
+                });
+            }
+            let n = d.u32()?;
+            let mut conflicts = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let object_name = d.string()?;
+                let a = (d.string()?, d.stride()?);
+                let b = (d.string()?, d.stride()?);
+                conflicts.push(DecompConflict { object_name, a, b });
+            }
+            Arc::new(DecompFact {
+                partitionings,
+                conflicts,
+            })
+        }
+        PassId::Split => {
+            let n = d.u32()?;
+            let mut v = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                let block = CommonId(d.u32()?);
+                let name = d.string()?;
+                let ngroups = d.u32()?;
+                let mut groups = Vec::with_capacity(ngroups.min(1024) as usize);
+                for _ in 0..ngroups {
+                    let mut g = Vec::new();
+                    for _ in 0..d.u32()? {
+                        g.push(ProcId(d.u32()?));
+                    }
+                    groups.push(g);
+                }
+                v.push(BlockSplit {
+                    block,
+                    name,
+                    groups,
+                });
+            }
+            Arc::new(v)
+        }
+        PassId::Summarize | PassId::Liveness => return None,
+    };
+    if d.pos != bytes.len() {
+        return None;
+    }
+    Some(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn verdict_parallel() -> LoopVerdict {
+        let mut classes = BTreeMap::new();
+        classes.insert(ArrayId(0), VarClass::Parallel);
+        classes.insert(
+            ArrayId(3),
+            VarClass::Privatizable {
+                needs_finalization: true,
+            },
+        );
+        classes.insert(ArrayId(7), VarClass::Reduction(RedOp::Max));
+        LoopVerdict::Parallel {
+            plan: LoopPlan {
+                private: vec![ArrayKey::Var(VarId(3))],
+                finalize_last: vec![ArrayKey::Common(CommonId(1))],
+                reductions: vec![(ArrayKey::Var(VarId(9)), RedOp::Add)],
+            },
+            classes,
+        }
+    }
+
+    fn verdict_sequential() -> LoopVerdict {
+        LoopVerdict::Sequential {
+            deps: vec![StaticDep {
+                object: ArrayId(2),
+                name: "q".into(),
+                vars: vec![VarId(4), VarId(5)],
+                sites: vec![(StmtId(11), 3, true, false), (StmtId(12), 4, false, true)],
+            }],
+            has_io: true,
+            classes: BTreeMap::from([(ArrayId(2), VarClass::Dep)]),
+        }
+    }
+
+    fn fact(
+        pass: PassId,
+        scope: Scope,
+        hash: u128,
+        value: Arc<dyn Any + Send + Sync>,
+    ) -> ExportedFact {
+        ExportedFact {
+            key: FactKey::new(pass, scope),
+            hash,
+            deps: vec![FactKey::new(PassId::Summarize, Scope::Program)],
+            value,
+        }
+    }
+
+    fn sample_snapshot() -> Snapshot {
+        let mut deps_table = CarriedDeps::new();
+        deps_table.insert(ArrayId(1), Some(DepKind::WriteRead));
+        deps_table.insert(ArrayId(2), None);
+        let decomp = DecompFact {
+            partitionings: vec![Partitioning {
+                loop_stmt: StmtId(5),
+                loop_name: "main/1".into(),
+                object: ArrayId(0),
+                object_name: "a".into(),
+                stride: Stride::Elements(16),
+                writes: true,
+            }],
+            conflicts: vec![DecompConflict {
+                object_name: "a".into(),
+                a: ("main/1".into(), Stride::Elements(1)),
+                b: ("main/2".into(), Stride::Irregular),
+            }],
+        };
+        let memo = vec![
+            (
+                vec![Constraint::geq0(
+                    LinExpr::term(Var::Dim(0), 2).add(&LinExpr::constant(-3)),
+                )],
+                true,
+            ),
+            (
+                vec![
+                    Constraint::eq0(LinExpr::term(Var::Sym(17), -1).add(&LinExpr::constant(4))),
+                    Constraint::geq0(LinExpr::var(Var::Sym(17))),
+                ],
+                false,
+            ),
+        ];
+        Snapshot::new(
+            vec![
+                fact(
+                    PassId::Classify,
+                    Scope::Loop(StmtId(5)),
+                    0xdead_beef,
+                    Arc::new(verdict_parallel()),
+                ),
+                fact(
+                    PassId::Classify,
+                    Scope::Loop(StmtId(9)),
+                    7,
+                    Arc::new(verdict_sequential()),
+                ),
+                fact(
+                    PassId::Deps,
+                    Scope::Loop(StmtId(5)),
+                    8,
+                    Arc::new(deps_table),
+                ),
+                fact(
+                    PassId::Contract,
+                    Scope::Program,
+                    9,
+                    Arc::new(vec![ContractionCandidate {
+                        var: VarId(1),
+                        loop_stmt: StmtId(5),
+                        dim: 0,
+                    }]),
+                ),
+                fact(PassId::Decomp, Scope::Program, 10, Arc::new(decomp)),
+                fact(
+                    PassId::Split,
+                    Scope::Program,
+                    11,
+                    Arc::new(vec![BlockSplit {
+                        block: CommonId(0),
+                        name: "blk".into(),
+                        groups: vec![vec![ProcId(0)], vec![ProcId(1), ProcId(2)]],
+                    }]),
+                ),
+                // Not encodable: must be filtered out by `Snapshot::new`.
+                fact(PassId::Summarize, Scope::Program, 1, Arc::new(0u64)),
+            ],
+            memo,
+        )
+    }
+
+    #[test]
+    fn golden_round_trip_is_bit_identical() {
+        let snap = sample_snapshot();
+        assert_eq!(snap.facts.len(), 6, "summarize filtered out");
+        let bytes = snap.encode();
+        let back = Snapshot::decode(&bytes).unwrap();
+        assert_eq!(back.undecodable, 0);
+        assert_eq!(back.facts.len(), snap.facts.len());
+        for (a, b) in snap.facts.iter().zip(back.facts.iter()) {
+            assert_eq!(a.key, b.key);
+            assert_eq!(a.hash, b.hash);
+            assert_eq!(a.deps, b.deps);
+        }
+        // Values re-encode to the same bytes (bit-identical round trip).
+        assert_eq!(back.encode(), bytes);
+        assert_eq!(back.prove_empty, snap.prove_empty);
+        // Verdict content survives.
+        let v = back.facts[0]
+            .value
+            .downcast_ref::<LoopVerdict>()
+            .expect("classify decodes to a verdict");
+        assert_eq!(format!("{v:?}"), format!("{:?}", verdict_parallel()));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let bytes = sample_snapshot().encode();
+
+        assert!(matches!(
+            Snapshot::decode(&bytes[..10]),
+            Err(SnapshotError::TooShort)
+        ));
+        // Truncated payload (torn write).
+        assert!(matches!(
+            Snapshot::decode(&bytes[..bytes.len() - 3]),
+            Err(SnapshotError::Truncated)
+        ));
+        // Bad magic.
+        let mut b = bytes.clone();
+        b[0] ^= 0xff;
+        assert!(matches!(Snapshot::decode(&b), Err(SnapshotError::BadMagic)));
+        // Future version.
+        let mut b = bytes.clone();
+        b[8..12].copy_from_slice(&(SNAPSHOT_VERSION + 1).to_le_bytes());
+        assert!(matches!(
+            Snapshot::decode(&b),
+            Err(SnapshotError::BadVersion(_))
+        ));
+        // Any single payload bit flip fails the checksum.
+        for probe in [36usize, 40, bytes.len() / 2, bytes.len() - 1] {
+            let mut b = bytes.clone();
+            b[probe] ^= 0x01;
+            assert!(
+                matches!(Snapshot::decode(&b), Err(SnapshotError::BadChecksum)),
+                "flip at {probe} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn atomic_write_replaces_whole_file() {
+        let dir = std::env::temp_dir().join(format!("suif_snap_unit_{}", std::process::id()));
+        let path = dir.join("facts.snap");
+        let bytes = sample_snapshot().encode();
+        write_atomic(&path, &bytes).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), bytes);
+        // Overwrite with a different snapshot; the file is replaced whole.
+        let small = Snapshot::default().encode();
+        write_atomic(&path, &small).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), small);
+        // No temp files left behind.
+        assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,129 @@
+//! Property: the durable snapshot round trip is lossless and lazy.
+//! Analyzing a generated program, exporting the fact store through
+//! [`Snapshot`], and importing the decoded bytes into a fresh store must
+//! (a) re-encode bit-identically, (b) validate every entry against the
+//! freshly computed expected input hashes, (c) re-serve the analysis with
+//! **zero** invocations of any persisted pass, and (d) after invalidating
+//! `N` loop classifications, recompute **exactly `N`** of them.
+
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use suif_analysis::{
+    FactKey, FactStore, ParallelizeConfig, Parallelizer, PassId, ProgramAnalysis, ScheduleOptions,
+    Scope, Snapshot,
+};
+
+/// A generated program: `n` leaf procedures (elementwise when the constant
+/// is even, a loop-carried recurrence when odd) called in sequence by main.
+fn gen_src(consts: &[i64]) -> String {
+    let mut s = String::from("program gen\n");
+    for (k, c) in consts.iter().enumerate() {
+        if c % 2 == 0 {
+            s.push_str(&format!(
+                "proc f{k}(real q[*], int n) {{\n int i\n do 1 i = 1, n {{\n  q[i] = q[i] + {c}\n }}\n}}\n"
+            ));
+        } else {
+            s.push_str(&format!(
+                "proc f{k}(real q[*], int n) {{\n int i\n do 1 i = 2, n {{\n  q[i] = q[i - 1] + {c}\n }}\n}}\n"
+            ));
+        }
+    }
+    s.push_str("proc main() {\n real b[16]\n int i\n do 9 i = 1, 16 {\n  b[i] = i\n }\n");
+    for k in 0..consts.len() {
+        s.push_str(&format!(" call f{k}(b, 16)\n"));
+    }
+    s.push_str(" print b[3]\n}\n");
+    s
+}
+
+/// Loop-name → verdict Debug repr; the observational fingerprint.
+fn fingerprint(pa: &ProgramAnalysis<'_>) -> BTreeMap<String, String> {
+    pa.ctx
+        .tree
+        .loops
+        .iter()
+        .map(|li| (li.name.clone(), format!("{:?}", pa.verdicts[&li.stmt])))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn snapshot_round_trip_is_lossless_and_lazy(
+        consts in prop::collection::vec(-4i64..5, 1..6),
+        kill in prop::collection::vec(0usize..64, 1..4),
+    ) {
+        let src = gen_src(&consts);
+        let program = suif_ir::parse_program(&src).unwrap();
+        let config = ParallelizeConfig::default();
+        let opts = ScheduleOptions { threads: 1 };
+
+        // Cold analysis, plus a prefetch of every loop so the store also
+        // holds carried-dependence facts (the slice answers).
+        let store = FactStore::new();
+        let (pa, _) = Parallelizer::analyze_in(&program, config.clone(), &opts, None, &store);
+        let cold = fingerprint(&pa);
+        let names: Vec<String> = pa.ctx.tree.loops.iter().map(|l| l.name.clone()).collect();
+        Parallelizer::prefetch_loops(
+            &program, config.clone(), &opts, None, &store, &names, &|| false);
+
+        // Export → encode → decode: nothing dropped, and re-encoding the
+        // decoded snapshot reproduces the original bytes (golden round trip).
+        let exported = store.export();
+        let memo = suif_poly::export_prove_empty_memo();
+        let snap = Snapshot::new(exported, memo.clone());
+        let persisted_keys: BTreeSet<FactKey> = snap.facts.iter().map(|f| f.key).collect();
+        let bytes = snap.encode();
+        let decoded = Snapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(decoded.undecodable, 0);
+        prop_assert_eq!(&decoded.encode(), &bytes);
+        prop_assert_eq!(&decoded.prove_empty, &memo);
+        prop_assert_eq!(decoded.facts.len(), persisted_keys.len());
+
+        // Every loop's classify and carried-deps facts made it in.
+        for li in &pa.ctx.tree.loops {
+            prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Classify, Scope::Loop(li.stmt))));
+            prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Deps, Scope::Loop(li.stmt))));
+        }
+
+        // Warm-start validation: the program did not change, so every
+        // decoded entry matches its freshly computed expected input hash.
+        let expected = Parallelizer::expected_fact_hashes(&program, &config);
+        for f in &decoded.facts {
+            prop_assert_eq!(expected.get(&f.key).copied(), Some(f.hash));
+        }
+
+        // Import into a fresh store and re-demand everything: the verdicts
+        // are bit-identical and no persisted pass runs even once.
+        let warm = FactStore::new();
+        let n_facts = decoded.facts.len();
+        prop_assert_eq!(warm.import(decoded.facts), n_facts);
+        let (warm_pa, _) =
+            Parallelizer::analyze_in(&program, config.clone(), &opts, None, &warm);
+        Parallelizer::prefetch_loops(
+            &program, config.clone(), &opts, None, &warm, &names, &|| false);
+        prop_assert_eq!(&cold, &fingerprint(&warm_pa));
+        let loops = pa.ctx.tree.loops.len() as u64;
+        for pass in [PassId::Classify, PassId::Deps] {
+            let m = warm.metrics_for(pass);
+            prop_assert_eq!(m.invocations, 0);
+            prop_assert!(m.reused >= loops);
+        }
+
+        // Invalidate N distinct loop classifications; re-demanding runs the
+        // classify pass exactly N times — no more, no less.
+        let doomed: BTreeSet<_> = kill
+            .iter()
+            .map(|ix| pa.ctx.tree.loops[ix % pa.ctx.tree.loops.len()].stmt)
+            .collect();
+        for stmt in &doomed {
+            warm.invalidate(FactKey::new(PassId::Classify, Scope::Loop(*stmt)));
+        }
+        let before = warm.metrics_for(PassId::Classify).invocations;
+        let (re_pa, _) = Parallelizer::analyze_in(&program, config, &opts, None, &warm);
+        let after = warm.metrics_for(PassId::Classify).invocations;
+        prop_assert_eq!(after - before, doomed.len() as u64);
+        prop_assert_eq!(&cold, &fingerprint(&re_pa));
+    }
+}

@@ -48,7 +48,10 @@ mod summary;
 
 pub use constraint::{Constraint, ConstraintKind};
 pub use expr::{LinExpr, Var};
-pub use polyhedron::{clear_prove_empty_cache, prove_empty_cache_counters, Polyhedron};
+pub use polyhedron::{
+    clear_prove_empty_cache, export_prove_empty_memo, import_prove_empty_memo,
+    prove_empty_cache_counters, Polyhedron,
+};
 pub use polyset::PolySet;
 pub use section::{ArrayId, Section};
 pub use summary::{AccessSummary, SectionSummary};

@@ -849,6 +849,44 @@ pub fn prove_empty_cache_counters() -> (u64, u64) {
     )
 }
 
+/// Export every *finished* emptiness proof from the process-wide memo, for
+/// persistence.  In-flight (`Running`) markers are skipped — their runners
+/// will re-prove on the next process anyway.  The order is deterministic
+/// (sorted by constraint system), so equal memo states export equal lists.
+pub fn export_prove_empty_memo() -> Vec<(Vec<Constraint>, bool)> {
+    let g = global_prove_empty_cache();
+    let mut out = Vec::new();
+    for s in &g.shards {
+        let map = s.map.lock();
+        for (k, v) in map.iter() {
+            if let ProveSlot::Done(b) = v {
+                out.push((k.clone(), *b));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Seed the process-wide memo with previously exported proofs (a daemon
+/// warm start).  Entries whose key already holds a slot — finished or in
+/// flight — are left untouched.  The memo is exact (a pure function of the
+/// integer constraint system), so importing a proof computed by an earlier
+/// process is always sound.  Returns how many proofs were installed.
+pub fn import_prove_empty_memo(entries: &[(Vec<Constraint>, bool)]) -> usize {
+    let g = global_prove_empty_cache();
+    let mut installed = 0;
+    for (k, b) in entries {
+        let s = g.shard_of(k);
+        let mut map = s.map.lock();
+        if !map.contains_key(k) {
+            map.insert(k.clone(), ProveSlot::Done(*b));
+            installed += 1;
+        }
+    }
+    installed
+}
+
 const PROVE_EMPTY_SHARDS: usize = 16;
 
 type ProveEmptyMap = std::collections::HashMap<Vec<Constraint>, bool>;

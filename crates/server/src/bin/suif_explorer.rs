@@ -6,7 +6,7 @@
 //! suif-explorer slice   <file.mf> <loop>          # slices for a loop's first dependence
 //! suif-explorer run     <file.mf> [--threads N] [--input v,…]
 //! suif-explorer codeview <file.mf>
-//! suif-explorer serve   [--threads N] [--tcp ADDR] [--speculate N]  # persistent daemon
+//! suif-explorer serve   [--threads N] [--tcp ADDR] [--speculate N] [--persist-dir DIR]
 //! ```
 //!
 //! `--assert interf/1000:rl` privatizes `rl` in `interf/1000` after the
@@ -30,14 +30,17 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: suif-explorer <analyze|explore|slice|run|codeview> <file.mf> [options]\n\
-     \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N]\n\
+     \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N] [--persist-dir DIR]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
        --input v1,v2,…      `read` input values\n\
        --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)\n\
        --speculate N        pre-classify up to N guru-ranked loops in the\n\
-                            background after each `guru` (serve only; default 4)"
+                            background after each `guru` (serve only; default 4)\n\
+       --persist-dir DIR    durable fact snapshots in DIR/facts.snap: sessions\n\
+                            warm-start from the last checkpoint after a daemon\n\
+                            restart (serve only)"
         .to_string()
 }
 
@@ -45,6 +48,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut threads = 0usize; // 0 = one scheduler worker per core
     let mut tcp: Option<String> = None;
     let mut speculate = 4usize;
+    let mut persist_dir: Option<std::path::PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -66,12 +70,18 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .ok_or("--speculate needs a number (0 disables)")?;
                 i += 2;
             }
+            "--persist-dir" => {
+                let dir = args.get(i + 1).ok_or("--persist-dir needs a directory")?;
+                std::fs::create_dir_all(dir).map_err(|e| format!("--persist-dir {dir}: {e}"))?;
+                persist_dir = Some(dir.into());
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
     let res = match tcp {
-        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate),
-        None => suif_server::serve_stdio(threads, speculate),
+        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate, persist_dir),
+        None => suif_server::serve_stdio(threads, speculate, persist_dir),
     };
     res.map_err(|e| e.to_string())
 }

@@ -8,6 +8,7 @@ use crate::json::Json;
 use crate::proto::{err_response, ok_response, Request};
 use crate::session::Session;
 use std::io::{self, BufRead, Write};
+use std::path::PathBuf;
 use std::sync::Arc;
 use suif_analysis::{ScheduleOptions, SummaryCache};
 
@@ -17,11 +18,14 @@ pub struct Daemon {
     cache: Arc<SummaryCache>,
     session: Option<Session>,
     speculate: usize,
+    /// Fact-snapshot directory; sessions warm-start from (and checkpoint
+    /// to) `<dir>/facts.snap` when set.
+    persist_dir: Option<PathBuf>,
 }
 
 impl Daemon {
-    /// A daemon with `threads` scheduler workers (`0` = one per core) and
-    /// speculative pre-classification off.
+    /// A daemon with `threads` scheduler workers (`0` = one per core),
+    /// speculative pre-classification off, and no persistence.
     pub fn new(threads: usize) -> Daemon {
         Daemon::with_speculation(threads, 0)
     }
@@ -30,12 +34,31 @@ impl Daemon {
     /// response, the facts of up to `speculate` top-ranked loops are
     /// demanded on a background thread.
     pub fn with_speculation(threads: usize, speculate: usize) -> Daemon {
+        Daemon::with_options(threads, speculate, None)
+    }
+
+    /// [`Daemon::with_speculation`] plus an optional persist directory for
+    /// durable fact snapshots (crash-safe warm starts across daemon
+    /// restarts).
+    pub fn with_options(threads: usize, speculate: usize, persist_dir: Option<PathBuf>) -> Daemon {
         Daemon {
             opts: ScheduleOptions { threads },
             cache: Arc::new(SummaryCache::new()),
             session: None,
             speculate,
+            persist_dir,
         }
+    }
+
+    /// Open a session for `text` under this daemon's options.
+    fn open_session(&self, text: &str) -> Result<Session, String> {
+        Session::open_with_persistence(
+            text,
+            self.opts.clone(),
+            self.cache.clone(),
+            self.speculate,
+            self.persist_dir.as_deref(),
+        )
     }
 
     fn with_session<R>(&mut self, f: impl FnOnce(&mut Session) -> R) -> Result<R, String> {
@@ -52,26 +75,14 @@ impl Daemon {
             Err(e) => return (err_response(&e.0), false),
         };
         let result: Result<Json, String> = match req {
-            Request::Load { text } => Session::open_with_speculation(
-                &text,
-                self.opts.clone(),
-                self.cache.clone(),
-                self.speculate,
-            )
-            .map(|s| {
+            Request::Load { text } => self.open_session(&text).map(|s| {
                 let stats = s.stats_json();
                 self.session = Some(s);
                 stats
             }),
             Request::Reload { text } => match self.session.as_mut() {
                 // A reload without a session is just a load.
-                None => Session::open_with_speculation(
-                    &text,
-                    self.opts.clone(),
-                    self.cache.clone(),
-                    self.speculate,
-                )
-                .map(|s| {
+                None => self.open_session(&text).map(|s| {
                     let stats = s.stats_json();
                     self.session = Some(s);
                     stats
@@ -91,6 +102,7 @@ impl Daemon {
             Request::Advisory => self.with_session(|s| s.advisory_json()),
             Request::Codeview => self.with_session(|s| s.codeview_json()),
             Request::Stats => self.with_session(|s| s.stats_json()),
+            Request::Checkpoint => self.with_session(|s| s.checkpoint_json()).and_then(|r| r),
             Request::Quit => return (ok_response(Json::obj([])), true),
         };
         match result {
@@ -119,8 +131,12 @@ impl Daemon {
 }
 
 /// Serve on stdin/stdout until `quit` or EOF.
-pub fn serve_stdio(threads: usize, speculate: usize) -> io::Result<()> {
-    let mut daemon = Daemon::with_speculation(threads, speculate);
+pub fn serve_stdio(
+    threads: usize,
+    speculate: usize,
+    persist_dir: Option<PathBuf>,
+) -> io::Result<()> {
+    let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     daemon.serve(stdin.lock(), &mut stdout)
@@ -130,11 +146,16 @@ pub fn serve_stdio(threads: usize, speculate: usize) -> io::Result<()> {
 /// with it the summary cache and loaded session — persists across
 /// connections.  Prints `listening on <addr>` to stdout once bound (bind to
 /// port 0 to let the OS pick).
-pub fn serve_tcp(addr: &str, threads: usize, speculate: usize) -> io::Result<()> {
+pub fn serve_tcp(
+    addr: &str,
+    threads: usize,
+    speculate: usize,
+    persist_dir: Option<PathBuf>,
+) -> io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
     io::stdout().flush()?;
-    let mut daemon = Daemon::with_speculation(threads, speculate);
+    let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
     for conn in listener.incoming() {
         let conn = conn?;
         let reader = io::BufReader::new(conn.try_clone()?);
@@ -191,6 +212,15 @@ mod tests {
         assert!(r.get("assertion").and_then(Json::as_str).is_some());
         let r = req(&mut d, r#"{"cmd":"advisory"}"#);
         assert!(r.get("contractions").and_then(Json::as_arr).is_some());
+
+        // A checkpoint without --persist-dir is a clean protocol error.
+        let r = req(&mut d, r#"{"cmd":"checkpoint"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("persist-dir"));
 
         // Parse errors and unknown commands answer, not crash.
         let r = req(&mut d, "garbage");

@@ -14,4 +14,4 @@ pub mod proto;
 pub mod session;
 
 pub use daemon::{serve_stdio, serve_tcp, Daemon};
-pub use session::Session;
+pub use session::{Session, SnapshotReport, SNAPSHOT_FILE};

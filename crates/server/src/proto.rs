@@ -27,6 +27,8 @@ pub enum Request {
     Codeview,
     /// Daemon statistics: pass timings, cache counters, worker utilization.
     Stats,
+    /// Force a durable fact-snapshot write (requires `--persist-dir`).
+    Checkpoint,
     /// Close the connection.
     Quit,
 }
@@ -93,6 +95,7 @@ impl Request {
             "advisory" => Ok(Request::Advisory),
             "codeview" => Ok(Request::Codeview),
             "stats" => Ok(Request::Stats),
+            "checkpoint" => Ok(Request::Checkpoint),
             "quit" => Ok(Request::Quit),
             other => Err(ProtoError(format!("unknown cmd {other:?}"))),
         }
@@ -153,6 +156,10 @@ mod tests {
         assert!(matches!(
             Request::parse(r#"{"cmd":"advisory"}"#),
             Ok(Request::Advisory)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"checkpoint"}"#),
+            Ok(Request::Checkpoint)
         ));
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err());

@@ -24,14 +24,53 @@
 
 use crate::json::Json;
 use std::collections::HashSet;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use suif_analysis::{
-    AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, Parallelizer, PassId,
-    ScheduleOptions, Scope, SummaryCache,
+    snapshot, AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, ParallelizeConfig,
+    Parallelizer, PassId, ScheduleOptions, Scope, SummaryCache,
 };
 use suif_explorer::Explorer;
 use suif_ir::{Program, StmtId};
+
+/// File name of the fact snapshot inside a persist directory.
+pub const SNAPSHOT_FILE: &str = "facts.snap";
+
+/// What happened to the persisted fact snapshot when this session opened,
+/// reported under `snapshot` in `stats`.
+#[derive(Clone, Debug)]
+pub struct SnapshotReport {
+    /// `"none"` (no persist dir or no file yet), `"loaded"` (imported after
+    /// validation), or `"discarded"` (torn/corrupt/version-mismatched file
+    /// dropped; cold start).
+    pub status: &'static str,
+    /// Persisted facts whose input hash matched the freshly computed
+    /// expectation and were imported into the store.
+    pub warm_hits: u64,
+    /// Facts the opening analysis still had to compute (everything not
+    /// covered by an imported fact — including the never-persisted
+    /// summarize/liveness passes).
+    pub cold_misses: u64,
+    /// Persisted entries dropped at load: stale input hash (the program or
+    /// configuration moved) or undecodable bytes.  Each degrades to
+    /// `Absent`, never to a wrong answer.
+    pub evicted_stale: u64,
+    /// Human-readable load problem, when the snapshot was discarded.
+    pub warning: Option<String>,
+}
+
+impl Default for SnapshotReport {
+    fn default() -> SnapshotReport {
+        SnapshotReport {
+            status: "none",
+            warm_hits: 0,
+            cold_misses: 0,
+            evicted_stale: 0,
+            warning: None,
+        }
+    }
+}
 
 /// Speculation bookkeeping shared with the background prefetch thread.
 #[derive(Default)]
@@ -72,6 +111,56 @@ pub struct Session {
     pub last_cache_delta: (u64, u64),
     /// Completed `load`/`reload` requests.
     pub generation: u64,
+    /// Path of the durable fact snapshot, when persistence is on.
+    persist: Option<PathBuf>,
+    /// How the snapshot load went at `open` time (see [`SnapshotReport`]).
+    pub snapshot: SnapshotReport,
+}
+
+/// Load `path` (if it exists) and import every entry whose input hash
+/// matches `expected` into `store`.  Corrupt or version-mismatched files
+/// are discarded whole; stale or undecodable entries degrade individually.
+fn load_snapshot(
+    path: &Path,
+    store: &FactStore,
+    expected: &std::collections::HashMap<FactKey, u128>,
+) -> SnapshotReport {
+    let mut report = SnapshotReport::default();
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return report,
+        Err(e) => {
+            let w = format!("snapshot {}: read failed: {e}; cold start", path.display());
+            eprintln!("warning: {w}");
+            report.status = "discarded";
+            report.warning = Some(w);
+            return report;
+        }
+    };
+    match snapshot::Snapshot::decode(&bytes) {
+        Ok(snap) => {
+            let mut evicted = snap.undecodable;
+            let mut valid = Vec::new();
+            for f in snap.facts {
+                if expected.get(&f.key) == Some(&f.hash) {
+                    valid.push(f);
+                } else {
+                    evicted += 1;
+                }
+            }
+            report.warm_hits = store.import(valid) as u64;
+            report.evicted_stale = evicted;
+            suif_poly::import_prove_empty_memo(&snap.prove_empty);
+            report.status = "loaded";
+        }
+        Err(e) => {
+            let w = format!("snapshot {}: {e}; cold start", path.display());
+            eprintln!("warning: {w}");
+            report.status = "discarded";
+            report.warning = Some(w);
+        }
+    }
+    report
 }
 
 fn build_explorer(
@@ -115,14 +204,41 @@ impl Session {
         cache: Arc<SummaryCache>,
         spec_budget: usize,
     ) -> Result<Session, String> {
+        Session::open_with_persistence(source, opts, cache, spec_budget, None)
+    }
+
+    /// [`Session::open_with_speculation`] plus durable persistence: the fact
+    /// snapshot `persist_dir/facts.snap` is loaded (after validating every
+    /// entry against freshly computed input hashes) before the opening
+    /// analysis, and rewritten atomically after `open`, `reload`, `assert`,
+    /// an explicit `checkpoint`, and on drop.
+    pub fn open_with_persistence(
+        source: &str,
+        opts: ScheduleOptions,
+        cache: Arc<SummaryCache>,
+        spec_budget: usize,
+        persist_dir: Option<&Path>,
+    ) -> Result<Session, String> {
         let program = Arc::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
         // SAFETY: the program is heap-allocated behind an `Arc` held by this
         // session until after `explorer` (field order) is dropped; the
         // reference never leaves the session.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
         let store = Arc::new(FactStore::new());
+        let persist = persist_dir.map(|d| d.join(SNAPSHOT_FILE));
+        let mut report = SnapshotReport::default();
+        if let Some(path) = &persist {
+            // The explorer always analyzes under the default configuration
+            // (see `build_explorer`), so the expected hashes are computed
+            // for it; a snapshot persisted under any other configuration
+            // simply misses and is evicted as stale.
+            let expected =
+                Parallelizer::expected_fact_hashes(&program, &ParallelizeConfig::default());
+            report = load_snapshot(path, &store, &expected);
+        }
         let (explorer, stats, delta) = build_explorer(pref, &opts, &cache, store.clone())?;
-        Ok(Session {
+        report.cold_misses = stats.facts_computed;
+        let session = Session {
             explorer,
             program,
             cache,
@@ -135,7 +251,56 @@ impl Session {
             last_stats: stats,
             last_cache_delta: delta,
             generation: 1,
-        })
+            persist,
+            snapshot: report,
+        };
+        // Persist the freshly opened state so even a kill -9 before the
+        // first invalidation event restarts warm.
+        session.save_snapshot();
+        Ok(session)
+    }
+
+    /// Write the current fact store (and emptiness memo) to the persist
+    /// path, atomically.  A no-op without persistence; IO failures warn on
+    /// stderr but never fail the triggering request.
+    fn save_snapshot(&self) {
+        let Some(path) = &self.persist else { return };
+        if let Err(e) = self.write_snapshot(path) {
+            eprintln!(
+                "warning: snapshot {}: write failed: {e}; continuing without persistence",
+                path.display()
+            );
+        }
+    }
+
+    /// Export, encode, and atomically replace the snapshot at `path`.
+    /// Returns `(facts, bytes)` written.  Only `Ready`+valid slots are
+    /// exported, so a checkpoint taken mid-speculation never persists
+    /// `Running` or invalidated results.
+    fn write_snapshot(&self, path: &Path) -> std::io::Result<(usize, usize)> {
+        let snap =
+            snapshot::Snapshot::new(self.store.export(), suif_poly::export_prove_empty_memo());
+        let bytes = snap.encode();
+        snapshot::write_atomic(path, &bytes)?;
+        Ok((snap.facts.len(), bytes.len()))
+    }
+
+    /// Explicit `checkpoint` request: force a snapshot write and report what
+    /// was persisted.  Errors (no persist dir, IO failure) surface to the
+    /// client instead of being downgraded to warnings.
+    pub fn checkpoint_json(&self) -> Result<Json, String> {
+        let path = self
+            .persist
+            .as_ref()
+            .ok_or("persistence is off (start with --persist-dir)")?;
+        let (facts, bytes) = self
+            .write_snapshot(path)
+            .map_err(|e| format!("snapshot {}: write failed: {e}", path.display()))?;
+        Ok(Json::obj([
+            ("path", Json::str(path.display().to_string())),
+            ("facts", Json::int(facts as i64)),
+            ("bytes", Json::int(bytes as i64)),
+        ]))
     }
 
     /// Replace the program with edited source.  The summary cache and fact
@@ -160,6 +325,7 @@ impl Session {
         self.last_stats = stats;
         self.last_cache_delta = delta;
         self.generation += 1;
+        self.save_snapshot();
         Ok(())
     }
 
@@ -333,6 +499,7 @@ impl Session {
         if !detail.is_empty() {
             fields.insert(1, ("detail", Json::str(&detail)));
         }
+        self.save_snapshot();
         Json::obj(fields)
     }
 
@@ -589,7 +756,26 @@ impl Session {
                     ("misses", Json::int(pe_misses as i64)),
                 ]),
             ),
+            ("snapshot", self.snapshot_json()),
         ])
+    }
+
+    /// The `snapshot` object of `stats`: load outcome and warm/cold counters.
+    fn snapshot_json(&self) -> Json {
+        let mut fields = vec![
+            ("status", Json::str(self.snapshot.status)),
+            ("persisted", Json::Bool(self.persist.is_some())),
+            ("warm_hits", Json::int(self.snapshot.warm_hits as i64)),
+            ("cold_misses", Json::int(self.snapshot.cold_misses as i64)),
+            (
+                "evicted_stale",
+                Json::int(self.snapshot.evicted_stale as i64),
+            ),
+        ];
+        if let Some(w) = &self.snapshot.warning {
+            fields.push(("warning", Json::str(w.clone())));
+        }
+        Json::obj(fields)
     }
 }
 
@@ -598,6 +784,8 @@ impl Drop for Session {
         // Stop background speculation before the session's state unwinds
         // (the thread owns `Arc`s, so this is tidiness, not soundness).
         self.cancel_speculation();
+        // Final checkpoint on clean shutdown (`quit`, daemon exit).
+        self.save_snapshot();
     }
 }
 

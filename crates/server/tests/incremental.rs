@@ -257,3 +257,67 @@ fn reload_during_speculation_stays_consistent() {
         "cancelled speculation must not leave claimable facts: {st}"
     );
 }
+
+/// Regression: a snapshot written while speculative pre-classification is
+/// in flight must persist only `Ready` *and valid* slots — never a
+/// `Running` placeholder or the result of a demand that an epoch-cancel
+/// (here: a user assertion) invalidated mid-run.  Facts persisted after
+/// the assertion carry assertion-marked input hashes, so a clean restart
+/// must evict them as stale rather than serve assertion-tainted answers.
+#[test]
+fn checkpoint_during_speculation_persists_only_valid_facts() {
+    let dir = std::env::temp_dir().join(format!("suif_persist_{}_spec_ckpt", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let src = spec_src(&[1, 3, 5]);
+    let fresh = fresh_verdicts(&src);
+
+    let cache = Arc::new(SummaryCache::new());
+    let mut s =
+        Session::open_with_persistence(&src, ScheduleOptions::sequential(), cache, 4, Some(&dir))
+            .unwrap();
+    s.guru_json(); // spawns background speculation over the ranked loops
+    s.checkpoint_json().unwrap(); // snapshot races the in-flight prefetch
+                                  // The assertion is an epoch-cancel: speculation stops, its pending
+                                  // facts are written off, and the auto-saved snapshot now holds facts
+                                  // whose hashes fold the assertion epoch.
+    let r = s.assert_json("main/9", "b", true);
+    assert_eq!(
+        r.get("assertion").and_then(Json::as_str),
+        Some("consistent")
+    );
+    s.checkpoint_json().unwrap();
+    drop(s); // clean shutdown: final snapshot write
+
+    // The persisted file decodes cleanly (no torn interleaving) and holds
+    // each fact key at most once — `Running` slots are unrepresentable in
+    // the format and must not have been exported in any other guise.
+    let bytes = std::fs::read(dir.join(suif_server::SNAPSHOT_FILE)).unwrap();
+    let snap = suif_analysis::Snapshot::decode(&bytes).unwrap();
+    assert_eq!(snap.undecodable, 0);
+    assert!(!snap.facts.is_empty());
+    let dedup: std::collections::BTreeSet<_> = snap.facts.iter().map(|f| f.key).collect();
+    assert_eq!(dedup.len(), snap.facts.len(), "duplicate persisted keys");
+
+    // Restart over the same dir *without* the assertion: the reopened
+    // session must answer exactly what a fresh analysis answers —
+    // assertion-marked facts evict on their hash instead of loading.
+    let cache = Arc::new(SummaryCache::new());
+    let mut s2 =
+        Session::open_with_persistence(&src, ScheduleOptions::sequential(), cache, 0, Some(&dir))
+            .unwrap();
+    let st = s2.stats_json();
+    let snapj = st.get("snapshot").unwrap();
+    assert_eq!(snapj.get("status").and_then(Json::as_str), Some("loaded"));
+    assert!(
+        snapj.get("evicted_stale").and_then(Json::as_i64).unwrap() > 0,
+        "assertion-epoch facts must be evicted: {st}"
+    );
+    assert_eq!(
+        s2.analyze().to_string(),
+        fresh.to_string(),
+        "restart after assert+speculation checkpoints diverged from fresh analysis"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

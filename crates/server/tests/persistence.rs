@@ -1,0 +1,280 @@
+//! Durable persistence: warm starts, and crash-safety under snapshot
+//! corruption.
+//!
+//! A daemon restart on an unchanged program must re-serve `guru` and `slice`
+//! from the persisted fact snapshot with **zero** pass invocations for the
+//! persisted fact kinds; a torn, bit-flipped, or version-bumped snapshot
+//! must be detected, logged, and discarded for a clean cold start — never a
+//! wrong answer.
+
+use std::io::BufReader;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use suif_analysis::{ScheduleOptions, SummaryCache};
+use suif_server::json::Json;
+use suif_server::{Daemon, Session, SNAPSHOT_FILE};
+
+const SRC: &str = "program t
+proc inc(real q[*], int n) {
+ int i
+ do 1 i = 1, n {
+  q[i] = q[i] + 1
+ }
+}
+proc rec(real q[*], int n) {
+ int i
+ do 1 i = 2, n {
+  q[i] = q[i - 1] * 2
+ }
+}
+proc main() {
+ real b[8]
+ int i
+ do 2 i = 1, 8 {
+  b[i] = i
+ }
+ call inc(b, 8)
+ call rec(b, 8)
+ print b[3]
+}";
+
+/// A fresh per-test scratch directory (recreated empty every run).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("suif_persist_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn open(dir: &Path) -> Session {
+    Session::open_with_persistence(
+        SRC,
+        ScheduleOptions::sequential(),
+        Arc::new(SummaryCache::new()),
+        0,
+        Some(dir),
+    )
+    .unwrap()
+}
+
+fn snapshot_stats(s: &Session) -> Json {
+    s.stats_json().get("snapshot").cloned().unwrap()
+}
+
+/// The guru payload minus its `rendered` field, whose text embeds a
+/// wall-clock estimate that legitimately varies between runs.
+fn without_rendered(j: &Json) -> Json {
+    match j {
+        Json::Obj(m) => {
+            let mut m = m.clone();
+            m.remove("rendered");
+            Json::Obj(m)
+        }
+        other => other.clone(),
+    }
+}
+
+/// First open in a fresh dir: nothing to load, but a snapshot is written so
+/// even an unclean exit restarts warm.
+#[test]
+fn first_open_writes_a_snapshot() {
+    let dir = scratch("first_open");
+    let s = open(&dir);
+    let snap = snapshot_stats(&s);
+    assert_eq!(snap.get("status").and_then(Json::as_str), Some("none"));
+    assert_eq!(snap.get("warm_hits").and_then(Json::as_i64), Some(0));
+    assert!(snap.get("cold_misses").and_then(Json::as_i64).unwrap() > 0);
+    assert!(dir.join(SNAPSHOT_FILE).exists(), "written at open");
+    // No temp files left behind by the atomic writer.
+    let leftovers: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name() != SNAPSHOT_FILE)
+        .collect();
+    assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole acceptance check: restart on an unchanged program re-serves
+/// `guru` and `slice` with zero invocations of the persisted fact kinds.
+#[test]
+fn warm_start_reserves_answers_without_recomputation() {
+    let dir = scratch("warm_start");
+    let (cold_guru, cold_slice) = {
+        let mut s = open(&dir);
+        let g = s.guru_json();
+        // Slicing demands the carried-deps fact, so it is persisted too.
+        let sl = s.slice_json("rec/1").unwrap();
+        // `checkpoint` persists the post-query state (guru/slice facts
+        // landed after the open-time snapshot write).
+        s.checkpoint_json().unwrap();
+        (g, sl)
+    }; // drop = clean shutdown (also checkpoints)
+
+    let mut s = open(&dir);
+    let snap = snapshot_stats(&s);
+    assert_eq!(snap.get("status").and_then(Json::as_str), Some("loaded"));
+    assert!(
+        snap.get("warm_hits").and_then(Json::as_i64).unwrap() > 0,
+        "{snap}"
+    );
+    assert_eq!(snap.get("evicted_stale").and_then(Json::as_i64), Some(0));
+
+    // Zero invocations of any persisted pass on the warm open, and the
+    // answers are bit-identical.
+    let st = s.stats_json();
+    let classify = st.get("passes").unwrap().get("classify").unwrap();
+    assert_eq!(
+        classify.get("invocations").and_then(Json::as_i64),
+        Some(0),
+        "{st}"
+    );
+    assert!(classify.get("reused").and_then(Json::as_i64).unwrap() > 0);
+    assert_eq!(
+        format!("{}", without_rendered(&cold_guru)),
+        format!("{}", without_rendered(&s.guru_json()))
+    );
+    assert_eq!(
+        format!("{cold_slice}"),
+        format!("{}", s.slice_json("rec/1").unwrap())
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An edited program invalidates persisted facts by hash: they are evicted
+/// as stale (not served), and the analysis matches a fresh one.
+#[test]
+fn stale_snapshot_entries_are_evicted_not_served() {
+    let dir = scratch("stale");
+    drop(open(&dir));
+    let edited = SRC.replace(
+        "do 1 i = 1, n {\n  q[i] = q[i] + 1",
+        "do 1 i = 2, n {\n  q[i] = q[i - 1] + 1",
+    );
+    let s = Session::open_with_persistence(
+        &edited,
+        ScheduleOptions::sequential(),
+        Arc::new(SummaryCache::new()),
+        0,
+        Some(&dir),
+    )
+    .unwrap();
+    let snap = snapshot_stats(&s);
+    assert_eq!(snap.get("status").and_then(Json::as_str), Some("loaded"));
+    assert!(snap.get("evicted_stale").and_then(Json::as_i64).unwrap() > 0);
+    // The edited loop is now a recurrence: the verdict must be fresh, not
+    // the stale persisted "parallel".
+    let v = s.verdicts_json();
+    let loops = v.get("loops").and_then(Json::as_arr).unwrap();
+    let inc = loops
+        .iter()
+        .find(|l| l.get("loop").and_then(Json::as_str) == Some("inc/1"))
+        .unwrap();
+    assert_eq!(inc.get("parallel").and_then(Json::as_bool), Some(false));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Corrupt the snapshot in `mutate`, reopen, and require a clean cold start
+/// with `snapshot: discarded` — identical verdicts, no warm hits.
+fn corruption_case(name: &str, mutate: impl FnOnce(&mut Vec<u8>)) {
+    let dir = scratch(name);
+    drop(open(&dir));
+    let path = dir.join(SNAPSHOT_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    mutate(&mut bytes);
+    std::fs::write(&path, &bytes).unwrap();
+
+    let s = open(&dir);
+    let snap = snapshot_stats(&s);
+    assert_eq!(
+        snap.get("status").and_then(Json::as_str),
+        Some("discarded"),
+        "{snap}"
+    );
+    assert_eq!(snap.get("warm_hits").and_then(Json::as_i64), Some(0));
+    assert!(snap
+        .get("warning")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("cold start"));
+    // The cold analysis is complete and correct.
+    let v = s.verdicts_json();
+    let loops = v.get("loops").and_then(Json::as_arr).unwrap();
+    assert_eq!(loops.len(), 3);
+    // A later open loads the rewritten (healthy) snapshot again.
+    drop(s);
+    let s2 = open(&dir);
+    assert_eq!(
+        snapshot_stats(&s2).get("status").and_then(Json::as_str),
+        Some("loaded")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash mid-write leaves a torn file: truncation is detected.
+#[test]
+fn truncated_snapshot_cold_starts_cleanly() {
+    corruption_case("truncate", |b| b.truncate(b.len() / 2));
+}
+
+/// Bit rot in the payload: the checksum catches it.
+#[test]
+fn bitflipped_snapshot_cold_starts_cleanly() {
+    corruption_case("bitflip", |b| {
+        let at = 36 + (b.len() - 36) / 2; // mid-payload, past the header
+        b[at] ^= 0x40;
+    });
+}
+
+/// A future (or garbage) format version is refused, not misparsed.
+#[test]
+fn version_bumped_snapshot_cold_starts_cleanly() {
+    corruption_case("version", |b| b[8] = b[8].wrapping_add(1));
+}
+
+/// The wire-level `checkpoint` command works end to end, and a second
+/// daemon over the same persist dir reports the warm start in `stats`.
+#[test]
+fn daemon_checkpoint_and_warm_restart_over_the_wire() {
+    let dir = scratch("daemon");
+    let src_line = SRC.replace('\n', "\\n");
+    let run = |dir: &Path| -> Vec<Json> {
+        let mut d = Daemon::with_options(1, 0, Some(dir.to_path_buf()));
+        let input = format!(
+            "{}\n{}\n{}\n{}\n{}\n",
+            format_args!(r#"{{"cmd":"load","text":"{src_line}"}}"#),
+            r#"{"cmd":"guru"}"#,
+            r#"{"cmd":"checkpoint"}"#,
+            r#"{"cmd":"stats"}"#,
+            r#"{"cmd":"quit"}"#
+        );
+        let mut out = Vec::new();
+        d.serve(BufReader::new(input.as_bytes()), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(|l| Json::parse(l).unwrap())
+            .collect()
+    };
+
+    let first = run(&dir);
+    assert_eq!(first.len(), 5);
+    for r in &first {
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    }
+    assert!(first[2].get("facts").and_then(Json::as_i64).unwrap() > 0);
+    let snap = first[3].get("snapshot").unwrap();
+    assert_eq!(snap.get("status").and_then(Json::as_str), Some("none"));
+
+    // "Kill" the daemon (drop) and restart over the same persist dir.
+    let second = run(&dir);
+    let snap = second[3].get("snapshot").unwrap();
+    assert_eq!(snap.get("status").and_then(Json::as_str), Some("loaded"));
+    assert!(snap.get("warm_hits").and_then(Json::as_i64).unwrap() > 0);
+    // Identical guru payload across the restart.
+    assert_eq!(
+        format!("{}", without_rendered(&first[1])),
+        format!("{}", without_rendered(&second[1]))
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
