@@ -72,6 +72,20 @@ pub fn cross_iteration_overlap(
     let i2 = ctx.fresh_sym();
     let ca = iteration_copy(ctx, iter, a, i1);
     let cb = iteration_copy(ctx, iter, b, i2);
+    // A self-test (write vs. write of the same section) is symmetric: the
+    // `i2 < i1` system is the `i1 < i2` system under the variable bijection
+    // swapping the two iteration copies, so one direction decides both.
+    let symmetric = !ordered && std::ptr::eq(a, b);
+    if suif_poly::staged_emptiness_enabled() {
+        // Subscript-level quick ladder (constant-difference / GCD /
+        // Banerjee): when every pair of disjuncts provably accesses
+        // different elements in some dimension, there is no overlap and no
+        // joint system needs to be built — let alone eliminated.
+        let lt_gone = quick_order_disjoint(&ca, &cb, i1, i2, iter);
+        if lt_gone && (ordered || symmetric || quick_order_disjoint(&cb, &ca, i2, i1, iter)) {
+            return false;
+        }
+    }
     let mut joint = ca.set.intersect(&cb.set);
     for c in bounds_constraints(iter, i1) {
         joint = joint.constrain(&c);
@@ -83,13 +97,44 @@ pub fn cross_iteration_overlap(
     if !lt.prove_empty() {
         return true;
     }
-    if !ordered {
+    if !ordered && !symmetric {
         let gt = joint.constrain(&Constraint::lt(&LinExpr::var(i2), &LinExpr::var(i1)));
         if !gt.prove_empty() {
             return true;
         }
     }
     false
+}
+
+/// Do all disjunct pairs of `first` (iteration `fi`) and `second` (iteration
+/// `si`) provably access different elements when `fi < si`?  Sound in one
+/// direction only: `true` proves disjointness, `false` is inconclusive.
+fn quick_order_disjoint(
+    first: &Section,
+    second: &Section,
+    fi: Var,
+    si: Var,
+    iter: &LoopIterSummary,
+) -> bool {
+    let bounds = iter.bounds.as_ref().and_then(|(f, l)| {
+        (f.is_constant() && l.is_constant()).then(|| (f.constant_part(), l.constant_part()))
+    });
+    first.set.disjuncts().iter().all(|pa| {
+        second.set.disjuncts().iter().all(|pb| {
+            if pa.is_proven_empty() || pb.is_proven_empty() {
+                return true;
+            }
+            (0..first.ndims).any(|k| {
+                let d = Var::Dim(k);
+                match (pa.solve_unit_eq(d), pb.solve_unit_eq(d)) {
+                    (Some(e1), Some(e2)) => {
+                        suif_poly::subscript_pair_disjoint(&e1, &e2, fi, si, bounds)
+                    }
+                    _ => false,
+                }
+            })
+        })
+    })
 }
 
 /// Are the two sections *identical for every pair of iterations*?  Used for

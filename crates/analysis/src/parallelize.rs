@@ -208,6 +208,10 @@ pub struct AnalyzeStats {
     /// How the per-loop classify fan-out ran ([`FactStore::demand_all`]):
     /// worker count, per-worker busy seconds, and the fan-out wall-clock.
     pub demand_exec: ExecStats,
+    /// Polyhedral-kernel counter deltas for this run: how the emptiness
+    /// ladder resolved queries (GCD / interval / quick-sat / full FM),
+    /// subscript-level dependence rejects, and budget approximations.
+    pub poly: suif_poly::PolyStats,
 }
 
 impl AnalyzeStats {
@@ -278,6 +282,10 @@ impl Parallelizer {
     ) -> (ProgramAnalysis<'p>, AnalyzeStats) {
         let t0 = Instant::now();
         let metrics_before = store.metrics();
+        // Process-wide kernel counters; the delta is attributed to this run
+        // (concurrent analyses on other threads bleed in — acceptable for
+        // stats reporting, never used for decisions).
+        let poly_before = suif_poly::poly_stats();
         let ctx = AnalysisCtx::new(program);
         let proc_keys = cache::all_proc_keys(&ctx);
         let pkey = cache::program_key(&ctx, &proc_keys);
@@ -366,6 +374,7 @@ impl Parallelizer {
 
         let mut stats = run_stats(store, &metrics_before, schedule, t0.elapsed().as_secs_f64());
         stats.demand_exec = demand_exec;
+        stats.poly = suif_poly::poly_stats().since(&poly_before);
         (
             ProgramAnalysis {
                 ctx,
@@ -702,6 +711,7 @@ fn run_stats(
         facts_deduped,
         total_secs,
         demand_exec: ExecStats::default(),
+        poly: suif_poly::PolyStats::default(),
     }
 }
 

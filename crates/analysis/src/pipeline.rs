@@ -555,6 +555,10 @@ impl FactStore {
     }
 }
 
+/// Work sets smaller than this run inline on the calling thread instead of
+/// fanning out across the pool — dispatch overhead dominates below it.
+pub const INLINE_FAN_OUT_FLOOR: usize = 4;
+
 /// A reusable pool of scoped workers pulling indexed work items off a shared
 /// claim counter.  Both the bottom-up scheduler ([`crate::schedule::run`])
 /// and [`FactStore::demand_all`] fan out across it, so worker-count policy
@@ -622,10 +626,16 @@ impl Executor {
     /// Run `work(0..n)` across the pool: workers claim indices from a shared
     /// atomic counter until exhausted.  With one worker (or one item) the
     /// work runs inline on the calling thread — no spawn overhead, identical
-    /// results either way.
+    /// results either way.  Work sets below [`INLINE_FAN_OUT_FLOOR`] also run
+    /// inline: BENCH_3 measured 0.75–0.91x on tiny apps where thread spawn
+    /// and claim-counter traffic cost more than the work itself.
     pub fn run(&self, n: usize, work: impl Fn(usize) + Sync) -> ExecStats {
         let t0 = Instant::now();
-        let workers = self.threads.min(n).max(1);
+        let workers = if n < INLINE_FAN_OUT_FLOOR {
+            1
+        } else {
+            self.threads.min(n).max(1)
+        };
         let claim = AtomicUsize::new(0);
         let busy: Vec<Mutex<f64>> = (0..workers).map(|_| Mutex::new(0.0)).collect();
         let body = |w: usize| {

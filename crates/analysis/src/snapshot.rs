@@ -49,7 +49,11 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SUIFSNAP";
 
 /// Current snapshot format version.  Bump on any wire-format change; a
 /// mismatch discards the whole file (cold start), never misreads it.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// History: 1 — initial format; 2 — constraints are normalized on
+/// construction (GCD-reduced, equalities sign-canonical), so memo keys
+/// written by a version-1 build may not match this build's normal forms.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Why a snapshot failed to load (the caller cold-starts either way).
 #[derive(Debug, Clone, PartialEq, Eq)]

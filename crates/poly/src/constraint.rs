@@ -1,7 +1,9 @@
 //! Linear constraints `expr >= 0` and `expr == 0`.
 
 use crate::expr::{LinExpr, Var};
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// Kind of a linear constraint.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -13,31 +15,98 @@ pub enum ConstraintKind {
 }
 
 /// A single linear constraint over integer-valued variables.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+///
+/// Constraints are normalized on construction (coefficients divided by their
+/// gcd with integer tightening, equalities sign-canonicalized) and carry
+/// precomputed fingerprints of the normal form, so equality tests, dedup
+/// scans, and the `prove_empty` memo probe in O(1) per constraint instead of
+/// walking the term lists.
+#[derive(Clone, Debug)]
 pub struct Constraint {
     /// The affine expression constrained against zero.
     pub expr: LinExpr,
     /// Whether this is an inequality or an equality.
     pub kind: ConstraintKind,
+    /// FNV fingerprint of `(kind, terms, constant)` of the normal form.
+    hash: u64,
+    /// Fingerprint of the variable part (terms only, no constant/kind).
+    vhash: u64,
+    /// Fingerprint of the *negated* variable part: `a.nvhash() == b.vhash()`
+    /// pre-filters "variable parts are exact negatives" pair checks.
+    nvhash: u64,
+}
+
+impl PartialEq for Constraint {
+    fn eq(&self, other: &Constraint) -> bool {
+        self.hash == other.hash && self.kind == other.kind && self.expr == other.expr
+    }
+}
+
+impl Eq for Constraint {}
+
+impl PartialOrd for Constraint {
+    fn partial_cmp(&self, other: &Constraint) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Constraint {
+    fn cmp(&self, other: &Constraint) -> Ordering {
+        self.expr.cmp(&other.expr).then(self.kind.cmp(&other.kind))
+    }
+}
+
+impl Hash for Constraint {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        state.write_u64(self.hash);
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+#[inline]
+fn fnv(acc: u64, word: u64) -> u64 {
+    (acc ^ word).wrapping_mul(FNV_PRIME)
+}
+
+#[inline]
+fn var_word(v: Var) -> u64 {
+    match v {
+        Var::Dim(k) => u64::from(k),
+        Var::Sym(id) => (1u64 << 40) | u64::from(id),
+    }
 }
 
 impl Constraint {
+    /// Seal a normalized `(expr, kind)` pair, computing the fingerprints.
+    /// Every constructor funnels through here.
+    fn finish(expr: LinExpr, kind: ConstraintKind) -> Constraint {
+        let mut vh = FNV_OFFSET;
+        let mut nvh = FNV_OFFSET;
+        for (v, c) in expr.terms() {
+            let w = var_word(v);
+            vh = fnv(fnv(vh, w), c as u64);
+            nvh = fnv(fnv(nvh, w), c.wrapping_neg() as u64);
+        }
+        let hash = fnv(fnv(vh, expr.constant_part() as u64), kind as u64);
+        Constraint {
+            expr,
+            kind,
+            hash,
+            vhash: vh,
+            nvhash: nvh,
+        }
+    }
+
     /// `expr >= 0`.
     pub fn geq0(expr: LinExpr) -> Self {
-        Self {
-            expr,
-            kind: ConstraintKind::GeqZero,
-        }
-        .normalized()
+        Self::normalized(expr, ConstraintKind::GeqZero)
     }
 
     /// `expr == 0`.
     pub fn eq0(expr: LinExpr) -> Self {
-        Self {
-            expr,
-            kind: ConstraintKind::EqZero,
-        }
-        .normalized()
+        Self::normalized(expr, ConstraintKind::EqZero)
     }
 
     /// `lhs >= rhs`.
@@ -60,6 +129,21 @@ impl Constraint {
         Self::geq0(rhs.sub(lhs).offset(-1))
     }
 
+    /// The precomputed fingerprint of the whole constraint.
+    pub(crate) fn chash(&self) -> u64 {
+        self.hash
+    }
+
+    /// The precomputed fingerprint of the variable part.
+    pub(crate) fn vhash(&self) -> u64 {
+        self.vhash
+    }
+
+    /// The precomputed fingerprint of the negated variable part.
+    pub(crate) fn nvhash(&self) -> u64 {
+        self.nvhash
+    }
+
     /// Integer negation of this constraint.
     ///
     /// `¬(e >= 0)` is `-e - 1 >= 0`.  Equalities negate into a *disjunction*
@@ -74,35 +158,40 @@ impl Constraint {
         }
     }
 
-    /// Normalize: divide by the gcd of the variable coefficients, tightening
-    /// the constant with floor division (valid over the integers).
-    fn normalized(mut self) -> Self {
-        let g = self.expr.coef_gcd();
+    /// Normalize to canonical form: divide by the gcd of the variable
+    /// coefficients, tightening the constant with floor division (valid over
+    /// the integers), and orient equalities so their leading coefficient is
+    /// positive (`x - y == 0` and `y - x == 0` become one form, so dedup and
+    /// memo probes unify them).
+    fn normalized(mut expr: LinExpr, kind: ConstraintKind) -> Self {
+        let g = expr.coef_gcd();
         if g > 1 {
-            match self.kind {
+            match kind {
                 ConstraintKind::GeqZero => {
                     // g | all coefs: (g·e' + c >= 0)  <=>  (e' + floor(c/g) >= 0)
-                    let c = self.expr.constant_part();
-                    let mut e = self.expr.sub(&LinExpr::constant(c)).scale_div(g);
-                    e = e.offset(c.div_euclid(g));
-                    self.expr = e;
+                    let c = expr.constant_part();
+                    expr = expr
+                        .sub(&LinExpr::constant(c))
+                        .scale_div(g)
+                        .offset(c.div_euclid(g));
                 }
                 ConstraintKind::EqZero => {
-                    let c = self.expr.constant_part();
+                    let c = expr.constant_part();
                     if c % g == 0 {
-                        let e = self
-                            .expr
-                            .sub(&LinExpr::constant(c))
-                            .scale_div(g)
-                            .offset(c / g);
-                        self.expr = e;
+                        expr = expr.sub(&LinExpr::constant(c)).scale_div(g).offset(c / g);
                     }
                     // If g does not divide c the equality is unsatisfiable;
                     // keep it as-is — emptiness detection will notice.
                 }
             }
         }
-        self
+        if kind == ConstraintKind::EqZero {
+            let lead = expr.terms().next().map(|(_, c)| c);
+            if lead.is_some_and(|c| c < 0) {
+                expr = expr.scale(-1);
+            }
+        }
+        Self::finish(expr, kind)
     }
 
     /// True when the constraint is trivially satisfied for any assignment.
@@ -133,33 +222,12 @@ impl Constraint {
 
     /// Substitute `v := repl`.
     pub fn substitute(&self, v: Var, repl: &LinExpr) -> Constraint {
-        Constraint {
-            expr: self.expr.substitute(v, repl),
-            kind: self.kind,
-        }
-        .normalized()
+        Self::normalized(self.expr.substitute(v, repl), self.kind)
     }
 
     /// Rename `from` to `to`.
     pub fn rename(&self, from: Var, to: Var) -> Constraint {
-        Constraint {
-            expr: self.expr.rename(from, to),
-            kind: self.kind,
-        }
-    }
-}
-
-impl LinExpr {
-    /// Divide every coefficient (not the constant) by `g`; caller guarantees
-    /// divisibility of the coefficients.
-    pub(crate) fn scale_div(&self, g: i64) -> LinExpr {
-        debug_assert!(g > 0);
-        let mut out = LinExpr::constant(self.constant_part() / g);
-        for (v, c) in self.terms() {
-            debug_assert_eq!(c % g, 0);
-            out = out.add(&LinExpr::term(v, c / g));
-        }
-        out
+        Self::finish(self.expr.rename(from, to), self.kind)
     }
 }
 
@@ -221,5 +289,33 @@ mod tests {
         assert_eq!(c.expr, y.sub(&x).offset(-1));
         let c2 = Constraint::leq(&x, &y);
         assert_eq!(c2.expr, y.sub(&x));
+    }
+
+    #[test]
+    fn equalities_are_sign_canonical() {
+        let x = LinExpr::var(s(0));
+        let y = LinExpr::var(s(1));
+        // x - y == 0 and y - x == 0 normalize to the same constraint.
+        let a = Constraint::eq(&x, &y);
+        let b = Constraint::eq(&y, &x);
+        assert_eq!(a, b);
+        assert!(a.expr.coef(s(0)) > 0);
+    }
+
+    #[test]
+    fn fingerprints_track_equality() {
+        let x = LinExpr::var(s(0));
+        let y = LinExpr::var(s(1));
+        let a = Constraint::geq(&x, &y.offset(1));
+        let b = Constraint::geq0(x.sub(&y).offset(-1));
+        assert_eq!(a, b);
+        assert_eq!(a.chash(), b.chash());
+        // Same variable part, different constant: vhash matches, chash not.
+        let c = Constraint::geq(&x, &y.offset(5));
+        assert_eq!(a.vhash(), c.vhash());
+        assert_ne!(a.chash(), c.chash());
+        // Opposite variable parts link through nvhash.
+        let d = Constraint::geq(&y, &x);
+        assert_eq!(a.nvhash(), d.vhash());
     }
 }

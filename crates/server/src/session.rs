@@ -756,6 +756,23 @@ impl Session {
                     ("misses", Json::int(pe_misses as i64)),
                 ]),
             ),
+            (
+                "poly",
+                Json::obj([
+                    ("gcd_rejects", Json::int(s.poly.gcd_rejects as i64)),
+                    (
+                        "interval_rejects",
+                        Json::int(s.poly.interval_rejects as i64),
+                    ),
+                    ("quick_sats", Json::int(s.poly.quick_sats as i64)),
+                    ("fm_runs", Json::int(s.poly.fm_runs as i64)),
+                    (
+                        "subscript_rejects",
+                        Json::int(s.poly.subscript_rejects as i64),
+                    ),
+                    ("approximations", Json::int(s.poly.approximations as i64)),
+                ]),
+            ),
             ("snapshot", self.snapshot_json()),
         ])
     }

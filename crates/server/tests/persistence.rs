@@ -232,6 +232,16 @@ fn version_bumped_snapshot_cold_starts_cleanly() {
     corruption_case("version", |b| b[8] = b[8].wrapping_add(1));
 }
 
+/// A snapshot from an older build (version 1, pre-normalized constraint
+/// encoding) is discarded for a clean cold start, never misread: the memo
+/// keys it holds predate construction-time normalization.
+#[test]
+fn old_version_snapshot_cold_starts_cleanly() {
+    corruption_case("old-version", |b| {
+        b[8..12].copy_from_slice(&1u32.to_le_bytes());
+    });
+}
+
 /// The wire-level `checkpoint` command works end to end, and a second
 /// daemon over the same persist dir reports the warm start in `stats`.
 #[test]

@@ -1,0 +1,46 @@
+//! Baseline timing: sequential classify on the ch4 apps, seed kernel.
+
+use suif_analysis::{FactStore, ParallelizeConfig, Parallelizer, ScheduleOptions};
+use suif_benchmarks::{apps, Scale};
+
+const RUNS: usize = 5;
+const BATCH: usize = 3;
+
+fn sample(program: &suif_ir::Program) -> f64 {
+    let mut secs = 0.0;
+    for _ in 0..BATCH {
+        suif_poly::clear_prove_empty_cache();
+        let store = FactStore::new();
+        let (_, stats) = Parallelizer::analyze_in(
+            program,
+            ParallelizeConfig::default(),
+            &ScheduleOptions { threads: 1 },
+            None,
+            &store,
+        );
+        secs += stats.total_secs;
+    }
+    secs
+}
+
+fn main() {
+    let benches = [
+        apps::mdg(Scale::Test),
+        apps::hydro(Scale::Test),
+        apps::arc3d(Scale::Test),
+        apps::flo88(Scale::Test, false),
+        apps::hydro2d(Scale::Test),
+        apps::wave5(Scale::Test),
+    ];
+    let mut total = 0.0;
+    for b in &benches {
+        let program = b.parse();
+        let mut best = f64::INFINITY;
+        for _ in 0..RUNS {
+            best = best.min(sample(&program));
+        }
+        println!("{:<8} {best:.6}s", b.name);
+        total += best;
+    }
+    println!("TOTAL {total:.6}s");
+}
