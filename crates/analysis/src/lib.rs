@@ -62,7 +62,7 @@ pub use context::{AnalysisCtx, ArrayKey};
 pub use deps::{DepKind, DepTest};
 pub use liveness::{LivenessMode, LivenessResult};
 pub use parallelize::{
-    AnalyzeStats, Assertion, LoopVerdict, ParallelizeConfig, Parallelizer, PassStat,
+    AnalyzeStats, Assertion, LoopCertInfo, LoopVerdict, ParallelizeConfig, Parallelizer, PassStat,
     PrefetchOutcome, ProgramAnalysis, StaticDep, VarClass,
 };
 pub use pipeline::{

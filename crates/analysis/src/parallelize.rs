@@ -172,6 +172,70 @@ impl<'p> ProgramAnalysis<'p> {
     pub fn verdict(&self, l: StmtId) -> Option<&LoopVerdict> {
         self.verdicts.get(&l)
     }
+
+    /// Per-loop certification inputs: one summary row per analyzed loop, in
+    /// region-tree order, in the form the dynamic certification harness
+    /// consumes (see `docs/dynamic.md`).
+    pub fn certify_inputs(&self) -> Vec<LoopCertInfo> {
+        self.ctx
+            .tree
+            .loops
+            .iter()
+            .filter_map(|li| {
+                let v = self.verdicts.get(&li.stmt)?;
+                let classes = v.classes();
+                let transformed = classes
+                    .values()
+                    .any(|c| matches!(c, VarClass::Privatizable { .. } | VarClass::Reduction(_)));
+                let (dep_vars, has_io) = match v {
+                    LoopVerdict::Parallel { .. } => (Vec::new(), false),
+                    LoopVerdict::Sequential { deps, has_io, .. } => {
+                        (deps.iter().map(|d| d.name.clone()).collect(), *has_io)
+                    }
+                };
+                Some(LoopCertInfo {
+                    stmt: li.stmt,
+                    name: li.name.clone(),
+                    line: li.line,
+                    parallel: v.is_parallel(),
+                    plain_doall: v.is_parallel() && !transformed,
+                    transformed,
+                    has_io,
+                    has_calls: li.has_calls,
+                    dep_vars,
+                })
+            })
+            .collect()
+    }
+}
+
+/// One loop's static verdict, summarized for the race-certification
+/// harness: whether the loop is claimed parallel, whether that claim rests
+/// on transforms (privatization / reduction), and — for sequential loops —
+/// which storage objects carry the unresolved dependences.
+#[derive(Clone, Debug)]
+pub struct LoopCertInfo {
+    /// The loop statement.
+    pub stmt: StmtId,
+    /// Human-readable name (`proc/label`).
+    pub name: String,
+    /// `do` source line.
+    pub line: u32,
+    /// Claimed parallel by the static analysis.
+    pub parallel: bool,
+    /// Parallel with **no** transforms: every object classified
+    /// [`VarClass::Parallel`].  Such loops must also be bitwise
+    /// memory-deterministic under certification.
+    pub plain_doall: bool,
+    /// Privatization or reduction transforms are part of the claim.
+    pub transformed: bool,
+    /// The loop performs I/O (sequential verdicts only).
+    pub has_io: bool,
+    /// The loop body calls procedures.
+    pub has_calls: bool,
+    /// Names of objects with unresolved carried dependences (sequential
+    /// verdicts only).
+    pub dep_vars: Vec<String>,
 }
 
 /// One pass's share of an analysis run, from the [`FactStore`] counters.

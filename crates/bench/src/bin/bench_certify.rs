@@ -1,0 +1,147 @@
+//! Race-certification smoke benchmark for CI: certify every plannable loop
+//! of the ch4 applications under adversarial schedules and report
+//! throughput (loops and schedules certified per second) plus the
+//! vector-clock detector's overhead against plain sequential execution.
+//! Emitted to `BENCH_5.json`.
+//!
+//! Parallel loops run under their production privatization plan, serial
+//! loops under the minimal always-legal plan (where statically reported
+//! carried dependences surface as detected races) — the same pairing the
+//! `certify` protocol command uses.
+
+use std::time::Instant;
+use suif_analysis::{ParallelizeConfig, Parallelizer};
+use suif_benchmarks::{apps, BenchProgram, Scale};
+use suif_parallel::{capture_sequential, certify_loop, CertifyOptions, ParallelPlans};
+
+const SCHEDULES: u32 = 2;
+const THREADS: usize = 3;
+const SEED: u64 = 5;
+const PLAIN_RUNS: usize = 3;
+
+struct AppReport {
+    json: String,
+    loops: u64,
+    schedules: u64,
+    races: u64,
+    cert_secs: f64,
+    plain_secs: f64,
+}
+
+fn bench_app(bench: &BenchProgram) -> AppReport {
+    let program = bench.parse();
+    let pa = Parallelizer::analyze(&program, ParallelizeConfig::default());
+    let plans = ParallelPlans::from_analysis(&pa);
+
+    // Plain execution baseline: best-of-N sequential wall clock.
+    let mut plain_secs = f64::INFINITY;
+    for _ in 0..PLAIN_RUNS {
+        let t0 = Instant::now();
+        let cap = capture_sequential(&program, &bench.input);
+        assert!(
+            cap.error.is_none(),
+            "{}: sequential run failed: {:?}",
+            bench.name,
+            cap.error
+        );
+        plain_secs = plain_secs.min(t0.elapsed().as_secs_f64());
+    }
+
+    let mut loops = 0u64;
+    let mut schedules = 0u64;
+    let mut races = 0u64;
+    let mut cert_secs = 0.0;
+    for info in pa.certify_inputs() {
+        let plan = if info.parallel {
+            plans.loops.get(&info.stmt).cloned()
+        } else {
+            suif_parallel::plan::minimal_plan(&program, info.stmt)
+        };
+        let Some(plan) = plan else { continue };
+        let t0 = Instant::now();
+        let cert = certify_loop(
+            &program,
+            info.stmt,
+            &plan,
+            &CertifyOptions {
+                threads: THREADS,
+                schedules: SCHEDULES,
+                seed: SEED,
+                input: bench.input.clone(),
+            },
+        );
+        cert_secs += t0.elapsed().as_secs_f64();
+        loops += 1;
+        schedules += cert.schedules_run() as u64;
+        races += cert.race_count() as u64;
+        if info.parallel {
+            assert!(
+                cert.race_free(),
+                "{}: parallel loop {} raced under certification",
+                bench.name,
+                info.name
+            );
+        }
+    }
+    // Each certified schedule re-executes the whole program; normalize
+    // against the plain run to get the detector + gate overhead factor.
+    let overhead = (cert_secs / schedules.max(1) as f64) / plain_secs.max(1e-9);
+    eprintln!(
+        "{:<8} {loops:>3} loops  {schedules:>3} schedules  {races:>3} races  \
+         cert {cert_secs:.4}s  plain {plain_secs:.6}s  overhead x{overhead:.1}",
+        bench.name
+    );
+    let json = format!(
+        "{{\"name\":\"{}\",\"loops\":{loops},\"schedules\":{schedules},\"races\":{races},\
+         \"cert_secs\":{cert_secs:.6},\"plain_secs\":{plain_secs:.6},\
+         \"detector_overhead\":{overhead:.2}}}",
+        bench.name
+    );
+    AppReport {
+        json,
+        loops,
+        schedules,
+        races,
+        cert_secs,
+        plain_secs,
+    }
+}
+
+fn main() {
+    let benches = [
+        apps::mdg(Scale::Test),
+        apps::hydro(Scale::Test),
+        apps::arc3d(Scale::Test),
+        apps::hydro2d(Scale::Test),
+    ];
+    let mut per_app = Vec::new();
+    let mut loops = 0u64;
+    let mut schedules = 0u64;
+    let mut races = 0u64;
+    let mut cert_secs = 0.0;
+    let mut plain_secs = 0.0;
+    for b in &benches {
+        let r = bench_app(b);
+        loops += r.loops;
+        schedules += r.schedules;
+        races += r.races;
+        cert_secs += r.cert_secs;
+        plain_secs += r.plain_secs;
+        per_app.push(r.json);
+    }
+    let loops_per_sec = loops as f64 / cert_secs.max(1e-9);
+    let schedules_per_sec = schedules as f64 / cert_secs.max(1e-9);
+    let overhead = (cert_secs / schedules.max(1) as f64) / (plain_secs / benches.len() as f64);
+    let json = format!(
+        "{{\"bench\":\"race-certification\",\"threads\":{THREADS},\"schedules_per_loop\":{SCHEDULES},\
+         \"seed\":{SEED},\"apps\":[{}],\
+         \"total\":{{\"loops\":{loops},\"schedules\":{schedules},\"races\":{races},\
+         \"cert_secs\":{cert_secs:.6},\"loops_per_sec\":{loops_per_sec:.2},\
+         \"schedules_per_sec\":{schedules_per_sec:.2},\
+         \"detector_overhead\":{overhead:.2}}}}}",
+        per_app.join(",")
+    );
+    std::fs::write("BENCH_5.json", &json).expect("write BENCH_5.json");
+    println!("{json}");
+    assert!(loops > 0, "no loops certified");
+}

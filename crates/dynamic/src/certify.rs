@@ -1,0 +1,523 @@
+//! The certifying parallel loop executor.
+//!
+//! Where `suif-parallel`'s executor runs a compiler-parallelized loop for
+//! *speed*, this module runs one for *evidence*: it executes the loop's
+//! iterations on real worker threads over a shared view of the machine's
+//! memory, but serializes them through a token-passing [`Gate`] with a
+//! preemption point at every shared memory access.  At each point a seeded
+//! [`AdversarialScheduler`](crate::sched::AdversarialScheduler) picks the
+//! next worker, so the interleaving is deterministic and replayable from a
+//! `u64` seed, and a [`RaceDetector`](crate::race::RaceDetector) checks the
+//! access against the happens-before order in which each *iteration* is a
+//! logical thread forked at loop entry and joined at exit.
+//!
+//! The privatization layout (which variables are redirected into a
+//! per-worker tail, and how tails are merged back) is supplied by the caller
+//! as a [`CertSpec`] built per invocation by a [`SpecFn`] closure — the
+//! `suif-parallel` crate derives it from the same plans its fast executor
+//! uses, so a certification run exercises exactly the transformed loop the
+//! production runtime would execute.
+
+use crate::machine::{Frame, Hooks, LoopHandler, Machine, RuntimeError};
+use crate::race::{AccessKind, Race, RaceDetector};
+use crate::sched::AdversarialScheduler;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+use suif_ir::{Program, Stmt, StmtId, VarId};
+
+/// Reduction operator, mirrored from the analysis crate so this crate stays
+/// dependency-free of it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CertOp {
+    /// Sum reduction.
+    Add,
+    /// Product reduction.
+    Mul,
+    /// Minimum reduction.
+    Min,
+    /// Maximum reduction.
+    Max,
+}
+
+impl CertOp {
+    /// The operator's identity element.
+    pub fn identity(&self) -> f64 {
+        match self {
+            CertOp::Add => 0.0,
+            CertOp::Mul => 1.0,
+            CertOp::Min => f64::INFINITY,
+            CertOp::Max => f64::NEG_INFINITY,
+        }
+    }
+
+    /// Combine two partial results.
+    pub fn apply(&self, a: f64, b: f64) -> f64 {
+        match self {
+            CertOp::Add => a + b,
+            CertOp::Mul => a * b,
+            CertOp::Min => a.min(b),
+            CertOp::Max => a.max(b),
+        }
+    }
+}
+
+/// How a privatized segment is merged back into shared memory at the join.
+#[derive(Clone, Debug)]
+pub enum CertRole {
+    /// Pure scratch: discarded at the join.
+    Private,
+    /// Live-out privatized storage: the last iteration's copy wins.
+    FinalizeLast,
+    /// Reduction storage: per-worker copies are combined with `op` over the
+    /// 0-based inclusive region `[lo, hi]` of the segment.
+    Reduction {
+        /// Combining operator.
+        op: CertOp,
+        /// Region start (0-based, inclusive).
+        lo: usize,
+        /// Region end (0-based, inclusive).
+        hi: usize,
+    },
+}
+
+/// One privatized storage group in the per-worker tail.
+#[derive(Clone, Debug)]
+pub struct CertSegment {
+    /// Offset within the private tail.
+    pub tail_base: usize,
+    /// Length in cells.
+    pub len: usize,
+    /// Shared base address the segment mirrors.
+    pub shared_base: usize,
+    /// Merge-back role.
+    pub role: CertRole,
+}
+
+/// Everything the certifying executor needs to run one loop invocation in
+/// parallel: the privatization segments, the variable→tail-offset overrides
+/// (relative to the tail; the executor rebases them past shared memory), and
+/// the initial tail contents.
+#[derive(Clone, Debug)]
+pub struct CertSpec {
+    /// Privatized segments.
+    pub segments: Vec<CertSegment>,
+    /// Variable overrides, relative to the tail base.
+    pub overrides: HashMap<VarId, usize>,
+    /// Initial contents of each worker's tail.
+    pub template: Vec<Value>,
+}
+
+/// Builds a [`CertSpec`] for a loop invocation, or `None` when the loop
+/// cannot be laid out (the executor then falls back to sequential).
+pub type SpecFn = Box<dyn FnMut(&mut Machine<'_>, &Stmt) -> Option<CertSpec> + Send>;
+
+/// Accumulated result of all certified invocations of the target loop.
+#[derive(Clone, Debug, Default)]
+pub struct CertOutcome {
+    /// Races detected, in interleaved execution order (first pair first).
+    pub races: Vec<Race>,
+    /// First runtime error raised inside a worker, if any.
+    pub error: Option<RuntimeError>,
+    /// Scheduling decisions taken at preemption points.
+    pub schedule_decisions: u64,
+    /// Decisions that preempted the running worker.
+    pub schedule_switches: u64,
+    /// Shared memory accesses examined by the detector.
+    pub shared_accesses: u64,
+    /// Loop iterations executed under certification.
+    pub iterations: u64,
+    /// Certified invocations of the target loop.
+    pub loops_run: u64,
+    /// Invocations skipped because no [`CertSpec`] could be built.
+    pub unplannable: u64,
+    /// Shared-memory ranges `(base, len)` of privatized storage with no
+    /// merge-back (dead after the loop): the certified run leaves these cells
+    /// at their pre-loop values while a sequential run mutates them in place,
+    /// so differential memory comparisons must mask them out.
+    pub dead_private: Vec<(usize, usize)>,
+}
+
+/// Number of iterations for bounds `(lo, hi, step)` (Fortran trip count).
+pub fn trip_count(lo: i64, hi: i64, step: i64) -> i64 {
+    if step > 0 {
+        (hi - lo).div_euclid(step) + 1
+    } else {
+        (lo - hi).div_euclid(-step) + 1
+    }
+    .max(0)
+}
+
+struct GateState {
+    registered: usize,
+    holder: Option<usize>,
+    finished: Vec<bool>,
+    current_tid: Vec<usize>,
+    sched: AdversarialScheduler,
+    detector: RaceDetector,
+    error: Option<RuntimeError>,
+}
+
+impl GateState {
+    fn runnable(&self) -> Vec<usize> {
+        (0..self.finished.len())
+            .filter(|&w| !self.finished[w])
+            .collect()
+    }
+}
+
+/// Token-passing gate serializing the certification workers.
+///
+/// Exactly one worker (the token holder) executes at any time; every shared
+/// memory access and every iteration boundary is a preemption point where
+/// the scheduler may pass the token.  Because the machine's hooks fire
+/// *after* each access and the holder yields before performing its next one,
+/// the interleaving of shared accesses is fully determined by the
+/// scheduler's decisions — no physical data race can occur.
+pub struct Gate {
+    workers: usize,
+    state: Mutex<GateState>,
+    cv: Condvar,
+}
+
+impl Gate {
+    /// A gate for `workers` workers with a seeded scheduler and a detector
+    /// pre-loaded with the loop's fork edges.
+    pub fn new(workers: usize, sched: AdversarialScheduler, detector: RaceDetector) -> Gate {
+        Gate {
+            workers,
+            state: Mutex::new(GateState {
+                registered: 0,
+                holder: None,
+                finished: vec![false; workers],
+                current_tid: vec![0; workers],
+                sched,
+                detector,
+                error: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Block until every worker has registered and this worker is picked to
+    /// run first.
+    pub fn register(&self, w: usize) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        st.registered += 1;
+        if st.registered == self.workers {
+            let runnable = st.runnable();
+            let first = st.sched.pick(None, &runnable);
+            st.holder = Some(first);
+            self.cv.notify_all();
+        }
+        while st.holder != Some(w) {
+            st = self.cv.wait(st).expect("gate poisoned");
+        }
+    }
+
+    /// Reschedule at a preemption point: possibly pass the token and, if so,
+    /// wait until it comes back.  Caller must hold the token.
+    fn preempt(&self, w: usize, mut st: std::sync::MutexGuard<'_, GateState>) {
+        debug_assert_eq!(st.holder, Some(w));
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            st.holder = None;
+            self.cv.notify_all();
+            return;
+        }
+        let next = st.sched.pick(Some(w), &runnable);
+        if next != w {
+            st.holder = Some(next);
+            self.cv.notify_all();
+            while st.holder != Some(w) {
+                st = self.cv.wait(st).expect("gate poisoned");
+            }
+        }
+    }
+
+    /// Record a shared memory access by worker `w` (attributed to the
+    /// iteration it is executing) and hit a preemption point.
+    pub fn access(
+        &self,
+        w: usize,
+        var: VarId,
+        addr: usize,
+        stmt: StmtId,
+        line: u32,
+        kind: AccessKind,
+    ) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        let tid = st.current_tid[w];
+        st.detector.on_access(tid, var, addr, stmt, line, kind);
+        self.preempt(w, st);
+    }
+
+    /// Mark worker `w` as beginning iteration `tid` (a logical-thread id,
+    /// `k + 1` for iteration index `k`); also a preemption point.
+    pub fn begin_iter(&self, w: usize, tid: usize) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        st.current_tid[w] = tid;
+        self.preempt(w, st);
+    }
+
+    /// Record the first worker error.
+    pub fn set_error(&self, e: RuntimeError) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        if st.error.is_none() {
+            st.error = Some(e);
+        }
+    }
+
+    /// Mark worker `w` finished and pass the token on.
+    pub fn finish(&self, w: usize) {
+        let mut st = self.state.lock().expect("gate poisoned");
+        st.finished[w] = true;
+        let runnable = st.runnable();
+        if runnable.is_empty() {
+            st.holder = None;
+        } else {
+            let next = st.sched.pick(Some(w), &runnable);
+            st.holder = Some(next);
+        }
+        self.cv.notify_all();
+    }
+
+    /// Tear down after the join, returning detector, scheduler and the first
+    /// worker error.
+    pub fn into_parts(self) -> (RaceDetector, AdversarialScheduler, Option<RuntimeError>) {
+        let st = self.state.into_inner().expect("gate poisoned");
+        (st.detector, st.sched, st.error)
+    }
+}
+
+/// Per-worker [`Hooks`]: tracks the current statement (the load/store hooks
+/// carry no source line) and routes every memory access through the gate.
+struct CertHooks<'g> {
+    gate: &'g Gate,
+    worker: usize,
+    stmt: StmtId,
+    line: u32,
+}
+
+impl Hooks for CertHooks<'_> {
+    fn on_stmt(&mut self, id: StmtId, line: u32) {
+        self.stmt = id;
+        self.line = line;
+    }
+
+    fn load(&mut self, var: VarId, addr: usize) {
+        self.gate.access(
+            self.worker,
+            var,
+            addr,
+            self.stmt,
+            self.line,
+            AccessKind::Read,
+        );
+    }
+
+    fn store(&mut self, var: VarId, addr: usize) {
+        self.gate.access(
+            self.worker,
+            var,
+            addr,
+            self.stmt,
+            self.line,
+            AccessKind::Write,
+        );
+    }
+}
+
+/// A [`LoopHandler`] that executes one target loop under race certification.
+///
+/// Install it on a machine, run the program, then recover the handler with
+/// [`Machine::take_handler`] and read the accumulated [`CertOutcome`].
+/// Every invocation of the target loop is certified (an inner loop reached
+/// several times accumulates across invocations); all other loops run
+/// sequentially.
+pub struct CertifyHandler {
+    target: StmtId,
+    threads: usize,
+    seed: u64,
+    spec_for: SpecFn,
+    /// Accumulated certification result.
+    pub outcome: CertOutcome,
+}
+
+impl CertifyHandler {
+    /// Certify loop `target`, running up to `threads` workers, with all
+    /// scheduling decisions derived from `seed`.  `spec_for` supplies the
+    /// privatization layout per invocation.
+    pub fn new(target: StmtId, threads: usize, seed: u64, spec_for: SpecFn) -> CertifyHandler {
+        CertifyHandler {
+            target,
+            threads: threads.max(1),
+            seed,
+            spec_for,
+            outcome: CertOutcome::default(),
+        }
+    }
+
+    fn run_certified(
+        &mut self,
+        m: &mut Machine<'_>,
+        do_stmt: &Stmt,
+    ) -> Option<Result<(), RuntimeError>> {
+        let Stmt::Do {
+            line, var, body, ..
+        } = do_stmt
+        else {
+            return None;
+        };
+        let (lo, hi, step) = match m.eval_do_bounds(do_stmt) {
+            Ok(b) => b,
+            Err(e) => return Some(Err(e)),
+        };
+        let n = trip_count(lo, hi, step);
+        if n < 1 {
+            // Zero-trip: nothing to certify; run sequentially.
+            return None;
+        }
+        let Some(spec) = (self.spec_for)(m, do_stmt) else {
+            self.outcome.unplannable += 1;
+            return None;
+        };
+        self.outcome.loops_run += 1;
+        self.outcome.iterations += n as u64;
+        for seg in &spec.segments {
+            if matches!(seg.role, CertRole::Private) {
+                let range = (seg.shared_base, seg.len);
+                if !self.outcome.dead_private.contains(&range) {
+                    self.outcome.dead_private.push(range);
+                }
+            }
+        }
+
+        let workers = self.threads.min(n as usize);
+        let (shared_ptr, shared_len) = m.mem_parts();
+        let shared_addr = shared_ptr as usize;
+        let program: &Program = m.program;
+        let layout = Arc::clone(m.layout());
+        let frame: Frame = m.current_frame().clone();
+
+        let mut overrides = spec.overrides.clone();
+        for b in overrides.values_mut() {
+            *b += shared_len;
+        }
+
+        // One logical thread per iteration, plus the parent (thread 0);
+        // fork edges order everything before the loop with every iteration.
+        let mut detector = RaceDetector::new(n as usize + 1, shared_len);
+        for k in 0..n as usize {
+            detector.fork(0, k + 1);
+        }
+        let sched = AdversarialScheduler::new(self.seed, workers);
+        let gate = Gate::new(workers, sched, detector);
+
+        let tails: Vec<(Vec<Value>, Vec<String>)> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for t in 0..workers {
+                // Block schedule, matching the production executor.
+                let k0 = (n * t as i64) / workers as i64;
+                let k1 = (n * (t as i64 + 1)) / workers as i64;
+                let frame = frame.clone();
+                let overrides = overrides.clone();
+                let template = spec.template.clone();
+                let layout = Arc::clone(&layout);
+                let gate = &gate;
+                handles.push(scope.spawn(move || {
+                    let mut hooks = CertHooks {
+                        gate,
+                        worker: t,
+                        stmt: StmtId(0),
+                        line: *line,
+                    };
+                    let shared = (shared_addr as *mut Value, shared_len);
+                    let mut worker = Machine::thread_view(
+                        program, layout, shared, frame, overrides, template, &mut hooks,
+                    );
+                    gate.register(t);
+                    for k in k0..k1 {
+                        gate.begin_iter(t, k as usize + 1);
+                        let i = lo + k * step;
+                        let r = worker
+                            .set_scalar_raw(*var, Value::Int(i), *line)
+                            .and_then(|_| worker.exec_body(body));
+                        if let Err(e) = r {
+                            gate.set_error(e);
+                            break;
+                        }
+                    }
+                    gate.finish(t);
+                    let out = std::mem::take(&mut worker.output);
+                    (worker.into_private(), out)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("certification worker panicked"))
+                .collect()
+        });
+
+        let (detector, sched, error) = gate.into_parts();
+        self.outcome.shared_accesses += detector.accesses;
+        self.outcome.races.extend(detector.into_races());
+        self.outcome.schedule_decisions += sched.decisions;
+        self.outcome.schedule_switches += sched.switches;
+        if let Some(e) = error {
+            if self.outcome.error.is_none() {
+                self.outcome.error = Some(e.clone());
+            }
+            return Some(Err(e));
+        }
+
+        // Deterministic post-join effects, in worker order.
+        for (_, out) in &tails {
+            m.output.extend(out.iter().cloned());
+        }
+        for seg in &spec.segments {
+            match &seg.role {
+                CertRole::Private => {}
+                CertRole::FinalizeLast => {
+                    // Block schedule: the last worker owns iteration n-1.
+                    let last = &tails[workers - 1].0;
+                    for k in 0..seg.len {
+                        m.poke(seg.shared_base + k, last[seg.tail_base + k]);
+                    }
+                }
+                CertRole::Reduction {
+                    op,
+                    lo: rlo,
+                    hi: rhi,
+                } => {
+                    for (tail, _) in &tails {
+                        for k in *rlo..=*rhi {
+                            let cur = m
+                                .peek(seg.shared_base + k)
+                                .unwrap_or(Value::Real(0.0))
+                                .as_real();
+                            let mine = tail[seg.tail_base + k].as_real();
+                            m.poke(seg.shared_base + k, Value::Real(op.apply(cur, mine)));
+                        }
+                    }
+                }
+            }
+        }
+
+        // Fortran post-loop induction value.
+        let final_i = lo + n * step;
+        if let Err(e) = m.set_scalar_raw(*var, Value::Int(final_i), *line) {
+            return Some(Err(e));
+        }
+        Some(Ok(()))
+    }
+}
+
+impl LoopHandler for CertifyHandler {
+    fn on_loop(&mut self, m: &mut Machine<'_>, do_stmt: &Stmt) -> Option<Result<(), RuntimeError>> {
+        if do_stmt.id() != self.target {
+            return None;
+        }
+        self.run_certified(m, do_stmt)
+    }
+}

@@ -22,6 +22,13 @@
 //! which the `suif-parallel` crate executes compiler-parallelized loops on
 //! worker threads over a shared view of this machine's memory.
 //!
+//! On top of that sits the **race-certification subsystem** (`docs/dynamic.md`):
+//! [`race`] is a happens-before / vector-clock race detector, [`sched`] a
+//! seeded adversarial scheduler, and [`certify`] a parallel loop executor
+//! that runs a loop's iterations on real worker threads serialized through a
+//! token-passing gate with a preemption point at every shared memory access,
+//! certifying (or refuting) the static parallelizer's DOALL claims.
+//!
 //! ```
 //! use suif_dynamic::machine::{Machine, NoHooks};
 //! let program = suif_ir::parse_program(
@@ -35,14 +42,20 @@
 
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod dyndep;
 pub mod layout;
 pub mod machine;
 pub mod profile;
+pub mod race;
+pub mod sched;
 pub mod value;
 
+pub use certify::{CertOp, CertOutcome, CertRole, CertSegment, CertSpec, CertifyHandler, SpecFn};
 pub use dyndep::{DynDepAnalyzer, DynDepConfig, DynDepReport};
 pub use layout::Layout;
 pub use machine::{Hooks, Machine, MemStore, NoHooks, RuntimeError};
 pub use profile::{LoopProfile, LoopProfiler, ProfileReport};
+pub use race::{AccessInfo, AccessKind, Race, RaceDetector, RaceHooks, VectorClock};
+pub use sched::{AdversarialScheduler, SchedPolicy, SplitMix64};
 pub use value::Value;

@@ -1,0 +1,346 @@
+//! Race certification of planned parallel loops.
+//!
+//! This module glues the static side (analysis verdicts lowered into
+//! [`PlanEntry`]s) to the certifying executor in `suif-dynamic`: for one
+//! target loop it runs the whole program under a
+//! [`CertifyHandler`](suif_dynamic::CertifyHandler) once per adversarial
+//! schedule, collecting per-schedule races, captured output and final shared
+//! memory.  A sequential reference capture of the same program lets callers
+//! check the differential invariant: a certified DOALL loop must be
+//! race-free with sequential-identical observable behavior under every
+//! schedule.
+
+use crate::executor::{self, SegRole};
+use crate::plan::PlanEntry;
+use std::time::Instant;
+use suif_analysis::RedOp;
+use suif_dynamic::certify::{CertOp, CertOutcome, CertRole, CertSegment, CertSpec, CertifyHandler};
+use suif_dynamic::machine::{Machine, NoHooks, RuntimeError};
+use suif_dynamic::Value;
+use suif_ir::{Program, StmtId};
+
+/// Options for a certification run.
+#[derive(Clone, Debug)]
+pub struct CertifyOptions {
+    /// Worker thread count (clamped to the iteration count per invocation).
+    pub threads: usize,
+    /// Number of adversarial schedules to run.
+    pub schedules: u32,
+    /// Base seed; schedule `s` runs with seed `seed + s`, which alternates
+    /// the scheduling policy through the seed's low bit.
+    pub seed: u64,
+    /// Program `read` input, replayed identically on every run.
+    pub input: Vec<f64>,
+}
+
+impl Default for CertifyOptions {
+    fn default() -> CertifyOptions {
+        CertifyOptions {
+            threads: 3,
+            schedules: 4,
+            seed: 0,
+            input: Vec::new(),
+        }
+    }
+}
+
+/// Observable result of one whole-program run: captured `print` output, the
+/// final shared memory image, and the error that aborted the run, if any.
+#[derive(Clone, Debug)]
+pub struct ExecutionCapture {
+    /// Captured output lines.
+    pub output: Vec<String>,
+    /// Final contents of shared memory.
+    pub memory: Vec<Value>,
+    /// Error that aborted the run, if any.
+    pub error: Option<RuntimeError>,
+}
+
+/// One adversarial schedule's result for a certified loop.
+#[derive(Clone, Debug)]
+pub struct ScheduleReport {
+    /// The seed this schedule ran under (replay with the same seed).
+    pub seed: u64,
+    /// Accumulated executor outcome (races, preemption counters).
+    pub outcome: CertOutcome,
+    /// Whole-program observable result under this schedule.
+    pub capture: ExecutionCapture,
+    /// Wall-clock time of the run.
+    pub elapsed: std::time::Duration,
+}
+
+/// Certification result for one loop across all schedules.
+#[derive(Clone, Debug)]
+pub struct LoopCertification {
+    /// The certified loop.
+    pub stmt: StmtId,
+    /// Per-schedule reports, in seed order.
+    pub schedules: Vec<ScheduleReport>,
+}
+
+impl LoopCertification {
+    /// True when no schedule detected a race.
+    pub fn race_free(&self) -> bool {
+        self.schedules.iter().all(|s| s.outcome.races.is_empty())
+    }
+
+    /// Total races across schedules.
+    pub fn race_count(&self) -> usize {
+        self.schedules.iter().map(|s| s.outcome.races.len()).sum()
+    }
+
+    /// Total schedules run.
+    pub fn schedules_run(&self) -> u32 {
+        self.schedules.len() as u32
+    }
+}
+
+fn cert_role(role: &SegRole) -> CertRole {
+    match role {
+        SegRole::Private => CertRole::Private,
+        SegRole::FinalizeLast => CertRole::FinalizeLast,
+        SegRole::Reduction { op, lo, hi } => CertRole::Reduction {
+            op: match op {
+                RedOp::Add => CertOp::Add,
+                RedOp::Mul => CertOp::Mul,
+                RedOp::Min => CertOp::Min,
+                RedOp::Max => CertOp::Max,
+            },
+            lo: *lo,
+            hi: *hi,
+        },
+    }
+}
+
+/// Build the [`CertSpec`]-producing closure for a plan: per invocation it
+/// computes the privatization layout and tail template with the same code
+/// the production executor uses.
+fn spec_fn(plan: PlanEntry) -> suif_dynamic::SpecFn {
+    Box::new(move |m: &mut Machine<'_>, do_stmt| {
+        let line = do_stmt.line();
+        let (segments, overrides, tail_len) = executor::build_layout(m, &plan, line).ok()?;
+        let template = executor::build_template(m, &segments, tail_len);
+        Some(CertSpec {
+            segments: segments
+                .iter()
+                .map(|s| CertSegment {
+                    tail_base: s.tail_base,
+                    len: s.len,
+                    shared_base: s.shared_base,
+                    role: cert_role(&s.role),
+                })
+                .collect(),
+            overrides,
+            template,
+        })
+    })
+}
+
+/// Run the program sequentially (no handler) and capture its observable
+/// result — the reference side of the differential check.
+pub fn capture_sequential(program: &Program, input: &[f64]) -> ExecutionCapture {
+    let mut hooks = NoHooks;
+    let mut m = match Machine::new(program, &mut hooks) {
+        Ok(m) => m,
+        Err(e) => {
+            return ExecutionCapture {
+                output: Vec::new(),
+                memory: Vec::new(),
+                error: Some(RuntimeError {
+                    message: format!("layout error: {e:?}"),
+                    line: 0,
+                }),
+            }
+        }
+    };
+    m.set_input(input.to_vec());
+    let error = m.run().err();
+    capture_machine(m, error)
+}
+
+fn capture_machine(mut m: Machine<'_>, error: Option<RuntimeError>) -> ExecutionCapture {
+    let (_, len) = m.mem_parts();
+    let memory = (0..len)
+        .map(|a| m.peek(a).unwrap_or(Value::Real(0.0)))
+        .collect();
+    ExecutionCapture {
+        output: std::mem::take(&mut m.output),
+        memory,
+        error,
+    }
+}
+
+/// Certify `target` under `opts.schedules` adversarial schedules, executing
+/// the loop with the privatization described by `plan` (pass the production
+/// plan to certify the transformed loop, or
+/// [`crate::plan::minimal_plan`]'s result to probe the untransformed one).
+pub fn certify_loop(
+    program: &Program,
+    target: StmtId,
+    plan: &PlanEntry,
+    opts: &CertifyOptions,
+) -> LoopCertification {
+    let mut schedules = Vec::with_capacity(opts.schedules as usize);
+    for s in 0..opts.schedules {
+        let seed = opts.seed.wrapping_add(s as u64);
+        let start = Instant::now();
+        let mut hooks = NoHooks;
+        let mut m = match Machine::new(program, &mut hooks) {
+            Ok(m) => m,
+            Err(e) => {
+                schedules.push(ScheduleReport {
+                    seed,
+                    outcome: CertOutcome::default(),
+                    capture: ExecutionCapture {
+                        output: Vec::new(),
+                        memory: Vec::new(),
+                        error: Some(RuntimeError {
+                            message: format!("layout error: {e:?}"),
+                            line: 0,
+                        }),
+                    },
+                    elapsed: start.elapsed(),
+                });
+                continue;
+            }
+        };
+        m.set_input(opts.input.clone());
+        m.set_handler(Box::new(CertifyHandler::new(
+            target,
+            opts.threads,
+            seed,
+            spec_fn(plan.clone()),
+        )));
+        let error = m.run().err();
+        let h = m.take_handler().expect("certify handler installed");
+        let outcome = {
+            let raw = Box::into_raw(h) as *mut CertifyHandler;
+            // SAFETY: the only handler installed on this machine is the
+            // CertifyHandler boxed a few lines above.
+            let h = unsafe { Box::from_raw(raw) };
+            h.outcome.clone()
+        };
+        let capture = capture_machine(m, error);
+        schedules.push(ScheduleReport {
+            seed,
+            outcome,
+            capture,
+            elapsed: start.elapsed(),
+        });
+    }
+    LoopCertification {
+        stmt: target,
+        schedules,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{minimal_plan, ParallelPlans};
+    use suif_analysis::{ParallelizeConfig, Parallelizer};
+    use suif_ir::parse_program;
+
+    fn loop_named(
+        program: &Program,
+        pa: &suif_analysis::ProgramAnalysis<'_>,
+        name: &str,
+    ) -> StmtId {
+        let _ = program;
+        pa.ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == name)
+            .unwrap_or_else(|| panic!("no loop {name}"))
+            .stmt
+    }
+
+    #[test]
+    fn doall_certifies_race_free_and_matches_sequential() {
+        let src = r#"program t
+proc main() {
+  real a[32]
+  int i
+  do 1 i = 1, 32 {
+    a[i] = i * 2
+  }
+  print a[1], a[32]
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let target = loop_named(&p, &pa, "main/1");
+        let plans = ParallelPlans::from_analysis(&pa);
+        let plan = plans.loops.get(&target).expect("loop planned").clone();
+        let seq = capture_sequential(&p, &[]);
+        let cert = certify_loop(&p, target, &plan, &CertifyOptions::default());
+        assert!(
+            cert.race_free(),
+            "races: {:?}",
+            cert.schedules[0].outcome.races
+        );
+        assert_eq!(cert.schedules_run(), 4);
+        for s in &cert.schedules {
+            assert!(s.outcome.loops_run >= 1, "loop not certified");
+            assert_eq!(s.capture.output, seq.output, "seed {}", s.seed);
+            assert_eq!(s.capture.memory, seq.memory, "seed {}", s.seed);
+            assert!(s.capture.error.is_none());
+        }
+    }
+
+    #[test]
+    fn carried_dependence_races_under_minimal_plan() {
+        // a[i] = a[i-1] + 1 carries a flow dependence: iterations conflict.
+        let src = r#"program t
+proc main() {
+  real a[32]
+  int i
+  a[1] = 1
+  do 1 i = 2, 32 {
+    a[i] = a[i - 1] + 1
+  }
+  print a[32]
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let target = loop_named(&p, &pa, "main/1");
+        assert!(!pa.verdicts[&target].is_parallel(), "must be serial");
+        let plan = minimal_plan(&p, target).unwrap();
+        let cert = certify_loop(&p, target, &plan, &CertifyOptions::default());
+        assert!(!cert.race_free(), "carried dependence must race");
+        let race = cert.schedules[0].outcome.races.first().expect("race");
+        assert_eq!(p.var(race.first.var).name, "a");
+    }
+
+    #[test]
+    fn schedules_are_replayable() {
+        let src = r#"program t
+proc main() {
+  real a[16]
+  int i
+  do 1 i = 1, 16 {
+    a[i] = i
+  }
+  print a[16]
+}
+"#;
+        let p = parse_program(src).unwrap();
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        let target = loop_named(&p, &pa, "main/1");
+        let plan = ParallelPlans::from_analysis(&pa).loops[&target].clone();
+        let opts = CertifyOptions {
+            schedules: 2,
+            seed: 99,
+            ..Default::default()
+        };
+        let a = certify_loop(&p, target, &plan, &opts);
+        let b = certify_loop(&p, target, &plan, &opts);
+        for (x, y) in a.schedules.iter().zip(&b.schedules) {
+            assert_eq!(x.outcome.schedule_decisions, y.outcome.schedule_decisions);
+            assert_eq!(x.outcome.schedule_switches, y.outcome.schedule_switches);
+            assert_eq!(x.capture.output, y.capture.output);
+        }
+    }
+}

@@ -104,19 +104,20 @@ pub struct ParallelExecutor {
     pub stats: RunStats,
 }
 
-/// One privatized storage group in the per-thread tail.
-struct Segment {
+/// One privatized storage group in the per-thread tail.  Shared with the
+/// certification glue in [`crate::certify`].
+pub(crate) struct Segment {
     /// Offset in the private tail.
-    tail_base: usize,
+    pub(crate) tail_base: usize,
     /// Length in cells.
-    len: usize,
+    pub(crate) len: usize,
     /// Shared base it mirrors.
-    shared_base: usize,
+    pub(crate) shared_base: usize,
     /// Role of the segment.
-    role: SegRole,
+    pub(crate) role: SegRole,
 }
 
-enum SegRole {
+pub(crate) enum SegRole {
     Private,
     FinalizeLast,
     Reduction {
@@ -137,135 +138,176 @@ impl ParallelExecutor {
             stats: RunStats::default(),
         }
     }
+}
 
-    /// Compute the privatization layout for this loop in the current frame.
-    /// Returns the segments, the per-variable overrides (relative to the
-    /// tail), and the tail's initial contents template.
-    #[allow(clippy::type_complexity)]
-    fn build_layout(
-        &self,
-        m: &Machine<'_>,
-        plan: &PlanEntry,
-        line: u32,
-    ) -> Result<(Vec<Segment>, HashMap<VarId, usize>, usize), RuntimeError> {
-        let program = m.program;
-        let mut segments: Vec<Segment> = Vec::new();
-        let mut overrides: HashMap<VarId, usize> = HashMap::new();
-        let mut next = 0usize;
-        // Storage groups already privatized (by shared base).
-        let mut group_of: HashMap<usize, usize> = HashMap::new();
+/// Compute the privatization layout for a loop plan in the current frame.
+/// Returns the segments, the per-variable overrides (relative to the
+/// tail), and the tail length.  Also used by [`crate::certify`] so the
+/// certified loop runs under exactly the production privatization.
+#[allow(clippy::type_complexity)]
+pub(crate) fn build_layout(
+    m: &Machine<'_>,
+    plan: &PlanEntry,
+    line: u32,
+) -> Result<(Vec<Segment>, HashMap<VarId, usize>, usize), RuntimeError> {
+    let program = m.program;
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut overrides: HashMap<VarId, usize> = HashMap::new();
+    let mut next = 0usize;
+    // Storage groups already privatized (by shared base).
+    let mut group_of: HashMap<usize, usize> = HashMap::new();
 
-        let add_group = |m: &Machine<'_>,
-                         v: VarId,
-                         role_for_new: SegRole,
-                         segments: &mut Vec<Segment>,
-                         overrides: &mut HashMap<VarId, usize>,
-                         next: &mut usize,
-                         group_of: &mut HashMap<usize, usize>|
-         -> Result<(), RuntimeError> {
-            let info = program.var(v);
-            // Group commons by block: privatize the whole block once.
-            let (shared_base, len, member_off) = match info.kind {
-                VarKind::Common { block, offset } => {
-                    let blk_size = program.commons[block.0 as usize].size.max(1) as usize;
-                    let member_base = if info.is_array() {
-                        m.array_base(v, line)?
-                    } else {
-                        m.array_base(v, line).unwrap_or(0)
-                    };
-                    let blk_base = member_base - offset as usize;
-                    (blk_base, blk_size, offset as usize)
-                }
-                _ => {
-                    if info.is_array() {
-                        let base = m.array_base(v, line)?;
-                        let n = m.array_elem_count(v, line)?.ok_or_else(|| RuntimeError {
-                            message: format!("cannot size private copy of `{}`", info.name),
-                            line,
-                        })?;
-                        (base, n.max(0) as usize, 0)
-                    } else {
-                        let base = scalar_base(m, v, line)?;
-                        (base, 1, 0)
-                    }
-                }
-            };
-            let seg_idx = match group_of.get(&shared_base) {
-                Some(&i) => i,
-                None => {
-                    let i = segments.len();
-                    segments.push(Segment {
-                        tail_base: *next,
-                        len,
-                        shared_base,
-                        role: role_for_new,
-                    });
-                    group_of.insert(shared_base, i);
-                    *next += len;
-                    i
-                }
-            };
-            overrides.insert(v, segments[seg_idx].tail_base + member_off);
-            Ok(())
-        };
-
-        for &v in &plan.private_vars {
-            add_group(
-                m,
-                v,
-                SegRole::Private,
-                &mut segments,
-                &mut overrides,
-                &mut next,
-                &mut group_of,
-            )?;
-        }
-        for &v in &plan.finalize_last {
-            add_group(
-                m,
-                v,
-                SegRole::FinalizeLast,
-                &mut segments,
-                &mut overrides,
-                &mut next,
-                &mut group_of,
-            )?;
-        }
-        for red in &plan.reductions {
-            for &v in &red.vars {
-                // Determine the 0-based region inside the segment.
-                let info = program.var(v);
-                let member_off = match info.kind {
-                    VarKind::Common { offset, .. } => offset as usize,
-                    _ => 0,
-                };
-                let total = if info.is_array() {
-                    m.array_elem_count(v, line)?.unwrap_or(1).max(1) as usize
+    let add_group = |m: &Machine<'_>,
+                     v: VarId,
+                     role_for_new: SegRole,
+                     segments: &mut Vec<Segment>,
+                     overrides: &mut HashMap<VarId, usize>,
+                     next: &mut usize,
+                     group_of: &mut HashMap<usize, usize>|
+     -> Result<(), RuntimeError> {
+        let info = program.var(v);
+        // Group commons by block: privatize the whole block once.
+        let (shared_base, len, member_off) = match info.kind {
+            VarKind::Common { block, offset } => {
+                let blk_size = program.commons[block.0 as usize].size.max(1) as usize;
+                let member_base = if info.is_array() {
+                    m.array_base(v, line)?
                 } else {
-                    1
+                    m.array_base(v, line).unwrap_or(0)
                 };
-                let (lo, hi) = match red.range {
-                    // range is 1-based within the storage *object*.
-                    Some((l, h)) => {
-                        let l = (l.max(1) - 1) as usize;
-                        let h = (h.max(1) - 1) as usize;
-                        (l, h)
+                let blk_base = member_base - offset as usize;
+                (blk_base, blk_size, offset as usize)
+            }
+            _ => {
+                if info.is_array() {
+                    let base = m.array_base(v, line)?;
+                    let n = m.array_elem_count(v, line)?.ok_or_else(|| RuntimeError {
+                        message: format!("cannot size private copy of `{}`", info.name),
+                        line,
+                    })?;
+                    (base, n.max(0) as usize, 0)
+                } else {
+                    let base = scalar_base(m, v, line)?;
+                    (base, 1, 0)
+                }
+            }
+        };
+        let seg_idx = match group_of.get(&shared_base) {
+            Some(&i) => i,
+            None => {
+                let i = segments.len();
+                segments.push(Segment {
+                    tail_base: *next,
+                    len,
+                    shared_base,
+                    role: role_for_new,
+                });
+                group_of.insert(shared_base, i);
+                *next += len;
+                i
+            }
+        };
+        overrides.insert(v, segments[seg_idx].tail_base + member_off);
+        Ok(())
+    };
+
+    for &v in &plan.private_vars {
+        add_group(
+            m,
+            v,
+            SegRole::Private,
+            &mut segments,
+            &mut overrides,
+            &mut next,
+            &mut group_of,
+        )?;
+    }
+    for &v in &plan.finalize_last {
+        add_group(
+            m,
+            v,
+            SegRole::FinalizeLast,
+            &mut segments,
+            &mut overrides,
+            &mut next,
+            &mut group_of,
+        )?;
+    }
+    for red in &plan.reductions {
+        for &v in &red.vars {
+            // Determine the 0-based region inside the segment.
+            let info = program.var(v);
+            let member_off = match info.kind {
+                VarKind::Common { offset, .. } => offset as usize,
+                _ => 0,
+            };
+            let total = if info.is_array() {
+                m.array_elem_count(v, line)?.unwrap_or(1).max(1) as usize
+            } else {
+                1
+            };
+            let (lo, hi) = match red.range {
+                // range is 1-based within the storage *object*.
+                Some((l, h)) => {
+                    let l = (l.max(1) - 1) as usize;
+                    let h = (h.max(1) - 1) as usize;
+                    (l, h)
+                }
+                None => (member_off, member_off + total - 1),
+            };
+            add_group(
+                m,
+                v,
+                SegRole::Reduction { op: red.op, lo, hi },
+                &mut segments,
+                &mut overrides,
+                &mut next,
+                &mut group_of,
+            )?;
+        }
+    }
+    Ok((segments, overrides, next))
+}
+
+/// Build the initial contents of each worker's private tail for a segment
+/// layout: privatized and finalize-last groups copy in the current shared
+/// values; reduction groups start at the operator identity inside the
+/// reduction region and copy shared values outside it.  Also used by
+/// [`crate::certify`].
+pub(crate) fn build_template(m: &Machine<'_>, segments: &[Segment], tail_len: usize) -> Vec<Value> {
+    let mut template: Vec<Value> = vec![Value::Real(0.0); tail_len];
+    for seg in segments {
+        match &seg.role {
+            SegRole::Private => {
+                // Copy-in: privatization guarantees no *cross-iteration*
+                // value flow, but cells the loop never writes (e.g. the
+                // upwards-exposed `dkrc(1)` of §4.2.3) keep their
+                // pre-loop values and must be visible in the copy.
+                for k in 0..seg.len {
+                    if let Some(v) = m.peek(seg.shared_base + k) {
+                        template[seg.tail_base + k] = v;
                     }
-                    None => (member_off, member_off + total - 1),
-                };
-                add_group(
-                    m,
-                    v,
-                    SegRole::Reduction { op: red.op, lo, hi },
-                    &mut segments,
-                    &mut overrides,
-                    &mut next,
-                    &mut group_of,
-                )?;
+                }
+            }
+            SegRole::FinalizeLast => {
+                for k in 0..seg.len {
+                    if let Some(v) = m.peek(seg.shared_base + k) {
+                        template[seg.tail_base + k] = v;
+                    }
+                }
+            }
+            SegRole::Reduction { op, lo, hi } => {
+                for k in 0..seg.len {
+                    template[seg.tail_base + k] = if k >= *lo && k <= *hi {
+                        Value::Real(op.identity())
+                    } else {
+                        m.peek(seg.shared_base + k).unwrap_or(Value::Real(0.0))
+                    };
+                }
             }
         }
-        Ok((segments, overrides, next))
     }
+    template
 }
 
 fn scalar_base(m: &Machine<'_>, v: VarId, line: u32) -> Result<usize, RuntimeError> {
@@ -297,12 +339,7 @@ impl LoopHandler for ParallelExecutor {
             Ok(b) => b,
             Err(e) => return Some(Err(e)),
         };
-        let n = if step > 0 {
-            (hi - lo).div_euclid(step) + 1
-        } else {
-            (lo - hi).div_euclid(-step) + 1
-        }
-        .max(0);
+        let n = suif_dynamic::certify::trip_count(lo, hi, step);
         let threads = self.config.threads;
         let est_cost = n.saturating_mul(plan.body_weight as i64);
         if n < self.config.min_parallel_iters
@@ -313,7 +350,7 @@ impl LoopHandler for ParallelExecutor {
             *self.stats.serial_fallbacks.entry(*id).or_insert(0) += 1;
             return None;
         }
-        let (segments, overrides, tail_len) = match self.build_layout(m, &plan, *line) {
+        let (segments, overrides, tail_len) = match build_layout(m, &plan, *line) {
             Ok(x) => x,
             Err(_) => {
                 *self.stats.unplannable.entry(*id).or_insert(0) += 1;
@@ -329,38 +366,7 @@ impl LoopHandler for ParallelExecutor {
         let frame: Frame = m.current_frame().clone();
 
         // Template for each thread's private tail.
-        let mut template: Vec<Value> = vec![Value::Real(0.0); tail_len];
-        for seg in &segments {
-            match &seg.role {
-                SegRole::Private => {
-                    // Copy-in: privatization guarantees no *cross-iteration*
-                    // value flow, but cells the loop never writes (e.g. the
-                    // upwards-exposed `dkrc(1)` of §4.2.3) keep their
-                    // pre-loop values and must be visible in the copy.
-                    for k in 0..seg.len {
-                        if let Some(v) = m.peek(seg.shared_base + k) {
-                            template[seg.tail_base + k] = v;
-                        }
-                    }
-                }
-                SegRole::FinalizeLast => {
-                    for k in 0..seg.len {
-                        if let Some(v) = m.peek(seg.shared_base + k) {
-                            template[seg.tail_base + k] = v;
-                        }
-                    }
-                }
-                SegRole::Reduction { op, lo, hi } => {
-                    for k in 0..seg.len {
-                        template[seg.tail_base + k] = if k >= *lo && k <= *hi {
-                            Value::Real(op.identity())
-                        } else {
-                            m.peek(seg.shared_base + k).unwrap_or(Value::Real(0.0))
-                        };
-                    }
-                }
-            }
-        }
+        let template = build_template(m, &segments, tail_len);
 
         // Section locks for staggered finalization.
         let finalization = self.config.finalization;

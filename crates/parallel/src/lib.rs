@@ -24,13 +24,18 @@
 
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod executor;
 pub mod measure;
 pub mod plan;
 
+pub use certify::{
+    capture_sequential, certify_loop, CertifyOptions, ExecutionCapture, LoopCertification,
+    ScheduleReport,
+};
 pub use executor::{Finalization, ParallelExecutor, RunStats, RuntimeConfig, Schedule};
 pub use measure::{
     best_parallel_time, best_sequential_time, measure_parallel, measure_sequential, parallel_ops,
     sequential_ops, Measurement,
 };
-pub use plan::{ParallelPlans, PlanEntry, PlanReduction};
+pub use plan::{minimal_plan, ParallelPlans, PlanEntry, PlanReduction};

@@ -118,6 +118,38 @@ impl ParallelPlans {
     }
 }
 
+/// The plan a loop gets with *no* analysis-driven transforms: only the
+/// always-legal implicit privates (the loop index, nested loop indices, and
+/// the locals / scalar parameter slots of every callee).  Running a loop
+/// with a carried dependence under this plan leaves the dependent storage
+/// shared, so the certifying executor can observe the race the static
+/// analysis predicted.
+pub fn minimal_plan(program: &Program, loop_stmt: StmtId) -> Option<PlanEntry> {
+    let (Stmt::Do { var, body, .. }, _) = program.find_stmt(loop_stmt)? else {
+        return None;
+    };
+    let mut entry = PlanEntry {
+        body_weight: 1,
+        ..Default::default()
+    };
+    entry.private_vars.push(*var);
+    collect_do_vars(body, &mut entry.private_vars);
+    for p in callees_of_loop(program, loop_stmt) {
+        let proc = program.proc(p);
+        for &v in &proc.locals {
+            entry.private_vars.push(v);
+        }
+        for &v in &proc.params {
+            if !program.var(v).is_array() {
+                entry.private_vars.push(v);
+            }
+        }
+    }
+    entry.private_vars.sort();
+    entry.private_vars.dedup();
+    Some(entry)
+}
+
 /// All variables denoting a storage key.
 fn expand_key(program: &Program, key: ArrayKey) -> Vec<VarId> {
     match key {

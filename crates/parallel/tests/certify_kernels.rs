@@ -1,0 +1,144 @@
+//! Hand-written MiniF kernels pinning the race detector's reports: a known
+//! write-write race, a read-write race across iterations, and a reduction
+//! that is race-free only under the reduction transform.  Each test pins the
+//! exact reported access pair (variable, race kind, source lines).
+
+use suif_analysis::{ParallelizeConfig, Parallelizer, VarClass};
+use suif_dynamic::race::Race;
+use suif_ir::{parse_program, Program, StmtId};
+use suif_parallel::plan::minimal_plan;
+use suif_parallel::{capture_sequential, certify_loop, CertifyOptions, ParallelPlans};
+
+fn loop_named(src: &str, name: &str) -> (Program, StmtId) {
+    let p = parse_program(src).unwrap();
+    let stmt = {
+        let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+        pa.ctx
+            .tree
+            .loops
+            .iter()
+            .find(|l| l.name == name)
+            .unwrap_or_else(|| panic!("no loop {name}"))
+            .stmt
+    };
+    (p, stmt)
+}
+
+fn first_race(program: &Program, target: StmtId, seed: u64) -> Race {
+    let plan = minimal_plan(program, target).unwrap();
+    let cert = certify_loop(
+        program,
+        target,
+        &plan,
+        &CertifyOptions {
+            seed,
+            ..Default::default()
+        },
+    );
+    assert!(!cert.race_free(), "expected a race");
+    cert.schedules[0]
+        .outcome
+        .races
+        .first()
+        .expect("first schedule reports the race")
+        .clone()
+}
+
+#[test]
+fn write_write_race_pins_access_pair() {
+    // Every iteration writes a[5]: iterations conflict write-vs-write.
+    let src = "program t
+proc main() {
+  real a[8]
+  int i
+  do 1 i = 1, 16 {
+    a[5] = i
+  }
+  print a[5]
+}
+";
+    let (p, target) = loop_named(src, "main/1");
+    let race = first_race(&p, target, 11);
+    assert_eq!(race.kind(), "write-write");
+    assert_eq!(p.var(race.first.var).name, "a");
+    assert_eq!(p.var(race.second.var).name, "a");
+    // Both sides are the `a[5] = i` assignment on line 6.
+    assert_eq!((race.first.line, race.second.line), (6, 6));
+    assert_ne!(race.first.thread, race.second.thread);
+}
+
+#[test]
+fn read_write_race_across_iterations_pins_access_pair() {
+    // a[i] = a[i - 1] + 1: iteration i reads the cell iteration i-1 writes.
+    let src = "program t
+proc main() {
+  real a[32]
+  int i
+  a[1] = 1
+  do 1 i = 2, 32 {
+    a[i] = a[i - 1] + 1
+  }
+  print a[32]
+}
+";
+    let (p, target) = loop_named(src, "main/1");
+    // Statically serial: the carried flow dependence is reported on `a`.
+    let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+    assert!(!pa.verdicts[&target].is_parallel());
+    let race = first_race(&p, target, 12);
+    assert_eq!(race.kind(), "read-write");
+    assert_eq!(p.var(race.first.var).name, "a");
+    assert_eq!(p.var(race.second.var).name, "a");
+    // Both accesses come from the single body statement on line 7.
+    assert_eq!((race.first.line, race.second.line), (7, 7));
+    assert_ne!(race.first.thread, race.second.thread);
+}
+
+#[test]
+fn reduction_race_free_only_under_reduction_transform() {
+    let src = "program t
+proc main() {
+  real a[64], s
+  int i
+  do 0 i = 1, 64 {
+    a[i] = i
+  }
+  s = 0
+  do 1 i = 1, 64 {
+    s = s + a[i]
+  }
+  print s
+}
+";
+    let (p, target) = loop_named(src, "main/1");
+    let pa = Parallelizer::analyze(&p, ParallelizeConfig::default());
+    // Statically parallel *because of* the reduction transform on s.
+    assert!(pa.verdicts[&target].is_parallel());
+    assert!(pa.verdicts[&target]
+        .classes()
+        .values()
+        .any(|c| matches!(c, VarClass::Reduction(_))));
+
+    // Under the production plan: race-free and sequential-identical.
+    let plans = ParallelPlans::from_analysis(&pa);
+    let plan = plans.loops[&target].clone();
+    let seq = capture_sequential(&p, &[]);
+    let cert = certify_loop(&p, target, &plan, &CertifyOptions::default());
+    assert!(
+        cert.race_free(),
+        "transformed reduction must certify race-free: {:?}",
+        cert.schedules[0].outcome.races
+    );
+    for s in &cert.schedules {
+        // 1 + 2 + … + 64 reassociates exactly in binary floating point.
+        assert_eq!(s.capture.output, seq.output, "seed {}", s.seed);
+    }
+
+    // Under the minimal (untransformed) plan: the update races on `s`, and
+    // the first conflicting pair is the read and write of `s = s + a[i]`.
+    let race = first_race(&p, target, 13);
+    assert_eq!(race.kind(), "read-write");
+    assert_eq!(p.var(race.first.var).name, "s");
+    assert_eq!(p.var(race.second.var).name, "s");
+    assert_eq!((race.first.line, race.second.line), (10, 10));
+}

@@ -29,12 +29,17 @@ fn main() -> ExitCode {
 }
 
 fn usage() -> String {
-    "usage: suif-explorer <analyze|explore|slice|run|codeview> <file.mf> [options]\n\
+    "usage: suif-explorer <analyze|explore|slice|run|certify|codeview> <file.mf> [options]\n\
      \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N] [--persist-dir DIR]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
        --input v1,v2,…      `read` input values\n\
+       --schedules N        adversarial schedules per loop for `certify`\n\
+                            (default 4)\n\
+       --certify-seed N     base seed for the adversarial scheduler: schedule\n\
+                            s of a loop replays deterministically under\n\
+                            seed N+s (`certify` and `serve`; default 0)\n\
        --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)\n\
        --speculate N        pre-classify up to N guru-ranked loops in the\n\
                             background after each `guru` (serve only; default 4)\n\
@@ -49,6 +54,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut tcp: Option<String> = None;
     let mut speculate = 4usize;
     let mut persist_dir: Option<std::path::PathBuf> = None;
+    let mut certify_seed = 0u64;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -76,12 +82,19 @@ fn serve(args: &[String]) -> Result<(), String> {
                 persist_dir = Some(dir.into());
                 i += 2;
             }
+            "--certify-seed" => {
+                certify_seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--certify-seed needs a number")?;
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
     let res = match tcp {
-        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate, persist_dir),
-        None => suif_server::serve_stdio(threads, speculate, persist_dir),
+        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate, persist_dir, certify_seed),
+        None => suif_server::serve_stdio(threads, speculate, persist_dir, certify_seed),
     };
     res.map_err(|e| e.to_string())
 }
@@ -100,6 +113,8 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut assertions = Vec::new();
     let mut threads = 2usize;
     let mut input: Vec<f64> = Vec::new();
+    let mut schedules = 4u32;
+    let mut certify_seed = 0u64;
     let mut i = 2;
     while i < args.len() {
         match args[i].as_str() {
@@ -128,6 +143,21 @@ fn run(args: &[String]) -> Result<(), String> {
                     .split(',')
                     .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
                     .collect::<Result<_, _>>()?;
+                i += 2;
+            }
+            "--schedules" => {
+                schedules = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|s| *s > 0)
+                    .ok_or("--schedules needs a positive number")?;
+                i += 2;
+            }
+            "--certify-seed" => {
+                certify_seed = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--certify-seed needs a number")?;
                 i += 2;
             }
             other if !other.starts_with("--") => {
@@ -253,6 +283,65 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             if seq.output != par.output {
                 eprintln!("note: outputs differ (floating-point reduction reassociation)");
+            }
+            Ok(())
+        }
+        "certify" => {
+            let config = suif_analysis::ParallelizeConfig {
+                assertions,
+                ..Default::default()
+            };
+            let pa = suif_analysis::Parallelizer::analyze(&program, config);
+            let plans = ParallelPlans::from_analysis(&pa);
+            let seq = suif_parallel::capture_sequential(&program, &input);
+            if let Some(e) = &seq.error {
+                return Err(format!("sequential run failed: {}", e.message));
+            }
+            for info in pa.certify_inputs() {
+                let plan = if info.parallel {
+                    plans.loops.get(&info.stmt).cloned()
+                } else {
+                    suif_parallel::plan::minimal_plan(&program, info.stmt)
+                };
+                let Some(plan) = plan else {
+                    println!("{:<20} unplannable", info.name);
+                    continue;
+                };
+                let cert = suif_parallel::certify_loop(
+                    &program,
+                    info.stmt,
+                    &plan,
+                    &suif_parallel::CertifyOptions {
+                        threads,
+                        schedules,
+                        seed: certify_seed,
+                        input: input.clone(),
+                    },
+                );
+                let verdict = if info.parallel {
+                    "PARALLEL"
+                } else {
+                    "sequential"
+                };
+                if cert.race_free() {
+                    println!(
+                        "{:<20} {verdict:<10} race-free under {} schedules",
+                        info.name,
+                        cert.schedules_run()
+                    );
+                } else {
+                    println!(
+                        "{:<20} {verdict:<10} {} race(s); first:",
+                        info.name,
+                        cert.race_count()
+                    );
+                    for s in &cert.schedules {
+                        if let Some(r) = s.outcome.races.first() {
+                            println!("    seed {}: {r}", s.seed);
+                            break;
+                        }
+                    }
+                }
             }
             Ok(())
         }

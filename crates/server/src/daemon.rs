@@ -21,6 +21,9 @@ pub struct Daemon {
     /// Fact-snapshot directory; sessions warm-start from (and checkpoint
     /// to) `<dir>/facts.snap` when set.
     persist_dir: Option<PathBuf>,
+    /// Default base seed for `certify` requests that don't carry one
+    /// (`--certify-seed`); schedule `s` of a request runs under `seed + s`.
+    certify_seed: u64,
 }
 
 impl Daemon {
@@ -47,7 +50,14 @@ impl Daemon {
             session: None,
             speculate,
             persist_dir,
+            certify_seed: 0,
         }
+    }
+
+    /// Set the default base seed used by `certify` requests without an
+    /// explicit `seed` field (the `--certify-seed` CLI flag).
+    pub fn set_certify_seed(&mut self, seed: u64) {
+        self.certify_seed = seed;
     }
 
     /// Open a session for `text` under this daemon's options.
@@ -99,6 +109,17 @@ impl Daemon {
                 var,
                 independent,
             } => self.with_session(|s| s.assert_json(&loop_name, &var, independent)),
+            Request::Certify {
+                loop_name,
+                schedules,
+                seed,
+            } => {
+                let seed = seed.unwrap_or(self.certify_seed);
+                self.with_session(|s| {
+                    s.certify_json(loop_name.as_deref(), schedules.unwrap_or(4), seed)
+                })
+                .and_then(|r| r)
+            }
             Request::Advisory => self.with_session(|s| s.advisory_json()),
             Request::Codeview => self.with_session(|s| s.codeview_json()),
             Request::Stats => self.with_session(|s| s.stats_json()),
@@ -130,13 +151,16 @@ impl Daemon {
     }
 }
 
-/// Serve on stdin/stdout until `quit` or EOF.
+/// Serve on stdin/stdout until `quit` or EOF.  `certify_seed` is the
+/// default base seed for `certify` requests without one (`--certify-seed`).
 pub fn serve_stdio(
     threads: usize,
     speculate: usize,
     persist_dir: Option<PathBuf>,
+    certify_seed: u64,
 ) -> io::Result<()> {
     let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
+    daemon.set_certify_seed(certify_seed);
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     daemon.serve(stdin.lock(), &mut stdout)
@@ -151,11 +175,13 @@ pub fn serve_tcp(
     threads: usize,
     speculate: usize,
     persist_dir: Option<PathBuf>,
+    certify_seed: u64,
 ) -> io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
     io::stdout().flush()?;
     let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
+    daemon.set_certify_seed(certify_seed);
     for conn in listener.incoming() {
         let conn = conn?;
         let reader = io::BufReader::new(conn.try_clone()?);
@@ -212,6 +238,32 @@ mod tests {
         assert!(r.get("assertion").and_then(Json::as_str).is_some());
         let r = req(&mut d, r#"{"cmd":"advisory"}"#);
         assert!(r.get("contractions").and_then(Json::as_arr).is_some());
+
+        // Certification over the wire: a DOALL certifies race-free, the
+        // single-loop report is mirrored at the top level, and the staged
+        // polyhedral counters ride along (with the run counted in stats).
+        let r = req(
+            &mut d,
+            r#"{"cmd":"certify","loop":"main/1","schedules":2,"seed":7}"#,
+        );
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(r.get("loop").and_then(Json::as_str), Some("main/1"));
+        assert_eq!(r.get("schedules_run").and_then(Json::as_i64), Some(2));
+        assert_eq!(
+            r.get("races").and_then(Json::as_arr).map(|a| a.len()),
+            Some(0)
+        );
+        let entry = &r.get("loops").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(entry.get("race_free").and_then(Json::as_bool), Some(true));
+        assert!(entry.get("iterations").and_then(Json::as_i64).unwrap() >= 10);
+        assert!(r.get("poly").unwrap().get("approximations").is_some());
+        let r = req(&mut d, r#"{"cmd":"certify","loop":"nope"}"#);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        let r = req(&mut d, r#"{"cmd":"stats"}"#);
+        let cert = r.get("certification").unwrap();
+        assert_eq!(cert.get("loops_certified").and_then(Json::as_i64), Some(1));
+        assert_eq!(cert.get("schedules_run").and_then(Json::as_i64), Some(2));
+        assert_eq!(cert.get("races_found").and_then(Json::as_i64), Some(0));
 
         // A checkpoint without --persist-dir is a clean protocol error.
         let r = req(&mut d, r#"{"cmd":"checkpoint"}"#);

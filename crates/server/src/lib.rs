@@ -14,4 +14,4 @@ pub mod proto;
 pub mod session;
 
 pub use daemon::{serve_stdio, serve_tcp, Daemon};
-pub use session::{Session, SnapshotReport, SNAPSHOT_FILE};
+pub use session::{speculation_order, Session, SnapshotReport, SNAPSHOT_FILE};

@@ -25,6 +25,13 @@ pub enum Request {
     Advisory,
     /// Render the annotated code view.
     Codeview,
+    /// Race-certify loops under adversarial schedules (all loops, or one
+    /// named loop).
+    Certify {
+        loop_name: Option<String>,
+        schedules: Option<u32>,
+        seed: Option<u64>,
+    },
     /// Daemon statistics: pass timings, cache counters, worker utilization.
     Stats,
     /// Force a durable fact-snapshot write (requires `--persist-dir`).
@@ -92,6 +99,27 @@ impl Request {
                     independent,
                 })
             }
+            "certify" => {
+                let loop_name = v.get("loop").and_then(Json::as_str).map(str::to_string);
+                let schedules = match v.get("schedules") {
+                    Some(j) => Some(j.as_i64().filter(|s| *s > 0).map(|s| s as u32).ok_or_else(
+                        || ProtoError("certify \"schedules\" must be a positive number".into()),
+                    )?),
+                    None => None,
+                };
+                let seed =
+                    match v.get("seed") {
+                        Some(j) => Some(j.as_i64().map(|s| s as u64).ok_or_else(|| {
+                            ProtoError("certify \"seed\" must be a number".into())
+                        })?),
+                        None => None,
+                    };
+                Ok(Request::Certify {
+                    loop_name,
+                    schedules,
+                    seed,
+                })
+            }
             "advisory" => Ok(Request::Advisory),
             "codeview" => Ok(Request::Codeview),
             "stats" => Ok(Request::Stats),
@@ -157,6 +185,28 @@ mod tests {
             Request::parse(r#"{"cmd":"advisory"}"#),
             Ok(Request::Advisory)
         ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"certify"}"#),
+            Ok(Request::Certify {
+                loop_name: None,
+                schedules: None,
+                seed: None,
+            })
+        ));
+        match Request::parse(r#"{"cmd":"certify","loop":"main/1","schedules":8,"seed":42}"#) {
+            Ok(Request::Certify {
+                loop_name,
+                schedules,
+                seed,
+            }) => {
+                assert_eq!(loop_name.as_deref(), Some("main/1"));
+                assert_eq!(schedules, Some(8));
+                assert_eq!(seed, Some(42));
+            }
+            other => panic!("bad certify parse: {other:?}"),
+        }
+        assert!(Request::parse(r#"{"cmd":"certify","schedules":0}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"certify","seed":"x"}"#).is_err());
         assert!(matches!(
             Request::parse(r#"{"cmd":"checkpoint"}"#),
             Ok(Request::Checkpoint)

@@ -115,6 +115,20 @@ pub struct Session {
     persist: Option<PathBuf>,
     /// How the snapshot load went at `open` time (see [`SnapshotReport`]).
     pub snapshot: SnapshotReport,
+    /// Accumulated race-certification counters, reported under
+    /// `certification` in `stats`.
+    cert: CertCounters,
+}
+
+/// Running totals across every `certify` request of this session.
+#[derive(Default)]
+struct CertCounters {
+    /// Loops certified (each loop × request counts once).
+    loops: u64,
+    /// Adversarial schedules executed.
+    schedules: u64,
+    /// Races reported across all schedules.
+    races: u64,
 }
 
 /// Load `path` (if it exists) and import every entry whose input hash
@@ -253,6 +267,7 @@ impl Session {
             generation: 1,
             persist,
             snapshot: report,
+            cert: CertCounters::default(),
         };
         // Persist the freshly opened state so even a kill -9 before the
         // first invalidation event restarts warm.
@@ -382,7 +397,7 @@ impl Session {
     }
 
     /// Spawn the background prefetch of the top-ranked loops' facts.
-    fn spawn_speculation(&mut self, ranked: Vec<String>) {
+    pub(crate) fn spawn_speculation(&mut self, ranked: Vec<String>) {
         if self.spec_budget == 0 || ranked.is_empty() {
             return;
         }
@@ -601,7 +616,7 @@ impl Session {
             ("rendered", Json::str(report.render())),
             ("warnings", warnings_json(&self.explorer)),
         ]);
-        self.spawn_speculation(report.targets.iter().map(|t| t.name.clone()).collect());
+        self.spawn_speculation(speculation_order(&report.targets));
         payload
     }
 
@@ -671,6 +686,119 @@ impl Session {
             ),
             ("view", Json::str(&view)),
         ]))
+    }
+
+    /// Race-certify loops under adversarial schedules: parallel loops run
+    /// under their production privatization plan (expected race-free with
+    /// sequential-identical output), serial loops under the minimal
+    /// always-legal plan (so statically reported carried dependences
+    /// manifest as detected races).  `loop_name = None` certifies every
+    /// loop; a named loop additionally mirrors its report at the top level
+    /// as `{loop, schedules_run, races}`.
+    pub fn certify_json(
+        &mut self,
+        loop_name: Option<&str>,
+        schedules: u32,
+        seed: u64,
+    ) -> Result<Json, String> {
+        let program: &Program = self.explorer.program;
+        let analysis = &self.explorer.analysis;
+        let plans = suif_parallel::ParallelPlans::from_analysis(analysis);
+        let mut inputs = analysis.certify_inputs();
+        if let Some(name) = loop_name {
+            inputs.retain(|i| i.name == name);
+            if inputs.is_empty() {
+                return Err(format!("no loop `{name}`"));
+            }
+        }
+        let mut loops = Vec::new();
+        let mut single = None;
+        for info in &inputs {
+            let plan = if info.parallel {
+                plans.loops.get(&info.stmt).cloned()
+            } else {
+                suif_parallel::plan::minimal_plan(program, info.stmt)
+            };
+            let Some(plan) = plan else {
+                loops.push(Json::obj([
+                    ("loop", Json::str(&info.name)),
+                    ("line", Json::int(info.line as i64)),
+                    ("parallel", Json::Bool(info.parallel)),
+                    ("plannable", Json::Bool(false)),
+                ]));
+                continue;
+            };
+            let cert = suif_parallel::certify_loop(
+                program,
+                info.stmt,
+                &plan,
+                &suif_parallel::CertifyOptions {
+                    schedules,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            self.cert.loops += 1;
+            self.cert.schedules += cert.schedules_run() as u64;
+            self.cert.races += cert.race_count() as u64;
+            let races: Vec<Json> = cert
+                .schedules
+                .iter()
+                .flat_map(|s| s.outcome.races.iter().map(move |r| (s.seed, r)))
+                .map(|(sched_seed, r)| {
+                    Json::obj([
+                        ("kind", Json::str(r.kind())),
+                        ("addr", Json::int(r.addr as i64)),
+                        ("schedule_seed", Json::int(sched_seed as i64)),
+                        ("first_var", Json::str(&program.var(r.first.var).name)),
+                        ("first_line", Json::int(r.first.line as i64)),
+                        ("first_iter", Json::int(r.first.thread as i64)),
+                        ("second_var", Json::str(&program.var(r.second.var).name)),
+                        ("second_line", Json::int(r.second.line as i64)),
+                        ("second_iter", Json::int(r.second.thread as i64)),
+                    ])
+                })
+                .collect();
+            let elapsed: f64 = cert.schedules.iter().map(|s| s.elapsed.as_secs_f64()).sum();
+            let agg = |f: fn(&suif_dynamic::CertOutcome) -> u64| {
+                Json::int(cert.schedules.iter().map(|s| f(&s.outcome)).sum::<u64>() as i64)
+            };
+            let entry = Json::obj([
+                ("loop", Json::str(&info.name)),
+                ("line", Json::int(info.line as i64)),
+                ("parallel", Json::Bool(info.parallel)),
+                ("plannable", Json::Bool(true)),
+                ("plain_doall", Json::Bool(info.plain_doall)),
+                ("schedules_run", Json::int(cert.schedules_run() as i64)),
+                ("race_free", Json::Bool(cert.race_free())),
+                ("races", Json::Arr(races)),
+                ("iterations", agg(|o| o.iterations)),
+                ("shared_accesses", agg(|o| o.shared_accesses)),
+                ("schedule_decisions", agg(|o| o.schedule_decisions)),
+                ("schedule_switches", agg(|o| o.schedule_switches)),
+                ("unplannable_invocations", agg(|o| o.unplannable)),
+                ("secs", Json::Num(elapsed)),
+            ]);
+            if loop_name.is_some() {
+                single = Some((
+                    info.name.clone(),
+                    cert.schedules_run(),
+                    entry.get("races").cloned().unwrap_or(Json::Arr(vec![])),
+                ));
+            }
+            loops.push(entry);
+        }
+        let mut fields = vec![
+            ("seed", Json::int(seed as i64)),
+            ("loops", Json::Arr(loops)),
+            ("poly", self.poly_json()),
+        ];
+        if let Some((name, run, races)) = single {
+            fields.push(("loop", Json::str(name)));
+            fields.push(("schedules_run", Json::int(run as i64)));
+            fields.push(("races", races));
+        }
+        Ok(Json::obj(fields))
     }
 
     /// The annotated code view (§2.7).
@@ -757,23 +885,31 @@ impl Session {
                 ]),
             ),
             (
-                "poly",
+                "certification",
                 Json::obj([
-                    ("gcd_rejects", Json::int(s.poly.gcd_rejects as i64)),
-                    (
-                        "interval_rejects",
-                        Json::int(s.poly.interval_rejects as i64),
-                    ),
-                    ("quick_sats", Json::int(s.poly.quick_sats as i64)),
-                    ("fm_runs", Json::int(s.poly.fm_runs as i64)),
-                    (
-                        "subscript_rejects",
-                        Json::int(s.poly.subscript_rejects as i64),
-                    ),
-                    ("approximations", Json::int(s.poly.approximations as i64)),
+                    ("loops_certified", Json::int(self.cert.loops as i64)),
+                    ("schedules_run", Json::int(self.cert.schedules as i64)),
+                    ("races_found", Json::int(self.cert.races as i64)),
                 ]),
             ),
+            ("poly", self.poly_json()),
             ("snapshot", self.snapshot_json()),
+        ])
+    }
+
+    /// The polyhedral-kernel staged-test counters (`PolyStats`) of the most
+    /// recent analysis: per-stage rejects/sats, full Fourier–Motzkin runs,
+    /// and approximation (constraint-drop) events.  Shared by `stats` and
+    /// `certify` responses.
+    fn poly_json(&self) -> Json {
+        let p = &self.last_stats.poly;
+        Json::obj([
+            ("gcd_rejects", Json::int(p.gcd_rejects as i64)),
+            ("interval_rejects", Json::int(p.interval_rejects as i64)),
+            ("quick_sats", Json::int(p.quick_sats as i64)),
+            ("fm_runs", Json::int(p.fm_runs as i64)),
+            ("subscript_rejects", Json::int(p.subscript_rejects as i64)),
+            ("approximations", Json::int(p.approximations as i64)),
         ])
     }
 
@@ -794,6 +930,32 @@ impl Session {
         }
         Json::obj(fields)
     }
+}
+
+/// Order guru targets for the speculation budget by expected payoff rather
+/// than flat guru rank: a `--speculate N` budget should go to the loops
+/// whose answers the user is most likely to need next.  The weight is
+/// `(important ? 1.0 : 0.5) × coverage × ln(1 + granularity)` — coverage
+/// dominates (it is the guru's importance axis), granularity contributes
+/// logarithmically (a 10× bigger loop body is somewhat more interesting,
+/// not 10× more), and targets below the importance cutoffs are halved
+/// rather than dropped.  Ties keep guru order.
+pub fn speculation_order(targets: &[suif_explorer::TargetLoop]) -> Vec<String> {
+    let weight = |t: &suif_explorer::TargetLoop| -> f64 {
+        let importance = if t.important { 1.0 } else { 0.5 };
+        importance * t.coverage * (1.0 + t.granularity.max(0.0)).ln()
+    };
+    let mut ranked: Vec<(usize, f64, &str)> = targets
+        .iter()
+        .enumerate()
+        .map(|(i, t)| (i, weight(t), t.name.as_str()))
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    ranked.into_iter().map(|(_, _, n)| n.to_string()).collect()
 }
 
 impl Drop for Session {
@@ -947,5 +1109,38 @@ proc main() {
         assert!(s.slice_json("nosuch/1").is_err());
         let sl = s.slice_json("main/2").unwrap();
         assert_eq!(sl.get("loop").and_then(Json::as_str), Some("main/2"));
+    }
+
+    #[test]
+    fn speculation_order_weights_coverage_and_granularity() {
+        let target = |name: &str, coverage: f64, granularity: f64, important: bool| {
+            suif_explorer::TargetLoop {
+                stmt: suif_ir::StmtId(0),
+                name: name.to_string(),
+                coverage,
+                granularity,
+                static_deps: 0,
+                dynamic_dep: false,
+                important,
+                has_calls: false,
+                size_lines: 1,
+            }
+        };
+        // Guru order: `first` leads on raw rank, but `third` has far better
+        // coverage × granularity and `second` loses half its weight to the
+        // importance cutoff — the weighted budget must reorder, not take the
+        // flat prefix.
+        let targets = vec![
+            target("first", 0.10, 50.0, true),
+            target("second", 0.40, 400.0, false),
+            target("third", 0.35, 900.0, true),
+        ];
+        let flat: Vec<String> = targets.iter().map(|t| t.name.clone()).collect();
+        let weighted = speculation_order(&targets);
+        assert_eq!(weighted, vec!["third", "second", "first"]);
+        assert_ne!(weighted, flat, "weighting must beat flat guru order");
+        // Ties (identical targets) keep guru order: a stable ranking.
+        let tied = vec![target("a", 0.2, 10.0, true), target("b", 0.2, 10.0, true)];
+        assert_eq!(speculation_order(&tied), vec!["a", "b"]);
     }
 }
