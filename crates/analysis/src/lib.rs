@@ -56,6 +56,7 @@ pub mod symenv;
 pub mod contract;
 pub mod snapshot;
 pub mod split;
+pub mod tier;
 
 pub use cache::SummaryCache;
 pub use context::{AnalysisCtx, ArrayKey};
@@ -67,8 +68,10 @@ pub use parallelize::{
 };
 pub use pipeline::{
     ExecStats, Executor, ExportedFact, FactKey, FactStore, Pass, PassId, PassMetrics, Scope,
+    StoreByteStats,
 };
 pub use reduction::RedOp;
 pub use schedule::{ScheduleOptions, ScheduleStats};
 pub use snapshot::{Snapshot, SnapshotError, SNAPSHOT_VERSION};
 pub use summarize::{ArrayDataFlow, LoopIterSummary, ProcFlow};
+pub use tier::{SharedFactTier, TierStats};

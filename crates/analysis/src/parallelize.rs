@@ -249,6 +249,9 @@ pub struct PassStat {
     pub invocations: u64,
     /// Demands served from the store this analysis.
     pub reused: u64,
+    /// Demands served from the process-wide shared tier this analysis
+    /// (another session computed the fact under the same content hash).
+    pub shared: u64,
 }
 
 /// Accounting of one analysis run (the daemon's `stats` data), measured by
@@ -267,6 +270,9 @@ pub struct AnalyzeStats {
     pub facts_reused: u64,
     /// Facts that deduped against an in-flight computation this run.
     pub facts_deduped: u64,
+    /// Facts served from the process-wide shared tier this run
+    /// ([`PassMetrics::shared`] deltas).
+    pub facts_shared: u64,
     /// Whole-analysis seconds (context build included).
     pub total_secs: f64,
     /// How the per-loop classify fan-out ran ([`FactStore::demand_all`]):
@@ -750,21 +756,25 @@ fn run_stats(
     let mut facts_computed = 0;
     let mut facts_reused = 0;
     let mut facts_deduped = 0;
+    let mut facts_shared = 0;
     for (pass, m) in &after {
         let b = before.get(pass).copied().unwrap_or_default();
         let (invocations, reused) = (m.invocations - b.invocations, m.reused - b.reused);
         let deduped = m.deduped - b.deduped;
-        if invocations == 0 && reused == 0 && deduped == 0 {
+        let shared = m.shared - b.shared;
+        if invocations == 0 && reused == 0 && deduped == 0 && shared == 0 {
             continue;
         }
         facts_computed += invocations;
         facts_reused += reused;
         facts_deduped += deduped;
+        facts_shared += shared;
         passes.push(PassStat {
             pass: *pass,
             secs: m.secs - b.secs,
             invocations,
             reused,
+            shared,
         });
     }
     AnalyzeStats {
@@ -773,6 +783,7 @@ fn run_stats(
         facts_computed,
         facts_reused,
         facts_deduped,
+        facts_shared,
         total_secs,
         demand_exec: ExecStats::default(),
         poly: suif_poly::PolyStats::default(),

@@ -43,10 +43,11 @@
 //! All methods take `&self` — the store is shared across analysis runs of
 //! one daemon session the same way the summary cache is.
 
+use crate::tier::SharedFactTier;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 use suif_ir::{ProcId, StmtId};
@@ -159,6 +160,9 @@ pub struct PassMetrics {
     /// Demands that found the fact `Running` and shared the in-flight
     /// result instead of recomputing it.
     pub deduped: u64,
+    /// Demands answered from the process-wide [`SharedFactTier`] (another
+    /// session computed the fact under the same content hash).
+    pub shared: u64,
     /// Total seconds inside [`Pass::run`].
     pub secs: f64,
     /// Total seconds demands spent blocked on in-flight computations.
@@ -170,6 +174,11 @@ struct FactEntry {
     value: Arc<dyn Any + Send + Sync>,
     deps: Vec<FactKey>,
     valid: bool,
+    /// Approximate resident bytes of `value` (budget accounting).
+    bytes: usize,
+    /// Second-chance bit: set on every reuse, cleared by a passing
+    /// eviction sweep.
+    referenced: bool,
 }
 
 /// One fact lifted out of (or injected into) the store: key, input hash,
@@ -184,6 +193,9 @@ pub struct ExportedFact {
     pub hash: u128,
     /// Recorded dependency edges (facts this one reads).
     pub deps: Vec<FactKey>,
+    /// Approximate resident bytes of the value
+    /// ([`crate::snapshot::approx_value_bytes`]).
+    pub bytes: usize,
     /// The fact value, type-erased exactly as stored.
     pub value: Arc<dyn Any + Send + Sync>,
 }
@@ -223,9 +235,34 @@ struct Shard {
 
 /// A memoizing, concurrency-safe store of analysis facts keyed by
 /// `(pass, scope)`.  See the module docs for the entry state machine.
+///
+/// Built with [`FactStore::with_shared`], the store becomes a thin
+/// *overlay* over a process-wide [`SharedFactTier`]: a local miss consults
+/// the tier by `(pass, input-hash)` before computing, and a locally
+/// computed clean fact is published back so other sessions (other overlay
+/// stores over the same tier) never recompute it.  Invalidation stays
+/// strictly local: [`FactStore::invalidate`] dirties overlay slots only,
+/// and a fact invalidated under an *unchanged* hash additionally pins that
+/// key tier-bypassed (and unpublishable) — the event was not captured by
+/// the hash, so the tier copy cannot be trusted for it either.
 pub struct FactStore {
     shards: Vec<Shard>,
     metrics: Mutex<BTreeMap<PassId, PassMetrics>>,
+    /// The process-wide content-addressed tier under this overlay (multi-
+    /// tenant daemon); `None` for a self-contained store.
+    shared: Option<Arc<SharedFactTier>>,
+    /// When set, only the assertion-independent passes (`Summarize`,
+    /// `Liveness`) are published to the tier; everything else stays in the
+    /// session-private overlay (see [`FactStore::set_assert_local`]).
+    assert_local: AtomicBool,
+    /// Approximate byte budget for resident facts; `0` = unbounded.
+    budget: AtomicUsize,
+    /// Approximate resident bytes across all shards.
+    resident: AtomicUsize,
+    /// Clock hand of the second-chance eviction sweep (a shard index).
+    clock: AtomicUsize,
+    evicted: AtomicU64,
+    evicted_bytes: AtomicU64,
 }
 
 impl Default for FactStore {
@@ -233,8 +270,29 @@ impl Default for FactStore {
         FactStore {
             shards: (0..SHARD_COUNT).map(|_| Shard::default()).collect(),
             metrics: Mutex::new(BTreeMap::new()),
+            shared: None,
+            assert_local: AtomicBool::new(false),
+            budget: AtomicUsize::new(0),
+            resident: AtomicUsize::new(0),
+            clock: AtomicUsize::new(0),
+            evicted: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
         }
     }
+}
+
+/// Byte-accounting snapshot of one [`FactStore`] (the daemon's
+/// `stats.facts` memory fields).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StoreByteStats {
+    /// Approximate resident fact bytes.
+    pub resident_bytes: u64,
+    /// Configured byte budget (`None` = unbounded).
+    pub budget: Option<u64>,
+    /// Entries evicted by the budget sweep.
+    pub evicted: u64,
+    /// Approximate bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
 }
 
 fn shard_index(key: &FactKey) -> usize {
@@ -281,53 +339,153 @@ impl FactStore {
         FactStore::default()
     }
 
+    /// An empty overlay store backed by a process-wide [`SharedFactTier`]:
+    /// local misses consult the tier by content hash, and clean local
+    /// results are published back (see [`FactStore::demand`]).
+    pub fn with_shared(tier: Arc<SharedFactTier>) -> FactStore {
+        FactStore {
+            shared: Some(tier),
+            ..FactStore::default()
+        }
+    }
+
+    /// The shared tier this overlay store consults, if any.
+    pub fn shared_tier(&self) -> Option<&Arc<SharedFactTier>> {
+        self.shared.as_ref()
+    }
+
+    /// Set (or clear, with `None`) the approximate byte budget for resident
+    /// facts.  Over-budget demands trigger a second-chance eviction sweep
+    /// of cold `Ready` entries.
+    pub fn set_budget(&self, budget: Option<usize>) {
+        self.budget.store(budget.unwrap_or(0), Ordering::Relaxed);
+        self.maybe_evict();
+    }
+
+    /// Mark this store assertion-tainted (or clean again): while set, only
+    /// the assertion-independent passes (`Summarize`, `Liveness`, whose
+    /// input hashes never fold assertion marks) are published to the shared
+    /// tier, so one tenant's `assert` never leaks into another's verdicts.
+    /// Tier *reads* stay allowed either way — assertion-dependent passes
+    /// fold resolved assertion marks into their input hashes, so a hash
+    /// match is a semantic match.
+    pub fn set_assert_local(&self, tainted: bool) {
+        self.assert_local.store(tainted, Ordering::Relaxed);
+    }
+
+    /// Byte-accounting counters (resident bytes, budget, evictions).
+    pub fn byte_stats(&self) -> StoreByteStats {
+        let budget = self.budget.load(Ordering::Relaxed);
+        StoreByteStats {
+            resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
+            budget: (budget != 0).then_some(budget as u64),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+        }
+    }
+
     fn shard(&self, key: &FactKey) -> &Shard {
         &self.shards[shard_index(key)]
     }
 
     /// Demand a fact: reuse a valid entry whose input hash matches, share an
-    /// in-flight computation of the same key, or claim the entry and run the
-    /// pass, recording its output (with dependency edges).
+    /// in-flight computation of the same key, consult the process-wide
+    /// [`SharedFactTier`] (if the store was built with
+    /// [`FactStore::with_shared`]), or claim the entry and run the pass,
+    /// recording its output (with dependency edges).
     pub fn demand<P: Pass>(&self, pass: &P) -> Arc<P::Output> {
         let key = pass.key();
         let hash = pass.input_hash();
         let shard = self.shard(&key);
         let mut wait_start: Option<Instant> = None;
-        {
-            let mut slots = shard.slots.lock();
-            loop {
-                match slots.get(&key) {
-                    Some(Slot::Ready(e)) if e.valid && e.hash == hash => {
-                        if let Ok(v) = e.value.clone().downcast::<P::Output>() {
-                            drop(slots);
-                            let mut metrics = self.metrics.lock();
-                            let m = metrics.entry(key.pass).or_default();
-                            match wait_start {
-                                Some(t) => {
-                                    let waited = t.elapsed().as_secs_f64();
-                                    m.deduped += 1;
-                                    m.wait_secs += waited;
-                                    drop(metrics);
-                                    note_demand_wait(waited);
-                                }
-                                None => m.reused += 1,
+        // Whether the shared tier may serve (and later receive) this fact.
+        // A local entry invalidated under this *same* hash means the
+        // invalidation event was not captured by the hash — the tier's copy
+        // under that hash is equally untrustworthy, so bypass it and keep
+        // the recomputed value out of it.
+        let tier_allowed;
+        let mut slots = shard.slots.lock();
+        loop {
+            if matches!(slots.get(&key), Some(Slot::Running { .. })) {
+                wait_start.get_or_insert_with(Instant::now);
+                shard.ready.wait(&mut slots);
+                continue;
+            }
+            match slots.get_mut(&key) {
+                Some(Slot::Ready(e)) if e.valid && e.hash == hash => {
+                    e.referenced = true;
+                    if let Ok(v) = e.value.clone().downcast::<P::Output>() {
+                        drop(slots);
+                        let mut metrics = self.metrics.lock();
+                        let m = metrics.entry(key.pass).or_default();
+                        match wait_start {
+                            Some(t) => {
+                                let waited = t.elapsed().as_secs_f64();
+                                m.deduped += 1;
+                                m.wait_secs += waited;
+                                drop(metrics);
+                                note_demand_wait(waited);
                             }
-                            return v;
+                            None => m.reused += 1,
                         }
-                        // A type mismatch is a stale entry in disguise;
-                        // recompute below.
-                        break;
+                        return v;
                     }
-                    Some(Slot::Running { .. }) => {
-                        wait_start.get_or_insert_with(Instant::now);
-                        shard.ready.wait(&mut slots);
-                        continue;
-                    }
-                    _ => break, // absent, dirty, or stale hash: recompute
+                    // A type mismatch is a stale entry in disguise;
+                    // recompute below.
+                    tier_allowed = true;
+                    break;
+                }
+                Some(Slot::Ready(e)) if !e.valid && e.hash == hash => {
+                    tier_allowed = false;
+                    break;
+                }
+                _ => {
+                    // Absent, or a stale hash (the program changed under the
+                    // key): the tier lookup under the *new* hash is sound.
+                    tier_allowed = true;
+                    break;
                 }
             }
-            slots.insert(key, Slot::Running { invalidated: false });
         }
+        // Tier consult while still holding the shard lock (the tier's own
+        // locks are leaves; no store lock is ever taken inside them).
+        if tier_allowed {
+            if let Some(tier) = &self.shared {
+                if let Some((value, bytes, deps)) = tier.lookup(key.pass, hash) {
+                    if let Ok(v) = value.clone().downcast::<P::Output>() {
+                        let prev = slots.insert(
+                            key,
+                            Slot::Ready(FactEntry {
+                                hash,
+                                value,
+                                deps,
+                                valid: true,
+                                bytes,
+                                referenced: true,
+                            }),
+                        );
+                        drop(slots);
+                        self.account_replaced(prev, bytes);
+                        let mut metrics = self.metrics.lock();
+                        let m = metrics.entry(key.pass).or_default();
+                        m.shared += 1;
+                        if let Some(t) = wait_start {
+                            let waited = t.elapsed().as_secs_f64();
+                            m.wait_secs += waited;
+                            drop(metrics);
+                            note_demand_wait(waited);
+                        } else {
+                            drop(metrics);
+                        }
+                        self.maybe_evict();
+                        return v;
+                    }
+                }
+            }
+        }
+        let prev = slots.insert(key, Slot::Running { invalidated: false });
+        drop(slots);
+        self.account_replaced(prev, 0);
         if let Some(t) = wait_start {
             // Waited on a runner that produced a different hash (or got
             // poisoned); still account the blocked time.
@@ -345,26 +503,105 @@ impl FactStore {
         let out = Arc::new(pass.run());
         let secs = t0.elapsed().as_secs_f64();
         let deps = pass.deps();
+        let any: Arc<dyn Any + Send + Sync> = out.clone();
+        let bytes = crate::snapshot::approx_value_bytes(key.pass, &any);
+        let valid;
         {
             let mut slots = shard.slots.lock();
-            let valid = !matches!(slots.get(&key), Some(Slot::Running { invalidated: true }));
+            valid = !matches!(slots.get(&key), Some(Slot::Running { invalidated: true }));
             slots.insert(
                 key,
                 Slot::Ready(FactEntry {
                     hash,
-                    value: out.clone(),
-                    deps,
+                    value: any.clone(),
+                    deps: deps.clone(),
                     valid,
+                    bytes,
+                    referenced: true,
                 }),
             );
         }
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
         claim.armed = false;
         shard.ready.notify_all();
+        // Publish clean results so other sessions skip the computation.
+        // Assertion-tainted sessions only publish the assertion-independent
+        // passes; a fact invalidated under an unchanged hash never goes out.
+        if valid && tier_allowed {
+            if let Some(tier) = &self.shared {
+                let publishable = !self.assert_local.load(Ordering::Relaxed)
+                    || matches!(key.pass, PassId::Summarize | PassId::Liveness);
+                if publishable {
+                    tier.publish(key, hash, bytes, deps, any);
+                }
+            }
+        }
         let mut metrics = self.metrics.lock();
         let m = metrics.entry(key.pass).or_default();
         m.invocations += 1;
         m.secs += secs;
+        drop(metrics);
+        self.maybe_evict();
         out
+    }
+
+    /// Subtract the bytes of a replaced `Ready` slot from the resident
+    /// count, then add the new entry's bytes.
+    fn account_replaced(&self, prev: Option<Slot>, added: usize) {
+        if let Some(Slot::Ready(e)) = prev {
+            self.resident.fetch_sub(e.bytes, Ordering::Relaxed);
+        }
+        if added > 0 {
+            self.resident.fetch_add(added, Ordering::Relaxed);
+        }
+    }
+
+    /// Second-chance clock sweep: while over budget, walk the shards from
+    /// the clock hand, sparing entries referenced since the last pass and
+    /// dropping cold `Ready` facts.  `Running` slots are never touched, and
+    /// neither are invalid entries — a fact invalidated under an unchanged
+    /// hash is a tombstone pinning its key tier-bypassed, and evicting it
+    /// would let the next demand trust the tier again.
+    fn maybe_evict(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        let mut visits = 0;
+        while self.resident.load(Ordering::Relaxed) > budget && visits < 2 * SHARD_COUNT {
+            let i = self.clock.fetch_add(1, Ordering::Relaxed) % SHARD_COUNT;
+            visits += 1;
+            let mut freed = 0usize;
+            let mut dropped = 0u64;
+            {
+                let mut slots = self.shards[i].slots.lock();
+                slots.retain(|_, slot| match slot {
+                    Slot::Running { .. } => true,
+                    Slot::Ready(e) => {
+                        if self.resident.load(Ordering::Relaxed) <= budget + freed {
+                            return true;
+                        }
+                        if !e.valid {
+                            return true;
+                        }
+                        if e.referenced {
+                            e.referenced = false;
+                            true
+                        } else {
+                            freed += e.bytes;
+                            dropped += 1;
+                            false
+                        }
+                    }
+                });
+            }
+            if freed > 0 {
+                self.resident.fetch_sub(freed, Ordering::Relaxed);
+                self.evicted.fetch_add(dropped, Ordering::Relaxed);
+                self.evicted_bytes
+                    .fetch_add(freed as u64, Ordering::Relaxed);
+            }
+        }
     }
 
     /// Demand many facts of one pass type concurrently across `exec`.
@@ -507,6 +744,7 @@ impl FactStore {
                             key: *k,
                             hash: e.hash,
                             deps: e.deps.clone(),
+                            bytes: e.bytes,
                             value: e.value.clone(),
                         });
                     }
@@ -532,12 +770,16 @@ impl FactStore {
             let shard = self.shard(&f.key);
             let mut slots = shard.slots.lock();
             if let std::collections::hash_map::Entry::Vacant(v) = slots.entry(f.key) {
+                let bytes = f.bytes;
                 v.insert(Slot::Ready(FactEntry {
                     hash: f.hash,
                     value: f.value,
                     deps: f.deps,
                     valid: true,
+                    bytes,
+                    referenced: true,
                 }));
+                self.resident.fetch_add(bytes, Ordering::Relaxed);
                 installed += 1;
             }
         }
@@ -551,6 +793,9 @@ impl FactStore {
             shard.slots.lock().clear();
             shard.ready.notify_all();
         }
+        self.resident.store(0, Ordering::Relaxed);
+        self.evicted.store(0, Ordering::Relaxed);
+        self.evicted_bytes.store(0, Ordering::Relaxed);
         self.reset_metrics();
     }
 }
@@ -1163,6 +1408,167 @@ mod tests {
             "worker busy seconds must exclude time parked in demand: {} (wait {})",
             stats.busy_secs(),
             m.wait_secs
+        );
+    }
+
+    #[test]
+    fn shared_tier_serves_across_overlay_stores() {
+        let tier = Arc::new(SharedFactTier::new());
+        let a = FactStore::with_shared(tier.clone());
+        let b = FactStore::with_shared(tier.clone());
+        let runs = AtomicU64::new(0);
+        let p = CountingPass {
+            key: key(PassId::Classify, 1),
+            hash: 7,
+            deps: vec![key(PassId::Deps, 9)],
+            runs: &runs,
+            output: 42,
+        };
+        assert_eq!(*a.demand(&p), 42);
+        assert_eq!(runs.load(Ordering::Relaxed), 1);
+        // The second store never runs the pass: the tier answers.
+        assert_eq!(*b.demand(&p), 42);
+        assert_eq!(runs.load(Ordering::Relaxed), 1, "tier served the fact");
+        let m = b.metrics_for(PassId::Classify);
+        assert_eq!((m.invocations, m.reused, m.shared), (0, 0, 1));
+        // A tier hit installs locally: the third demand is a plain reuse.
+        assert_eq!(*b.demand(&p), 42);
+        assert_eq!(b.metrics_for(PassId::Classify).reused, 1);
+        // The install carried the tier's recorded deps, so session-scoped
+        // invalidation still propagates through shared facts.
+        assert_eq!(b.invalidate(key(PassId::Deps, 9)), 1);
+        assert!(tier.stats().hits >= 1);
+    }
+
+    #[test]
+    fn invalidation_under_unchanged_hash_bypasses_tier() {
+        let tier = Arc::new(SharedFactTier::new());
+        let store = FactStore::with_shared(tier.clone());
+        let runs = AtomicU64::new(0);
+        let p = CountingPass {
+            key: key(PassId::Classify, 3),
+            hash: 11,
+            deps: vec![],
+            runs: &runs,
+            output: 5,
+        };
+        store.demand(&p);
+        assert_eq!(tier.stats().inserts, 1, "clean fact published");
+        // Invalidate under the *same* hash: the event was not captured by
+        // the hash, so the tier copy must not be served back…
+        store.invalidate(p.key());
+        assert_eq!(*store.demand(&p), 5);
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            2,
+            "recomputed, not tier-served"
+        );
+        // …and the recomputed value is not republished either.
+        assert_eq!(tier.stats().inserts, 1, "no republish under a bypassed key");
+        assert_eq!(store.metrics_for(PassId::Classify).shared, 0);
+    }
+
+    #[test]
+    fn assert_local_stores_publish_only_assertion_independent_passes() {
+        let tier = Arc::new(SharedFactTier::new());
+        let tainted = FactStore::with_shared(tier.clone());
+        tainted.set_assert_local(true);
+        let runs = AtomicU64::new(0);
+        let classify = CountingPass {
+            key: key(PassId::Classify, 4),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 1,
+        };
+        let summarize = CountingPass {
+            key: FactKey::new(PassId::Summarize, Scope::Program),
+            hash: 2,
+            deps: vec![],
+            runs: &runs,
+            output: 2,
+        };
+        tainted.demand(&classify);
+        tainted.demand(&summarize);
+        assert_eq!(tier.stats().inserts, 1, "only summarize published");
+        // Another tenant recomputes the private fact but shares the summary.
+        let clean = FactStore::with_shared(tier.clone());
+        clean.demand(&classify);
+        clean.demand(&summarize);
+        assert_eq!(runs.load(Ordering::Relaxed), 3, "classify recomputed once");
+        let m = clean.metrics_for(PassId::Summarize);
+        assert_eq!((m.invocations, m.shared), (0, 1));
+    }
+
+    #[test]
+    fn budget_eviction_is_transparent_to_re_demands() {
+        // CountingPass output is an i64 behind a Classify key, so
+        // approx_value_bytes charges the 64-byte floor per fact.
+        let store = FactStore::new();
+        store.set_budget(Some(64 * 4));
+        let runs = AtomicU64::new(0);
+        let passes: Vec<CountingPass<'_>> = (0..32)
+            .map(|i| CountingPass {
+                key: key(PassId::Classify, 200 + i),
+                hash: 1,
+                deps: vec![],
+                runs: &runs,
+                output: i64::from(i),
+            })
+            .collect();
+        for p in &passes {
+            store.demand(p);
+        }
+        let bs = store.byte_stats();
+        assert!(bs.evicted > 0, "over-budget demands evicted cold facts");
+        assert!(
+            bs.resident_bytes <= 64 * 4 + 64,
+            "resident stays near budget: {}",
+            bs.resident_bytes
+        );
+        // Every re-demand still returns the right value (recomputed or
+        // resident — bit-identical either way).
+        for (i, p) in passes.iter().enumerate() {
+            assert_eq!(*store.demand(p), i as i64);
+        }
+        // An unbounded store never evicts.
+        let unbounded = FactStore::new();
+        for p in &passes {
+            unbounded.demand(p);
+        }
+        assert_eq!(unbounded.byte_stats().evicted, 0);
+        assert_eq!(unbounded.len(), 32);
+    }
+
+    #[test]
+    fn eviction_spares_running_and_invalid_slots() {
+        let store = FactStore::new();
+        let runs = AtomicU64::new(0);
+        let p = CountingPass {
+            key: key(PassId::Classify, 1),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 9,
+        };
+        store.demand(&p);
+        store.invalidate(p.key());
+        // A budget of one byte forces the sweep; the invalid tombstone must
+        // survive it (it pins the key tier-bypassed).
+        store.set_budget(Some(1));
+        let filler = CountingPass {
+            key: key(PassId::Classify, 2),
+            hash: 1,
+            deps: vec![],
+            runs: &runs,
+            output: 10,
+        };
+        store.demand(&filler);
+        assert_eq!(*store.demand(&p), 9);
+        assert_eq!(
+            runs.load(Ordering::Relaxed),
+            3,
+            "tombstone forced recompute"
         );
     }
 

@@ -110,6 +110,25 @@ pub fn is_encodable(pass: PassId) -> bool {
     )
 }
 
+/// Approximate resident bytes of one fact value, by pass.
+///
+/// Encodable passes measure their wire form (the in-memory layout tracks it
+/// within a small constant factor, so `64 + 2×encoded` is a serviceable
+/// envelope covering `Arc`/map overhead).  `Summarize` and `Liveness` hold
+/// graph-shaped results with no codec; they get a flat charge large enough
+/// that a budget sweep treats them as first-class residents.  Used by the
+/// [`crate::FactStore`] and [`crate::SharedFactTier`] byte budgets — the
+/// accounting only has to be consistent, not exact.
+pub fn approx_value_bytes(pass: PassId, value: &Arc<dyn Any + Send + Sync>) -> usize {
+    if is_encodable(pass) {
+        let mut e = Enc::default();
+        encode_value(pass, value, &mut e);
+        64 + 2 * e.buf.len()
+    } else {
+        64 + 4096
+    }
+}
+
 impl Snapshot {
     /// Build a snapshot from exported store entries (non-encodable passes
     /// are filtered out) and memo entries.
@@ -220,12 +239,16 @@ impl Snapshot {
                 continue;
             };
             match decode_value(pass, vbytes) {
-                Some(value) => snap.facts.push(ExportedFact {
-                    key: FactKey::new(pass, scope),
-                    hash,
-                    deps,
-                    value,
-                }),
+                Some(value) => {
+                    let bytes = approx_value_bytes(pass, &value);
+                    snap.facts.push(ExportedFact {
+                        key: FactKey::new(pass, scope),
+                        hash,
+                        deps,
+                        bytes,
+                        value,
+                    });
+                }
                 None => snap.undecodable += 1,
             }
         }
@@ -849,10 +872,12 @@ mod tests {
         hash: u128,
         value: Arc<dyn Any + Send + Sync>,
     ) -> ExportedFact {
+        let bytes = approx_value_bytes(pass, &value);
         ExportedFact {
             key: FactKey::new(pass, scope),
             hash,
             deps: vec![FactKey::new(PassId::Summarize, Scope::Program)],
+            bytes,
             value,
         }
     }

@@ -1,0 +1,418 @@
+//! The process-wide shared fact tier: a content-addressed store of finished
+//! analysis facts, shared by every session of a multi-tenant daemon.
+//!
+//! A [`crate::Pass`] is a *pure function of its input hash* (the
+//! [`crate::pipeline`] contract), and every input hash folds the region
+//! content keys, the configuration, and the resolved assertion marks that
+//! affect the fact.  Two sessions demanding a fact under the same
+//! `(pass, hash)` pair are therefore asking for interchangeable values — so
+//! the tier can hand one session's finished fact to another without any
+//! notion of which program, session, or assertion set produced it.
+//!
+//! # Relationship to the per-session [`crate::FactStore`]
+//!
+//! The tier sits *under* each session's store ([`crate::FactStore`] built
+//! with [`crate::FactStore::with_shared`]).  The session store stays the
+//! overlay: it owns the `(pass, scope)` keyed slots, the `Running` in-flight
+//! state machine, and the invalidation edges.  The tier only ever holds
+//! finished, valid values keyed purely by content — it has **no**
+//! invalidation: a fact whose inputs change simply stops being looked up
+//! (its hash no longer matches any demand), and an *assertion* folds into
+//! the demanded hash itself, so one tenant's asserted facts live at
+//! different tier keys than another tenant's clean ones.  Session-scoped
+//! invalidation (`assert`, `reload`) touches only the overlay.
+//!
+//! # Memory budget
+//!
+//! Entries carry an approximate byte size ([`crate::snapshot`]'s sizing of
+//! the value wire form).  With a budget set, inserts that push the tier
+//! over it trigger a second-chance (clock) sweep across the shards: each
+//! entry gets one round of grace via its `referenced` bit — set on every
+//! hit, cleared by a passing sweep — before being evicted.  Evicting is
+//! always sound (the next demand recomputes the same value by purity), so
+//! the sweep never needs to coordinate with readers.
+
+use crate::pipeline::{ExportedFact, FactKey, PassId};
+use parking_lot::Mutex;
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Number of independently locked shards (mirrors the session store).
+const TIER_SHARDS: usize = 16;
+
+struct TierEntry {
+    value: Arc<dyn Any + Send + Sync>,
+    /// Approximate resident bytes of `value` (see
+    /// [`crate::snapshot::approx_value_bytes`]).
+    bytes: usize,
+    /// Second-chance bit: set on every hit, cleared by a passing eviction
+    /// sweep; an unreferenced entry is evicted on the sweep's next visit.
+    referenced: bool,
+    /// A representative store key (the key of the first session to publish
+    /// the fact) — only used to round-trip through the snapshot codec,
+    /// which addresses facts by `(key, hash)`.
+    key: FactKey,
+    /// Dependency edges recorded by the publishing session, installed into
+    /// an overlay on a hit so session-scoped invalidation keeps
+    /// propagating through shared facts.
+    deps: Vec<FactKey>,
+}
+
+#[derive(Default)]
+struct TierShard {
+    map: Mutex<HashMap<(PassId, u128), TierEntry>>,
+}
+
+/// Counter snapshot of one [`SharedFactTier`] (the daemon's `stats.tier`
+/// payload).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TierStats {
+    /// Lookups answered from the tier.
+    pub hits: u64,
+    /// Lookups that found nothing (the session computes and publishes).
+    pub misses: u64,
+    /// Facts published (first insert of a `(pass, hash)` pair).
+    pub inserts: u64,
+    /// Entries evicted by the budget sweep.
+    pub evicted: u64,
+    /// Approximate bytes reclaimed by eviction.
+    pub evicted_bytes: u64,
+    /// Approximate resident bytes right now.
+    pub resident_bytes: u64,
+    /// Resident entries right now.
+    pub resident_entries: u64,
+    /// Configured byte budget (`None` = unbounded).
+    pub budget: Option<u64>,
+}
+
+/// A process-wide, content-addressed store of finished analysis facts,
+/// shared across every session of a daemon.  See the module docs for the
+/// soundness argument and the division of labor with the per-session
+/// overlay store.
+pub struct SharedFactTier {
+    shards: Vec<TierShard>,
+    /// Byte budget; `0` means unbounded.
+    budget: AtomicUsize,
+    resident: AtomicUsize,
+    /// Clock hand of the second-chance sweep (a shard index).
+    clock: AtomicUsize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evicted: AtomicU64,
+    evicted_bytes: AtomicU64,
+}
+
+impl Default for SharedFactTier {
+    fn default() -> SharedFactTier {
+        SharedFactTier::new()
+    }
+}
+
+fn tier_shard_index(pass: PassId, hash: u128) -> usize {
+    // The content hash is already well-mixed (FNV-128); fold in the pass so
+    // the (unlikely) same hash under two passes still spreads.
+    ((hash as u64 as usize) ^ ((pass as usize) << 3)) % TIER_SHARDS
+}
+
+impl SharedFactTier {
+    /// An unbounded tier.
+    pub fn new() -> SharedFactTier {
+        SharedFactTier::with_budget(None)
+    }
+
+    /// A tier with an approximate byte budget (`None` = unbounded).
+    pub fn with_budget(budget: Option<usize>) -> SharedFactTier {
+        SharedFactTier {
+            shards: (0..TIER_SHARDS).map(|_| TierShard::default()).collect(),
+            budget: AtomicUsize::new(budget.unwrap_or(0)),
+            resident: AtomicUsize::new(0),
+            clock: AtomicUsize::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            evicted_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up a finished fact by content: the value, its approximate byte
+    /// size, and the dependency edges recorded when it was published
+    /// (installed into the caller's overlay so invalidation keeps
+    /// propagating).  Marks the entry referenced.
+    pub fn lookup(
+        &self,
+        pass: PassId,
+        hash: u128,
+    ) -> Option<(Arc<dyn Any + Send + Sync>, usize, Vec<FactKey>)> {
+        let shard = &self.shards[tier_shard_index(pass, hash)];
+        let mut map = shard.map.lock();
+        match map.get_mut(&(pass, hash)) {
+            Some(e) => {
+                e.referenced = true;
+                let out = (e.value.clone(), e.bytes, e.deps.clone());
+                drop(map);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                drop(map);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publish a finished fact.  First writer wins: a `(pass, hash)` pair
+    /// already present is left untouched (by purity the values are
+    /// interchangeable, and keeping the resident one preserves pointer
+    /// sharing with sessions already holding it).
+    pub fn publish(
+        &self,
+        key: FactKey,
+        hash: u128,
+        bytes: usize,
+        deps: Vec<FactKey>,
+        value: Arc<dyn Any + Send + Sync>,
+    ) {
+        let shard = &self.shards[tier_shard_index(key.pass, hash)];
+        {
+            let mut map = shard.map.lock();
+            if map.contains_key(&(key.pass, hash)) {
+                return;
+            }
+            map.insert(
+                (key.pass, hash),
+                TierEntry {
+                    value,
+                    bytes,
+                    referenced: true,
+                    key,
+                    deps,
+                },
+            );
+        }
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        self.evict_to_budget();
+    }
+
+    /// Second-chance sweep: while over budget, advance the clock hand over
+    /// the shards, giving each referenced entry one round of grace and
+    /// evicting the rest.  Two full revolutions guarantee termination even
+    /// when everything starts referenced.
+    fn evict_to_budget(&self) {
+        let budget = self.budget.load(Ordering::Relaxed);
+        if budget == 0 {
+            return;
+        }
+        let mut visits = 0;
+        while self.resident.load(Ordering::Relaxed) > budget && visits < 2 * TIER_SHARDS {
+            let i = self.clock.fetch_add(1, Ordering::Relaxed) % TIER_SHARDS;
+            visits += 1;
+            let mut freed = 0usize;
+            let mut dropped = 0u64;
+            {
+                let mut map = self.shards[i].map.lock();
+                map.retain(|_, e| {
+                    if self.resident.load(Ordering::Relaxed) <= budget + freed {
+                        return true;
+                    }
+                    if e.referenced {
+                        e.referenced = false;
+                        true
+                    } else {
+                        freed += e.bytes;
+                        dropped += 1;
+                        false
+                    }
+                });
+            }
+            if freed > 0 {
+                self.resident.fetch_sub(freed, Ordering::Relaxed);
+                self.evicted.fetch_add(dropped, Ordering::Relaxed);
+                self.evicted_bytes
+                    .fetch_add(freed as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lift every resident fact out for persistence, in deterministic
+    /// `(key, hash)` order.  One snapshot covers every session — the tier
+    /// is the superset of all clean (shareable) facts.
+    pub fn export(&self) -> Vec<ExportedFact> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let map = shard.map.lock();
+            for ((_, hash), e) in map.iter() {
+                out.push(ExportedFact {
+                    key: e.key,
+                    hash: *hash,
+                    deps: e.deps.clone(),
+                    bytes: e.bytes,
+                    value: e.value.clone(),
+                });
+            }
+        }
+        out.sort_by_key(|f| (f.key, f.hash));
+        out
+    }
+
+    /// Seed the tier with previously exported facts (a warm start).
+    /// Existing `(pass, hash)` pairs are left untouched.  Returns how many
+    /// facts were installed.
+    pub fn import(&self, facts: &[ExportedFact]) -> usize {
+        let mut installed = 0;
+        for f in facts {
+            let shard = &self.shards[tier_shard_index(f.key.pass, f.hash)];
+            let mut map = shard.map.lock();
+            if let std::collections::hash_map::Entry::Vacant(v) = map.entry((f.key.pass, f.hash)) {
+                v.insert(TierEntry {
+                    value: f.value.clone(),
+                    bytes: f.bytes,
+                    referenced: true,
+                    key: f.key,
+                    deps: f.deps.clone(),
+                });
+                self.resident.fetch_add(f.bytes, Ordering::Relaxed);
+                installed += 1;
+            }
+        }
+        if installed > 0 {
+            self.evict_to_budget();
+        }
+        installed
+    }
+
+    /// Resident entry count.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Is the tier empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Approximate resident bytes.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.load(Ordering::Relaxed)
+    }
+
+    /// Counter snapshot (the daemon's `stats.tier` payload).
+    pub fn stats(&self) -> TierStats {
+        let budget = self.budget.load(Ordering::Relaxed);
+        TierStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
+            resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
+            resident_entries: self.len() as u64,
+            budget: (budget != 0).then_some(budget as u64),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::Scope;
+
+    fn key(pass: PassId, n: u32) -> FactKey {
+        FactKey::new(pass, Scope::Loop(suif_ir::StmtId(n)))
+    }
+
+    #[test]
+    fn publish_then_lookup_round_trips() {
+        let tier = SharedFactTier::new();
+        assert!(tier.lookup(PassId::Classify, 7).is_none());
+        tier.publish(
+            key(PassId::Classify, 1),
+            7,
+            100,
+            vec![key(PassId::Summarize, 0)],
+            Arc::new(42i64),
+        );
+        let (v, bytes, deps) = tier.lookup(PassId::Classify, 7).unwrap();
+        assert_eq!(*v.downcast::<i64>().unwrap(), 42);
+        assert_eq!(bytes, 100);
+        assert_eq!(deps, vec![key(PassId::Summarize, 0)]);
+        // A different hash is a different fact.
+        assert!(tier.lookup(PassId::Classify, 8).is_none());
+        let s = tier.stats();
+        assert_eq!((s.hits, s.misses, s.inserts), (1, 2, 1));
+        assert_eq!(s.resident_bytes, 100);
+        assert_eq!(s.resident_entries, 1);
+    }
+
+    #[test]
+    fn first_writer_wins() {
+        let tier = SharedFactTier::new();
+        tier.publish(key(PassId::Deps, 1), 5, 10, vec![], Arc::new(1i64));
+        tier.publish(key(PassId::Deps, 2), 5, 10, vec![], Arc::new(2i64));
+        let (v, _, _) = tier.lookup(PassId::Deps, 5).unwrap();
+        assert_eq!(*v.downcast::<i64>().unwrap(), 1, "first publish kept");
+        assert_eq!(tier.len(), 1);
+        assert_eq!(tier.resident_bytes(), 10);
+    }
+
+    #[test]
+    fn budget_evicts_cold_entries_but_spares_referenced_ones() {
+        let tier = SharedFactTier::with_budget(Some(500));
+        for i in 0..10u32 {
+            tier.publish(
+                key(PassId::Classify, i),
+                i as u128,
+                100,
+                vec![],
+                Arc::new(i64::from(i)),
+            );
+        }
+        let s = tier.stats();
+        assert!(
+            s.resident_bytes <= 500,
+            "sweep keeps the tier under budget: {} bytes",
+            s.resident_bytes
+        );
+        assert!(s.evicted >= 5, "overflow evicted: {}", s.evicted);
+        assert_eq!(
+            s.evicted_bytes,
+            s.evicted * 100,
+            "every eviction reclaims its bytes"
+        );
+        // Whatever survived still answers; a re-publish of an evicted hash
+        // is admitted again.
+        let survivors = (0..10u32)
+            .filter(|i| tier.lookup(PassId::Classify, *i as u128).is_some())
+            .count();
+        assert_eq!(survivors, tier.len());
+        assert!(survivors >= 1);
+    }
+
+    #[test]
+    fn export_import_round_trip() {
+        let tier = SharedFactTier::new();
+        tier.publish(
+            key(PassId::Classify, 3),
+            11,
+            64,
+            vec![key(PassId::Summarize, 0)],
+            Arc::new(7i64),
+        );
+        tier.publish(key(PassId::Deps, 3), 12, 32, vec![], Arc::new(8i64));
+        let exported = tier.export();
+        assert_eq!(exported.len(), 2);
+
+        let fresh = SharedFactTier::new();
+        assert_eq!(fresh.import(&exported), 2);
+        assert_eq!(fresh.import(&exported), 0, "idempotent");
+        assert_eq!(fresh.resident_bytes(), 96);
+        let (v, _, deps) = fresh.lookup(PassId::Classify, 11).unwrap();
+        assert_eq!(*v.downcast::<i64>().unwrap(), 7);
+        assert_eq!(deps, vec![key(PassId::Summarize, 0)]);
+    }
+}

@@ -31,6 +31,7 @@ fn main() -> ExitCode {
 fn usage() -> String {
     "usage: suif-explorer <analyze|explore|slice|run|certify|codeview> <file.mf> [options]\n\
      \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N] [--persist-dir DIR]\n\
+     \x20                          [--max-sessions N] [--shared-budget BYTES] [--session-budget BYTES]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
@@ -40,12 +41,20 @@ fn usage() -> String {
        --certify-seed N     base seed for the adversarial scheduler: schedule\n\
                             s of a loop replays deterministically under\n\
                             seed N+s (`certify` and `serve`; default 0)\n\
-       --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0)\n\
+       --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0);\n\
+                            concurrent connections each get their own session\n\
+                            over the shared fact tier\n\
        --speculate N        pre-classify up to N guru-ranked loops in the\n\
                             background after each `guru` (serve only; default 4)\n\
        --persist-dir DIR    durable fact snapshots in DIR/facts.snap: sessions\n\
                             warm-start from the last checkpoint after a daemon\n\
-                            restart (serve only)"
+                            restart (serve only)\n\
+       --max-sessions N     reject `load`s past N concurrently loaded sessions\n\
+                            (serve only; default 0 = unlimited)\n\
+       --shared-budget B    byte budget for the process-wide shared fact tier\n\
+                            (serve only; default unbounded)\n\
+       --session-budget B   byte budget per session's private fact overlay\n\
+                            (serve only; default unbounded)"
         .to_string()
 }
 
@@ -55,6 +64,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut speculate = 4usize;
     let mut persist_dir: Option<std::path::PathBuf> = None;
     let mut certify_seed = 0u64;
+    let mut max_sessions = 0usize;
+    let mut shared_budget: Option<usize> = None;
+    let mut session_budget: Option<usize> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -89,12 +101,44 @@ fn serve(args: &[String]) -> Result<(), String> {
                     .ok_or("--certify-seed needs a number")?;
                 i += 2;
             }
+            "--max-sessions" => {
+                max_sessions = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--max-sessions needs a number (0 = unlimited)")?;
+                i += 2;
+            }
+            "--shared-budget" => {
+                shared_budget = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--shared-budget needs a byte count")?,
+                );
+                i += 2;
+            }
+            "--session-budget" => {
+                session_budget = Some(
+                    args.get(i + 1)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--session-budget needs a byte count")?,
+                );
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
+    let options = suif_server::ServiceOptions {
+        threads,
+        speculate,
+        persist_dir,
+        certify_seed,
+        max_sessions,
+        shared_budget,
+        session_budget,
+    };
     let res = match tcp {
-        Some(addr) => suif_server::serve_tcp(&addr, threads, speculate, persist_dir, certify_seed),
-        None => suif_server::serve_stdio(threads, speculate, persist_dir, certify_seed),
+        Some(addr) => suif_server::serve_tcp_with(&addr, options),
+        None => suif_server::serve_stdio_with(options),
     };
     res.map_err(|e| e.to_string())
 }

@@ -1,34 +1,184 @@
 //! The daemon loop: line-delimited JSON requests over stdio or TCP.
 //!
-//! One daemon holds at most one [`Session`] plus the cross-reload
-//! [`SummaryCache`].  The cache outlives sessions: a `load` after a `quit`
-//! or reconnect still reuses every summary whose content key matches.
+//! A daemon process hosts one [`ServiceState`] — the cross-session summary
+//! cache, the process-wide content-addressed fact tier, and the admission
+//! counters — and any number of concurrent [`Daemon`] instances, one per
+//! connection.  Each connection holds at most one [`Session`]; sessions are
+//! thin overlays over the shared tier, so the second tenant to load a
+//! program the first already analyzed recomputes nothing.  The tier and
+//! cache outlive sessions: a `load` after a `quit` or reconnect still
+//! reuses every fact whose content hash matches.
+//!
+//! Over TCP the daemon is multi-tenant: every accepted connection gets its
+//! own serving thread and session-registry entry (the `session` id echoed
+//! in every response).  A dropped connection detaches its session without
+//! disturbing the rest; `shutdown` checkpoints the shared tier, closes the
+//! listener, and drains in-flight sessions.
 
 use crate::json::Json;
 use crate::proto::{err_response, ok_response, Request};
-use crate::session::Session;
-use std::io::{self, BufRead, Write};
+use crate::session::{Session, SessionConfig, SNAPSHOT_FILE};
+use std::io::{self, BufRead, Read, Write};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use suif_analysis::{ScheduleOptions, SummaryCache};
+use std::time::Duration;
+use suif_analysis::{snapshot, ScheduleOptions, SharedFactTier, SummaryCache};
 
-/// A persistent analysis daemon.
-pub struct Daemon {
+/// Everything that shapes a daemon service, across all its sessions.
+#[derive(Clone, Debug, Default)]
+pub struct ServiceOptions {
+    /// Scheduler workers per analysis executor (`0` = one per core).
+    pub threads: usize,
+    /// Speculation budget: top-ranked loops pre-classified after each
+    /// `guru` (0 = off).
+    pub speculate: usize,
+    /// Fact-snapshot directory; the shared tier warm-starts from (and
+    /// checkpoints to) `<dir>/facts.snap` when set.
+    pub persist_dir: Option<PathBuf>,
+    /// Default base seed for `certify` requests that don't carry one.
+    pub certify_seed: u64,
+    /// Max concurrently loaded sessions; further `load`s are rejected at
+    /// admission (0 = unlimited).
+    pub max_sessions: usize,
+    /// Byte budget for the process-wide shared fact tier (`None` =
+    /// unbounded).
+    pub shared_budget: Option<usize>,
+    /// Byte budget for each session's private fact overlay (`None` =
+    /// unbounded).
+    pub session_budget: Option<usize>,
+}
+
+/// Process-wide state shared by every connection of a daemon: the summary
+/// cache, the content-addressed fact tier, and the session registry.
+pub struct ServiceState {
     opts: ScheduleOptions,
     cache: Arc<SummaryCache>,
-    session: Option<Session>,
+    tier: Arc<SharedFactTier>,
     speculate: usize,
-    /// Fact-snapshot directory; sessions warm-start from (and checkpoint
-    /// to) `<dir>/facts.snap` when set.
     persist_dir: Option<PathBuf>,
-    /// Default base seed for `certify` requests that don't carry one
-    /// (`--certify-seed`); schedule `s` of a request runs under `seed + s`.
+    certify_seed: u64,
+    session_budget: Option<usize>,
+    max_sessions: usize,
+    /// Currently loaded sessions (admission-controlled).
+    active_sessions: AtomicUsize,
+    /// Fresh sessions admitted over the service lifetime.
+    admitted: AtomicU64,
+    /// `load`s rejected at admission over the service lifetime.
+    rejected: AtomicU64,
+    /// Monotone session-id source; every connection gets one.
+    next_session_id: AtomicU64,
+    /// Set by `shutdown`; the acceptor and every serving thread poll it.
+    shutdown: AtomicBool,
+}
+
+impl ServiceState {
+    /// Build the shared state of a new service.
+    pub fn new(options: ServiceOptions) -> Arc<ServiceState> {
+        Arc::new(ServiceState {
+            opts: ScheduleOptions {
+                threads: options.threads,
+            },
+            cache: Arc::new(SummaryCache::new()),
+            tier: Arc::new(SharedFactTier::with_budget(options.shared_budget)),
+            speculate: options.speculate,
+            persist_dir: options.persist_dir,
+            certify_seed: options.certify_seed,
+            session_budget: options.session_budget,
+            max_sessions: options.max_sessions,
+            active_sessions: AtomicUsize::new(0),
+            admitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            next_session_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    /// The process-wide content-addressed fact tier.
+    pub fn tier(&self) -> &Arc<SharedFactTier> {
+        &self.tier
+    }
+
+    /// Whether a `shutdown` request has been received.
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Write the shared tier (and emptiness memo) to the persist path,
+    /// atomically.  Returns `(facts, bytes)` written, or `None` without
+    /// persistence.
+    pub fn checkpoint(&self) -> io::Result<Option<(usize, usize)>> {
+        let Some(dir) = &self.persist_dir else {
+            return Ok(None);
+        };
+        let path = dir.join(SNAPSHOT_FILE);
+        let snap =
+            snapshot::Snapshot::new(self.tier.export(), suif_poly::export_prove_empty_memo());
+        let bytes = snap.encode();
+        snapshot::write_atomic(&path, &bytes)?;
+        Ok(Some((snap.facts.len(), bytes.len())))
+    }
+
+    /// Reserve a session slot, or fail when the registry is full.
+    fn try_admit(&self) -> bool {
+        if self.max_sessions == 0 {
+            self.active_sessions.fetch_add(1, Ordering::SeqCst);
+            return true;
+        }
+        loop {
+            let cur = self.active_sessions.load(Ordering::SeqCst);
+            if cur >= self.max_sessions {
+                return false;
+            }
+            if self
+                .active_sessions
+                .compare_exchange(cur, cur + 1, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                return true;
+            }
+        }
+    }
+
+    /// Release a previously reserved session slot.
+    fn release_session(&self) {
+        self.active_sessions.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// The `service` object merged into `stats` responses.
+    fn service_json(&self) -> Json {
+        Json::obj([
+            (
+                "sessions",
+                Json::int(self.active_sessions.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "admitted",
+                Json::int(self.admitted.load(Ordering::SeqCst) as i64),
+            ),
+            (
+                "rejected",
+                Json::int(self.rejected.load(Ordering::SeqCst) as i64),
+            ),
+            ("max_sessions", Json::int(self.max_sessions as i64)),
+        ])
+    }
+}
+
+/// One connection's view of the service: a session slot plus the shared
+/// [`ServiceState`].
+pub struct Daemon {
+    state: Arc<ServiceState>,
+    /// This connection's registry id, echoed in every response.
+    session_id: u64,
+    session: Option<Session>,
+    /// Default base seed for `certify` requests without one.
     certify_seed: u64,
 }
 
 impl Daemon {
-    /// A daemon with `threads` scheduler workers (`0` = one per core),
-    /// speculative pre-classification off, and no persistence.
+    /// A single-tenant daemon with `threads` scheduler workers (`0` = one
+    /// per core), speculative pre-classification off, and no persistence.
     pub fn new(threads: usize) -> Daemon {
         Daemon::with_speculation(threads, 0)
     }
@@ -44,13 +194,24 @@ impl Daemon {
     /// durable fact snapshots (crash-safe warm starts across daemon
     /// restarts).
     pub fn with_options(threads: usize, speculate: usize, persist_dir: Option<PathBuf>) -> Daemon {
-        Daemon {
-            opts: ScheduleOptions { threads },
-            cache: Arc::new(SummaryCache::new()),
-            session: None,
+        Daemon::for_state(ServiceState::new(ServiceOptions {
+            threads,
             speculate,
             persist_dir,
-            certify_seed: 0,
+            ..ServiceOptions::default()
+        }))
+    }
+
+    /// A daemon for one connection of a multi-tenant service, registered
+    /// under a fresh session id.
+    pub fn for_state(state: Arc<ServiceState>) -> Daemon {
+        let session_id = state.next_session_id.fetch_add(1, Ordering::SeqCst) + 1;
+        let certify_seed = state.certify_seed;
+        Daemon {
+            state,
+            session_id,
+            session: None,
+            certify_seed,
         }
     }
 
@@ -60,15 +221,50 @@ impl Daemon {
         self.certify_seed = seed;
     }
 
-    /// Open a session for `text` under this daemon's options.
+    /// Open a session for `text` over the shared tier and summary cache.
     fn open_session(&self, text: &str) -> Result<Session, String> {
-        Session::open_with_persistence(
+        Session::open_cfg(
             text,
-            self.opts.clone(),
-            self.cache.clone(),
-            self.speculate,
-            self.persist_dir.as_deref(),
+            self.state.cache.clone(),
+            SessionConfig {
+                opts: self.state.opts.clone(),
+                spec_budget: self.state.speculate,
+                persist_dir: self.state.persist_dir.clone(),
+                tier: Some(self.state.tier.clone()),
+                budget: self.state.session_budget,
+            },
         )
+    }
+
+    /// Admission-controlled `load`: a connection without a session must win
+    /// a registry slot first; replacing an already loaded session keeps the
+    /// slot it holds.
+    fn load_into_session(&mut self, text: &str) -> Result<Json, String> {
+        let fresh = self.session.is_none();
+        if fresh && !self.state.try_admit() {
+            self.state.rejected.fetch_add(1, Ordering::SeqCst);
+            return Err(format!(
+                "session limit reached ({} active, max {}); retry later",
+                self.state.active_sessions.load(Ordering::SeqCst),
+                self.state.max_sessions
+            ));
+        }
+        match self.open_session(text) {
+            Ok(s) => {
+                if fresh {
+                    self.state.admitted.fetch_add(1, Ordering::SeqCst);
+                }
+                let stats = s.stats_json();
+                self.session = Some(s);
+                Ok(stats)
+            }
+            Err(e) => {
+                if fresh {
+                    self.state.release_session();
+                }
+                Err(e)
+            }
+        }
     }
 
     fn with_session<R>(&mut self, f: impl FnOnce(&mut Session) -> R) -> Result<R, String> {
@@ -78,25 +274,28 @@ impl Daemon {
         }
     }
 
+    /// Stamp this connection's session id into a response object.
+    fn tag(&self, resp: Json) -> Json {
+        match resp {
+            Json::Obj(mut m) => {
+                m.insert("session".into(), Json::int(self.session_id as i64));
+                Json::Obj(m)
+            }
+            other => other,
+        }
+    }
+
     /// Handle one request line; returns the response and whether to close.
     pub fn handle_line(&mut self, line: &str) -> (Json, bool) {
         let req = match Request::parse(line) {
             Ok(r) => r,
-            Err(e) => return (err_response(&e.0), false),
+            Err(e) => return (self.tag(err_response(&e.0)), false),
         };
         let result: Result<Json, String> = match req {
-            Request::Load { text } => self.open_session(&text).map(|s| {
-                let stats = s.stats_json();
-                self.session = Some(s);
-                stats
-            }),
+            Request::Load { text } => self.load_into_session(&text),
             Request::Reload { text } => match self.session.as_mut() {
                 // A reload without a session is just a load.
-                None => self.open_session(&text).map(|s| {
-                    let stats = s.stats_json();
-                    self.session = Some(s);
-                    stats
-                }),
+                None => self.load_into_session(&text),
                 Some(s) => s.reload(&text).map(|()| s.stats_json()),
             },
             Request::Analyze => self.with_session(|s| s.analyze()),
@@ -122,13 +321,37 @@ impl Daemon {
             }
             Request::Advisory => self.with_session(|s| s.advisory_json()),
             Request::Codeview => self.with_session(|s| s.codeview_json()),
-            Request::Stats => self.with_session(|s| s.stats_json()),
+            Request::Stats => self.with_session(|s| s.stats_json()).map(|st| match st {
+                Json::Obj(mut m) => {
+                    m.insert("service".into(), self.state.service_json());
+                    Json::Obj(m)
+                }
+                other => other,
+            }),
             Request::Checkpoint => self.with_session(|s| s.checkpoint_json()).and_then(|r| r),
-            Request::Quit => return (ok_response(Json::obj([])), true),
+            Request::Quit => return (self.tag(ok_response(Json::obj([]))), true),
+            Request::Shutdown => {
+                // Flag first, so the acceptor and sibling connections start
+                // winding down while we checkpoint.
+                self.state.shutdown.store(true, Ordering::SeqCst);
+                let mut fields = vec![("shutdown", Json::Bool(true))];
+                match self.state.checkpoint() {
+                    Ok(Some((facts, bytes))) => fields.push((
+                        "checkpoint",
+                        Json::obj([
+                            ("facts", Json::int(facts as i64)),
+                            ("bytes", Json::int(bytes as i64)),
+                        ]),
+                    )),
+                    Ok(None) => {}
+                    Err(e) => fields.push(("checkpoint_error", Json::str(e.to_string()))),
+                }
+                return (self.tag(ok_response(Json::obj(fields))), true);
+            }
         };
         match result {
-            Ok(payload) => (ok_response(payload), false),
-            Err(msg) => (err_response(&msg), false),
+            Ok(payload) => (self.tag(ok_response(payload)), false),
+            Err(msg) => (self.tag(err_response(&msg)), false),
         }
     }
 
@@ -151,6 +374,16 @@ impl Daemon {
     }
 }
 
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        // A dropped connection detaches its session from the registry; the
+        // facts it published stay in the shared tier.
+        if self.session.is_some() {
+            self.state.release_session();
+        }
+    }
+}
+
 /// Serve on stdin/stdout until `quit` or EOF.  `certify_seed` is the
 /// default base seed for `certify` requests without one (`--certify-seed`).
 pub fn serve_stdio(
@@ -159,17 +392,126 @@ pub fn serve_stdio(
     persist_dir: Option<PathBuf>,
     certify_seed: u64,
 ) -> io::Result<()> {
-    let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
-    daemon.set_certify_seed(certify_seed);
+    serve_stdio_with(ServiceOptions {
+        threads,
+        speculate,
+        persist_dir,
+        certify_seed,
+        ..ServiceOptions::default()
+    })
+}
+
+/// [`serve_stdio`] over full [`ServiceOptions`] (budgets and admission
+/// control apply to the one stdio session too).
+pub fn serve_stdio_with(options: ServiceOptions) -> io::Result<()> {
+    let mut daemon = Daemon::for_state(ServiceState::new(options));
     let stdin = io::stdin();
     let mut stdout = io::stdout();
     daemon.serve(stdin.lock(), &mut stdout)
 }
 
-/// Serve on a TCP listener, one connection at a time.  The daemon — and
-/// with it the summary cache and loaded session — persists across
-/// connections.  Prints `listening on <addr>` to stdout once bound (bind to
-/// port 0 to let the OS pick).
+/// Serve one TCP connection against the shared service state, with a
+/// timeout-polling line reader so the thread notices a `shutdown` raised by
+/// another connection even while idle.
+fn serve_conn(conn: std::net::TcpStream, state: Arc<ServiceState>) -> io::Result<()> {
+    conn.set_read_timeout(Some(Duration::from_millis(100)))?;
+    let mut reader = conn.try_clone()?;
+    let mut writer = conn;
+    let mut daemon = Daemon::for_state(state.clone());
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        // Drain every complete line already buffered; a partial line stays
+        // in `buf` across read timeouts instead of being lost.
+        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line);
+            let text = text.trim();
+            if text.is_empty() {
+                continue;
+            }
+            let (resp, quit) = daemon.handle_line(text);
+            writeln!(writer, "{resp}")?;
+            writer.flush()?;
+            if quit {
+                return Ok(());
+            }
+        }
+        if state.shutting_down() {
+            return Ok(());
+        }
+        match reader.read(&mut chunk) {
+            Ok(0) => return Ok(()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Serve on a TCP listener, one thread per connection over a shared
+/// [`ServiceState`].  The summary cache and fact tier persist across
+/// connections and are shared between concurrent ones.  Prints `listening
+/// on <addr>` to stdout once bound (bind to port 0 to let the OS pick).
+/// Returns after a `shutdown` request has drained every connection.
+pub fn serve_tcp_with(addr: &str, options: ServiceOptions) -> io::Result<()> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    println!("listening on {}", listener.local_addr()?);
+    io::stdout().flush()?;
+    serve_listener(listener, ServiceState::new(options))
+}
+
+/// The multi-tenant accept loop of [`serve_tcp_with`], over an already
+/// bound listener and shared state (tests bind their own listener to learn
+/// the port, then drive this directly).
+pub fn serve_listener(listener: std::net::TcpListener, state: Arc<ServiceState>) -> io::Result<()> {
+    // Non-blocking accept so the loop can poll the shutdown flag.
+    listener.set_nonblocking(true)?;
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !state.shutting_down() {
+        match listener.accept() {
+            Ok((conn, peer)) => {
+                // The accepted socket inherits non-blocking mode on some
+                // platforms; the per-connection reader wants timeouts.
+                conn.set_nonblocking(false)?;
+                let st = state.clone();
+                handles.push(std::thread::spawn(move || {
+                    // A dropped connection must not kill the daemon — log
+                    // the peer and error, detach the session, carry on.
+                    if let Err(e) = serve_conn(conn, st) {
+                        eprintln!("warning: connection {peer}: {e}; session detached");
+                    }
+                }));
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                eprintln!("warning: accept failed: {e}");
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+    }
+    // Drain in-flight sessions (their readers poll the shutdown flag), then
+    // take the final checkpoint over everything they published.
+    for h in handles {
+        let _ = h.join();
+    }
+    if let Err(e) = state.checkpoint() {
+        eprintln!("warning: final checkpoint failed: {e}");
+    }
+    Ok(())
+}
+
+/// [`serve_tcp_with`] under legacy single-knob options (no admission limit,
+/// unbounded budgets).
 pub fn serve_tcp(
     addr: &str,
     threads: usize,
@@ -177,21 +519,16 @@ pub fn serve_tcp(
     persist_dir: Option<PathBuf>,
     certify_seed: u64,
 ) -> io::Result<()> {
-    let listener = std::net::TcpListener::bind(addr)?;
-    println!("listening on {}", listener.local_addr()?);
-    io::stdout().flush()?;
-    let mut daemon = Daemon::with_options(threads, speculate, persist_dir);
-    daemon.set_certify_seed(certify_seed);
-    for conn in listener.incoming() {
-        let conn = conn?;
-        let reader = io::BufReader::new(conn.try_clone()?);
-        let mut writer = conn;
-        if daemon.serve(reader, &mut writer).is_err() {
-            // A dropped connection must not kill the daemon.
-            continue;
-        }
-    }
-    Ok(())
+    serve_tcp_with(
+        addr,
+        ServiceOptions {
+            threads,
+            speculate,
+            persist_dir,
+            certify_seed,
+            ..ServiceOptions::default()
+        },
+    )
 }
 
 #[cfg(test)]
@@ -216,6 +553,8 @@ mod tests {
         let r = req(&mut d, &format!(r#"{{"cmd":"load","text":"{SRC}"}}"#));
         assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
         assert_eq!(r.get("summarized").and_then(Json::as_i64), Some(1));
+        // Every response carries this connection's session id.
+        assert_eq!(r.get("session").and_then(Json::as_i64), Some(1));
 
         let r = req(&mut d, r#"{"cmd":"analyze"}"#);
         let loops = r.get("loops").and_then(Json::as_arr).unwrap();
@@ -228,6 +567,11 @@ mod tests {
         let facts = r.get("facts").unwrap();
         assert_eq!(facts.get("computed").and_then(Json::as_i64), Some(0));
         assert!(facts.get("reused").and_then(Json::as_i64).unwrap() > 0);
+        // Multi-tenant bookkeeping rides along even single-tenant.
+        let service = r.get("service").unwrap();
+        assert_eq!(service.get("sessions").and_then(Json::as_i64), Some(1));
+        assert_eq!(service.get("admitted").and_then(Json::as_i64), Some(1));
+        assert!(r.get("tier").is_some(), "shared-tier stats present");
 
         // Assertions and advisories answer over the wire.
         let r = req(
@@ -300,5 +644,57 @@ mod tests {
             let v = Json::parse(l).unwrap();
             assert_eq!(v.get("ok").and_then(Json::as_bool), Some(true), "{l}");
         }
+    }
+
+    #[test]
+    fn admission_control_rejects_past_cap_and_recovers() {
+        let state = ServiceState::new(ServiceOptions {
+            threads: 1,
+            max_sessions: 1,
+            ..ServiceOptions::default()
+        });
+        let mut a = Daemon::for_state(state.clone());
+        let mut b = Daemon::for_state(state.clone());
+        assert_ne!(a.session_id, b.session_id, "distinct registry entries");
+
+        let load = format!(r#"{{"cmd":"load","text":"{SRC}"}}"#);
+        let r = req(&mut a, &load);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+
+        // The registry is full: the second tenant's load is rejected with a
+        // clean protocol error and counted.
+        let r = req(&mut b, &load);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(false));
+        assert!(r
+            .get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("session limit"));
+        assert_eq!(state.rejected.load(Ordering::SeqCst), 1);
+
+        // Replacing the loaded session keeps the held slot (no self-eviction).
+        let r = req(&mut a, &load);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+
+        // Dropping the holder frees the slot for the waiting tenant.
+        drop(a);
+        assert_eq!(state.active_sessions.load(Ordering::SeqCst), 0);
+        let r = req(&mut b, &load);
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+        assert_eq!(state.admitted.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn shutdown_flags_service_and_closes() {
+        let state = ServiceState::new(ServiceOptions {
+            threads: 1,
+            ..ServiceOptions::default()
+        });
+        let mut d = Daemon::for_state(state.clone());
+        let (r, quit) = d.handle_line(r#"{"cmd":"shutdown"}"#);
+        assert!(quit, "shutdown closes the issuing connection");
+        assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(r.get("shutdown").and_then(Json::as_bool), Some(true));
+        assert!(state.shutting_down());
     }
 }

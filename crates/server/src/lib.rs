@@ -8,10 +8,18 @@
 //! behind the `suif-explorer serve` subcommand, speaking line-delimited JSON
 //! over stdio or TCP.
 
+//! Over TCP the daemon is multi-tenant: one serving thread per connection,
+//! all of them sharing a process-wide content-addressed fact tier and
+//! summary cache (see [`daemon::ServiceState`]), with per-session and
+//! shared byte budgets and admission control.
+
 pub mod daemon;
 pub mod json;
 pub mod proto;
 pub mod session;
 
-pub use daemon::{serve_stdio, serve_tcp, Daemon};
-pub use session::{speculation_order, Session, SnapshotReport, SNAPSHOT_FILE};
+pub use daemon::{
+    serve_listener, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, Daemon,
+    ServiceOptions, ServiceState,
+};
+pub use session::{speculation_order, Session, SessionConfig, SnapshotReport, SNAPSHOT_FILE};

@@ -38,6 +38,9 @@ pub enum Request {
     Checkpoint,
     /// Close the connection.
     Quit,
+    /// Stop the whole daemon gracefully: checkpoint the shared fact tier,
+    /// stop accepting connections, and drain in-flight sessions.
+    Shutdown,
 }
 
 /// Protocol-level failure, reported to the client as an error response.
@@ -125,6 +128,7 @@ impl Request {
             "stats" => Ok(Request::Stats),
             "checkpoint" => Ok(Request::Checkpoint),
             "quit" => Ok(Request::Quit),
+            "shutdown" => Ok(Request::Shutdown),
             other => Err(ProtoError(format!("unknown cmd {other:?}"))),
         }
     }
@@ -210,6 +214,10 @@ mod tests {
         assert!(matches!(
             Request::parse(r#"{"cmd":"checkpoint"}"#),
             Ok(Request::Checkpoint)
+        ));
+        assert!(matches!(
+            Request::parse(r#"{"cmd":"shutdown"}"#),
+            Ok(Request::Shutdown)
         ));
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err());

@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use suif_analysis::{
     snapshot, AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, ParallelizeConfig,
-    Parallelizer, PassId, ScheduleOptions, Scope, SummaryCache,
+    Parallelizer, PassId, ScheduleOptions, Scope, SharedFactTier, SummaryCache,
 };
 use suif_explorer::Explorer;
 use suif_ir::{Program, StmtId};
@@ -96,7 +96,13 @@ pub struct Session {
     cache: Arc<SummaryCache>,
     /// Fact store shared across analyses and reloads of this session;
     /// stale facts miss on their content hash, surviving ones are reused.
+    /// In a multi-tenant daemon this is a thin overlay over `tier`.
     store: Arc<FactStore>,
+    /// The process-wide content-addressed fact tier, when this session
+    /// belongs to a multi-tenant daemon.  Snapshots export the tier once
+    /// (the superset of every session's clean facts) instead of per
+    /// session.
+    tier: Option<Arc<SharedFactTier>>,
     opts: ScheduleOptions,
     /// Max ranked loops to pre-classify after each `guru` (0 = off).
     spec_budget: usize,
@@ -131,12 +137,32 @@ struct CertCounters {
     races: u64,
 }
 
+/// Everything that shapes how a [`Session`] opens.  The legacy
+/// constructors are thin wrappers over this; the multi-tenant daemon
+/// fills in `tier` and `budget`.
+#[derive(Clone, Default)]
+pub struct SessionConfig {
+    /// Worker-thread configuration for the analysis executors.
+    pub opts: ScheduleOptions,
+    /// Max ranked loops to pre-classify after each `guru` (0 = off).
+    pub spec_budget: usize,
+    /// Directory holding the durable fact snapshot, when persistence is on.
+    pub persist_dir: Option<PathBuf>,
+    /// Process-wide content-addressed fact tier to read through and publish
+    /// into; `None` gives the classic single-tenant store.
+    pub tier: Option<Arc<SharedFactTier>>,
+    /// Per-session byte budget for resident facts (`None` = unbounded).
+    pub budget: Option<usize>,
+}
+
 /// Load `path` (if it exists) and import every entry whose input hash
-/// matches `expected` into `store`.  Corrupt or version-mismatched files
-/// are discarded whole; stale or undecodable entries degrade individually.
+/// matches `expected` into `store` (and into `tier`, when this session
+/// reads through one).  Corrupt or version-mismatched files are discarded
+/// whole; stale or undecodable entries degrade individually.
 fn load_snapshot(
     path: &Path,
     store: &FactStore,
+    tier: Option<&SharedFactTier>,
     expected: &std::collections::HashMap<FactKey, u128>,
 ) -> SnapshotReport {
     let mut report = SnapshotReport::default();
@@ -161,6 +187,9 @@ fn load_snapshot(
                 } else {
                     evicted += 1;
                 }
+            }
+            if let Some(t) = tier {
+                t.import(&valid);
             }
             report.warm_hits = store.import(valid) as u64;
             report.evicted_stale = evicted;
@@ -233,12 +262,44 @@ impl Session {
         spec_budget: usize,
         persist_dir: Option<&Path>,
     ) -> Result<Session, String> {
+        Session::open_cfg(
+            source,
+            cache,
+            SessionConfig {
+                opts,
+                spec_budget,
+                persist_dir: persist_dir.map(Path::to_path_buf),
+                tier: None,
+                budget: None,
+            },
+        )
+    }
+
+    /// The fully general constructor: [`Session::open_with_persistence`]
+    /// plus an optional process-wide fact tier to share through and a
+    /// per-session byte budget for resident facts.
+    pub fn open_cfg(
+        source: &str,
+        cache: Arc<SummaryCache>,
+        cfg: SessionConfig,
+    ) -> Result<Session, String> {
+        let SessionConfig {
+            opts,
+            spec_budget,
+            persist_dir,
+            tier,
+            budget,
+        } = cfg;
         let program = Arc::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
         // SAFETY: the program is heap-allocated behind an `Arc` held by this
         // session until after `explorer` (field order) is dropped; the
         // reference never leaves the session.
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
-        let store = Arc::new(FactStore::new());
+        let store = Arc::new(match &tier {
+            Some(t) => FactStore::with_shared(t.clone()),
+            None => FactStore::new(),
+        });
+        store.set_budget(budget);
         let persist = persist_dir.map(|d| d.join(SNAPSHOT_FILE));
         let mut report = SnapshotReport::default();
         if let Some(path) = &persist {
@@ -248,7 +309,7 @@ impl Session {
             // simply misses and is evicted as stale.
             let expected =
                 Parallelizer::expected_fact_hashes(&program, &ParallelizeConfig::default());
-            report = load_snapshot(path, &store, &expected);
+            report = load_snapshot(path, &store, tier.as_deref(), &expected);
         }
         let (explorer, stats, delta) = build_explorer(pref, &opts, &cache, store.clone())?;
         report.cold_misses = stats.facts_computed;
@@ -257,6 +318,7 @@ impl Session {
             program,
             cache,
             store,
+            tier,
             opts,
             spec_budget,
             spec_epoch: Arc::new(AtomicU64::new(0)),
@@ -291,10 +353,16 @@ impl Session {
     /// Export, encode, and atomically replace the snapshot at `path`.
     /// Returns `(facts, bytes)` written.  Only `Ready`+valid slots are
     /// exported, so a checkpoint taken mid-speculation never persists
-    /// `Running` or invalidated results.
+    /// `Running` or invalidated results.  With a shared tier, the tier is
+    /// exported instead of the per-session overlay — one snapshot covers
+    /// every tenant's clean facts, and assertion-tainted overlay entries
+    /// (never published to the tier) stay out of the durable state.
     fn write_snapshot(&self, path: &Path) -> std::io::Result<(usize, usize)> {
-        let snap =
-            snapshot::Snapshot::new(self.store.export(), suif_poly::export_prove_empty_memo());
+        let facts = match &self.tier {
+            Some(t) => t.export(),
+            None => self.store.export(),
+        };
+        let snap = snapshot::Snapshot::new(facts, suif_poly::export_prove_empty_memo());
         let bytes = snap.encode();
         snapshot::write_atomic(path, &bytes)?;
         Ok((snap.facts.len(), bytes.len()))
@@ -331,6 +399,10 @@ impl Session {
         let pref: &'static Program = unsafe { &*(&*program as *const Program) };
         let (explorer, stats, delta) =
             build_explorer(pref, &self.opts, &self.cache, self.store.clone())?;
+        // A reload rebuilds under the default (assertion-free) config, so
+        // the store's facts are assertion-independent again and may publish
+        // to the shared tier.
+        self.store.set_assert_local(false);
         // Install the new pair; the old explorer (borrowing the old program)
         // is dropped here, before the old program.  A speculation thread
         // still holding the old `Arc` keeps the old program alive until it
@@ -492,6 +564,11 @@ impl Session {
             self.spec_waste_assert(stmt);
         }
         let (res, stats) = self.explorer.assert_and_reanalyze_with_stats(a);
+        // Facts computed under user assertions are this tenant's opinion,
+        // not ground truth: keep them in the private overlay (summaries and
+        // liveness are assertion-independent and still share).
+        self.store
+            .set_assert_local(!self.explorer.analysis.config.assertions.is_empty());
         if let Some(stats) = stats {
             self.last_stats = stats;
         }
@@ -826,6 +903,7 @@ impl Session {
                         ("secs", Json::Num(p.secs)),
                         ("invocations", Json::int(p.invocations as i64)),
                         ("reused", Json::int(p.reused as i64)),
+                        ("shared", Json::int(p.shared as i64)),
                     ]),
                 )
             })
@@ -833,7 +911,7 @@ impl Session {
         passes.push(("total", Json::Num(s.total_secs)));
         let worker_secs = |v: &[f64]| Json::Arr(v.iter().map(|&b| Json::Num(b)).collect());
         let spec = self.spec_state.lock().unwrap();
-        Json::obj([
+        let mut fields = vec![
             ("generation", Json::int(self.generation as i64)),
             ("procs", Json::int(s.schedule.procs as i64)),
             ("levels", Json::int(s.schedule.levels as i64)),
@@ -857,16 +935,7 @@ impl Session {
                 ]),
             ),
             ("passes", Json::obj(passes)),
-            (
-                "facts",
-                Json::obj([
-                    ("computed", Json::int(s.facts_computed as i64)),
-                    ("reused", Json::int(s.facts_reused as i64)),
-                    ("deduped", Json::int(s.facts_deduped as i64)),
-                    ("ratio", Json::Num(s.reuse_ratio())),
-                    ("entries", Json::int(self.store.len() as i64)),
-                ]),
-            ),
+            ("facts", self.facts_json()),
             (
                 "speculation",
                 Json::obj([
@@ -894,7 +963,33 @@ impl Session {
             ),
             ("poly", self.poly_json()),
             ("snapshot", self.snapshot_json()),
-        ])
+        ];
+        if let Some(t) = &self.tier {
+            fields.push(("tier", tier_json(t)));
+        }
+        Json::obj(fields)
+    }
+
+    /// The `facts` object of `stats`: computation/reuse counters plus the
+    /// resident-byte accounting of this session's store.
+    fn facts_json(&self) -> Json {
+        let s = &self.last_stats;
+        let bs = self.store.byte_stats();
+        let mut fields = vec![
+            ("computed", Json::int(s.facts_computed as i64)),
+            ("reused", Json::int(s.facts_reused as i64)),
+            ("deduped", Json::int(s.facts_deduped as i64)),
+            ("shared", Json::int(s.facts_shared as i64)),
+            ("ratio", Json::Num(s.reuse_ratio())),
+            ("entries", Json::int(self.store.len() as i64)),
+            ("resident_bytes", Json::int(bs.resident_bytes as i64)),
+            ("evicted", Json::int(bs.evicted as i64)),
+            ("evicted_bytes", Json::int(bs.evicted_bytes as i64)),
+        ];
+        if let Some(b) = bs.budget {
+            fields.push(("budget", Json::int(b as i64)));
+        }
+        Json::obj(fields)
     }
 
     /// The polyhedral-kernel staged-test counters (`PolyStats`) of the most
@@ -966,6 +1061,24 @@ impl Drop for Session {
         // Final checkpoint on clean shutdown (`quit`, daemon exit).
         self.save_snapshot();
     }
+}
+
+/// The `tier` object of `stats`: process-wide shared-tier counters.
+fn tier_json(t: &SharedFactTier) -> Json {
+    let ts = t.stats();
+    let mut fields = vec![
+        ("hits", Json::int(ts.hits as i64)),
+        ("misses", Json::int(ts.misses as i64)),
+        ("inserts", Json::int(ts.inserts as i64)),
+        ("evicted", Json::int(ts.evicted as i64)),
+        ("evicted_bytes", Json::int(ts.evicted_bytes as i64)),
+        ("resident_bytes", Json::int(ts.resident_bytes as i64)),
+        ("resident_entries", Json::int(ts.resident_entries as i64)),
+    ];
+    if let Some(b) = ts.budget {
+        fields.push(("budget", Json::int(b as i64)));
+    }
+    Json::obj(fields)
 }
 
 /// Unresolved-assertion warnings of the current analysis, as a JSON array.

@@ -1,0 +1,304 @@
+//! Multi-tenant daemon semantics: concurrent sessions over one process-wide
+//! content-addressed fact tier.
+//!
+//! Three properties matter and each gets a test: **sharing** (the second
+//! session to load a program recomputes nothing — every fact arrives from
+//! the tier), **isolation** (one tenant's assertion never changes what
+//! another tenant observes; the other tenant's verdicts stay bit-identical
+//! to a fresh single-tenant run), and **service behavior over real TCP**
+//! (concurrent clients, distinct session ids, no cross-talk, graceful
+//! `shutdown`).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use suif_server::json::Json;
+use suif_server::{serve_listener, Daemon, ServiceOptions, ServiceState, Session};
+
+const SRC: &str = "program t
+proc inc(real q[*], int n) {
+ int i
+ do 1 i = 1, n {
+  q[i] = q[i] + 1
+ }
+}
+proc rec(real q[*], int n) {
+ int i
+ do 1 i = 2, n {
+  q[i] = q[i - 1] * 2
+ }
+}
+proc main() {
+ real b[8]
+ int i
+ do 2 i = 1, 8 {
+  b[i] = i
+ }
+ call inc(b, 8)
+ call rec(b, 8)
+ print b[3]
+}";
+
+/// The MDG kernel shape from the paper: `main/1000` is sequential until the
+/// user asserts `rl` privatizable, which flips it parallel.
+const MDG_LIKE: &str = r#"program mdgkern
+const nmol = 40
+proc main() {
+  real rs[9], rl[14], a[nmol]
+  real cut2, acc
+  int i, k, kc
+  cut2 = 30.0
+  acc = 0
+  do 5 i = 1, nmol {
+    a[i] = i * 0.7
+  }
+  do 1000 i = 1, nmol {
+    kc = 0
+    do 1110 k = 1, 9 {
+      rs[k] = a[i] + k
+      if rs[k] > cut2 { kc = kc + 1 }
+    }
+    do 1130 k = 2, 5 {
+      if rs[k + 4] <= cut2 { rl[k + 4] = rs[k + 4] }
+    }
+    if kc == 0 {
+      do 1140 k = 11, 14 {
+        acc = acc + rl[k - 5]
+      }
+    }
+  }
+  print acc
+}
+"#;
+
+/// Minimal JSON string escaping for request payloads.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn req(d: &mut Daemon, line: &str) -> Json {
+    let (resp, _) = d.handle_line(line);
+    resp
+}
+
+fn load_line(src: &str) -> String {
+    format!(r#"{{"cmd":"load","text":"{}"}}"#, escape(src))
+}
+
+/// `parallel` flag of a named loop in a `loops` array.
+fn loop_parallel(resp: &Json, name: &str) -> Option<bool> {
+    resp.get("loops")
+        .and_then(Json::as_arr)?
+        .iter()
+        .find(|l| l.get("loop").and_then(Json::as_str) == Some(name))?
+        .get("parallel")
+        .and_then(Json::as_bool)
+}
+
+#[test]
+fn second_session_shares_every_fact() {
+    let state = ServiceState::new(ServiceOptions {
+        threads: 1,
+        ..ServiceOptions::default()
+    });
+    let mut a = Daemon::for_state(state.clone());
+    let ra = req(&mut a, &load_line(SRC));
+    assert_eq!(ra.get("ok").and_then(Json::as_bool), Some(true), "{ra}");
+    let computed_a = ra
+        .get("facts")
+        .unwrap()
+        .get("computed")
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(computed_a > 0, "first tenant computes cold: {ra}");
+
+    // The second tenant loads the same program concurrently-in-spirit:
+    // every fact — summaries, liveness, classifications, carried deps —
+    // must arrive from the shared tier with ZERO pass invocations.
+    let mut b = Daemon::for_state(state.clone());
+    let rb = req(&mut b, &load_line(SRC));
+    assert_eq!(rb.get("ok").and_then(Json::as_bool), Some(true), "{rb}");
+    let facts = rb.get("facts").unwrap();
+    assert_eq!(
+        facts.get("computed").and_then(Json::as_i64),
+        Some(0),
+        "second session recomputed something: {rb}"
+    );
+    let shared = facts.get("shared").and_then(Json::as_i64).unwrap();
+    assert!(shared > 0, "facts must come from the tier: {rb}");
+    let passes = rb.get("passes").unwrap();
+    for pass in ["summarize", "classify"] {
+        if let Some(p) = passes.get(pass) {
+            assert_eq!(
+                p.get("invocations").and_then(Json::as_i64),
+                Some(0),
+                "{pass} ran in the second session: {rb}"
+            );
+        }
+    }
+
+    // Same verdicts, and the tier accounted the traffic.
+    let va = req(&mut a, r#"{"cmd":"analyze"}"#);
+    let vb = req(&mut b, r#"{"cmd":"analyze"}"#);
+    assert_eq!(
+        format!("{}", va.get("loops").unwrap()),
+        format!("{}", vb.get("loops").unwrap())
+    );
+    let tier = state.tier().stats();
+    assert!(tier.hits > 0, "tier hit counter: {tier:?}");
+    assert!(tier.inserts > 0, "tier insert counter: {tier:?}");
+}
+
+#[test]
+fn assertions_stay_session_private() {
+    let state = ServiceState::new(ServiceOptions {
+        threads: 1,
+        ..ServiceOptions::default()
+    });
+    let mut a = Daemon::for_state(state.clone());
+    let mut b = Daemon::for_state(state.clone());
+    let ra = req(&mut a, &load_line(MDG_LIKE));
+    assert_eq!(ra.get("ok").and_then(Json::as_bool), Some(true), "{ra}");
+    let rb = req(&mut b, &load_line(MDG_LIKE));
+    assert_eq!(rb.get("ok").and_then(Json::as_bool), Some(true), "{rb}");
+
+    // Baseline: main/1000 is sequential for everyone (the rl dependence).
+    let va = req(&mut a, r#"{"cmd":"analyze"}"#);
+    assert_eq!(loop_parallel(&va, "main/1000"), Some(false));
+
+    // Tenant A asserts rl privatizable: its own loop flips parallel.
+    let r = req(
+        &mut a,
+        r#"{"cmd":"assert","loop":"main/1000","var":"rl","kind":"private"}"#,
+    );
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert_eq!(
+        loop_parallel(&r, "main/1000"),
+        Some(true),
+        "assertion must flip A's verdict: {r}"
+    );
+
+    // Tenant B must not observe A's assertion — and its verdicts must be
+    // bit-identical to a fresh single-tenant analysis of the same source.
+    let vb = req(&mut b, r#"{"cmd":"analyze"}"#);
+    assert_eq!(
+        loop_parallel(&vb, "main/1000"),
+        Some(false),
+        "A's assertion leaked into B: {vb}"
+    );
+    let fresh = Session::open(
+        MDG_LIKE,
+        suif_analysis::ScheduleOptions { threads: 1 },
+        Arc::new(suif_analysis::SummaryCache::new()),
+    )
+    .unwrap();
+    assert_eq!(
+        format!("{}", vb.get("loops").unwrap()),
+        format!("{}", fresh.verdicts_json().get("loops").unwrap()),
+        "tenant B diverged from a fresh single-tenant run"
+    );
+
+    // A third tenant arriving AFTER the assertion sees clean facts too:
+    // assertion-tainted classifications were never published to the tier.
+    let mut c = Daemon::for_state(state.clone());
+    let rc = req(&mut c, &load_line(MDG_LIKE));
+    assert_eq!(rc.get("ok").and_then(Json::as_bool), Some(true), "{rc}");
+    let vc = req(&mut c, r#"{"cmd":"analyze"}"#);
+    assert_eq!(
+        loop_parallel(&vc, "main/1000"),
+        Some(false),
+        "A's asserted verdict leaked into the tier: {vc}"
+    );
+    assert_eq!(
+        format!("{}", vc.get("loops").unwrap()),
+        format!("{}", fresh.verdicts_json().get("loops").unwrap())
+    );
+}
+
+/// One line-delimited JSON client over a real socket.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).unwrap();
+        Client {
+            reader: BufReader::new(conn.try_clone().unwrap()),
+            writer: conn,
+        }
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").unwrap();
+        self.writer.flush().unwrap();
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).unwrap();
+        Json::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response {resp:?}: {e}"))
+    }
+}
+
+#[test]
+fn tcp_concurrent_tenants_and_graceful_shutdown() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let state = ServiceState::new(ServiceOptions {
+        threads: 1,
+        ..ServiceOptions::default()
+    });
+    let st = state.clone();
+    let server = std::thread::spawn(move || serve_listener(listener, st));
+
+    // Concurrent tenants: each loads and analyzes over its own connection.
+    let clients: Vec<_> = (0..3)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr);
+                let r = c.roundtrip(&load_line(SRC));
+                assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+                let session = r.get("session").and_then(Json::as_i64).unwrap();
+                let v = c.roundtrip(r#"{"cmd":"analyze"}"#);
+                assert_eq!(v.get("session").and_then(Json::as_i64), Some(session));
+                let loops = format!("{}", v.get("loops").unwrap());
+                let q = c.roundtrip(r#"{"cmd":"quit"}"#);
+                assert_eq!(q.get("ok").and_then(Json::as_bool), Some(true));
+                (session, loops)
+            })
+        })
+        .collect();
+    let results: Vec<(i64, String)> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+    let mut ids: Vec<i64> = results.iter().map(|(id, _)| *id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), 3, "every connection gets its own session id");
+    assert!(
+        results.windows(2).all(|w| w[0].1 == w[1].1),
+        "tenants disagree on verdicts: {results:?}"
+    );
+
+    // A late tenant answers entirely from the shared tier.
+    let mut late = Client::connect(addr);
+    let r = late.roundtrip(&load_line(SRC));
+    assert_eq!(
+        r.get("facts")
+            .unwrap()
+            .get("computed")
+            .and_then(Json::as_i64),
+        Some(0),
+        "late tenant recomputed facts: {r}"
+    );
+    let stats = late.roundtrip(r#"{"cmd":"stats"}"#);
+    let tier = stats.get("tier").unwrap();
+    assert!(tier.get("hits").and_then(Json::as_i64).unwrap() > 0);
+
+    // Graceful shutdown: the issuing connection gets an acknowledgment, the
+    // acceptor drains, and the server thread returns.
+    let r = late.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    assert_eq!(r.get("shutdown").and_then(Json::as_bool), Some(true));
+    server.join().unwrap().unwrap();
+    assert!(state.shutting_down());
+}

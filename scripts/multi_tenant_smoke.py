@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Multi-tenant stress smoke test for the analysis daemon over TCP.
+
+Starts one `suif-explorer serve --tcp 127.0.0.1:0` daemon, then drives N
+concurrent client threads against it, each over its own connection:
+
+  load -> analyze -> stats -> quit
+
+and asserts that (a) every client completes without error or deadlock,
+(b) every connection got a distinct session id and identical loop verdicts
+(no cross-talk), (c) the process-wide shared fact tier served hits (late
+tenants recompute nothing), and (d) a `shutdown` request checkpoints and
+terminates the daemon cleanly.
+
+Usage: multi_tenant_smoke.py <suif-explorer binary> <program.mf> [clients]
+"""
+
+import json
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+
+def roundtrip(sock_file, sock, request):
+    sock.sendall((json.dumps(request) + "\n").encode())
+    line = sock_file.readline()
+    if not line:
+        raise RuntimeError(f"connection closed during {request['cmd']}")
+    resp = json.loads(line)
+    if not resp.get("ok"):
+        raise RuntimeError(f"request {request['cmd']} failed: {resp}")
+    return resp
+
+
+def client(addr, source, out, idx):
+    try:
+        with socket.create_connection(addr, timeout=120) as sock:
+            sock_file = sock.makefile("r", encoding="utf-8")
+            load = roundtrip(sock_file, sock, {"cmd": "load", "text": source})
+            analyze = roundtrip(sock_file, sock, {"cmd": "analyze"})
+            stats = roundtrip(sock_file, sock, {"cmd": "stats"})
+            roundtrip(sock_file, sock, {"cmd": "quit"})
+            out[idx] = {
+                "session": load["session"],
+                "loops": json.dumps(analyze["loops"], sort_keys=True),
+                "computed": load["facts"]["computed"],
+                "tier": stats.get("tier", {}),
+            }
+    except Exception as e:  # surfaces in the main thread's report
+        out[idx] = {"error": f"{type(e).__name__}: {e}"}
+
+
+def main():
+    if len(sys.argv) not in (3, 4):
+        sys.exit(__doc__)
+    binary, program = sys.argv[1], sys.argv[2]
+    clients = int(sys.argv[3]) if len(sys.argv) == 4 else 6
+    with open(program) as f:
+        source = f.read()
+
+    daemon = subprocess.Popen(
+        [binary, "serve", "--tcp", "127.0.0.1:0", "--threads", "1"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        banner = daemon.stdout.readline().strip()
+        if not banner.startswith("listening on "):
+            sys.exit(f"unexpected daemon banner: {banner!r}")
+        host, port = banner.removeprefix("listening on ").rsplit(":", 1)
+        addr = (host, int(port))
+
+        results = [None] * clients
+        threads = [
+            threading.Thread(target=client, args=(addr, source, results, i))
+            for i in range(clients)
+        ]
+        start = time.monotonic()
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        if any(t.is_alive() for t in threads):
+            sys.exit("deadlock: client threads still running after 180s")
+        elapsed = time.monotonic() - start
+
+        errors = [r for r in results if r is None or "error" in r]
+        assert not errors, f"client failures: {errors}"
+
+        sessions = [r["session"] for r in results]
+        assert len(set(sessions)) == clients, f"session ids not distinct: {sessions}"
+        verdicts = {r["loops"] for r in results}
+        assert len(verdicts) == 1, f"tenants disagree on verdicts: {verdicts}"
+
+        # The tier must have served cross-session hits: with N concurrent
+        # tenants on one program, at most one computes each fact.
+        hits = max(r["tier"].get("hits", 0) for r in results)
+        assert hits > 0, f"shared tier served no hits: {results}"
+        zero_recompute = sum(1 for r in results if r["computed"] == 0)
+
+        # Graceful shutdown: ack, checkpoint (none without --persist-dir),
+        # process exit.
+        with socket.create_connection(addr, timeout=30) as sock:
+            sock_file = sock.makefile("r", encoding="utf-8")
+            resp = roundtrip(sock_file, sock, {"cmd": "shutdown"})
+            assert resp.get("shutdown") is True, f"bad shutdown ack: {resp}"
+        daemon.wait(timeout=60)
+        assert daemon.returncode == 0, f"daemon exit code {daemon.returncode}"
+
+        print(
+            f"multi-tenant OK: {clients} concurrent sessions in {elapsed:.1f}s, "
+            f"{hits} shared-tier hits, {zero_recompute} sessions with zero "
+            f"recompute, clean shutdown"
+        )
+    finally:
+        if daemon.poll() is None:
+            daemon.kill()
+        daemon.wait()
+
+
+if __name__ == "__main__":
+    main()
