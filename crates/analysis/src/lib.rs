@@ -67,8 +67,8 @@ pub use parallelize::{
     PrefetchOutcome, ProgramAnalysis, StaticDep, VarClass,
 };
 pub use pipeline::{
-    ExecStats, Executor, ExportedFact, FactKey, FactStore, Pass, PassId, PassMetrics, Scope,
-    StoreByteStats,
+    ExecStats, Executor, ExecutorService, ExportedFact, FactKey, FactStore, Pass, PassId,
+    PassMetrics, Scope, StoreByteStats,
 };
 pub use reduction::RedOp;
 pub use schedule::{ScheduleOptions, ScheduleStats};

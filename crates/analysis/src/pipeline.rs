@@ -46,7 +46,7 @@
 use crate::tier::SharedFactTier;
 use parking_lot::{Condvar, Mutex};
 use std::any::Any;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -255,6 +255,9 @@ pub struct FactStore {
     /// `Liveness`) are published to the tier; everything else stays in the
     /// session-private overlay (see [`FactStore::set_assert_local`]).
     assert_local: AtomicBool,
+    /// Session id credited for tier publishes (fairness accounting);
+    /// `0` until [`FactStore::set_owner`] is called.
+    owner: AtomicU64,
     /// Approximate byte budget for resident facts; `0` = unbounded.
     budget: AtomicUsize,
     /// Approximate resident bytes across all shards.
@@ -272,6 +275,7 @@ impl Default for FactStore {
             metrics: Mutex::new(BTreeMap::new()),
             shared: None,
             assert_local: AtomicBool::new(false),
+            owner: AtomicU64::new(0),
             budget: AtomicUsize::new(0),
             resident: AtomicUsize::new(0),
             clock: AtomicUsize::new(0),
@@ -352,6 +356,12 @@ impl FactStore {
     /// The shared tier this overlay store consults, if any.
     pub fn shared_tier(&self) -> Option<&Arc<SharedFactTier>> {
         self.shared.as_ref()
+    }
+
+    /// Tag tier publishes from this store with the owning session's id
+    /// (drives the tier's per-session accounting and eviction fairness).
+    pub fn set_owner(&self, session_id: u64) {
+        self.owner.store(session_id, Ordering::Relaxed);
     }
 
     /// Set (or clear, with `None`) the approximate byte budget for resident
@@ -532,7 +542,8 @@ impl FactStore {
                 let publishable = !self.assert_local.load(Ordering::Relaxed)
                     || matches!(key.pass, PassId::Summarize | PassId::Liveness);
                 if publishable {
-                    tier.publish(key, hash, bytes, deps, any);
+                    let owner = self.owner.load(Ordering::Relaxed);
+                    tier.publish_owned(owner, key, hash, bytes, deps, any);
                 }
             }
         }
@@ -913,6 +924,144 @@ impl Executor {
             workers,
             wall_secs: t0.elapsed().as_secs_f64(),
             worker_busy_secs: busy.into_iter().map(Mutex::into_inner).collect(),
+        }
+    }
+}
+
+/// A detached job submitted to the [`ExecutorService`].
+type ServiceJob = Box<dyn FnOnce() + Send + 'static>;
+
+struct ServiceQueue {
+    jobs: VecDeque<ServiceJob>,
+    shutdown: bool,
+}
+
+struct ServiceShared {
+    queue: Mutex<ServiceQueue>,
+    ready: Condvar,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// A long-lived pool of detached workers draining a FIFO job queue —
+/// the asynchronous sibling of the scoped [`Executor`].
+///
+/// [`Executor::run`] blocks the caller until the whole fan-out finishes,
+/// which is right for analysis-internal parallelism but wrong for the
+/// evented daemon: the reactor thread must never block on analysis.  The
+/// service accepts `FnOnce` jobs and runs them on its own threads; the
+/// job itself delivers its result (e.g. by pushing a completion and
+/// ringing the reactor's wakeup pipe).
+///
+/// Worker-count policy is shared with [`Executor`] (`Executor::resolve`,
+/// including the `SUIF_EXECUTOR_THREADS` override), with a floor of two
+/// workers so one long-running `analyze` can never starve every other
+/// session's cheap `stats` — even on a single-core host.
+///
+/// Dropping the service finishes already-queued jobs, then joins the
+/// workers.
+pub struct ExecutorService {
+    shared: Arc<ServiceShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ExecutorService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecutorService")
+            .field("workers", &self.workers.len())
+            .field("pending", &self.pending())
+            .finish()
+    }
+}
+
+impl ExecutorService {
+    /// A service with the given worker budget (`0` means one per core);
+    /// resolution matches [`Executor::new`], floored at two workers.
+    pub fn new(threads: usize) -> ExecutorService {
+        let workers = Executor::resolve(threads).max(2);
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new(ServiceQueue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            ready: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("suif-exec-{w}"))
+                    .spawn(move || ExecutorService::worker(shared))
+                    .expect("spawn executor-service worker")
+            })
+            .collect();
+        ExecutorService {
+            shared,
+            workers: handles,
+        }
+    }
+
+    fn worker(shared: Arc<ServiceShared>) {
+        loop {
+            let job = {
+                let mut q = shared.queue.lock();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    shared.ready.wait(&mut q);
+                }
+            };
+            job();
+            shared.completed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Queue a job for execution on a pool thread.  FIFO across the whole
+    /// service; callers needing per-key ordering serialize upstream (the
+    /// daemon runs at most one in-flight job per connection).
+    pub fn submit(&self, job: impl FnOnce() + Send + 'static) {
+        self.shared.submitted.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut q = self.shared.queue.lock();
+            debug_assert!(!q.shutdown, "submit after ExecutorService drop");
+            q.jobs.push_back(Box::new(job));
+        }
+        self.shared.ready.notify_one();
+    }
+
+    /// Resolved worker count.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Jobs submitted over the service's lifetime.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Relaxed)
+    }
+
+    /// Jobs finished over the service's lifetime.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Relaxed)
+    }
+
+    /// Jobs queued or running right now.
+    pub fn pending(&self) -> u64 {
+        self.submitted().saturating_sub(self.completed())
+    }
+}
+
+impl Drop for ExecutorService {
+    fn drop(&mut self) {
+        self.shared.queue.lock().shutdown = true;
+        self.shared.ready.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
     }
 }
@@ -1585,5 +1734,45 @@ mod tests {
         assert!(stats.workers <= exec.threads().max(1));
         assert_eq!(stats.worker_busy_secs.len(), stats.workers);
         assert!(stats.busy_secs() >= 0.0 && stats.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn executor_service_runs_detached_jobs() {
+        let svc = ExecutorService::new(1);
+        assert!(svc.workers() >= 2, "floor of two workers");
+        let counter = Arc::new(AtomicU64::new(0));
+        let (done_tx, done_rx) = std::sync::mpsc::channel();
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            let done_tx = done_tx.clone();
+            svc.submit(move || {
+                counter.fetch_add(1, Ordering::Relaxed);
+                let _ = done_tx.send(());
+            });
+        }
+        for _ in 0..64 {
+            done_rx
+                .recv_timeout(std::time::Duration::from_secs(10))
+                .expect("job completion");
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(svc.submitted(), 64);
+        drop(svc); // joins workers; queued jobs already drained
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    fn executor_service_drop_finishes_queued_jobs() {
+        let counter = Arc::new(AtomicU64::new(0));
+        {
+            let svc = ExecutorService::new(2);
+            for _ in 0..16 {
+                let counter = Arc::clone(&counter);
+                svc.submit(move || {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        } // Drop joins after the queue drains.
+        assert_eq!(counter.load(Ordering::Relaxed), 16);
     }
 }

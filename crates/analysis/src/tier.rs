@@ -58,7 +58,15 @@ struct TierEntry {
     /// an overlay on a hit so session-scoped invalidation keeps
     /// propagating through shared facts.
     deps: Vec<FactKey>,
+    /// Session id of the first publisher ([`WARM_START_OWNER`] for facts
+    /// seeded from a snapshot).  Drives per-session resident accounting and
+    /// eviction fairness; irrelevant to fact identity (content-addressed).
+    owner: u64,
 }
+
+/// Owner id credited for facts installed by a warm-start import rather
+/// than a live session.
+pub const WARM_START_OWNER: u64 = 0;
 
 #[derive(Default)]
 struct TierShard {
@@ -85,6 +93,9 @@ pub struct TierStats {
     pub resident_entries: u64,
     /// Configured byte budget (`None` = unbounded).
     pub budget: Option<u64>,
+    /// Entries spared (skipped, not merely granted second chance) by
+    /// eviction fairness protecting the smallest session.
+    pub fairness_spared: u64,
 }
 
 /// A process-wide, content-addressed store of finished analysis facts,
@@ -98,11 +109,15 @@ pub struct SharedFactTier {
     resident: AtomicUsize,
     /// Clock hand of the second-chance sweep (a shard index).
     clock: AtomicUsize,
+    /// Approximate resident bytes per publishing session — the fairness
+    /// signal (protect the smallest) and the `stats.tier.sessions` payload.
+    owner_bytes: Mutex<HashMap<u64, u64>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
     evicted: AtomicU64,
     evicted_bytes: AtomicU64,
+    fairness_spared: AtomicU64,
 }
 
 impl Default for SharedFactTier {
@@ -130,11 +145,13 @@ impl SharedFactTier {
             budget: AtomicUsize::new(budget.unwrap_or(0)),
             resident: AtomicUsize::new(0),
             clock: AtomicUsize::new(0),
+            owner_bytes: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             evicted_bytes: AtomicU64::new(0),
+            fairness_spared: AtomicU64::new(0),
         }
     }
 
@@ -169,8 +186,13 @@ impl SharedFactTier {
     /// already present is left untouched (by purity the values are
     /// interchangeable, and keeping the resident one preserves pointer
     /// sharing with sessions already holding it).
-    pub fn publish(
+    ///
+    /// `owner` is the publishing session's id — it is credited with the
+    /// entry's bytes for fairness accounting, and an overflow this publish
+    /// causes will not evict the *smallest* other session's facts first.
+    pub fn publish_owned(
         &self,
+        owner: u64,
         key: FactKey,
         hash: u128,
         bytes: usize,
@@ -191,33 +213,86 @@ impl SharedFactTier {
                     referenced: true,
                     key,
                     deps,
+                    owner,
                 },
             );
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
         self.resident.fetch_add(bytes, Ordering::Relaxed);
-        self.evict_to_budget();
+        *self.owner_bytes.lock().entry(owner).or_insert(0) += bytes as u64;
+        self.evict_to_budget(owner);
+    }
+
+    /// [`SharedFactTier::publish_owned`] with the anonymous
+    /// [`WARM_START_OWNER`] — kept for callers that predate per-session
+    /// accounting (tests, single-tenant embedding).
+    pub fn publish(
+        &self,
+        key: FactKey,
+        hash: u128,
+        bytes: usize,
+        deps: Vec<FactKey>,
+        value: Arc<dyn Any + Send + Sync>,
+    ) {
+        self.publish_owned(WARM_START_OWNER, key, hash, bytes, deps, value);
+    }
+
+    /// The session whose facts an overflow caused by `cause` must spare:
+    /// the one with the smallest resident footprint, provided it is not
+    /// the cause itself and at least two sessions hold resident bytes
+    /// (fairness is meaningless with a single tenant).
+    fn fairness_protected(&self, cause: u64) -> Option<u64> {
+        let owners = self.owner_bytes.lock();
+        let holders = owners.iter().filter(|(_, b)| **b > 0);
+        if holders.clone().count() < 2 {
+            return None;
+        }
+        holders
+            .filter(|(o, _)| **o != cause)
+            .min_by_key(|(o, b)| (**b, **o))
+            .map(|(o, _)| *o)
     }
 
     /// Second-chance sweep: while over budget, advance the clock hand over
     /// the shards, giving each referenced entry one round of grace and
     /// evicting the rest.  Two full revolutions guarantee termination even
     /// when everything starts referenced.
-    fn evict_to_budget(&self) {
+    ///
+    /// Fairness: the sweep first runs with the smallest *other* session's
+    /// entries protected outright (a big tenant blowing the budget should
+    /// not flush a small tenant's working set); in the rare case the
+    /// protected facts are themselves most of the tier, a second
+    /// unprotected sweep still guarantees the budget holds.
+    fn evict_to_budget(&self, cause: u64) {
         let budget = self.budget.load(Ordering::Relaxed);
         if budget == 0 {
             return;
         }
+        if let Some(protected) = self.fairness_protected(cause) {
+            self.sweep(budget, Some(protected));
+        }
+        if self.resident.load(Ordering::Relaxed) > budget {
+            self.sweep(budget, None);
+        }
+    }
+
+    fn sweep(&self, budget: usize, protected: Option<u64>) {
         let mut visits = 0;
         while self.resident.load(Ordering::Relaxed) > budget && visits < 2 * TIER_SHARDS {
             let i = self.clock.fetch_add(1, Ordering::Relaxed) % TIER_SHARDS;
             visits += 1;
             let mut freed = 0usize;
             let mut dropped = 0u64;
+            let mut spared = 0u64;
+            let mut owner_freed: HashMap<u64, u64> = HashMap::new();
             {
                 let mut map = self.shards[i].map.lock();
                 map.retain(|_, e| {
                     if self.resident.load(Ordering::Relaxed) <= budget + freed {
+                        return true;
+                    }
+                    if protected == Some(e.owner) {
+                        spared += 1;
                         return true;
                     }
                     if e.referenced {
@@ -226,15 +301,25 @@ impl SharedFactTier {
                     } else {
                         freed += e.bytes;
                         dropped += 1;
+                        *owner_freed.entry(e.owner).or_insert(0) += e.bytes as u64;
                         false
                     }
                 });
+            }
+            if spared > 0 {
+                self.fairness_spared.fetch_add(spared, Ordering::Relaxed);
             }
             if freed > 0 {
                 self.resident.fetch_sub(freed, Ordering::Relaxed);
                 self.evicted.fetch_add(dropped, Ordering::Relaxed);
                 self.evicted_bytes
                     .fetch_add(freed as u64, Ordering::Relaxed);
+                let mut owners = self.owner_bytes.lock();
+                for (o, b) in owner_freed {
+                    if let Some(total) = owners.get_mut(&o) {
+                        *total = total.saturating_sub(b);
+                    }
+                }
             }
         }
     }
@@ -275,13 +360,15 @@ impl SharedFactTier {
                     referenced: true,
                     key: f.key,
                     deps: f.deps.clone(),
+                    owner: WARM_START_OWNER,
                 });
                 self.resident.fetch_add(f.bytes, Ordering::Relaxed);
+                *self.owner_bytes.lock().entry(WARM_START_OWNER).or_insert(0) += f.bytes as u64;
                 installed += 1;
             }
         }
         if installed > 0 {
-            self.evict_to_budget();
+            self.evict_to_budget(WARM_START_OWNER);
         }
         installed
     }
@@ -301,6 +388,20 @@ impl SharedFactTier {
         self.resident.load(Ordering::Relaxed)
     }
 
+    /// Approximate resident bytes per publishing session, sorted by
+    /// session id (owner `0` is warm-start imports).  Sessions whose
+    /// every fact has been evicted are omitted.
+    pub fn session_bytes(&self) -> Vec<(u64, u64)> {
+        let owners = self.owner_bytes.lock();
+        let mut out: Vec<(u64, u64)> = owners
+            .iter()
+            .filter(|(_, b)| **b > 0)
+            .map(|(o, b)| (*o, *b))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Counter snapshot (the daemon's `stats.tier` payload).
     pub fn stats(&self) -> TierStats {
         let budget = self.budget.load(Ordering::Relaxed);
@@ -313,6 +414,7 @@ impl SharedFactTier {
             resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
             resident_entries: self.len() as u64,
             budget: (budget != 0).then_some(budget as u64),
+            fairness_spared: self.fairness_spared.load(Ordering::Relaxed),
         }
     }
 }
@@ -391,6 +493,103 @@ mod tests {
             .count();
         assert_eq!(survivors, tier.len());
         assert!(survivors >= 1);
+    }
+
+    #[test]
+    fn session_bytes_tracks_owners() {
+        let tier = SharedFactTier::new();
+        tier.publish_owned(1, key(PassId::Classify, 0), 10, 100, vec![], Arc::new(0i64));
+        tier.publish_owned(1, key(PassId::Classify, 1), 11, 50, vec![], Arc::new(0i64));
+        tier.publish_owned(2, key(PassId::Classify, 2), 12, 30, vec![], Arc::new(0i64));
+        // Duplicate hash from another owner: first writer keeps the credit.
+        tier.publish_owned(2, key(PassId::Classify, 3), 10, 100, vec![], Arc::new(0i64));
+        assert_eq!(tier.session_bytes(), vec![(1, 150), (2, 30)]);
+        assert_eq!(tier.resident_bytes(), 180);
+    }
+
+    #[test]
+    fn overflow_by_big_tenant_spares_smallest_session() {
+        // Budget fits the small tenant plus a slice of the big one.
+        let tier = SharedFactTier::with_budget(Some(600));
+        // Small tenant (session 1): 2 facts, 100 bytes.
+        for i in 0..2u32 {
+            tier.publish_owned(
+                1,
+                key(PassId::Classify, i),
+                i as u128,
+                50,
+                vec![],
+                Arc::new(0i64),
+            );
+        }
+        // Big tenant (session 2) floods the tier way past budget.
+        for i in 100..140u32 {
+            tier.publish_owned(
+                2,
+                key(PassId::Classify, i),
+                i as u128,
+                100,
+                vec![],
+                Arc::new(0i64),
+            );
+        }
+        let s = tier.stats();
+        assert!(
+            s.resident_bytes <= 600,
+            "budget holds: {} bytes",
+            s.resident_bytes
+        );
+        let sessions = tier.session_bytes();
+        let small = sessions.iter().find(|(o, _)| *o == 1).map(|(_, b)| *b);
+        assert_eq!(
+            small,
+            Some(100),
+            "smallest session untouched by the big tenant's overflow: {sessions:?}"
+        );
+        assert!(s.fairness_spared > 0, "protection engaged");
+        // Every eviction debited its owner: totals reconcile.
+        let total: u64 = sessions.iter().map(|(_, b)| *b).sum();
+        assert_eq!(total, s.resident_bytes);
+    }
+
+    #[test]
+    fn fairness_does_not_protect_sole_tenant_or_break_budget() {
+        let tier = SharedFactTier::with_budget(Some(300));
+        for i in 0..10u32 {
+            tier.publish_owned(
+                7,
+                key(PassId::Classify, i),
+                i as u128,
+                100,
+                vec![],
+                Arc::new(0i64),
+            );
+        }
+        let s = tier.stats();
+        assert!(s.resident_bytes <= 300, "sole tenant still bounded");
+        assert_eq!(s.fairness_spared, 0, "no fairness with one tenant");
+        // Degenerate case: the smallest session itself overflows — the
+        // unprotected second sweep must still enforce the budget.
+        let tier = SharedFactTier::with_budget(Some(250));
+        tier.publish_owned(1, key(PassId::Deps, 0), 1000, 200, vec![], Arc::new(0i64));
+        for i in 0..8u32 {
+            tier.publish_owned(
+                2,
+                key(PassId::Deps, 1 + i),
+                2000 + i as u128,
+                10,
+                vec![],
+                Arc::new(0i64),
+            );
+        }
+        // Session 2 (80 bytes) is smaller than session 1 (200); now session
+        // 2 causes the overflow.
+        tier.publish_owned(2, key(PassId::Deps, 99), 3000, 200, vec![], Arc::new(0i64));
+        assert!(
+            tier.resident_bytes() <= 250,
+            "budget holds even when the cause is the small session: {}",
+            tier.resident_bytes()
+        );
     }
 
     #[test]

@@ -6,7 +6,11 @@
 
 use proptest::prelude::*;
 use std::collections::BTreeMap;
-use suif_analysis::{FactStore, ParallelizeConfig, Parallelizer, ProgramAnalysis, ScheduleOptions};
+use std::sync::Arc;
+use suif_analysis::{
+    FactKey, FactStore, ParallelizeConfig, Parallelizer, PassId, ProgramAnalysis, ScheduleOptions,
+    Scope, SharedFactTier,
+};
 
 /// `n` leaf procedures (elementwise when even, a carried recurrence when
 /// odd) called in sequence by main — enough distinct loops to overflow a
@@ -85,5 +89,54 @@ proptest! {
             bs2.evicted_bytes >= bs.evicted_bytes, true,
             "evicted byte counter is monotone"
         );
+    }
+
+    /// Tier fairness invariants under arbitrary multi-session publish
+    /// sequences: the byte budget holds after every single publish, the
+    /// per-session ledger always reconciles with resident bytes, and the
+    /// second-chance fairness pass never fires with fewer than two
+    /// bytes-holding sessions.
+    #[test]
+    fn tier_budget_and_session_ledger_hold_under_any_publish_order(
+        publishes in prop::collection::vec((1u64..5, 16usize..200), 1..80),
+        budget_units in 2usize..8,
+    ) {
+        let budget = 256 * budget_units;
+        let tier = SharedFactTier::with_budget(Some(budget));
+        let mut owners_seen = std::collections::BTreeSet::new();
+        for (i, (owner, bytes)) in publishes.iter().enumerate() {
+            owners_seen.insert(*owner);
+            tier.publish_owned(
+                *owner,
+                FactKey::new(PassId::Classify, Scope::Loop(suif_ir::StmtId(i as u32))),
+                i as u128, // distinct hashes: every publish is a new fact
+                *bytes,
+                vec![],
+                Arc::new(i as i64),
+            );
+
+            // Budget invariant after EVERY publish, not just at the end.
+            let s = tier.stats();
+            prop_assert!(
+                s.resident_bytes <= budget as u64,
+                "budget breached after publish {i}: {} > {budget}",
+                s.resident_bytes
+            );
+            // The per-session ledger reconciles with the resident total.
+            let ledger: u64 = tier.session_bytes().iter().map(|(_, b)| b).sum();
+            prop_assert_eq!(ledger, s.resident_bytes, "owner ledger drifted at publish {i}");
+        }
+
+        let s = tier.stats();
+        if owners_seen.len() < 2 {
+            prop_assert_eq!(
+                s.fairness_spared, 0,
+                "fairness must not protect a sole tenant"
+            );
+        }
+        // Accounting closes: everything published was either evicted or is
+        // still resident.
+        let total: u64 = publishes.iter().map(|(_, b)| *b as u64).sum();
+        prop_assert_eq!(s.resident_bytes + s.evicted_bytes, total);
     }
 }

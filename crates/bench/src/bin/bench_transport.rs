@@ -1,0 +1,268 @@
+//! Evented-transport benchmark for CI: how many idle sessions the single
+//! reactor thread holds, and what pipelining buys over one-request-per-
+//! write round trips.  Emitted to `BENCH_6.json`.
+//!
+//! Three measurements:
+//! * **idle scaling** — open N idle TCP sessions (default 1000) against
+//!   the daemon and time until the reactor has accepted them all; the
+//!   worker pool must stay at its small fixed size throughout.
+//! * **throughput** — the same command stream sent (a) one write + one
+//!   read per command, (b) all commands pipelined in one write, and
+//!   (c) as a single `batch` request; commands/sec for each.
+//! * **reactor accounting** — polls, wakeups, and offloaded jobs over the
+//!   whole run, from the daemon's own stats.
+//!
+//! Usage: `bench_transport [idle_sessions] [pipeline_commands]`
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::time::{Duration, Instant};
+use suif_server::json::Json;
+use suif_server::{serve_listener, ServiceOptions, ServiceState};
+
+const SRC: &str = "program t
+proc inc(real q[*], int n) {
+ int i
+ do 1 i = 1, n {
+  q[i] = q[i] + 1
+ }
+}
+proc main() {
+ real b[8]
+ int i
+ do 2 i = 1, 8 {
+  b[i] = i
+ }
+ call inc(b, 8)
+ print b[3]
+}";
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: std::net::SocketAddr) -> Client {
+        let conn = TcpStream::connect(addr).expect("connect");
+        // Without this, writeln!'s separate payload + newline writes hit
+        // the Nagle/delayed-ACK interaction (~40ms per round trip) and the
+        // serial baseline measures the TCP stack, not the daemon.
+        conn.set_nodelay(true).expect("nodelay");
+        Client {
+            reader: BufReader::new(conn.try_clone().expect("clone")),
+            writer: conn,
+        }
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut resp = String::new();
+        self.reader.read_line(&mut resp).expect("read");
+        Json::parse(resp.trim()).unwrap_or_else(|e| panic!("bad response {resp:?}: {e}"))
+    }
+
+    fn roundtrip(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("write");
+        self.writer.flush().expect("flush");
+        self.recv()
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let idle_target: usize = args
+        .next()
+        .map(|a| a.parse().expect("idle_sessions"))
+        .unwrap_or(1000);
+    let commands: usize = args
+        .next()
+        .map(|a| a.parse().expect("pipeline_commands"))
+        .unwrap_or(2000);
+
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let state = ServiceState::new(ServiceOptions {
+        threads: 1,
+        ..ServiceOptions::default()
+    });
+    let st = state.clone();
+    let server = std::thread::spawn(move || serve_listener(listener, st));
+
+    let mut c = Client::connect(addr);
+    let escaped = SRC
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n");
+    let r = c.roundtrip(&format!(r#"{{"cmd":"load","text":"{escaped}"}}"#));
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+
+    // ---- idle-session scaling -------------------------------------------
+    let t0 = Instant::now();
+    let idle: Vec<TcpStream> = (0..idle_target)
+        .map(|i| {
+            // Pace the storm just under the listen backlog so the bench
+            // measures the reactor's accept rate, not kernel SYN drops
+            // and their 1s retransmit timeouts.
+            if i % 64 == 63 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            TcpStream::connect(addr).expect("idle connect")
+        })
+        .collect();
+    let (accept_secs, reactor_at_peak) = loop {
+        let v = c.roundtrip(r#"{"cmd":"stats"}"#);
+        let svc = v.get("service").expect("service stats").clone();
+        let reactor = svc.get("reactor").expect("reactor stats").clone();
+        let live = reactor.get("connections").and_then(Json::as_i64).unwrap();
+        if live >= (idle_target + 1) as i64 {
+            break (t0.elapsed().as_secs_f64(), reactor);
+        }
+        assert!(
+            t0.elapsed() < Duration::from_secs(60),
+            "reactor accepted only {live}/{} connections",
+            idle_target + 1
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    let backend = reactor_at_peak
+        .get("backend")
+        .and_then(Json::as_str)
+        .unwrap_or("?")
+        .to_string();
+    let peak = reactor_at_peak
+        .get("peak_connections")
+        .and_then(Json::as_i64)
+        .unwrap_or(0);
+    let v = c.roundtrip(r#"{"cmd":"stats"}"#);
+    let workers = v.get("service").unwrap().get("workers").unwrap().clone();
+    let worker_count = workers.get("count").and_then(Json::as_i64).unwrap_or(0);
+    eprintln!(
+        "idle scaling: {idle_target} sessions held on backend `{backend}` \
+         in {accept_secs:.3}s ({worker_count} workers)"
+    );
+
+    // Reactor accounting deltas around each phase show what pipelining
+    // saves even when command execution (not latency) is the bottleneck:
+    // wakeups and offloaded jobs per command.
+    fn reactor_counters(c: &mut Client) -> (i64, i64) {
+        let v = c.roundtrip(r#"{"cmd":"stats"}"#);
+        let r = v.get("service").unwrap().get("reactor").unwrap().clone();
+        (
+            r.get("wakeups").and_then(Json::as_i64).unwrap_or(0),
+            r.get("offloaded").and_then(Json::as_i64).unwrap_or(0),
+        )
+    }
+
+    // ---- serial: one write + one read per command -----------------------
+    let serial_n = (commands / 4).max(1);
+    let (w0, j0) = reactor_counters(&mut c);
+    let t0 = Instant::now();
+    for _ in 0..serial_n {
+        let v = c.roundtrip(r#"{"cmd":"stats"}"#);
+        assert!(v.get("service").is_some());
+    }
+    let serial_secs = t0.elapsed().as_secs_f64();
+    let serial_cps = serial_n as f64 / serial_secs.max(1e-9);
+    let (w1, j1) = reactor_counters(&mut c);
+    let (serial_wakeups, serial_jobs) = (w1 - w0, j1 - j0);
+
+    // ---- pipelined: every command in ONE write --------------------------
+    let mut payload = String::with_capacity(commands * 20);
+    for i in 0..commands {
+        payload.push_str(&format!("{{\"cmd\":\"stats\",\"id\":{i}}}\n"));
+    }
+    let t0 = Instant::now();
+    c.writer.write_all(payload.as_bytes()).expect("write");
+    c.writer.flush().expect("flush");
+    for i in 0..commands {
+        let v = c.recv();
+        assert_eq!(
+            v.get("id").and_then(Json::as_i64),
+            Some(i as i64),
+            "pipelined replies out of order"
+        );
+    }
+    let pipelined_secs = t0.elapsed().as_secs_f64();
+    let pipelined_cps = commands as f64 / pipelined_secs.max(1e-9);
+    let (w2, j2) = reactor_counters(&mut c);
+    let (pipelined_wakeups, pipelined_jobs) = (w2 - w1, j2 - j1);
+
+    // ---- batch: one request line, ordered per-element replies -----------
+    let mut batch = String::from(r#"{"cmd":"batch","requests":["#);
+    for i in 0..commands {
+        if i > 0 {
+            batch.push(',');
+        }
+        batch.push_str(&format!("{{\"cmd\":\"stats\",\"id\":{i}}}"));
+    }
+    batch.push_str("]}");
+    let t0 = Instant::now();
+    writeln!(c.writer, "{batch}").expect("write");
+    c.writer.flush().expect("flush");
+    for i in 0..commands {
+        let v = c.recv();
+        assert_eq!(
+            v.get("id").and_then(Json::as_i64),
+            Some(i as i64),
+            "batch replies out of order"
+        );
+    }
+    let batch_secs = t0.elapsed().as_secs_f64();
+    let batch_cps = commands as f64 / batch_secs.max(1e-9);
+    let (w3, j3) = reactor_counters(&mut c);
+    let (batch_wakeups, batch_jobs) = (w3 - w2, j3 - j2);
+
+    // ---- final reactor accounting, then shutdown ------------------------
+    let v = c.roundtrip(r#"{"cmd":"stats"}"#);
+    let reactor = v.get("service").unwrap().get("reactor").unwrap().clone();
+    let polls = reactor.get("polls").and_then(Json::as_i64).unwrap_or(0);
+    let wakeups = reactor.get("wakeups").and_then(Json::as_i64).unwrap_or(0);
+    let offloaded = reactor.get("offloaded").and_then(Json::as_i64).unwrap_or(0);
+
+    let r = c.roundtrip(r#"{"cmd":"shutdown"}"#);
+    assert_eq!(r.get("ok").and_then(Json::as_bool), Some(true), "{r}");
+    server.join().expect("join").expect("serve");
+    drop(idle);
+
+    let speedup = pipelined_cps / serial_cps.max(1e-9);
+    eprintln!(
+        "throughput: serial {serial_cps:.0}/s ({serial_jobs} jobs)  \
+         pipelined {pipelined_cps:.0}/s ({pipelined_jobs} jobs, x{speedup:.1})  \
+         batch {batch_cps:.0}/s ({batch_jobs} jobs, {batch_wakeups} wakeups)"
+    );
+    let json = format!(
+        "{{\"bench\":\"evented-transport\",\"backend\":\"{backend}\",\
+         \"idle\":{{\"sessions\":{idle_target},\"accept_secs\":{accept_secs:.4},\
+         \"peak_connections\":{peak},\"workers\":{worker_count}}},\
+         \"serial\":{{\"commands\":{serial_n},\"cps\":{serial_cps:.1},\
+         \"wakeups\":{serial_wakeups},\"jobs\":{serial_jobs}}},\
+         \"pipelined\":{{\"commands\":{commands},\"cps\":{pipelined_cps:.1},\
+         \"wakeups\":{pipelined_wakeups},\"jobs\":{pipelined_jobs},\
+         \"speedup_vs_serial\":{speedup:.2}}},\
+         \"batch\":{{\"commands\":{commands},\"cps\":{batch_cps:.1},\
+         \"wakeups\":{batch_wakeups},\"jobs\":{batch_jobs}}},\
+         \"reactor\":{{\"polls\":{polls},\"wakeups\":{wakeups},\"offloaded\":{offloaded}}}}}"
+    );
+    std::fs::write("BENCH_6.json", &json).expect("write BENCH_6.json");
+    println!("{json}");
+    assert!(
+        peak >= (idle_target + 1) as i64,
+        "idle sessions not all held"
+    );
+    // Serial offloads one worker job per command; pipelining coalesces
+    // whole inbox batches and the `batch` command is a single frame — one
+    // job, one completion wakeup, one round trip (the +1s are the
+    // counter-snapshot stats commands themselves).
+    assert!(
+        serial_jobs >= serial_n as i64,
+        "serial must offload per command: {serial_jobs} jobs for {serial_n}"
+    );
+    assert!(
+        pipelined_jobs < serial_jobs,
+        "pipelining must coalesce jobs: {pipelined_jobs} vs {serial_jobs}"
+    );
+    assert!(
+        batch_jobs <= 2,
+        "a batch request must execute as one offloaded job: {batch_jobs}"
+    );
+}

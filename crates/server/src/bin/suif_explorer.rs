@@ -42,8 +42,11 @@ fn usage() -> String {
                             s of a loop replays deterministically under\n\
                             seed N+s (`certify` and `serve`; default 0)\n\
        --tcp ADDR           serve over TCP instead of stdio (e.g. 127.0.0.1:0);\n\
-                            concurrent connections each get their own session\n\
-                            over the shared fact tier\n\
+                            a single reactor thread multiplexes every\n\
+                            connection (epoll/poll, no thread per client);\n\
+                            each connection gets its own session over the\n\
+                            shared fact tier and may pipeline requests or\n\
+                            send a `batch` command for in-order replies\n\
        --speculate N        pre-classify up to N guru-ranked loops in the\n\
                             background after each `guru` (serve only; default 4)\n\
        --persist-dir DIR    durable fact snapshots in DIR/facts.snap: sessions\n\

@@ -1,29 +1,55 @@
 //! The daemon loop: line-delimited JSON requests over stdio or TCP.
 //!
 //! A daemon process hosts one [`ServiceState`] — the cross-session summary
-//! cache, the process-wide content-addressed fact tier, and the admission
-//! counters — and any number of concurrent [`Daemon`] instances, one per
-//! connection.  Each connection holds at most one [`Session`]; sessions are
-//! thin overlays over the shared tier, so the second tenant to load a
-//! program the first already analyzed recomputes nothing.  The tier and
-//! cache outlive sessions: a `load` after a `quit` or reconnect still
-//! reuses every fact whose content hash matches.
+//! cache, the process-wide content-addressed fact tier, the shared command
+//! worker pool, and the admission counters — and any number of concurrent
+//! [`Daemon`] instances, one per connection.  Each connection holds at most
+//! one [`Session`]; sessions are thin overlays over the shared tier, so the
+//! second tenant to load a program the first already analyzed recomputes
+//! nothing.  The tier and cache outlive sessions: a `load` after a `quit`
+//! or reconnect still reuses every fact whose content hash matches.
 //!
-//! Over TCP the daemon is multi-tenant: every accepted connection gets its
-//! own serving thread and session-registry entry (the `session` id echoed
-//! in every response).  A dropped connection detaches its session without
-//! disturbing the rest; `shutdown` checkpoints the shared tier, closes the
-//! listener, and drains in-flight sessions.
+//! # The evented transport
+//!
+//! Over TCP the daemon is a **reactor**: one event thread multiplexes every
+//! connection over nonblocking sockets through [`crate::reactor::Poller`]
+//! (epoll on Linux, `poll(2)` elsewhere).  The reactor only moves bytes —
+//! it reads chunks into each connection's [`FrameDecoder`], flushes each
+//! connection's bounded write queue, and never parses or executes a
+//! command itself.  Complete frames are handed to the shared
+//! [`ExecutorService`] worker pool: the connection's [`Daemon`] value moves
+//! into the job, executes the queued frames in order, and comes back
+//! through a completion queue plus a [`crate::reactor::WakePipe`] ring —
+//! which is what lets the event thread block indefinitely (no read
+//! timeouts, no polling) without missing work finished elsewhere.
+//!
+//! Per-connection ordering is strict: at most one job per connection is in
+//! flight, and a job executes its frames sequentially, so responses are
+//! written in request order even when the client pipelines many lines (or
+//! a `batch` request) in one write.  Cross-connection progress is the
+//! worker pool's: a long `analyze` on one session occupies one worker
+//! while another session's `stats` answers on a second — the reactor
+//! thread itself is never blocked by either.
+//!
+//! Backpressure is per-connection: a client that stops reading fills its
+//! bounded write queue, which pauses *its* reads (and frame dispatch)
+//! until the queue drains — without stalling anyone else.  A dropped
+//! connection detaches its session; `shutdown` checkpoints the shared
+//! tier, closes the listener, finishes already-queued commands, flushes,
+//! and drains both the reactor and the workers.
 
 use crate::json::Json;
-use crate::proto::{err_response, ok_response, Request};
+use crate::proto::{
+    err_response, ok_response, request_id, Frame, FrameDecoder, Request, MAX_LINE_BYTES,
+};
+use crate::reactor::{Event, Interest, Poller, WakePipe};
 use crate::session::{Session, SessionConfig, SNAPSHOT_FILE};
+use std::collections::VecDeque;
 use std::io::{self, BufRead, Read, Write};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-use suif_analysis::{snapshot, ScheduleOptions, SharedFactTier, SummaryCache};
+use std::sync::{Arc, Mutex, OnceLock};
+use suif_analysis::{snapshot, ExecutorService, ScheduleOptions, SharedFactTier, SummaryCache};
 
 /// Everything that shapes a daemon service, across all its sessions.
 #[derive(Clone, Debug, Default)]
@@ -68,8 +94,36 @@ pub struct ServiceState {
     rejected: AtomicU64,
     /// Monotone session-id source; every connection gets one.
     next_session_id: AtomicU64,
-    /// Set by `shutdown`; the acceptor and every serving thread poll it.
+    /// Set by `shutdown`; the reactor drains and exits once it is up.
     shutdown: AtomicBool,
+    /// Shared command workers: connection jobs execute here so the reactor
+    /// thread never blocks on analysis.
+    workers: ExecutorService,
+    /// Reactor transport counters (see [`ReactorStats`]).
+    reactor: ReactorStats,
+}
+
+/// Transport counters of the evented reactor, reported under
+/// `stats.service.reactor`.
+#[derive(Default)]
+struct ReactorStats {
+    /// Readiness backend in use (`"epoll"`, `"poll"`, `"emulate"`); unset
+    /// until a reactor starts (stdio-only daemons never set it).
+    backend: OnceLock<&'static str>,
+    /// Connections currently registered with the reactor.
+    connections: AtomicUsize,
+    /// High-water mark of concurrently registered connections.
+    peak_connections: AtomicUsize,
+    /// Connections accepted over the service lifetime.
+    accepted: AtomicU64,
+    /// `Poller::wait` returns (event-loop iterations).
+    polls: AtomicU64,
+    /// Wake-pipe rings observed (worker completions signalled).
+    wakeups: AtomicU64,
+    /// Frame batches offloaded to the worker pool.
+    offloaded: AtomicU64,
+    /// Oversize request lines rejected (length-capped framing).
+    oversize: AtomicU64,
 }
 
 impl ServiceState {
@@ -91,6 +145,8 @@ impl ServiceState {
             rejected: AtomicU64::new(0),
             next_session_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            workers: ExecutorService::new(options.threads),
+            reactor: ReactorStats::default(),
         })
     }
 
@@ -147,6 +203,7 @@ impl ServiceState {
 
     /// The `service` object merged into `stats` responses.
     fn service_json(&self) -> Json {
+        let r = &self.reactor;
         Json::obj([
             (
                 "sessions",
@@ -161,6 +218,49 @@ impl ServiceState {
                 Json::int(self.rejected.load(Ordering::SeqCst) as i64),
             ),
             ("max_sessions", Json::int(self.max_sessions as i64)),
+            (
+                "reactor",
+                Json::obj([
+                    (
+                        "backend",
+                        Json::str(*r.backend.get().unwrap_or(&"inactive")),
+                    ),
+                    (
+                        "connections",
+                        Json::int(r.connections.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "peak_connections",
+                        Json::int(r.peak_connections.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "accepted",
+                        Json::int(r.accepted.load(Ordering::Relaxed) as i64),
+                    ),
+                    ("polls", Json::int(r.polls.load(Ordering::Relaxed) as i64)),
+                    (
+                        "wakeups",
+                        Json::int(r.wakeups.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "offloaded",
+                        Json::int(r.offloaded.load(Ordering::Relaxed) as i64),
+                    ),
+                    (
+                        "oversize",
+                        Json::int(r.oversize.load(Ordering::Relaxed) as i64),
+                    ),
+                ]),
+            ),
+            (
+                "workers",
+                Json::obj([
+                    ("count", Json::int(self.workers.workers() as i64)),
+                    ("submitted", Json::int(self.workers.submitted() as i64)),
+                    ("completed", Json::int(self.workers.completed() as i64)),
+                    ("pending", Json::int(self.workers.pending() as i64)),
+                ]),
+            ),
         ])
     }
 }
@@ -232,6 +332,7 @@ impl Daemon {
                 persist_dir: self.state.persist_dir.clone(),
                 tier: Some(self.state.tier.clone()),
                 budget: self.state.session_budget,
+                session_id: self.session_id,
             },
         )
     }
@@ -286,11 +387,99 @@ impl Daemon {
     }
 
     /// Handle one request line; returns the response and whether to close.
+    /// A `batch` line produces several responses — this compatibility shim
+    /// returns only the last; pipelining callers use
+    /// [`Daemon::handle_request`].
     pub fn handle_line(&mut self, line: &str) -> (Json, bool) {
-        let req = match Request::parse(line) {
-            Ok(r) => r,
-            Err(e) => return (self.tag(err_response(&e.0)), false),
+        let (mut responses, close) = self.handle_request(line);
+        let last = responses
+            .pop()
+            .unwrap_or_else(|| self.tag(ok_response(Json::obj([]))));
+        (last, close)
+    }
+
+    /// Handle one request line, producing every response line it owes (one
+    /// for a plain request, one per sub-request for `batch`) and whether
+    /// the connection should close afterwards.  A request carrying an `id`
+    /// gets it echoed in its response.
+    pub fn handle_request(&mut self, line: &str) -> (Vec<Json>, bool) {
+        let v = match Json::parse(line) {
+            Ok(v) => v,
+            Err(e) => return (vec![self.tag(err_response(&e.to_string()))], false),
         };
+        let id = request_id(&v);
+        match Request::from_value(&v) {
+            Err(e) => (vec![with_id(self.tag(err_response(&e.0)), id)], false),
+            Ok(Request::Batch { items }) => {
+                let mut out = Vec::with_capacity(items.len());
+                let mut close = false;
+                for item in items {
+                    // A `quit`/`shutdown` inside the batch stops execution,
+                    // but every remaining element still gets its reply (the
+                    // client counted on one response per sub-request).
+                    if close {
+                        out.push(with_id(
+                            self.tag(err_response("connection closing")),
+                            Some(item.id),
+                        ));
+                        continue;
+                    }
+                    let resp = match item.req {
+                        Err(e) => self.tag(err_response(&e.0)),
+                        Ok(req) => {
+                            let (resp, c) = self.dispatch(*req);
+                            close |= c;
+                            resp
+                        }
+                    };
+                    out.push(with_id(resp, Some(item.id)));
+                }
+                (out, close)
+            }
+            Ok(req) => {
+                let (resp, close) = self.dispatch(req);
+                (vec![with_id(resp, id)], close)
+            }
+        }
+    }
+
+    /// Handle one decoded transport frame (the reactor path): a line frames
+    /// a request, an oversize marker answers with a protocol error, and a
+    /// blank line answers nothing — in all cases the connection survives.
+    pub fn handle_frame(&mut self, frame: &Frame) -> (Vec<Json>, bool) {
+        match frame {
+            Frame::Line(l) if l.trim().is_empty() => (Vec::new(), false),
+            Frame::Line(l) => self.handle_request(l),
+            Frame::Oversize(dropped) => (
+                vec![self.tag(err_response(&format!(
+                    "request line exceeds {MAX_LINE_BYTES} bytes ({dropped} discarded)"
+                )))],
+                false,
+            ),
+        }
+    }
+
+    /// Execute a batch of decoded frames in order, serializing the response
+    /// lines.  Stops at the first close-triggering frame (`quit`,
+    /// `shutdown`); later frames are dropped — the connection is closing.
+    pub fn run_frames(&mut self, frames: &[Frame]) -> (Vec<u8>, bool) {
+        let mut out = Vec::new();
+        for f in frames {
+            let (responses, close) = self.handle_frame(f);
+            for r in responses {
+                out.extend_from_slice(r.to_string().as_bytes());
+                out.push(b'\n');
+            }
+            if close {
+                return (out, true);
+            }
+        }
+        (out, false)
+    }
+
+    /// Execute one parsed request; returns the tagged response and whether
+    /// the connection should close.
+    fn dispatch(&mut self, req: Request) -> (Json, bool) {
         let result: Result<Json, String> = match req {
             Request::Load { text } => self.load_into_session(&text),
             Request::Reload { text } => match self.session.as_mut() {
@@ -348,6 +537,11 @@ impl Daemon {
                 }
                 return (self.tag(ok_response(Json::obj(fields))), true);
             }
+            Request::Batch { .. } => {
+                // Batches are expanded by `handle_request`; one reaching the
+                // single-request dispatcher is a protocol error (nesting).
+                return (self.tag(err_response("batch may not nest")), false);
+            }
         };
         match result {
             Ok(payload) => (self.tag(ok_response(payload)), false),
@@ -355,22 +549,36 @@ impl Daemon {
         }
     }
 
-    /// Serve one connection: read request lines from `input`, write one
-    /// response line each to `output`, until `quit` or EOF.
+    /// Serve one connection: read request lines from `input`, write the
+    /// response line(s) each owes to `output`, until `quit` or EOF.  The
+    /// stdio transport supports `batch` pipelining too.
     pub fn serve(&mut self, input: impl BufRead, output: &mut impl Write) -> io::Result<()> {
         for line in input.lines() {
             let line = line?;
             if line.trim().is_empty() {
                 continue;
             }
-            let (resp, quit) = self.handle_line(&line);
-            writeln!(output, "{resp}")?;
+            let (responses, quit) = self.handle_request(&line);
+            for resp in responses {
+                writeln!(output, "{resp}")?;
+            }
             output.flush()?;
             if quit {
                 break;
             }
         }
         Ok(())
+    }
+}
+
+/// Echo a request `id` into its response object (no-op without one).
+fn with_id(resp: Json, id: Option<Json>) -> Json {
+    match (resp, id) {
+        (Json::Obj(mut m), Some(id)) => {
+            m.insert("id".into(), id);
+            Json::Obj(m)
+        }
+        (resp, _) => resp,
     }
 }
 
@@ -410,56 +618,12 @@ pub fn serve_stdio_with(options: ServiceOptions) -> io::Result<()> {
     daemon.serve(stdin.lock(), &mut stdout)
 }
 
-/// Serve one TCP connection against the shared service state, with a
-/// timeout-polling line reader so the thread notices a `shutdown` raised by
-/// another connection even while idle.
-fn serve_conn(conn: std::net::TcpStream, state: Arc<ServiceState>) -> io::Result<()> {
-    conn.set_read_timeout(Some(Duration::from_millis(100)))?;
-    let mut reader = conn.try_clone()?;
-    let mut writer = conn;
-    let mut daemon = Daemon::for_state(state.clone());
-    let mut buf: Vec<u8> = Vec::new();
-    let mut chunk = [0u8; 4096];
-    loop {
-        // Drain every complete line already buffered; a partial line stays
-        // in `buf` across read timeouts instead of being lost.
-        while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let text = String::from_utf8_lossy(&line);
-            let text = text.trim();
-            if text.is_empty() {
-                continue;
-            }
-            let (resp, quit) = daemon.handle_line(text);
-            writeln!(writer, "{resp}")?;
-            writer.flush()?;
-            if quit {
-                return Ok(());
-            }
-        }
-        if state.shutting_down() {
-            return Ok(());
-        }
-        match reader.read(&mut chunk) {
-            Ok(0) => return Ok(()),
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) => {}
-            Err(e) => return Err(e),
-        }
-    }
-}
-
-/// Serve on a TCP listener, one thread per connection over a shared
-/// [`ServiceState`].  The summary cache and fact tier persist across
-/// connections and are shared between concurrent ones.  Prints `listening
-/// on <addr>` to stdout once bound (bind to port 0 to let the OS pick).
-/// Returns after a `shutdown` request has drained every connection.
+/// Serve on a TCP listener: a single reactor thread multiplexing every
+/// connection over a shared [`ServiceState`].  The summary cache and fact
+/// tier persist across connections and are shared between concurrent ones.
+/// Prints `listening on <addr>` to stdout once bound (bind to port 0 to
+/// let the OS pick).  Returns after a `shutdown` request has drained every
+/// connection and worker.
 pub fn serve_tcp_with(addr: &str, options: ServiceOptions) -> io::Result<()> {
     let listener = std::net::TcpListener::bind(addr)?;
     println!("listening on {}", listener.local_addr()?);
@@ -467,43 +631,399 @@ pub fn serve_tcp_with(addr: &str, options: ServiceOptions) -> io::Result<()> {
     serve_listener(listener, ServiceState::new(options))
 }
 
-/// The multi-tenant accept loop of [`serve_tcp_with`], over an already
-/// bound listener and shared state (tests bind their own listener to learn
-/// the port, then drive this directly).
-pub fn serve_listener(listener: std::net::TcpListener, state: Arc<ServiceState>) -> io::Result<()> {
-    // Non-blocking accept so the loop can poll the shutdown flag.
-    listener.set_nonblocking(true)?;
-    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
-    while !state.shutting_down() {
-        match listener.accept() {
-            Ok((conn, peer)) => {
-                // The accepted socket inherits non-blocking mode on some
-                // platforms; the per-connection reader wants timeouts.
-                conn.set_nonblocking(false)?;
-                let st = state.clone();
-                handles.push(std::thread::spawn(move || {
-                    // A dropped connection must not kill the daemon — log
-                    // the peer and error, detach the session, carry on.
-                    if let Err(e) = serve_conn(conn, st) {
-                        eprintln!("warning: connection {peer}: {e}; session detached");
+/// Per-connection bounded write queue: past this many unflushed response
+/// bytes the reactor pauses the connection's reads (and frame dispatch)
+/// until the client drains — backpressure instead of unbounded buffering.
+const OUTBUF_LIMIT: usize = 1 << 20;
+
+/// Frames queued per connection before reads pause (a pipelining client
+/// cannot out-run the workers into unbounded memory).
+const INBOX_LIMIT: usize = 4096;
+
+/// Reactor poll tokens: the listener, the worker doorbell, then
+/// connections at `slot + TOKEN_BASE`.
+const LISTENER_TOKEN: usize = 0;
+const WAKE_TOKEN: usize = 1;
+const TOKEN_BASE: usize = 2;
+
+/// Defensive poll timeout (ms).  Every state change rings the wake pipe or
+/// arrives as socket readiness, so this fires only if a wakeup is lost to
+/// a bug — a liveness backstop, not a polling interval.
+const HEARTBEAT_MS: i32 = 5000;
+
+/// One finished connection job, travelling worker → reactor.
+struct Completion {
+    slot: usize,
+    /// Slot-reuse guard: stale completions for a closed connection are
+    /// discarded (their `daemon` drop releases the session).
+    generation: u64,
+    daemon: Daemon,
+    /// Serialized response lines, in request order.
+    bytes: Vec<u8>,
+    /// The job executed `quit` or `shutdown`: flush, then close.
+    close: bool,
+}
+
+/// One multiplexed connection's reactor-side state.
+struct Conn {
+    stream: std::net::TcpStream,
+    fd: crate::reactor::RawFd,
+    peer: String,
+    generation: u64,
+    decoder: FrameDecoder,
+    /// Decoded frames awaiting execution, in arrival order.
+    inbox: VecDeque<Frame>,
+    /// The connection's daemon; `None` while a worker job holds it.
+    daemon: Option<Daemon>,
+    /// Pending response bytes (`outpos..` unwritten).
+    outbuf: Vec<u8>,
+    outpos: usize,
+    /// Readiness the poller currently watches for this socket.
+    interest: Interest,
+    /// EOF seen (or a fatal read error): no more input will arrive.
+    read_closed: bool,
+    /// Flush what is owed, then tear down (after `quit`/`shutdown`).
+    closing: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.outbuf.len() - self.outpos
+    }
+
+    /// Push response bytes, compacting the consumed prefix.
+    fn queue_out(&mut self, bytes: &[u8]) {
+        if self.outpos > 0 && self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        self.outbuf.extend_from_slice(bytes);
+    }
+
+    /// Nonblocking flush.  Returns `false` on a fatal write error (peer
+    /// gone): the connection is unsalvageable.
+    fn flush_out(&mut self) -> bool {
+        while self.outpos < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.outpos..]) {
+                Ok(0) => return false,
+                Ok(n) => self.outpos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        if self.outpos == self.outbuf.len() {
+            self.outbuf.clear();
+            self.outpos = 0;
+        }
+        true
+    }
+
+    /// Nonblocking read into the frame decoder.  Returns `false` on a
+    /// fatal read error.
+    fn read_ready(&mut self) -> bool {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.read_closed = true;
+                    return true;
+                }
+                Ok(n) => {
+                    self.decoder.feed(&chunk[..n]);
+                    // Level-triggered readiness will call again for the
+                    // rest; cap one connection's share of the loop.
+                    if n < chunk.len() {
+                        return true;
                     }
-                }));
-                handles.retain(|h| !h.is_finished());
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(50));
-            }
-            Err(e) => {
-                eprintln!("warning: accept failed: {e}");
-                std::thread::sleep(Duration::from_millis(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => {
+                    self.read_closed = true;
+                    return false;
+                }
             }
         }
     }
-    // Drain in-flight sessions (their readers poll the shutdown flag), then
-    // take the final checkpoint over everything they published.
-    for h in handles {
-        let _ = h.join();
+
+    /// Whether reads should stay paused: the peer isn't draining responses
+    /// or has pipelined far ahead of the workers.
+    fn throttled(&self) -> bool {
+        self.pending_out() > OUTBUF_LIMIT || self.inbox.len() > INBOX_LIMIT
     }
+
+    /// The readiness this connection should be watched for right now.
+    fn desired_interest(&self) -> Interest {
+        Interest {
+            readable: !self.read_closed && !self.closing && !self.throttled(),
+            writable: self.pending_out() > 0,
+        }
+    }
+
+    /// This connection owes or expects nothing more — safe to tear down.
+    fn drained(&self, inflight: bool) -> bool {
+        !inflight
+            && self.inbox.is_empty()
+            && self.pending_out() == 0
+            && (self.closing || self.read_closed)
+    }
+}
+
+#[cfg(unix)]
+fn sock_fd<T: std::os::unix::io::AsRawFd>(s: &T, _token: usize) -> crate::reactor::RawFd {
+    s.as_raw_fd() as crate::reactor::RawFd
+}
+#[cfg(not(unix))]
+fn sock_fd<T>(_s: &T, token: usize) -> crate::reactor::RawFd {
+    // The emulation backend never dereferences fds; any unique key works.
+    token
+}
+
+/// The reactor event loop of [`serve_tcp_with`], over an already bound
+/// listener and shared state (tests bind their own listener to learn the
+/// port, then drive this directly).  One thread, nonblocking sockets,
+/// indefinite blocking waits; all command execution happens on
+/// [`ServiceState`]'s worker pool and returns through the wake pipe.
+pub fn serve_listener(listener: std::net::TcpListener, state: Arc<ServiceState>) -> io::Result<()> {
+    listener.set_nonblocking(true)?;
+    let mut poller = Poller::new()?;
+    let _ = state.reactor.backend.set(poller.backend_name());
+    let wake = WakePipe::new()?;
+    let waker = wake.waker();
+    let completions: Arc<Mutex<VecDeque<Completion>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+    let listener_fd = sock_fd(&listener, LISTENER_TOKEN);
+    poller.register(listener_fd, LISTENER_TOKEN, Interest::READ)?;
+    poller.register(wake.read_fd(), WAKE_TOKEN, Interest::READ)?;
+
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut inflight: Vec<bool> = Vec::new();
+    let mut generation: u64 = 0;
+    let mut events: Vec<Event> = Vec::new();
+    let mut listening = true;
+
+    macro_rules! teardown {
+        ($slot:expr) => {{
+            if let Some(conn) = conns[$slot].take() {
+                let _ = poller.deregister(conn.fd);
+                state.reactor.connections.fetch_sub(1, Ordering::Relaxed);
+                free_slots.push($slot);
+                // Dropping `conn` drops its Daemon (if checked in) and the
+                // socket; a Daemon still out on a worker comes back as a
+                // stale-generation completion and is dropped there.
+            }
+        }};
+    }
+
+    loop {
+        state.reactor.polls.fetch_add(1, Ordering::Relaxed);
+        poller.wait(&mut events, HEARTBEAT_MS)?;
+
+        let mut touched: Vec<usize> = Vec::new();
+        for ev in events.iter() {
+            match ev.token {
+                LISTENER_TOKEN => {
+                    // Accept every pending connection (level-triggered, but
+                    // draining now saves wait round-trips).
+                    loop {
+                        match listener.accept() {
+                            Ok((stream, peer)) => {
+                                if state.shutting_down() {
+                                    drop(stream);
+                                    continue;
+                                }
+                                stream.set_nonblocking(true)?;
+                                let _ = stream.set_nodelay(true);
+                                let slot = free_slots.pop().unwrap_or_else(|| {
+                                    conns.push(None);
+                                    inflight.push(false);
+                                    conns.len() - 1
+                                });
+                                generation += 1;
+                                let token = slot + TOKEN_BASE;
+                                let fd = sock_fd(&stream, token);
+                                let daemon = Daemon::for_state(state.clone());
+                                if poller.register(fd, token, Interest::READ).is_err() {
+                                    // Registration failure (fd pressure):
+                                    // refuse this connection, keep serving.
+                                    eprintln!("warning: register {peer} failed; refusing");
+                                    free_slots.push(slot);
+                                    continue;
+                                }
+                                conns[slot] = Some(Conn {
+                                    stream,
+                                    fd,
+                                    peer: peer.to_string(),
+                                    generation,
+                                    decoder: FrameDecoder::default(),
+                                    inbox: VecDeque::new(),
+                                    daemon: Some(daemon),
+                                    outbuf: Vec::new(),
+                                    outpos: 0,
+                                    interest: Interest::READ,
+                                    read_closed: false,
+                                    closing: false,
+                                });
+                                inflight[slot] = false;
+                                state.reactor.accepted.fetch_add(1, Ordering::Relaxed);
+                                let live =
+                                    state.reactor.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                                state
+                                    .reactor
+                                    .peak_connections
+                                    .fetch_max(live, Ordering::Relaxed);
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(e) => {
+                                // Transient accept failure (EMFILE under fd
+                                // pressure): log and move on; level-triggered
+                                // readiness will retry.
+                                eprintln!("warning: accept failed: {e}");
+                                break;
+                            }
+                        }
+                    }
+                }
+                WAKE_TOKEN => {
+                    let drained = wake.drain();
+                    state
+                        .reactor
+                        .wakeups
+                        .fetch_add(drained as u64, Ordering::Relaxed);
+                }
+                token => {
+                    let slot = token - TOKEN_BASE;
+                    let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                        continue;
+                    };
+                    let mut dead = false;
+                    if ev.readable || ev.hangup {
+                        dead |= !conn.read_ready();
+                        while let Some(frame) = conn.decoder.next_frame() {
+                            if matches!(frame, Frame::Oversize(_)) {
+                                state.reactor.oversize.fetch_add(1, Ordering::Relaxed);
+                            }
+                            conn.inbox.push_back(frame);
+                        }
+                    }
+                    if ev.writable {
+                        dead |= !conn.flush_out();
+                    }
+                    if ev.hangup && conn.pending_out() == 0 && conn.inbox.is_empty() {
+                        // Peer is gone and nothing is owed: don't wait for
+                        // a read to confirm.
+                        conn.read_closed = true;
+                    }
+                    if dead {
+                        eprintln!(
+                            "warning: connection {}: peer lost; session detached",
+                            conn.peer
+                        );
+                        teardown!(slot);
+                    } else {
+                        touched.push(slot);
+                    }
+                }
+            }
+        }
+
+        // Worker completions: check the daemon back in, queue its response
+        // bytes, and flush opportunistically.
+        loop {
+            let done = completions.lock().unwrap().pop_front();
+            let Some(done) = done else { break };
+            let Some(conn) = conns.get_mut(done.slot).and_then(Option::as_mut) else {
+                continue; // connection died mid-job; Daemon drops here
+            };
+            if conn.generation != done.generation {
+                continue; // slot was reused; stale Daemon drops here
+            }
+            inflight[done.slot] = false;
+            conn.daemon = Some(done.daemon);
+            conn.closing |= done.close;
+            conn.queue_out(&done.bytes);
+            if !conn.flush_out() {
+                eprintln!(
+                    "warning: connection {}: peer lost; session detached",
+                    conn.peer
+                );
+                teardown!(done.slot);
+                continue;
+            }
+            touched.push(done.slot);
+        }
+
+        // On shutdown: stop accepting and stop reading; queued commands
+        // still run and their responses still flush.
+        if state.shutting_down() && listening {
+            let _ = poller.deregister(listener_fd);
+            listening = false;
+            for (slot, conn) in conns.iter().enumerate() {
+                if conn.is_some() {
+                    touched.push(slot);
+                }
+            }
+        }
+
+        // Dispatch: every connection with queued frames and a checked-in
+        // daemon sends ONE job (its whole current inbox) to the pool.
+        touched.sort_unstable();
+        touched.dedup();
+        for slot in touched {
+            let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if state.shutting_down() {
+                conn.read_closed = true;
+            }
+            if !inflight[slot] && !conn.closing && !conn.inbox.is_empty() {
+                if let Some(mut daemon) = conn.daemon.take() {
+                    let frames: Vec<Frame> = conn.inbox.drain(..).collect();
+                    let gen = conn.generation;
+                    let completions = Arc::clone(&completions);
+                    inflight[slot] = true;
+                    state.reactor.offloaded.fetch_add(1, Ordering::Relaxed);
+                    state.workers.submit(move || {
+                        let (bytes, close) = daemon.run_frames(&frames);
+                        completions.lock().unwrap().push_back(Completion {
+                            slot,
+                            generation: gen,
+                            daemon,
+                            bytes,
+                            close,
+                        });
+                        waker.wake();
+                    });
+                }
+            }
+            let Some(conn) = conns.get_mut(slot).and_then(Option::as_mut) else {
+                continue;
+            };
+            if conn.drained(inflight[slot]) {
+                teardown!(slot);
+                continue;
+            }
+            let want = conn.desired_interest();
+            if want != conn.interest {
+                conn.interest = want;
+                let _ = poller.modify(conn.fd, slot + TOKEN_BASE, want);
+            }
+        }
+
+        if state.shutting_down()
+            && conns.iter().all(Option::is_none)
+            && state.workers.pending() == 0
+        {
+            break;
+        }
+    }
+
+    // Final checkpoint over everything the drained sessions published (the
+    // `shutdown` command itself already checkpointed; this catches facts
+    // published by commands that were still queued behind it).
     if let Err(e) = state.checkpoint() {
         eprintln!("warning: final checkpoint failed: {e}");
     }

@@ -8,18 +8,26 @@
 //! behind the `suif-explorer serve` subcommand, speaking line-delimited JSON
 //! over stdio or TCP.
 
-//! Over TCP the daemon is multi-tenant: one serving thread per connection,
-//! all of them sharing a process-wide content-addressed fact tier and
-//! summary cache (see [`daemon::ServiceState`]), with per-session and
-//! shared byte budgets and admission control.
+//! Over TCP the daemon is multi-tenant and **evented**: a single reactor
+//! thread (see [`reactor`]) multiplexes every connection over nonblocking
+//! sockets — epoll on Linux, `poll(2)` elsewhere — while command execution
+//! is offloaded to a shared worker pool and completions return through a
+//! wakeup pipe.  All sessions share a process-wide content-addressed fact
+//! tier and summary cache (see [`daemon::ServiceState`]), with per-session
+//! and shared byte budgets, admission control, and per-connection bounded
+//! write queues for backpressure.  Clients may pipeline: many request
+//! lines per write, a `batch` command with ordered per-id replies, or both.
 
 pub mod daemon;
 pub mod json;
 pub mod proto;
+pub mod reactor;
 pub mod session;
 
 pub use daemon::{
     serve_listener, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, Daemon,
     ServiceOptions, ServiceState,
 };
+pub use proto::{Frame, FrameDecoder, MAX_LINE_BYTES};
+pub use reactor::{Interest, Poller, WakePipe};
 pub use session::{speculation_order, Session, SessionConfig, SnapshotReport, SNAPSHOT_FILE};

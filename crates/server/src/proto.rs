@@ -1,6 +1,155 @@
-//! Wire protocol: request parsing and response shaping.
+//! Wire protocol: incremental frame decoding, request parsing, and
+//! response shaping.
+//!
+//! The transport is line-delimited JSON, but the evented daemon reads raw
+//! nonblocking byte chunks — a request may arrive one byte at a time
+//! (slow-loris clients) or many requests in one read (pipelining clients).
+//! [`FrameDecoder`] turns that byte stream back into frames: complete
+//! lines, plus explicit [`Frame::Oversize`] markers when a line exceeds
+//! the length cap (the offending bytes are discarded up to the next
+//! newline and the client gets a per-line error response, not a dropped
+//! connection).
+//!
+//! Requests may carry an `id` field (number or string); it is echoed in
+//! the response so pipelining clients can match replies to requests.  The
+//! `batch` command pipelines at the protocol level: its `requests` array
+//! is executed in order on the session and produces exactly one response
+//! line per sub-request, in request order.
 
 use crate::json::Json;
+
+/// Longest accepted request line, in bytes.  Large enough for any program
+/// the analyzer would want in one `load` (the whole benchmark suite fits
+/// in well under 1 MiB), small enough that a garbage or hostile stream
+/// cannot balloon a connection's read buffer.
+pub const MAX_LINE_BYTES: usize = 4 * 1024 * 1024;
+
+/// One decoded frame from the byte stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// A complete request line (without the trailing newline), decoded
+    /// lossily from UTF-8 — [`Request::parse`] reports malformed JSON as a
+    /// per-line error.
+    Line(String),
+    /// A line exceeded [`MAX_LINE_BYTES`]; `0` bytes of it were kept.  The
+    /// payload is how many bytes were discarded (including any still
+    /// uncounted when the terminating newline finally arrived).
+    Oversize(usize),
+}
+
+/// Incremental line framer over a nonblocking byte stream.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::feed`]; pull complete frames
+/// with [`FrameDecoder::next_frame`].  A partial line stays buffered
+/// across feeds (never lost, never served early).  Lines longer than the
+/// cap flip the decoder into discard mode: bytes are dropped until the
+/// next newline, then a single [`Frame::Oversize`] frame is emitted so the
+/// daemon can answer with an error instead of silently swallowing input.
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Byte cap per line.
+    max: usize,
+    /// In discard mode: bytes dropped so far of the oversize line.
+    discarding: Option<usize>,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder::new(MAX_LINE_BYTES)
+    }
+}
+
+impl FrameDecoder {
+    /// A decoder enforcing `max_line` bytes per frame.
+    pub fn new(max_line: usize) -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            max: max_line.max(1),
+            discarding: None,
+        }
+    }
+
+    /// Append freshly read bytes.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if let Some(dropped) = &mut self.discarding {
+            // Still inside an oversize line: drop up to (and excluding)
+            // the terminating newline; keep the tail for normal framing.
+            match bytes.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    *dropped += pos;
+                    let rest = &bytes[pos..]; // keep the newline itself
+                    self.buf.extend_from_slice(rest);
+                }
+                None => {
+                    *dropped += bytes.len();
+                }
+            }
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// The next complete frame, if one is buffered.
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if let Some(dropped) = self.discarding {
+            // The oversize line terminates at the first buffered newline.
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                debug_assert_eq!(pos, 0, "discard mode keeps only the newline tail");
+                self.buf.drain(..=pos);
+                self.discarding = None;
+                return Some(Frame::Oversize(dropped));
+            }
+            return None;
+        }
+        match self.buf.iter().position(|&b| b == b'\n') {
+            // A whole oversize line can arrive before the first
+            // `next_frame` call (one big read batch): the cap applies to
+            // complete lines too, not just still-partial ones.
+            Some(pos) if pos > self.max => {
+                self.buf.drain(..=pos);
+                Some(Frame::Oversize(pos))
+            }
+            Some(pos) => {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line[..pos]).trim().to_string();
+                Some(Frame::Line(text))
+            }
+            None if self.buf.len() > self.max => {
+                // No newline yet and already past the cap: discard what is
+                // buffered and everything until the newline arrives.
+                let dropped = self.buf.len();
+                self.buf.clear();
+                self.discarding = Some(dropped);
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// Whether a partial (incomplete) line is buffered — used by shutdown
+    /// to decide a connection has nothing more to answer.
+    pub fn has_partial(&self) -> bool {
+        !self.buf.is_empty() || self.discarding.is_some()
+    }
+
+    /// Bytes currently buffered (cap-bounded by construction).
+    pub fn buffered_bytes(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// One sub-request of a `batch` command: the reply id it must be answered
+/// under, and the parse outcome (a malformed element answers with an error
+/// under its id without aborting the rest of the batch).
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Echoed in the sub-response: the element's `id` field, defaulting to
+    /// its zero-based index in the batch.
+    pub id: Json,
+    /// The parsed sub-request, or the per-element protocol error.
+    pub req: Result<Box<Request>, ProtoError>,
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone)]
@@ -41,16 +190,34 @@ pub enum Request {
     /// Stop the whole daemon gracefully: checkpoint the shared fact tier,
     /// stop accepting connections, and drain in-flight sessions.
     Shutdown,
+    /// Pipelined sub-requests, executed in order on this session; one
+    /// response line per element, in request order, each tagged with the
+    /// element's id.
+    Batch { items: Vec<BatchItem> },
 }
 
 /// Protocol-level failure, reported to the client as an error response.
 #[derive(Debug, Clone)]
 pub struct ProtoError(pub String);
 
+/// The request's `id` field, if it carries one a response can echo
+/// (numbers and strings only — clients matching replies need a scalar).
+pub fn request_id(v: &Json) -> Option<Json> {
+    match v.get("id") {
+        Some(id @ (Json::Num(_) | Json::Str(_))) => Some(id.clone()),
+        _ => None,
+    }
+}
+
 impl Request {
     /// Parse one line of client input.
     pub fn parse(line: &str) -> Result<Request, ProtoError> {
         let v = Json::parse(line).map_err(|e| ProtoError(e.to_string()))?;
+        Request::from_value(&v)
+    }
+
+    /// Parse an already-decoded JSON request value.
+    pub fn from_value(v: &Json) -> Result<Request, ProtoError> {
         let cmd = v
             .get("cmd")
             .and_then(Json::as_str)
@@ -63,10 +230,10 @@ impl Request {
         };
         match cmd {
             "load" => Ok(Request::Load {
-                text: text_field(&v)?,
+                text: text_field(v)?,
             }),
             "reload" => Ok(Request::Reload {
-                text: text_field(&v)?,
+                text: text_field(v)?,
             }),
             "analyze" => Ok(Request::Analyze),
             "guru" => Ok(Request::Guru),
@@ -129,6 +296,31 @@ impl Request {
             "checkpoint" => Ok(Request::Checkpoint),
             "quit" => Ok(Request::Quit),
             "shutdown" => Ok(Request::Shutdown),
+            "batch" => {
+                let elems = match v.get("requests") {
+                    Some(Json::Arr(elems)) => elems,
+                    _ => return Err(ProtoError("batch requires array field \"requests\"".into())),
+                };
+                if elems.is_empty() {
+                    return Err(ProtoError("batch \"requests\" must be non-empty".into()));
+                }
+                let items = elems
+                    .iter()
+                    .enumerate()
+                    .map(|(i, elem)| {
+                        let id = request_id(elem).unwrap_or(Json::Num(i as f64));
+                        let req = match Request::from_value(elem) {
+                            Ok(Request::Batch { .. }) => {
+                                Err(ProtoError("batch may not nest batch".into()))
+                            }
+                            Ok(r) => Ok(Box::new(r)),
+                            Err(e) => Err(e),
+                        };
+                        BatchItem { id, req }
+                    })
+                    .collect();
+                Ok(Request::Batch { items })
+            }
             other => Err(ProtoError(format!("unknown cmd {other:?}"))),
         }
     }
@@ -221,6 +413,116 @@ mod tests {
         ));
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"cmd":"frobnicate"}"#).is_err());
+    }
+
+    #[test]
+    fn decoder_reassembles_split_lines() {
+        let mut d = FrameDecoder::new(1024);
+        for b in b"{\"cmd\":\"stats\"}" {
+            d.feed(&[*b]);
+            assert_eq!(d.next_frame(), None, "no frame before the newline");
+        }
+        assert!(d.has_partial());
+        d.feed(b"\n");
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"stats\"}".into()))
+        );
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn decoder_splits_pipelined_chunk() {
+        let mut d = FrameDecoder::default();
+        d.feed(b"{\"cmd\":\"guru\"}\n{\"cmd\":\"stats\"}\n{\"cmd\":");
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"guru\"}".into()))
+        );
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"stats\"}".into()))
+        );
+        assert_eq!(d.next_frame(), None);
+        assert!(d.has_partial());
+        d.feed(b"\"quit\"}\r\n");
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"quit\"}".into()))
+        );
+    }
+
+    #[test]
+    fn decoder_caps_oversize_lines() {
+        let mut d = FrameDecoder::new(16);
+        d.feed(&[b'x'; 40]);
+        assert_eq!(d.next_frame(), None);
+        d.feed(&[b'y'; 10]);
+        assert_eq!(d.next_frame(), None);
+        d.feed(b"zz\n{\"cmd\":\"stats\"}\n");
+        assert_eq!(d.next_frame(), Some(Frame::Oversize(52)));
+        // The stream recovers: the next line frames normally.
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"stats\"}".into()))
+        );
+        assert_eq!(d.next_frame(), None);
+        assert!(!d.has_partial());
+    }
+
+    #[test]
+    fn decoder_caps_complete_lines_arriving_in_one_batch() {
+        // The whole oversize line (newline included) can be buffered
+        // before the first next_frame() call; the cap still applies.
+        let mut d = FrameDecoder::new(16);
+        d.feed(b"xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx\n{\"cmd\":\"stats\"}\n");
+        assert_eq!(d.next_frame(), Some(Frame::Oversize(32)));
+        assert_eq!(
+            d.next_frame(),
+            Some(Frame::Line("{\"cmd\":\"stats\"}".into()))
+        );
+        assert_eq!(d.next_frame(), None);
+    }
+
+    #[test]
+    fn parses_batch() {
+        let req = Request::parse(
+            r#"{"cmd":"batch","requests":[{"cmd":"guru","id":"g1"},{"cmd":"nope"},{"cmd":"stats"}]}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Batch { items } => {
+                assert_eq!(items.len(), 3);
+                assert_eq!(items[0].id, Json::str("g1"));
+                assert!(matches!(items[0].req.as_deref(), Ok(Request::Guru)));
+                assert_eq!(items[1].id, Json::Num(1.0));
+                assert!(items[1].req.is_err(), "bad element is a per-item error");
+                assert!(matches!(items[2].req.as_deref(), Ok(Request::Stats)));
+            }
+            other => panic!("bad batch parse: {other:?}"),
+        }
+        assert!(Request::parse(r#"{"cmd":"batch"}"#).is_err());
+        assert!(Request::parse(r#"{"cmd":"batch","requests":[]}"#).is_err());
+        assert!(Request::parse(
+            r#"{"cmd":"batch","requests":[{"cmd":"batch","requests":[{"cmd":"stats"}]}]}"#
+        )
+        .map(|r| match r {
+            Request::Batch { items } => items[0].req.is_err(),
+            _ => false,
+        })
+        .unwrap_or(false));
+    }
+
+    #[test]
+    fn extracts_request_ids() {
+        let v = Json::parse(r#"{"cmd":"stats","id":7}"#).unwrap();
+        assert_eq!(request_id(&v), Some(Json::Num(7.0)));
+        let v = Json::parse(r#"{"cmd":"stats","id":"abc"}"#).unwrap();
+        assert_eq!(request_id(&v), Some(Json::str("abc")));
+        let v = Json::parse(r#"{"cmd":"stats","id":[1]}"#).unwrap();
+        assert_eq!(request_id(&v), None);
+        let v = Json::parse(r#"{"cmd":"stats"}"#).unwrap();
+        assert_eq!(request_id(&v), None);
     }
 
     #[test]

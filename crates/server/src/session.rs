@@ -153,6 +153,9 @@ pub struct SessionConfig {
     pub tier: Option<Arc<SharedFactTier>>,
     /// Per-session byte budget for resident facts (`None` = unbounded).
     pub budget: Option<usize>,
+    /// Daemon-assigned session id; tags tier publishes for per-session
+    /// accounting and eviction fairness (`0` = anonymous/single-tenant).
+    pub session_id: u64,
 }
 
 /// Load `path` (if it exists) and import every entry whose input hash
@@ -271,6 +274,7 @@ impl Session {
                 persist_dir: persist_dir.map(Path::to_path_buf),
                 tier: None,
                 budget: None,
+                session_id: 0,
             },
         )
     }
@@ -289,6 +293,7 @@ impl Session {
             persist_dir,
             tier,
             budget,
+            session_id,
         } = cfg;
         let program = Arc::new(suif_ir::parse_program(source).map_err(|e| e.to_string())?);
         // SAFETY: the program is heap-allocated behind an `Arc` held by this
@@ -300,6 +305,7 @@ impl Session {
             None => FactStore::new(),
         });
         store.set_budget(budget);
+        store.set_owner(session_id);
         let persist = persist_dir.map(|d| d.join(SNAPSHOT_FILE));
         let mut report = SnapshotReport::default();
         if let Some(path) = &persist {
@@ -1063,8 +1069,10 @@ impl Drop for Session {
     }
 }
 
-/// The `tier` object of `stats`: process-wide shared-tier counters.
-fn tier_json(t: &SharedFactTier) -> Json {
+/// The `tier` object of `stats`: process-wide shared-tier counters, plus
+/// per-session resident bytes (`sessions`, keyed by session id — `"0"` is
+/// warm-start imports) for eviction-fairness visibility.
+pub(crate) fn tier_json(t: &SharedFactTier) -> Json {
     let ts = t.stats();
     let mut fields = vec![
         ("hits", Json::int(ts.hits as i64)),
@@ -1074,10 +1082,17 @@ fn tier_json(t: &SharedFactTier) -> Json {
         ("evicted_bytes", Json::int(ts.evicted_bytes as i64)),
         ("resident_bytes", Json::int(ts.resident_bytes as i64)),
         ("resident_entries", Json::int(ts.resident_entries as i64)),
+        ("fairness_spared", Json::int(ts.fairness_spared as i64)),
     ];
     if let Some(b) = ts.budget {
         fields.push(("budget", Json::int(b as i64)));
     }
+    let sessions: std::collections::BTreeMap<String, Json> = t
+        .session_bytes()
+        .into_iter()
+        .map(|(owner, bytes)| (owner.to_string(), Json::int(bytes as i64)))
+        .collect();
+    fields.push(("sessions", Json::Obj(sessions)));
     Json::obj(fields)
 }
 

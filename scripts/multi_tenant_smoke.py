@@ -12,9 +12,20 @@ and asserts that (a) every client completes without error or deadlock,
 tenants recompute nothing), and (d) a `shutdown` request checkpoints and
 terminates the daemon cleanly.
 
-Usage: multi_tenant_smoke.py <suif-explorer binary> <program.mf> [clients]
+With --pipeline each client writes its whole command sequence in ONE send
+(no waiting between requests) and then reads the replies back, asserting
+they arrive in request order with matching ids — exercising the evented
+daemon's frame decoder and per-connection ordering guarantee.
+
+With --idle N the run additionally holds N idle connections open on the
+single reactor thread for the whole test, and asserts the daemon's stats
+saw them all concurrently.
+
+Usage: multi_tenant_smoke.py BINARY PROGRAM.mf [--clients N] [--pipeline]
+                             [--idle N]
 """
 
+import argparse
 import json
 import socket
 import subprocess
@@ -34,38 +45,81 @@ def roundtrip(sock_file, sock, request):
     return resp
 
 
-def client(addr, source, out, idx):
+def client(addr, source, out, idx, pipeline):
+    requests = [
+        {"cmd": "load", "text": source, "id": "load"},
+        {"cmd": "analyze", "id": "analyze"},
+        {"cmd": "stats", "id": "stats"},
+        {"cmd": "quit", "id": "quit"},
+    ]
     try:
         with socket.create_connection(addr, timeout=120) as sock:
             sock_file = sock.makefile("r", encoding="utf-8")
-            load = roundtrip(sock_file, sock, {"cmd": "load", "text": source})
-            analyze = roundtrip(sock_file, sock, {"cmd": "analyze"})
-            stats = roundtrip(sock_file, sock, {"cmd": "stats"})
-            roundtrip(sock_file, sock, {"cmd": "quit"})
+            if pipeline:
+                # One write for the whole session; replies must come back
+                # in request order, tagged with the ids we sent.
+                payload = "".join(json.dumps(r) + "\n" for r in requests)
+                sock.sendall(payload.encode())
+                resps = {}
+                for want in requests:
+                    line = sock_file.readline()
+                    if not line:
+                        raise RuntimeError(f"closed before reply {want['id']}")
+                    resp = json.loads(line)
+                    if resp.get("id") != want["id"]:
+                        raise RuntimeError(
+                            f"reply out of order: want {want['id']}, got {resp}"
+                        )
+                    if not resp.get("ok"):
+                        raise RuntimeError(f"request {want['id']} failed: {resp}")
+                    resps[want["id"]] = resp
+                load, analyze, stats = resps["load"], resps["analyze"], resps["stats"]
+            else:
+                load = roundtrip(sock_file, sock, requests[0])
+                analyze = roundtrip(sock_file, sock, requests[1])
+                stats = roundtrip(sock_file, sock, requests[2])
+                roundtrip(sock_file, sock, requests[3])
             out[idx] = {
                 "session": load["session"],
                 "loops": json.dumps(analyze["loops"], sort_keys=True),
                 "computed": load["facts"]["computed"],
                 "tier": stats.get("tier", {}),
+                "service": stats.get("service", {}),
             }
     except Exception as e:  # surfaces in the main thread's report
         out[idx] = {"error": f"{type(e).__name__}: {e}"}
 
 
 def main():
-    if len(sys.argv) not in (3, 4):
-        sys.exit(__doc__)
-    binary, program = sys.argv[1], sys.argv[2]
-    clients = int(sys.argv[3]) if len(sys.argv) == 4 else 6
-    with open(program) as f:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("binary", help="path to the suif-explorer binary")
+    ap.add_argument("program", help="program source to load in every session")
+    ap.add_argument("--clients", type=int, default=6, help="concurrent clients")
+    ap.add_argument(
+        "--pipeline",
+        action="store_true",
+        help="each client writes all requests in one send and checks reply order",
+    )
+    ap.add_argument(
+        "--idle",
+        type=int,
+        default=0,
+        metavar="N",
+        help="hold N idle connections open for the whole run",
+    )
+    args = ap.parse_args()
+    with open(args.program) as f:
         source = f.read()
 
     daemon = subprocess.Popen(
-        [binary, "serve", "--tcp", "127.0.0.1:0", "--threads", "1"],
+        [args.binary, "serve", "--tcp", "127.0.0.1:0", "--threads", "1"],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
     )
+    idle_socks = []
     try:
         banner = daemon.stdout.readline().strip()
         if not banner.startswith("listening on "):
@@ -73,10 +127,19 @@ def main():
         host, port = banner.removeprefix("listening on ").rsplit(":", 1)
         addr = (host, int(port))
 
-        results = [None] * clients
+        # Idle load: connections that never send a byte, held across the
+        # whole active phase on the one reactor thread.
+        for i in range(args.idle):
+            idle_socks.append(socket.create_connection(addr, timeout=30))
+            if i % 64 == 63:
+                time.sleep(0.002)  # stay under the listen backlog
+
+        results = [None] * args.clients
         threads = [
-            threading.Thread(target=client, args=(addr, source, results, i))
-            for i in range(clients)
+            threading.Thread(
+                target=client, args=(addr, source, results, i, args.pipeline)
+            )
+            for i in range(args.clients)
         ]
         start = time.monotonic()
         for t in threads:
@@ -91,7 +154,7 @@ def main():
         assert not errors, f"client failures: {errors}"
 
         sessions = [r["session"] for r in results]
-        assert len(set(sessions)) == clients, f"session ids not distinct: {sessions}"
+        assert len(set(sessions)) == args.clients, f"session ids not distinct: {sessions}"
         verdicts = {r["loops"] for r in results}
         assert len(verdicts) == 1, f"tenants disagree on verdicts: {verdicts}"
 
@@ -100,6 +163,17 @@ def main():
         hits = max(r["tier"].get("hits", 0) for r in results)
         assert hits > 0, f"shared tier served no hits: {results}"
         zero_recompute = sum(1 for r in results if r["computed"] == 0)
+
+        # With idle load, the daemon's own accounting must have seen every
+        # connection concurrently on the reactor.
+        if args.idle:
+            peak = max(
+                r["service"].get("reactor", {}).get("peak_connections", 0)
+                for r in results
+            )
+            assert peak >= args.idle, (
+                f"reactor held {peak} connections, wanted >= {args.idle}"
+            )
 
         # Graceful shutdown: ack, checkpoint (none without --persist-dir),
         # process exit.
@@ -110,12 +184,16 @@ def main():
         daemon.wait(timeout=60)
         assert daemon.returncode == 0, f"daemon exit code {daemon.returncode}"
 
+        mode = "pipelined" if args.pipeline else "serial"
+        idle_note = f", {args.idle} idle connections held" if args.idle else ""
         print(
-            f"multi-tenant OK: {clients} concurrent sessions in {elapsed:.1f}s, "
-            f"{hits} shared-tier hits, {zero_recompute} sessions with zero "
-            f"recompute, clean shutdown"
+            f"multi-tenant OK: {args.clients} concurrent {mode} sessions in "
+            f"{elapsed:.1f}s, {hits} shared-tier hits, {zero_recompute} sessions "
+            f"with zero recompute{idle_note}, clean shutdown"
         )
     finally:
+        for s in idle_socks:
+            s.close()
         if daemon.poll() is None:
             daemon.kill()
         daemon.wait()
