@@ -91,6 +91,10 @@ pub struct TierStats {
     pub resident_bytes: u64,
     /// Resident entries right now.
     pub resident_entries: u64,
+    /// High-water mark of resident bytes over the tier's lifetime (eviction
+    /// lowers `resident_bytes` but never this) — the peak memory the tier
+    /// actually held, the corpus benchmark's bounded-memory signal.
+    pub peak_resident_bytes: u64,
     /// Configured byte budget (`None` = unbounded).
     pub budget: Option<u64>,
     /// Entries spared (skipped, not merely granted second chance) by
@@ -107,6 +111,8 @@ pub struct SharedFactTier {
     /// Byte budget; `0` means unbounded.
     budget: AtomicUsize,
     resident: AtomicUsize,
+    /// High-water mark of `resident` (never decremented).
+    peak_resident: AtomicUsize,
     /// Clock hand of the second-chance sweep (a shard index).
     clock: AtomicUsize,
     /// Approximate resident bytes per publishing session — the fairness
@@ -144,6 +150,7 @@ impl SharedFactTier {
             shards: (0..TIER_SHARDS).map(|_| TierShard::default()).collect(),
             budget: AtomicUsize::new(budget.unwrap_or(0)),
             resident: AtomicUsize::new(0),
+            peak_resident: AtomicUsize::new(0),
             clock: AtomicUsize::new(0),
             owner_bytes: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -218,7 +225,8 @@ impl SharedFactTier {
             );
         }
         self.inserts.fetch_add(1, Ordering::Relaxed);
-        self.resident.fetch_add(bytes, Ordering::Relaxed);
+        let now = self.resident.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        self.peak_resident.fetch_max(now, Ordering::Relaxed);
         *self.owner_bytes.lock().entry(owner).or_insert(0) += bytes as u64;
         self.evict_to_budget(owner);
     }
@@ -362,7 +370,8 @@ impl SharedFactTier {
                     deps: f.deps.clone(),
                     owner: WARM_START_OWNER,
                 });
-                self.resident.fetch_add(f.bytes, Ordering::Relaxed);
+                let now = self.resident.fetch_add(f.bytes, Ordering::Relaxed) + f.bytes;
+                self.peak_resident.fetch_max(now, Ordering::Relaxed);
                 *self.owner_bytes.lock().entry(WARM_START_OWNER).or_insert(0) += f.bytes as u64;
                 installed += 1;
             }
@@ -386,6 +395,11 @@ impl SharedFactTier {
     /// Approximate resident bytes.
     pub fn resident_bytes(&self) -> usize {
         self.resident.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of resident bytes over the tier's lifetime.
+    pub fn peak_resident_bytes(&self) -> usize {
+        self.peak_resident.load(Ordering::Relaxed)
     }
 
     /// Approximate resident bytes per publishing session, sorted by
@@ -413,6 +427,7 @@ impl SharedFactTier {
             evicted_bytes: self.evicted_bytes.load(Ordering::Relaxed),
             resident_bytes: self.resident.load(Ordering::Relaxed) as u64,
             resident_entries: self.len() as u64,
+            peak_resident_bytes: self.peak_resident.load(Ordering::Relaxed) as u64,
             budget: (budget != 0).then_some(budget as u64),
             fairness_spared: self.fairness_spared.load(Ordering::Relaxed),
         }

@@ -1,0 +1,151 @@
+//! Corpus-mode benchmark for CI: fan a generator-built fleet of MiniF
+//! programs across the corpus driver with injected faults and a bounded
+//! shared tier, and report throughput and memory.  Emitted to
+//! `BENCH_7.json`.
+//!
+//! Two passes over the same fixed-seed corpus (default 1000 programs):
+//!
+//! * **cold** — the corpus plus three hostile entries (a parse error, an
+//!   oversize blob, and one generated program armed to panic inside the
+//!   analysis).  Asserts the isolation contract: every sibling completes,
+//!   every fault is exactly one error record, the run never fails.
+//! * **warm** — the clean corpus again over the now-populated tier; its
+//!   hit ratio is what the content-addressed tier buys a fleet that
+//!   re-analyzes (restarts, re-runs, overlapping batches).  The cold pass
+//!   cannot hit: distinct programs have distinct content hashes.
+//!
+//! Usage: `bench_corpus [programs] [workers] [shared_budget_bytes]`
+
+use std::sync::Arc;
+use std::time::Instant;
+use suif_analysis::{SharedFactTier, SummaryCache};
+use suif_server::{generated_entries, run_corpus, CorpusEntry, CorpusOptions, CorpusRun};
+
+const SEED_BASE: u64 = 20_000;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let programs: usize = args
+        .next()
+        .map(|a| a.parse().expect("programs"))
+        .unwrap_or(1000);
+    let workers: usize = args
+        .next()
+        .map(|a| a.parse().expect("workers"))
+        .unwrap_or(0);
+    let shared_budget: u64 = args
+        .next()
+        .map(|a| a.parse().expect("shared_budget_bytes"))
+        .unwrap_or(16 << 20);
+
+    let mut entries = generated_entries(programs, SEED_BASE);
+    let panic_name = minif_gen::name_for_seed(SEED_BASE + (programs as u64) / 2);
+    entries.push(CorpusEntry {
+        name: "hostile-parse".into(),
+        source: "program p\nthis is not minif\n".into(),
+    });
+    entries.push(CorpusEntry {
+        name: "hostile-oversize".into(),
+        source: "x".repeat(128 * 1024),
+    });
+    let total = entries.len();
+
+    let tier = Arc::new(SharedFactTier::with_budget(Some(shared_budget as usize)));
+    let cache = Arc::new(SummaryCache::new());
+    let opts = CorpusOptions {
+        workers,
+        // Cap above every generated program, below the oversize blob.
+        max_program_bytes: 64 * 1024,
+        inject_panic: Some(panic_name.clone()),
+        ..CorpusOptions::default()
+    };
+
+    let timed = |entries: Vec<CorpusEntry>, opts: &CorpusOptions| -> (CorpusRun, f64, usize) {
+        let t0 = Instant::now();
+        let mut streamed = 0usize;
+        let run = run_corpus(entries, opts, &tier, &cache, |_| streamed += 1);
+        (run, t0.elapsed().as_secs_f64(), streamed)
+    };
+
+    // ---- cold pass: faults in, tier empty -------------------------------
+    let (cold, cold_secs, cold_streamed) = timed(entries, &opts);
+
+    // Isolation contract: three faults, three error records, everyone
+    // else done — and the bench (like the CLI) exits 0 regardless.
+    assert_eq!(cold_streamed, total, "every program streams one report");
+    assert_eq!(cold.summary.programs, total);
+    assert_eq!(cold.summary.errors, 3, "three injected faults");
+    assert_eq!(cold.summary.parse_errors, 1);
+    assert_eq!(cold.summary.panics, 1);
+    assert_eq!(cold.summary.oversize, 1);
+    assert_eq!(
+        cold.summary.ok,
+        total - 3,
+        "no crashed siblings: every non-fault program completes"
+    );
+    let cold_stats = tier.stats();
+    let cold_pps = total as f64 / cold_secs.max(1e-9);
+
+    // ---- warm pass: clean corpus over the populated tier ----------------
+    let (warm, warm_secs, _) = timed(
+        generated_entries(programs, SEED_BASE),
+        &CorpusOptions {
+            workers,
+            ..CorpusOptions::default()
+        },
+    );
+    assert_eq!(warm.summary.ok, programs, "warm rerun is all-ok");
+    let warm_stats = tier.stats();
+    let warm_hits = warm_stats.hits - cold_stats.hits;
+    let warm_lookups = warm_hits + (warm_stats.misses - cold_stats.misses);
+    let hit_ratio = warm_hits as f64 / (warm_lookups as f64).max(1.0);
+    let warm_pps = programs as f64 / warm_secs.max(1e-9);
+    assert!(
+        warm_hits > 0,
+        "warm rerun must read facts back from the tier"
+    );
+    if let Some(budget) = warm_stats.budget {
+        assert!(
+            warm_stats.resident_bytes <= budget,
+            "tier resident {} exceeds budget {budget}",
+            warm_stats.resident_bytes
+        );
+    }
+
+    eprintln!(
+        "cold: {total} programs ({} ok, {} errors) in {cold_secs:.2}s = {cold_pps:.0}/s \
+         over {} workers",
+        cold.summary.ok, cold.summary.errors, cold.summary.workers,
+    );
+    eprintln!(
+        "warm: {programs} programs in {warm_secs:.2}s = {warm_pps:.0}/s; \
+         tier hit ratio {hit_ratio:.2} ({warm_hits}/{warm_lookups} lookups); \
+         peak resident {} bytes (budget {shared_budget}, {} evicted)",
+        warm_stats.peak_resident_bytes, warm_stats.evicted,
+    );
+
+    let json = format!(
+        "{{\"bench\":\"corpus\",\"programs\":{total},\"ok\":{},\"errors\":{},\
+         \"parse_errors\":{},\"panics\":{},\"oversize\":{},\
+         \"loops\":{},\"parallel_loops\":{},\"workers\":{},\
+         \"cold\":{{\"wall_secs\":{cold_secs:.4},\"programs_per_sec\":{cold_pps:.1}}},\
+         \"warm\":{{\"wall_secs\":{warm_secs:.4},\"programs_per_sec\":{warm_pps:.1},\
+         \"hits\":{warm_hits},\"lookups\":{warm_lookups},\"hit_ratio\":{hit_ratio:.4}}},\
+         \"tier\":{{\"inserts\":{},\"evicted\":{},\"resident_bytes\":{},\
+         \"peak_resident_bytes\":{},\"budget\":{shared_budget}}}}}",
+        cold.summary.ok,
+        cold.summary.errors,
+        cold.summary.parse_errors,
+        cold.summary.panics,
+        cold.summary.oversize,
+        cold.summary.loops,
+        cold.summary.parallel_loops,
+        cold.summary.workers,
+        warm_stats.inserts,
+        warm_stats.evicted,
+        warm_stats.resident_bytes,
+        warm_stats.peak_resident_bytes,
+    );
+    std::fs::write("BENCH_7.json", &json).expect("write BENCH_7.json");
+    println!("{json}");
+}

@@ -1,0 +1,90 @@
+//! Materialize a deterministic MiniF corpus by seed range.
+//!
+//! ```text
+//! gen_corpus --out DIR --count N [--seed-base S] [--manifest FILE]
+//! ```
+//!
+//! Writes `DIR/gen-<seed>.mf` for each seed in `[S, S+N)`.  Output is a pure
+//! function of the seed range — no wall clock, no ambient randomness — so a
+//! corpus re-materialized anywhere is bit-identical.  With `--manifest`, also
+//! writes a plain-text manifest (one program path per line, `#` comments)
+//! that `suif-explorer corpus` accepts in place of a directory.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!("usage: gen_corpus --out DIR --count N [--seed-base S] [--manifest FILE]");
+    exit(2);
+}
+
+fn main() {
+    let mut out: Option<PathBuf> = None;
+    let mut count: Option<u64> = None;
+    let mut seed_base: u64 = 0;
+    let mut manifest: Option<PathBuf> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--count" => {
+                count = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--seed-base" => {
+                seed_base = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--manifest" => manifest = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            _ => usage(),
+        }
+    }
+    let (out, count) = match (out, count) {
+        (Some(o), Some(c)) => (o, c),
+        _ => usage(),
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out) {
+        eprintln!("gen_corpus: cannot create {}: {e}", out.display());
+        exit(1);
+    }
+
+    let mut paths = Vec::with_capacity(count as usize);
+    for seed in seed_base..seed_base + count {
+        let path = out.join(format!("{}.mf", minif_gen::name_for_seed(seed)));
+        if let Err(e) = std::fs::write(&path, minif_gen::source_for_seed(seed)) {
+            eprintln!("gen_corpus: cannot write {}: {e}", path.display());
+            exit(1);
+        }
+        paths.push(path);
+    }
+
+    if let Some(mpath) = manifest {
+        let mut body = format!(
+            "# MiniF corpus manifest: seeds [{seed_base}, {})\n",
+            seed_base + count
+        );
+        for p in &paths {
+            body.push_str(&format!("{}\n", p.display()));
+        }
+        if let Err(e) = std::fs::write(&mpath, body) {
+            eprintln!("gen_corpus: cannot write {}: {e}", mpath.display());
+            exit(1);
+        }
+    }
+
+    let mut stdout = std::io::stdout();
+    let _ = writeln!(
+        stdout,
+        "gen_corpus: wrote {count} programs (seeds {seed_base}..{}) to {}",
+        seed_base + count,
+        out.display()
+    );
+}

@@ -1,5 +1,6 @@
-//! Shared MiniF program generator for the property and certification
-//! harnesses (`prop_random_programs.rs`, `certify_differential.rs`).
+//! Seeded MiniF program generator, shared by the property/certification
+//! harnesses (`tests/prop_random_programs.rs`, `tests/certify_differential.rs`)
+//! and the corpus driver (`suif-explorer corpus`).
 //!
 //! The generator produces small but structurally varied programs: nested
 //! loops, conditionals, array/scalar assignments with in-bounds subscripts,
@@ -7,8 +8,16 @@
 //! loop indices (never on data values), so the set of memory addresses a
 //! program touches is schedule-independent — the property the certification
 //! harness relies on when comparing interleavings.
-
-#![allow(dead_code)]
+//!
+//! # Determinism
+//!
+//! Generation is a pure function of a `u64` seed: [`program_for_seed`] /
+//! [`source_for_seed`] drive the proptest strategies with the vendored
+//! shim's SplitMix64 stream seeded exactly (no wall clock, no ambient
+//! randomness anywhere in the path), so a corpus materialized from a seed
+//! range is bit-identical across machines and runs.  The proptest harnesses
+//! consume the same strategies ([`gprogram`]) through their own per-test
+//! streams — a generator fix propagates to both consumers.
 
 use proptest::prelude::*;
 
@@ -89,6 +98,25 @@ pub fn gstmt(depth: u32) -> BoxedStrategy<GStmt> {
 pub fn gprogram() -> impl Strategy<Value = Vec<Vec<GStmt>>> {
     // 1-3 top-level loops, each with 1-4 body statements.
     prop::collection::vec(prop::collection::vec(gstmt(1), 1..4), 1..3)
+}
+
+/// The program for one corpus seed: [`gprogram`] driven by a SplitMix64
+/// stream seeded exactly with `seed`.  Pure — same seed, same program,
+/// everywhere.
+pub fn program_for_seed(seed: u64) -> Vec<Vec<GStmt>> {
+    let mut rng = TestRng::from_seed(seed);
+    gprogram().generate(&mut rng)
+}
+
+/// [`program_for_seed`] rendered to MiniF source.
+pub fn source_for_seed(seed: u64) -> String {
+    render_program(&program_for_seed(seed))
+}
+
+/// The canonical file-stem / report name of one corpus seed (`gen-<seed>`,
+/// zero-padded so lexicographic order is seed order).
+pub fn name_for_seed(seed: u64) -> String {
+    format!("gen-{seed:08}")
 }
 
 fn render_sub(s: &GSub, var: &str) -> String {
@@ -261,4 +289,51 @@ pub fn known_regressions() -> Vec<Vec<Vec<GStmt>>> {
             ],
         ],
     ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_generation_is_deterministic() {
+        for seed in [0u64, 1, 7, 0xdead_beef, u64::MAX] {
+            assert_eq!(
+                source_for_seed(seed),
+                source_for_seed(seed),
+                "seed {seed} must reproduce bit-identically"
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_vary() {
+        let distinct: std::collections::HashSet<String> = (0..64).map(source_for_seed).collect();
+        assert!(
+            distinct.len() > 48,
+            "seed range collapses to {} distinct programs",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn generated_sources_parse() {
+        for seed in 0..32 {
+            let src = source_for_seed(seed);
+            suif_ir::parse_program(&src)
+                .unwrap_or_else(|e| panic!("seed {seed} failed to parse: {e}\n{src}"));
+        }
+        for (i, case) in known_regressions().iter().enumerate() {
+            let src = render_program(case);
+            suif_ir::parse_program(&src)
+                .unwrap_or_else(|e| panic!("regression {i} failed to parse: {e}\n{src}"));
+        }
+    }
+
+    #[test]
+    fn seed_names_sort_in_seed_order() {
+        assert_eq!(name_for_seed(3), "gen-00000003");
+        assert!(name_for_seed(9) < name_for_seed(10));
+        assert!(name_for_seed(99) < name_for_seed(100));
+    }
 }

@@ -12,6 +12,7 @@
 //! `--assert interf/1000:rl` privatizes `rl` in `interf/1000` after the
 //! assertion checker validates it against the dynamic run (§2.8).
 
+use std::io::Write as _;
 use std::process::ExitCode;
 use suif_analysis::Assertion;
 use suif_explorer::{CheckResult, Explorer};
@@ -30,8 +31,12 @@ fn main() -> ExitCode {
 
 fn usage() -> String {
     "usage: suif-explorer <analyze|explore|slice|run|certify|codeview> <file.mf> [options]\n\
-     \x20      suif-explorer serve [--threads N] [--tcp ADDR] [--speculate N] [--persist-dir DIR]\n\
-     \x20                          [--max-sessions N] [--shared-budget BYTES] [--session-budget BYTES]\n\
+     \x20      suif-explorer serve [--threads N] [--workers N] [--tcp ADDR] [--speculate N]\n\
+     \x20                          [--persist-dir DIR] [--max-sessions N]\n\
+     \x20                          [--shared-budget BYTES] [--session-budget BYTES]\n\
+     \x20      suif-explorer corpus <dir|manifest> [--gen N] [--seed-base S] [--workers N]\n\
+     \x20                          [--shared-budget BYTES] [--session-budget BYTES]\n\
+     \x20                          [--max-program-bytes B] [--report FILE] [--inject-panic NAME]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
@@ -56,9 +61,175 @@ fn usage() -> String {
                             (serve only; default 0 = unlimited)\n\
        --shared-budget B    byte budget for the process-wide shared fact tier\n\
                             (serve only; default unbounded)\n\
-       --session-budget B   byte budget per session's private fact overlay\n\
-                            (serve only; default unbounded)"
+       --session-budget B   byte budget per session's (or corpus program's)\n\
+                            private fact overlay (default unbounded)\n\
+       --workers N          shared command-pool workers for `serve`, or corpus\n\
+                            pool workers for `corpus` (0 = derive from\n\
+                            SUIF_EXECUTOR_THREADS / core count)\n\
+       --gen N              corpus: generate N seeded MiniF programs instead\n\
+                            of (or in addition to) reading <dir|manifest>\n\
+       --seed-base S        corpus: first seed of the generated range\n\
+                            (default 0)\n\
+       --max-program-bytes B corpus: reject larger sources with an `oversize`\n\
+                            error record before parsing (default 1 MiB)\n\
+       --report FILE        corpus: write the JSONL report stream to FILE\n\
+                            instead of stdout (summary line last)\n\
+       --inject-panic NAME  corpus: fault-injection hook — the named program\n\
+                            panics inside the isolation boundary; the run\n\
+                            must absorb it as one `panic` error record"
         .to_string()
+}
+
+/// `suif-explorer corpus <dir|manifest> [options]`: fleet-analyze a corpus
+/// with per-program isolation, streaming JSONL reports (summary last).
+/// Per-program failures are error records, not process failures: the exit
+/// code is 0 whenever the run itself completes.
+fn corpus(args: &[String]) -> Result<(), String> {
+    let mut input: Option<String> = None;
+    let mut gen = 0usize;
+    let mut seed_base = 0u64;
+    let mut workers = 0usize;
+    let mut shared_budget: Option<usize> = None;
+    let mut session_budget: Option<usize> = None;
+    let mut max_program_bytes = 0usize;
+    let mut report_path: Option<String> = None;
+    let mut inject_panic: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        let num = |flag: &str| -> Result<usize, String> {
+            args.get(i + 1)
+                .and_then(|s| s.parse().ok())
+                .ok_or(format!("{flag} needs a number"))
+        };
+        match args[i].as_str() {
+            "--gen" => {
+                gen = num("--gen")?;
+                i += 2;
+            }
+            "--seed-base" => {
+                seed_base = num("--seed-base")? as u64;
+                i += 2;
+            }
+            "--workers" => {
+                workers = num("--workers")?;
+                i += 2;
+            }
+            "--shared-budget" => {
+                shared_budget = Some(num("--shared-budget")?);
+                i += 2;
+            }
+            "--session-budget" => {
+                session_budget = Some(num("--session-budget")?);
+                i += 2;
+            }
+            "--max-program-bytes" => {
+                max_program_bytes = num("--max-program-bytes")?;
+                i += 2;
+            }
+            "--report" => {
+                report_path = Some(args.get(i + 1).ok_or("--report needs a file")?.clone());
+                i += 2;
+            }
+            "--inject-panic" => {
+                inject_panic = Some(
+                    args.get(i + 1)
+                        .ok_or("--inject-panic needs a name")?
+                        .clone(),
+                );
+                i += 2;
+            }
+            other if !other.starts_with("--") && input.is_none() => {
+                input = Some(other.to_string());
+                i += 1;
+            }
+            other => return Err(format!("unknown option `{other}`\n{}", usage())),
+        }
+    }
+    let mut entries = match &input {
+        Some(path) => corpus_entries_from_path(std::path::Path::new(path))?,
+        None => Vec::new(),
+    };
+    entries.extend(suif_server::generated_entries(gen, seed_base));
+    if entries.is_empty() {
+        return Err("corpus needs a <dir|manifest> or --gen N".to_string());
+    }
+
+    let tier = std::sync::Arc::new(suif_analysis::SharedFactTier::with_budget(shared_budget));
+    let cache = std::sync::Arc::new(suif_analysis::SummaryCache::new());
+    let opts = suif_server::CorpusOptions {
+        workers,
+        session_budget,
+        max_program_bytes,
+        inject_panic,
+    };
+    let mut out: Box<dyn std::io::Write> = match &report_path {
+        Some(p) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(p).map_err(|e| format!("--report {p}: {e}"))?,
+        )),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut write_err: Option<String> = None;
+    let run = suif_server::run_corpus(entries, &opts, &tier, &cache, |r| {
+        if write_err.is_none() {
+            if let Err(e) = writeln!(out, "{}", r.to_json()) {
+                write_err = Some(e.to_string());
+            }
+        }
+    });
+    if let Some(e) = write_err {
+        return Err(format!("report stream: {e}"));
+    }
+    writeln!(out, "{}", run.summary.to_json(&tier)).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())?;
+    eprintln!(
+        "corpus: {} programs, {} ok, {} errors, {:.1} programs/sec over {} workers",
+        run.summary.programs,
+        run.summary.ok,
+        run.summary.errors,
+        run.summary.programs_per_sec(),
+        run.summary.workers,
+    );
+    Ok(())
+}
+
+/// Load corpus entries from a directory of `*.mf` files (sorted by file
+/// name) or a plain-text manifest (one path per line, `#` comments;
+/// relative paths resolve against the manifest's directory).
+fn corpus_entries_from_path(
+    path: &std::path::Path,
+) -> Result<Vec<suif_server::CorpusEntry>, String> {
+    let read_entry = |p: &std::path::Path| -> Result<suif_server::CorpusEntry, String> {
+        let name = p
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| p.display().to_string());
+        let source = std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display()))?;
+        Ok(suif_server::CorpusEntry { name, source })
+    };
+    if path.is_dir() {
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(path)
+            .map_err(|e| format!("{}: {e}", path.display()))?
+            .filter_map(|d| d.ok().map(|d| d.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "mf"))
+            .collect();
+        files.sort();
+        files.iter().map(|p| read_entry(p)).collect()
+    } else {
+        let base = path.parent().unwrap_or(std::path::Path::new("."));
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        text.lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'))
+            .map(|l| {
+                let p = std::path::Path::new(l);
+                if p.is_absolute() {
+                    read_entry(p)
+                } else {
+                    read_entry(&base.join(p))
+                }
+            })
+            .collect()
+    }
 }
 
 fn serve(args: &[String]) -> Result<(), String> {
@@ -70,6 +241,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     let mut max_sessions = 0usize;
     let mut shared_budget: Option<usize> = None;
     let mut session_budget: Option<usize> = None;
+    let mut workers = 0usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -127,6 +299,13 @@ fn serve(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--workers" => {
+                workers = args
+                    .get(i + 1)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--workers needs a number (0 = derive from threads)")?;
+                i += 2;
+            }
             other => return Err(format!("unknown option `{other}`\n{}", usage())),
         }
     }
@@ -138,6 +317,7 @@ fn serve(args: &[String]) -> Result<(), String> {
         max_sessions,
         shared_budget,
         session_budget,
+        workers,
     };
     let res = match tcp {
         Some(addr) => suif_server::serve_tcp_with(&addr, options),
@@ -149,6 +329,9 @@ fn serve(args: &[String]) -> Result<(), String> {
 fn run(args: &[String]) -> Result<(), String> {
     if args.first().map(String::as_str) == Some("serve") {
         return serve(args);
+    }
+    if args.first().map(String::as_str) == Some("corpus") {
+        return corpus(args);
     }
     let (cmd, file) = match (args.first(), args.get(1)) {
         (Some(c), Some(f)) => (c.as_str(), f.as_str()),

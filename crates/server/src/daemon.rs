@@ -73,6 +73,12 @@ pub struct ServiceOptions {
     /// Byte budget for each session's private fact overlay (`None` =
     /// unbounded).
     pub session_budget: Option<usize>,
+    /// Shared command-pool workers (`--workers`; `0` = derive from
+    /// `threads`, i.e. the pre-existing behavior: resolve against
+    /// `SUIF_EXECUTOR_THREADS` and the core count).  This sizes the pool
+    /// that executes connection jobs — independent of `threads`, which
+    /// sizes each analysis' scheduler executors.
+    pub workers: usize,
 }
 
 /// Process-wide state shared by every connection of a daemon: the summary
@@ -145,7 +151,11 @@ impl ServiceState {
             rejected: AtomicU64::new(0),
             next_session_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
-            workers: ExecutorService::new(options.threads),
+            workers: ExecutorService::new(if options.workers > 0 {
+                options.workers
+            } else {
+                options.threads
+            }),
             reactor: ReactorStats::default(),
         })
     }
@@ -507,6 +517,44 @@ impl Daemon {
                     s.certify_json(loop_name.as_deref(), schedules.unwrap_or(4), seed)
                 })
                 .and_then(|r| r)
+            }
+            Request::Corpus {
+                programs,
+                gen,
+                seed_base,
+                workers,
+                max_program_bytes,
+            } => {
+                // Service-level: no session required, and the run fans out
+                // on its OWN pool — this command may itself be executing on
+                // a shared-pool worker, and two concurrent corpus commands
+                // fanning into the shared pool could deadlock waiting for
+                // each other's jobs.
+                let mut entries: Vec<crate::corpus::CorpusEntry> = programs
+                    .into_iter()
+                    .map(|(name, source)| crate::corpus::CorpusEntry { name, source })
+                    .collect();
+                entries.extend(crate::corpus::generated_entries(gen, seed_base));
+                let opts = crate::corpus::CorpusOptions {
+                    workers,
+                    session_budget: self.state.session_budget,
+                    max_program_bytes,
+                    inject_panic: None,
+                };
+                let run = crate::corpus::run_corpus(
+                    entries,
+                    &opts,
+                    &self.state.tier,
+                    &self.state.cache,
+                    |_| {},
+                );
+                Ok(Json::obj([
+                    ("summary", run.summary.to_json(&self.state.tier)),
+                    (
+                        "reports",
+                        Json::Arr(run.reports.iter().map(|r| r.to_json()).collect()),
+                    ),
+                ]))
             }
             Request::Advisory => self.with_session(|s| s.advisory_json()),
             Request::Codeview => self.with_session(|s| s.codeview_json()),

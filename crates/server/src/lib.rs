@@ -18,12 +18,17 @@
 //! write queues for backpressure.  Clients may pipeline: many request
 //! lines per write, a `batch` command with ordered per-id replies, or both.
 
+pub mod corpus;
 pub mod daemon;
 pub mod json;
 pub mod proto;
 pub mod reactor;
 pub mod session;
 
+pub use corpus::{
+    analyze_single, generated_entries, run_corpus, CorpusEntry, CorpusOptions, CorpusRun,
+    CorpusSummary, ProgramReport, VerdictRecord, DEFAULT_MAX_PROGRAM_BYTES,
+};
 pub use daemon::{
     serve_listener, serve_stdio, serve_stdio_with, serve_tcp, serve_tcp_with, Daemon,
     ServiceOptions, ServiceState,

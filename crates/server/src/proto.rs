@@ -181,6 +181,22 @@ pub enum Request {
         schedules: Option<u32>,
         seed: Option<u64>,
     },
+    /// Fleet analysis: run many programs through the corpus driver over the
+    /// service's shared fact tier (no session required).  Programs come
+    /// inline (`programs: [{name, text}, …]`) or generated server-side
+    /// (`gen: N` with optional `seed_base`).
+    Corpus {
+        /// Inline `(name, source)` entries.
+        programs: Vec<(String, String)>,
+        /// Generate this many seeded programs server-side.
+        gen: usize,
+        /// First seed of the generated range.
+        seed_base: u64,
+        /// Workers for the run's dedicated pool (`0` = default).
+        workers: usize,
+        /// Per-program source-size cap in bytes (`0` = default).
+        max_program_bytes: usize,
+    },
     /// Daemon statistics: pass timings, cache counters, worker utilization.
     Stats,
     /// Force a durable fact-snapshot write (requires `--persist-dir`).
@@ -288,6 +304,54 @@ impl Request {
                     loop_name,
                     schedules,
                     seed,
+                })
+            }
+            "corpus" => {
+                let uint_field = |name: &str| -> Result<u64, ProtoError> {
+                    match v.get(name) {
+                        None => Ok(0),
+                        Some(j) => {
+                            j.as_i64()
+                                .filter(|n| *n >= 0)
+                                .map(|n| n as u64)
+                                .ok_or_else(|| {
+                                    ProtoError(format!(
+                                        "corpus {name:?} must be a non-negative number"
+                                    ))
+                                })
+                        }
+                    }
+                };
+                let mut programs = Vec::new();
+                if let Some(Json::Arr(elems)) = v.get("programs") {
+                    for (i, p) in elems.iter().enumerate() {
+                        let field = |name: &str| -> Result<String, ProtoError> {
+                            p.get(name)
+                                .and_then(Json::as_str)
+                                .map(str::to_string)
+                                .ok_or_else(|| {
+                                    ProtoError(format!(
+                                        "corpus programs[{i}] requires string field {name:?}"
+                                    ))
+                                })
+                        };
+                        programs.push((field("name")?, field("text")?));
+                    }
+                } else if v.get("programs").is_some() {
+                    return Err(ProtoError("corpus \"programs\" must be an array".into()));
+                }
+                let gen = uint_field("gen")? as usize;
+                if programs.is_empty() && gen == 0 {
+                    return Err(ProtoError(
+                        "corpus requires \"programs\" (non-empty array) or \"gen\" (count)".into(),
+                    ));
+                }
+                Ok(Request::Corpus {
+                    programs,
+                    gen,
+                    seed_base: uint_field("seed_base")?,
+                    workers: uint_field("workers")? as usize,
+                    max_program_bytes: uint_field("max_program_bytes")? as usize,
                 })
             }
             "advisory" => Ok(Request::Advisory),

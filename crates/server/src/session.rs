@@ -1082,6 +1082,10 @@ pub(crate) fn tier_json(t: &SharedFactTier) -> Json {
         ("evicted_bytes", Json::int(ts.evicted_bytes as i64)),
         ("resident_bytes", Json::int(ts.resident_bytes as i64)),
         ("resident_entries", Json::int(ts.resident_entries as i64)),
+        (
+            "peak_resident_bytes",
+            Json::int(ts.peak_resident_bytes as i64),
+        ),
         ("fairness_spared", Json::int(ts.fairness_spared as i64)),
     ];
     if let Some(b) = ts.budget {

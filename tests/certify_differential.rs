@@ -1,8 +1,8 @@
 //! Static-vs-dynamic differential fuzzing of the race-certification
 //! subsystem (`docs/dynamic.md`).
 //!
-//! For every generated MiniF program (shared generator in
-//! `tests/minif_gen/`) the harness checks both directions of the oracle:
+//! For every generated MiniF program (shared generator in the `minif-gen`
+//! crate) the harness checks both directions of the oracle:
 //!
 //! * **DOALL direction** — every loop the static parallelizer claims
 //!   parallel must execute race-free under ≥ 4 adversarial schedules of the
@@ -22,8 +22,6 @@
 //! generating novel cases.  Program count: `SUIF_CERTIFY_PROGRAMS` env var,
 //! defaulting to 48 in debug builds and 500 in release (the acceptance
 //! bar), all from one fixed seed.
-
-mod minif_gen;
 
 use minif_gen::*;
 use proptest::strategy::Strategy;

@@ -1,8 +1,8 @@
 //! Property tests over randomly generated MiniF programs.
 //!
-//! The generator lives in `tests/minif_gen/` (shared with the race
-//! certification harness in `certify_differential.rs`).  Three end-to-end
-//! properties are checked:
+//! The generator lives in the `minif-gen` crate (shared with the race
+//! certification harness in `certify_differential.rs` and the corpus
+//! driver).  Three end-to-end properties are checked:
 //!
 //! 1. **front-end fixpoint** — pretty-printing a parsed program and
 //!    re-parsing it reaches a printing fixpoint;
@@ -18,8 +18,6 @@
 //! `tests/prop_random_programs.proptest-regressions` are replayed first (see
 //! [`minif_gen::known_regressions`]): the vendored proptest shim has no
 //! persistence, so the replay is explicit.
-
-mod minif_gen;
 
 use minif_gen::*;
 use proptest::prelude::*;

@@ -339,6 +339,13 @@ pub mod test_runner {
             TestRng { state: seed }
         }
 
+        /// A deterministic stream from a raw numeric seed — the corpus
+        /// generators address programs by seed range, so the seed must be
+        /// exact rather than hashed from a label.
+        pub fn from_seed(seed: u64) -> TestRng {
+            TestRng { state: seed }
+        }
+
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
             let mut z = self.state;
