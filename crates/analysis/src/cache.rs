@@ -47,6 +47,25 @@ impl Fnv128 {
         }
     }
 
+    /// Fold `bytes` eight at a time (one 128-bit multiply per word instead
+    /// of per byte), mixing the length in last so `"ab" + "c"` and
+    /// `"a" + "bc"` cannot collide via the padding-free tail.  NOT
+    /// byte-compatible with [`Fnv128::write`]; used for bulk integrity
+    /// checksums (snapshot payloads), never for persisted fact hashes.
+    pub(crate) fn write_words(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for w in &mut chunks {
+            self.0 ^= u64::from_le_bytes(w.try_into().unwrap()) as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        for &b in chunks.remainder() {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self.0 ^= bytes.len() as u128;
+        self.0 = self.0.wrapping_mul(Self::PRIME);
+    }
+
     pub(crate) fn write_u32(&mut self, v: u32) {
         self.write(&v.to_le_bytes());
     }

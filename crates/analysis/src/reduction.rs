@@ -254,6 +254,14 @@ impl RedSummary {
         RedSummary::default()
     }
 
+    /// Install a fully formed entry verbatim (snapshot decode).  Unlike
+    /// [`RedSummary::add_update`]/[`RedSummary::add_plain`] no section union
+    /// or operator reconciliation runs — the entry must come from an earlier
+    /// summary, where those reductions already happened.
+    pub fn insert_entry(&mut self, id: ArrayId, e: RedEntry) {
+        self.entries.insert(id, e);
+    }
+
     fn entry(&mut self, id: ArrayId) -> &mut RedEntry {
         self.entries.entry(id).or_insert_with(|| RedEntry {
             op: None,

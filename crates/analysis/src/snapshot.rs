@@ -6,12 +6,19 @@
 //!
 //! # What is persisted
 //!
-//! Only facts whose values have a small, stable wire form are encoded:
-//! classify verdicts ([`crate::LoopVerdict`]), carried-dependence tables
-//! ([`crate::deps::CarriedDeps`]), and the three advisories (contraction,
-//! decomposition, block splits).  `Summarize` and `Liveness` facts hold
-//! large graph-shaped results that are cheaper to recompute than to encode;
-//! they are deliberately *not* persisted (see `docs/pipeline.md`).
+//! Every pass, since version 3: classify verdicts ([`crate::LoopVerdict`]),
+//! carried-dependence tables ([`crate::deps::CarriedDeps`]), the three
+//! advisories (contraction, decomposition, block splits), and — the two
+//! passes that dominate a cold run — `<R,E,W,M>` array-section summaries
+//! ([`crate::summarize::ArrayDataFlow`]) and liveness flows
+//! ([`crate::liveness::LivenessResult`]).  The summary/flow wire form is
+//! canonical: hash maps are framed in sorted-key order and polyhedra are
+//! written constraint-for-constraint (PR 5 normalizes constraints on
+//! construction, so decode re-normalization is the identity), which makes
+//! `encode(decode(x)) == x` hold bit-for-bit and lets tests compare facts
+//! by their encodings.  Nondeterministic run metadata (schedule traffic,
+//! wall-clock) is deliberately outside the wire form; a decoded fact
+//! reports zero traffic exactly like any other reused fact.
 //!
 //! # Crash safety
 //!
@@ -34,15 +41,23 @@ use crate::context::ArrayKey;
 use crate::contract::ContractionCandidate;
 use crate::decomp::{DecompConflict, DecompFact, Partitioning, Stride};
 use crate::deps::{CarriedDeps, DepKind};
-use crate::parallelize::{LoopPlan, LoopVerdict, StaticDep, VarClass};
+use crate::liveness::{LivenessMode, LivenessResult};
+use crate::parallelize::{LoopPlan, LoopVerdict, StaticDep, SummaryFact, VarClass};
 use crate::pipeline::{ExportedFact, FactKey, PassId, Scope};
-use crate::reduction::RedOp;
+use crate::reduction::{RedEntry, RedOp, RedSummary};
+use crate::schedule::ScheduleStats;
 use crate::split::BlockSplit;
+use crate::summarize::{ArrayDataFlow, LoopIterSummary, NodeSummary};
 use std::any::Any;
+use std::collections::{BTreeSet, HashMap};
 use std::path::Path;
 use std::sync::Arc;
-use suif_ir::{CommonId, ProcId, StmtId, VarId};
-use suif_poly::{ArrayId, Constraint, ConstraintKind, LinExpr, Var};
+use std::time::Duration;
+use suif_ir::{CommonId, ProcId, RegionId, StmtId, VarId};
+use suif_poly::{
+    AccessSummary, ArrayId, Constraint, ConstraintKind, LinExpr, PolySet, Polyhedron, Section,
+    SectionSummary, Var,
+};
 
 /// Magic bytes opening every snapshot file.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SUIFSNAP";
@@ -52,8 +67,12 @@ pub const SNAPSHOT_MAGIC: [u8; 8] = *b"SUIFSNAP";
 ///
 /// History: 1 — initial format; 2 — constraints are normalized on
 /// construction (GCD-reduced, equalities sign-canonical), so memo keys
-/// written by a version-1 build may not match this build's normal forms.
-pub const SNAPSHOT_VERSION: u32 = 2;
+/// written by a version-1 build may not match this build's normal forms;
+/// 3 — `Summarize` and `Liveness` values gained codecs (previously those
+/// passes were filtered out of snapshots entirely), so a version-2 file
+/// read by this build would warm-start without the expensive facts and a
+/// version-3 file read by an old build would mis-frame them.
+pub const SNAPSHOT_VERSION: u32 = 3;
 
 /// Why a snapshot failed to load (the caller cold-starts either way).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,32 +120,45 @@ pub struct Snapshot {
     pub undecodable: u64,
 }
 
-/// Is this pass's value persisted in snapshots?  `Summarize` and `Liveness`
-/// results are recompute-on-demand instead.
+/// Is this pass's value persisted in snapshots?  Every pass is, since
+/// format version 3 gave `Summarize` and `Liveness` wire forms; the
+/// predicate remains the single gate a future non-encodable pass would
+/// flip.
 pub fn is_encodable(pass: PassId) -> bool {
     matches!(
         pass,
-        PassId::Classify | PassId::Deps | PassId::Contract | PassId::Decomp | PassId::Split
+        PassId::Summarize
+            | PassId::Liveness
+            | PassId::Classify
+            | PassId::Deps
+            | PassId::Contract
+            | PassId::Decomp
+            | PassId::Split
     )
 }
 
 /// Approximate resident bytes of one fact value, by pass.
 ///
-/// Encodable passes measure their wire form (the in-memory layout tracks it
-/// within a small constant factor, so `64 + 2×encoded` is a serviceable
-/// envelope covering `Arc`/map overhead).  `Summarize` and `Liveness` hold
-/// graph-shaped results with no codec; they get a flat charge large enough
-/// that a budget sweep treats them as first-class residents.  Used by the
-/// [`crate::FactStore`] and [`crate::SharedFactTier`] byte budgets — the
-/// accounting only has to be consistent, not exact.
+/// Measures the wire form (the in-memory layout tracks it within a small
+/// constant factor, so `64 + 2×encoded` is a serviceable envelope covering
+/// `Arc`/map overhead).  Used by the [`crate::FactStore`] and
+/// [`crate::SharedFactTier`] byte budgets — the accounting only has to be
+/// consistent, not exact.
 pub fn approx_value_bytes(pass: PassId, value: &Arc<dyn Any + Send + Sync>) -> usize {
-    if is_encodable(pass) {
-        let mut e = Enc::default();
-        encode_value(pass, value, &mut e);
-        64 + 2 * e.buf.len()
-    } else {
-        64 + 4096
-    }
+    let mut e = Enc::default();
+    encode_value(pass, value, &mut e);
+    64 + 2 * e.buf.len()
+}
+
+/// One-shot word-folded checksum of a payload body (eight bytes per
+/// multiply; see `Fnv128::write_words`).  This is the integrity checksum
+/// stored in snapshot headers and log records — it is part of the v3 file
+/// format, and deliberately not byte-compatible with the per-byte FNV used
+/// for fact content hashes.
+fn payload_checksum(payload: &[u8]) -> u128 {
+    let mut h = Fnv128::new();
+    h.write_words(payload);
+    h.0
 }
 
 impl Snapshot {
@@ -147,39 +179,14 @@ impl Snapshot {
 
     /// Encode to the complete file byte stream (header + payload).
     pub fn encode(&self) -> Vec<u8> {
-        let mut p = Enc::default();
-        p.u32(self.facts.len() as u32);
-        for f in &self.facts {
-            p.u8(pass_tag(f.key.pass));
-            p.scope(f.key.scope);
-            p.u128(f.hash);
-            p.u32(f.deps.len() as u32);
-            for d in &f.deps {
-                p.u8(pass_tag(d.pass));
-                p.scope(d.scope);
-            }
-            let mut v = Enc::default();
-            encode_value(f.key.pass, &f.value, &mut v);
-            p.u32(v.buf.len() as u32);
-            p.buf.extend_from_slice(&v.buf);
-        }
-        p.u32(self.prove_empty.len() as u32);
-        for (cs, result) in &self.prove_empty {
-            p.u32(cs.len() as u32);
-            for c in cs {
-                p.constraint(c);
-            }
-            p.u8(*result as u8);
-        }
-
-        let mut h = Fnv128::new();
-        h.write(&p.buf);
-        let mut out = Vec::with_capacity(36 + p.buf.len());
+        let payload = encode_payload(&self.facts, &self.prove_empty);
+        let checksum = payload_checksum(&payload);
+        let mut out = Vec::with_capacity(36 + payload.len());
         out.extend_from_slice(&SNAPSHOT_MAGIC);
         out.extend_from_slice(&SNAPSHOT_VERSION.to_le_bytes());
-        out.extend_from_slice(&(p.buf.len() as u64).to_le_bytes());
-        out.extend_from_slice(&h.0.to_le_bytes());
-        out.extend_from_slice(&p.buf);
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out.extend_from_slice(&payload);
         out
     }
 
@@ -205,68 +212,103 @@ impl Snapshot {
         if payload.len() != len {
             return Err(SnapshotError::Truncated);
         }
-        let mut h = Fnv128::new();
-        h.write(payload);
-        if h.0 != checksum {
+        if payload_checksum(payload) != checksum {
             return Err(SnapshotError::BadChecksum);
         }
-
-        let mut d = Dec {
-            buf: payload,
-            pos: 0,
-        };
-        let mut snap = Snapshot::default();
-        let nfacts = d.u32().ok_or(SnapshotError::Malformed)?;
-        for _ in 0..nfacts {
-            let pass_byte = d.u8().ok_or(SnapshotError::Malformed)?;
-            let scope = d.scope().ok_or(SnapshotError::Malformed)?;
-            let hash = d.u128().ok_or(SnapshotError::Malformed)?;
-            let ndeps = d.u32().ok_or(SnapshotError::Malformed)?;
-            let mut deps = Vec::with_capacity(ndeps.min(1024) as usize);
-            let mut deps_ok = true;
-            for _ in 0..ndeps {
-                let dp = d.u8().ok_or(SnapshotError::Malformed)?;
-                let ds = d.scope().ok_or(SnapshotError::Malformed)?;
-                match pass_of(dp) {
-                    Some(p) => deps.push(FactKey::new(p, ds)),
-                    None => deps_ok = false,
-                }
-            }
-            let vlen = d.u32().ok_or(SnapshotError::Malformed)? as usize;
-            let vbytes = d.take(vlen).ok_or(SnapshotError::Malformed)?;
-            let Some(pass) = pass_of(pass_byte).filter(|p| is_encodable(*p) && deps_ok) else {
-                snap.undecodable += 1;
-                continue;
-            };
-            match decode_value(pass, vbytes) {
-                Some(value) => {
-                    let bytes = approx_value_bytes(pass, &value);
-                    snap.facts.push(ExportedFact {
-                        key: FactKey::new(pass, scope),
-                        hash,
-                        deps,
-                        bytes,
-                        value,
-                    });
-                }
-                None => snap.undecodable += 1,
-            }
-        }
-        let nmemo = d.u32().ok_or(SnapshotError::Malformed)?;
-        for _ in 0..nmemo {
-            let ncs = d.u32().ok_or(SnapshotError::Malformed)?;
-            let mut cs = Vec::with_capacity(ncs.min(1024) as usize);
-            for _ in 0..ncs {
-                cs.push(d.constraint().ok_or(SnapshotError::Malformed)?);
-            }
-            let result = d.bool_val().ok_or(SnapshotError::Malformed)?;
-            snap.prove_empty.push((cs, result));
-        }
-        if d.pos != d.buf.len() {
-            return Err(SnapshotError::Malformed);
-        }
-        Ok(snap)
+        decode_payload(payload)
     }
+}
+
+/// Encode a fact/memo set to the shared payload body (no header, no
+/// checksum) — the unit both a whole snapshot and one append-log record
+/// frame.
+fn encode_payload(facts: &[ExportedFact], prove_empty: &[(Vec<Constraint>, bool)]) -> Vec<u8> {
+    let mut p = Enc::default();
+    p.u32(facts.len() as u32);
+    for f in facts {
+        p.u8(pass_tag(f.key.pass));
+        p.scope(f.key.scope);
+        p.u128(f.hash);
+        p.u32(f.deps.len() as u32);
+        for d in &f.deps {
+            p.u8(pass_tag(d.pass));
+            p.scope(d.scope);
+        }
+        let mut v = Enc::default();
+        encode_value(f.key.pass, &f.value, &mut v);
+        p.u32(v.buf.len() as u32);
+        p.buf.extend_from_slice(&v.buf);
+    }
+    p.u32(prove_empty.len() as u32);
+    for (cs, result) in prove_empty {
+        p.u32(cs.len() as u32);
+        for c in cs {
+            p.constraint(c);
+        }
+        p.u8(*result as u8);
+    }
+    p.buf
+}
+
+/// Decode one payload body (a whole snapshot's or one log record's).
+fn decode_payload(payload: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut d = Dec {
+        buf: payload,
+        pos: 0,
+    };
+    let mut snap = Snapshot::default();
+    let nfacts = d.u32().ok_or(SnapshotError::Malformed)?;
+    for _ in 0..nfacts {
+        let pass_byte = d.u8().ok_or(SnapshotError::Malformed)?;
+        let scope = d.scope().ok_or(SnapshotError::Malformed)?;
+        let hash = d.u128().ok_or(SnapshotError::Malformed)?;
+        let ndeps = d.u32().ok_or(SnapshotError::Malformed)?;
+        let mut deps = Vec::with_capacity(ndeps.min(1024) as usize);
+        let mut deps_ok = true;
+        for _ in 0..ndeps {
+            let dp = d.u8().ok_or(SnapshotError::Malformed)?;
+            let ds = d.scope().ok_or(SnapshotError::Malformed)?;
+            match pass_of(dp) {
+                Some(p) => deps.push(FactKey::new(p, ds)),
+                None => deps_ok = false,
+            }
+        }
+        let vlen = d.u32().ok_or(SnapshotError::Malformed)? as usize;
+        let vbytes = d.take(vlen).ok_or(SnapshotError::Malformed)?;
+        let Some(pass) = pass_of(pass_byte).filter(|p| is_encodable(*p) && deps_ok) else {
+            snap.undecodable += 1;
+            continue;
+        };
+        match decode_value(pass, vbytes) {
+            Some(value) => {
+                // Same figure `approx_value_bytes` would compute, without
+                // re-encoding: the wire length is already in hand here.
+                let bytes = 64 + 2 * vlen;
+                snap.facts.push(ExportedFact {
+                    key: FactKey::new(pass, scope),
+                    hash,
+                    deps,
+                    bytes,
+                    value,
+                });
+            }
+            None => snap.undecodable += 1,
+        }
+    }
+    let nmemo = d.u32().ok_or(SnapshotError::Malformed)?;
+    for _ in 0..nmemo {
+        let ncs = d.u32().ok_or(SnapshotError::Malformed)?;
+        let mut cs = Vec::with_capacity(ncs.min(1024) as usize);
+        for _ in 0..ncs {
+            cs.push(d.constraint().ok_or(SnapshotError::Malformed)?);
+        }
+        let result = d.bool_val().ok_or(SnapshotError::Malformed)?;
+        snap.prove_empty.push((cs, result));
+    }
+    if d.pos != d.buf.len() {
+        return Err(SnapshotError::Malformed);
+    }
+    Ok(snap)
 }
 
 /// Write `bytes` to `path` atomically: temp file in the same directory,
@@ -290,6 +332,223 @@ pub fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
             Err(e)
         }
     }
+}
+
+/// Magic bytes opening every snapshot append-log file.
+pub const LOG_MAGIC: [u8; 8] = *b"SUIFSLOG";
+
+/// Append-log format version.  Independent of [`SNAPSHOT_VERSION`] — the
+/// record payloads reuse the snapshot payload body, so a snapshot format
+/// bump invalidates logs through the base-checksum binding, not this.
+pub const LOG_VERSION: u32 = 1;
+
+/// Size of the append-log header: magic · version · base checksum.
+pub const LOG_HEADER_LEN: usize = 28;
+
+/// Per-record framing overhead: payload length (u32) · FNV-128 checksum.
+pub const LOG_RECORD_OVERHEAD: usize = 20;
+
+/// The append-log header.  `base_checksum` is the payload checksum recorded
+/// in the base snapshot's header ([`file_checksum`]): a log only replays
+/// over the exact base image it was appended against, so a crash between a
+/// compaction's base rewrite and its log reset leaves a stale log that is
+/// ignored, never misapplied.
+pub fn log_header(base_checksum: u128) -> Vec<u8> {
+    let mut out = Vec::with_capacity(LOG_HEADER_LEN);
+    out.extend_from_slice(&LOG_MAGIC);
+    out.extend_from_slice(&LOG_VERSION.to_le_bytes());
+    out.extend_from_slice(&base_checksum.to_le_bytes());
+    out
+}
+
+/// The payload checksum recorded in a snapshot file's header, without
+/// decoding the payload.  `None` if the bytes are not a snapshot header.
+pub fn file_checksum(bytes: &[u8]) -> Option<u128> {
+    if bytes.len() < 36 || bytes[..8] != SNAPSHOT_MAGIC {
+        return None;
+    }
+    Some(u128::from_le_bytes(bytes[20..36].try_into().unwrap()))
+}
+
+/// Encode one framed append-log record: `len(u32) · FNV-128 checksum ·
+/// payload`, where the payload is the shared snapshot body for the delta
+/// facts and memo entries.  Ready to append to an existing log file.
+pub fn encode_log_record(
+    facts: Vec<ExportedFact>,
+    prove_empty: Vec<(Vec<Constraint>, bool)>,
+) -> Vec<u8> {
+    let snap = Snapshot::new(facts, prove_empty);
+    let payload = encode_payload(&snap.facts, &snap.prove_empty);
+    let checksum = payload_checksum(&payload);
+    let mut out = Vec::with_capacity(LOG_RECORD_OVERHEAD + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// A canonical fingerprint of one emptiness-memo entry, used to track which
+/// entries have already been persisted (so appends stay O(delta)).
+pub fn memo_fingerprint(cs: &[Constraint], result: bool) -> u128 {
+    let mut e = Enc::default();
+    e.u32(cs.len() as u32);
+    for c in cs {
+        e.constraint(c);
+    }
+    e.u8(result as u8);
+    payload_checksum(&e.buf)
+}
+
+/// What replaying an append-log stream produced.
+#[derive(Default)]
+pub struct LogReplay {
+    /// Delta facts in append order (a later record's fact for the same key
+    /// supersedes an earlier one; [`merge_image`] resolves that).
+    pub facts: Vec<ExportedFact>,
+    /// Delta memo entries in append order.
+    pub prove_empty: Vec<(Vec<Constraint>, bool)>,
+    /// Per-entry decode degradations inside otherwise valid records.
+    pub undecodable: u64,
+    /// Complete records replayed.
+    pub records: u64,
+    /// A torn or corrupt suffix was dropped (the valid prefix still
+    /// replayed — an interrupted append loses only its own record).
+    pub truncated: bool,
+}
+
+/// Replay an append-log byte stream over a base with payload checksum
+/// `base_checksum`.  Returns `None` when the log does not apply at all
+/// (missing/foreign header, version mismatch, or a header bound to a
+/// different base image); a torn or corrupt record ends the replay there,
+/// keeping the valid prefix.
+pub fn replay_log(bytes: &[u8], base_checksum: u128) -> Option<LogReplay> {
+    if bytes.len() < LOG_HEADER_LEN || bytes[..8] != LOG_MAGIC {
+        return None;
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().unwrap());
+    if version != LOG_VERSION {
+        return None;
+    }
+    let bound = u128::from_le_bytes(bytes[12..28].try_into().unwrap());
+    if bound != base_checksum {
+        return None;
+    }
+    let mut out = LogReplay::default();
+    let mut pos = LOG_HEADER_LEN;
+    while pos < bytes.len() {
+        if pos + LOG_RECORD_OVERHEAD > bytes.len() {
+            out.truncated = true;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+        let checksum = u128::from_le_bytes(bytes[pos + 4..pos + 20].try_into().unwrap());
+        let Some(end) = pos.checked_add(LOG_RECORD_OVERHEAD + len) else {
+            out.truncated = true;
+            break;
+        };
+        if end > bytes.len() {
+            out.truncated = true;
+            break;
+        }
+        let payload = &bytes[pos + LOG_RECORD_OVERHEAD..end];
+        if payload_checksum(payload) != checksum {
+            out.truncated = true;
+            break;
+        }
+        match decode_payload(payload) {
+            Ok(snap) => {
+                out.facts.extend(snap.facts);
+                out.prove_empty.extend(snap.prove_empty);
+                out.undecodable += snap.undecodable;
+                out.records += 1;
+            }
+            // A checksummed record that still fails structurally is format
+            // drift; stop here like a torn suffix rather than guess.
+            Err(_) => {
+                out.truncated = true;
+                break;
+            }
+        }
+        pos = end;
+    }
+    Some(out)
+}
+
+/// A base snapshot with its append-log replayed over it: the durable image
+/// a warm start imports.
+pub struct LoadedImage {
+    /// Merged facts (log supersedes base per `(key, hash)`; several
+    /// hashes may coexist per key), in `(key, hash)` order.
+    pub facts: Vec<ExportedFact>,
+    /// Base memo entries plus log deltas, fingerprint-deduplicated.
+    pub prove_empty: Vec<(Vec<Constraint>, bool)>,
+    /// Per-entry decode degradations across base and log.
+    pub undecodable: u64,
+    /// Payload checksum of the base image (what a continuing log must bind
+    /// to).
+    pub base_checksum: u128,
+    /// Complete log records replayed.
+    pub log_records: u64,
+    /// A torn/corrupt log suffix was dropped.
+    pub log_truncated: bool,
+    /// The log did not apply (absent, foreign, or bound to another base).
+    pub log_ignored: bool,
+}
+
+/// Decode `base_bytes` and replay `log_bytes` (if any) over it.  Base
+/// damage fails the whole load ([`SnapshotError`], caller cold-starts);
+/// log damage degrades — an inapplicable log is ignored, a torn one keeps
+/// its valid prefix.
+pub fn merge_image(
+    base_bytes: &[u8],
+    log_bytes: Option<&[u8]>,
+) -> Result<LoadedImage, SnapshotError> {
+    let base = Snapshot::decode(base_bytes)?;
+    let base_checksum = file_checksum(base_bytes).expect("decoded snapshot has a header");
+    let mut out = LoadedImage {
+        facts: Vec::new(),
+        prove_empty: base.prove_empty,
+        undecodable: base.undecodable,
+        base_checksum,
+        log_records: 0,
+        log_truncated: false,
+        log_ignored: false,
+    };
+    // Merge by `(key, hash)`, not key alone: a content-addressed tier
+    // legitimately holds several hashes per key (sibling programs sharing
+    // stmt ids), and all of them must survive a round trip.  For a
+    // key-addressed session store the extra variants are harmless — its
+    // expected-hash validation keeps exactly one per key and evicts the
+    // rest as stale.
+    let mut merged: HashMap<(FactKey, u128), ExportedFact> =
+        base.facts.into_iter().map(|f| ((f.key, f.hash), f)).collect();
+    match log_bytes {
+        None => {}
+        Some(lb) => match replay_log(lb, base_checksum) {
+            None => out.log_ignored = true,
+            Some(replay) => {
+                for f in replay.facts {
+                    merged.insert((f.key, f.hash), f);
+                }
+                let mut seen: std::collections::HashSet<u128> = out
+                    .prove_empty
+                    .iter()
+                    .map(|(cs, r)| memo_fingerprint(cs, *r))
+                    .collect();
+                for (cs, r) in replay.prove_empty {
+                    if seen.insert(memo_fingerprint(&cs, r)) {
+                        out.prove_empty.push((cs, r));
+                    }
+                }
+                out.undecodable += replay.undecodable;
+                out.log_records = replay.records;
+                out.log_truncated = replay.truncated;
+            }
+        },
+    }
+    out.facts = merged.into_values().collect();
+    out.facts.sort_by_key(|f| (f.key, f.hash));
+    Ok(out)
 }
 
 fn pass_tag(p: PassId) -> u8 {
@@ -430,6 +689,133 @@ impl Enc {
             Stride::Irregular => self.u8(1),
         }
     }
+    fn polyset(&mut self, s: &PolySet) {
+        // The raw set-level flag, not `is_approximate()` (which also folds
+        // in the per-disjunct flags written below).
+        self.u8(s.set_approximate() as u8);
+        self.u32(s.disjuncts().len() as u32);
+        for p in s.disjuncts() {
+            self.u8(p.is_proven_empty() as u8);
+            self.u8(p.is_approximate() as u8);
+            self.u32(p.constraints().len() as u32);
+            for c in p.constraints() {
+                self.constraint(c);
+            }
+        }
+    }
+    fn section(&mut self, s: &Section) {
+        self.u32(s.array.0);
+        self.u8(s.ndims);
+        self.polyset(&s.set);
+    }
+    fn section_summary(&mut self, s: &SectionSummary) {
+        self.section(&s.read);
+        self.section(&s.exposed);
+        self.section(&s.write);
+        self.section(&s.must_write);
+    }
+    fn access_summary(&mut self, a: &AccessSummary) {
+        // `iter` walks a `BTreeMap`, so the frame order is canonical; the
+        // array id and dimensionality ride inside each section.
+        self.u32(a.len() as u32);
+        for (_, s) in a.iter() {
+            self.section_summary(s);
+        }
+    }
+    fn red_summary(&mut self, r: &RedSummary) {
+        let entries: Vec<_> = r.iter().collect();
+        self.u32(entries.len() as u32);
+        for (id, e) in entries {
+            self.u32(id.0);
+            match e.op {
+                None => self.u8(0),
+                Some(op) => {
+                    self.u8(1);
+                    self.red_op(op);
+                }
+            }
+            self.section(&e.red);
+            self.section(&e.nonred);
+        }
+    }
+    fn node_summary(&mut self, n: &NodeSummary) {
+        self.access_summary(&n.acc);
+        self.red_summary(&n.red);
+    }
+    fn loop_iter_summary(&mut self, l: &LoopIterSummary) {
+        self.node_summary(&l.sum);
+        self.var(l.index_sym);
+        match &l.bounds {
+            None => self.u8(0),
+            Some((first, last)) => {
+                self.u8(1);
+                self.lin_expr(first);
+                self.lin_expr(last);
+            }
+        }
+        match l.step {
+            None => self.u8(0),
+            Some(s) => {
+                self.u8(1);
+                self.i64(s);
+            }
+        }
+        self.u32(l.varying.0);
+        self.u32(l.varying.1);
+        self.u8(l.has_calls as u8);
+    }
+    /// Frame every map of the data flow in sorted-key order (the maps hash,
+    /// so iteration order is not canonical on its own).
+    fn data_flow(&mut self, df: &ArrayDataFlow) {
+        let mut procs: Vec<_> = df.proc_summary.iter().collect();
+        procs.sort_by_key(|(p, _)| p.0);
+        self.u32(procs.len() as u32);
+        for (p, n) in procs {
+            self.u32(p.0);
+            self.node_summary(n);
+        }
+        let mut fresh: Vec<_> = df.proc_fresh.iter().collect();
+        fresh.sort_by_key(|(p, _)| p.0);
+        self.u32(fresh.len() as u32);
+        for (p, (lo, hi)) in fresh {
+            self.u32(p.0);
+            self.u32(*lo);
+            self.u32(*hi);
+        }
+        let mut stmts: Vec<_> = df.stmt_summary.iter().collect();
+        stmts.sort_by_key(|(s, _)| s.0);
+        self.u32(stmts.len() as u32);
+        for (s, n) in stmts {
+            self.u32(s.0);
+            self.node_summary(n);
+        }
+        let mut iters: Vec<_> = df.loop_iter.iter().collect();
+        iters.sort_by_key(|(s, _)| s.0);
+        self.u32(iters.len() as u32);
+        for (s, l) in iters {
+            self.u32(s.0);
+            self.loop_iter_summary(l);
+        }
+        let mut plain: Vec<_> = df.loop_closed_plain.iter().collect();
+        plain.sort_by_key(|(s, _)| s.0);
+        self.u32(plain.len() as u32);
+        for (s, a) in plain {
+            self.u32(s.0);
+            self.access_summary(a);
+        }
+    }
+    fn stmt_arrays(&mut self, m: &HashMap<StmtId, BTreeSet<ArrayId>>) {
+        let mut entries: Vec<_> = m.iter().collect();
+        entries.sort_by_key(|(s, _)| s.0);
+        self.u32(entries.len() as u32);
+        for (s, ids) in entries {
+            self.u32(s.0);
+            self.u32(ids.len() as u32);
+            for id in ids {
+                self.u32(id.0);
+            }
+        }
+    }
 }
 
 /// Bounds-checked little-endian byte decoder; every method returns `None`
@@ -549,6 +935,134 @@ impl<'a> Dec<'a> {
             1 => Stride::Irregular,
             _ => return None,
         })
+    }
+    fn polyset(&mut self) -> Option<PolySet> {
+        let approx = self.bool_val()?;
+        let n = self.u32()?;
+        let mut disjuncts = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            let empty = self.bool_val()?;
+            let papprox = self.bool_val()?;
+            let ncs = self.u32()?;
+            let mut cs = Vec::with_capacity(ncs.min(1024) as usize);
+            for _ in 0..ncs {
+                cs.push(self.constraint()?);
+            }
+            // `from_parts`, not `push`/`from_constraints`: the encoded parts
+            // already went through normalization, subsumption, and widening
+            // when first built, and re-running those reductions would change
+            // the representation (breaking bit-identical round trips).
+            disjuncts.push(Polyhedron::from_parts(cs, empty, papprox));
+        }
+        Some(PolySet::from_parts(disjuncts, approx))
+    }
+    fn section(&mut self) -> Option<Section> {
+        let array = ArrayId(self.u32()?);
+        let ndims = self.u8()?;
+        let set = self.polyset()?;
+        Some(Section { array, ndims, set })
+    }
+    fn section_summary(&mut self) -> Option<SectionSummary> {
+        Some(SectionSummary {
+            read: self.section()?,
+            exposed: self.section()?,
+            write: self.section()?,
+            must_write: self.section()?,
+        })
+    }
+    fn access_summary(&mut self) -> Option<AccessSummary> {
+        let n = self.u32()?;
+        let mut a = AccessSummary::empty();
+        for _ in 0..n {
+            a.insert(self.section_summary()?);
+        }
+        Some(a)
+    }
+    fn red_summary(&mut self) -> Option<RedSummary> {
+        let n = self.u32()?;
+        let mut r = RedSummary::empty();
+        for _ in 0..n {
+            let id = ArrayId(self.u32()?);
+            let op = match self.u8()? {
+                0 => None,
+                1 => Some(self.red_op()?),
+                _ => return None,
+            };
+            let red = self.section()?;
+            let nonred = self.section()?;
+            r.insert_entry(id, RedEntry { op, red, nonred });
+        }
+        Some(r)
+    }
+    fn node_summary(&mut self) -> Option<NodeSummary> {
+        Some(NodeSummary {
+            acc: self.access_summary()?,
+            red: self.red_summary()?,
+        })
+    }
+    fn loop_iter_summary(&mut self) -> Option<LoopIterSummary> {
+        let sum = self.node_summary()?;
+        let index_sym = self.var()?;
+        let bounds = match self.u8()? {
+            0 => None,
+            1 => Some((self.lin_expr()?, self.lin_expr()?)),
+            _ => return None,
+        };
+        let step = match self.u8()? {
+            0 => None,
+            1 => Some(self.i64()?),
+            _ => return None,
+        };
+        let varying = (self.u32()?, self.u32()?);
+        let has_calls = self.bool_val()?;
+        Some(LoopIterSummary {
+            sum,
+            index_sym,
+            bounds,
+            step,
+            varying,
+            has_calls,
+        })
+    }
+    fn data_flow(&mut self) -> Option<ArrayDataFlow> {
+        let mut df = ArrayDataFlow::default();
+        for _ in 0..self.u32()? {
+            let p = ProcId(self.u32()?);
+            df.proc_summary.insert(p, self.node_summary()?);
+        }
+        for _ in 0..self.u32()? {
+            let p = ProcId(self.u32()?);
+            let lo = self.u32()?;
+            let hi = self.u32()?;
+            df.proc_fresh.insert(p, (lo, hi));
+        }
+        for _ in 0..self.u32()? {
+            let s = StmtId(self.u32()?);
+            df.stmt_summary.insert(s, self.node_summary()?);
+        }
+        for _ in 0..self.u32()? {
+            let s = StmtId(self.u32()?);
+            df.loop_iter.insert(s, self.loop_iter_summary()?);
+        }
+        for _ in 0..self.u32()? {
+            let s = StmtId(self.u32()?);
+            df.loop_closed_plain.insert(s, self.access_summary()?);
+        }
+        Some(df)
+    }
+    fn stmt_arrays(&mut self) -> Option<HashMap<StmtId, BTreeSet<ArrayId>>> {
+        let n = self.u32()?;
+        let mut m = HashMap::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            let s = StmtId(self.u32()?);
+            let k = self.u32()?;
+            let mut ids = BTreeSet::new();
+            for _ in 0..k {
+                ids.insert(ArrayId(self.u32()?));
+            }
+            m.insert(s, ids);
+        }
+        Some(m)
     }
 }
 
@@ -724,7 +1238,38 @@ fn encode_value(pass: PassId, value: &Arc<dyn Any + Send + Sync>, e: &mut Enc) {
                 }
             }
         }
-        PassId::Summarize | PassId::Liveness => {}
+        PassId::Summarize => {
+            // Only the data flow is wire-worthy: `stats` records how the
+            // computing run was scheduled (thread counts, wall-clock) —
+            // nondeterministic metadata a reused fact reports as zero anyway.
+            if let Some(v) = value.downcast_ref::<SummaryFact>() {
+                e.data_flow(&v.df);
+            }
+        }
+        PassId::Liveness => {
+            if let Some(v) = value.downcast_ref::<LivenessResult>() {
+                e.u8(match v.mode {
+                    LivenessMode::FlowInsensitive => 0,
+                    LivenessMode::OneBit => 1,
+                    LivenessMode::Full => 2,
+                });
+                e.stmt_arrays(&v.written);
+                e.stmt_arrays(&v.live_after_write);
+                match &v.after_full {
+                    None => e.u8(0),
+                    Some(m) => {
+                        e.u8(1);
+                        let mut entries: Vec<_> = m.iter().collect();
+                        entries.sort_by_key(|(r, _)| r.0);
+                        e.u32(entries.len() as u32);
+                        for (r, a) in entries {
+                            e.u32(r.0);
+                            e.access_summary(a);
+                        }
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -820,7 +1365,42 @@ fn decode_value(pass: PassId, bytes: &[u8]) -> Option<Arc<dyn Any + Send + Sync>
             }
             Arc::new(v)
         }
-        PassId::Summarize | PassId::Liveness => return None,
+        PassId::Summarize => Arc::new(SummaryFact {
+            df: Arc::new(d.data_flow()?),
+            // A decoded fact is a reused fact: zero schedule traffic, like
+            // `analyze_in`'s own reuse path.
+            stats: ScheduleStats::default(),
+        }),
+        PassId::Liveness => {
+            let mode = match d.u8()? {
+                0 => LivenessMode::FlowInsensitive,
+                1 => LivenessMode::OneBit,
+                2 => LivenessMode::Full,
+                _ => return None,
+            };
+            let written = d.stmt_arrays()?;
+            let live_after_write = d.stmt_arrays()?;
+            let after_full = match d.u8()? {
+                0 => None,
+                1 => {
+                    let n = d.u32()?;
+                    let mut m = HashMap::with_capacity(n.min(1024) as usize);
+                    for _ in 0..n {
+                        let r = RegionId(d.u32()?);
+                        m.insert(r, d.access_summary()?);
+                    }
+                    Some(m)
+                }
+                _ => return None,
+            };
+            Arc::new(LivenessResult {
+                mode,
+                written,
+                live_after_write,
+                after_full,
+                elapsed: Duration::ZERO,
+            })
+        }
     };
     if d.pos != bytes.len() {
         return None;
@@ -863,6 +1443,77 @@ mod tests {
             }],
             has_io: true,
             classes: BTreeMap::from([(ArrayId(2), VarClass::Dep)]),
+        }
+    }
+
+    fn sample_section(id: u32) -> Section {
+        let poly = Polyhedron::from_constraints([
+            Constraint::geq0(LinExpr::var(Var::Dim(0))),
+            Constraint::geq0(LinExpr::constant(9).add(&LinExpr::term(Var::Dim(0), -1))),
+        ]);
+        Section {
+            array: ArrayId(id),
+            ndims: 1,
+            set: PolySet::from_parts(vec![poly], false),
+        }
+    }
+
+    fn sample_section_summary(id: u32) -> SectionSummary {
+        SectionSummary {
+            read: sample_section(id),
+            exposed: sample_section(id),
+            write: sample_section(id),
+            must_write: sample_section(id),
+        }
+    }
+
+    fn sample_summary_fact() -> SummaryFact {
+        let mut acc = AccessSummary::empty();
+        acc.insert(sample_section_summary(0));
+        let mut red = RedSummary::empty();
+        red.insert_entry(
+            ArrayId(2),
+            RedEntry {
+                op: Some(RedOp::Add),
+                red: sample_section(2),
+                nonred: Section::empty(ArrayId(2), 1),
+            },
+        );
+        let node = NodeSummary { acc, red };
+        let mut df = ArrayDataFlow::default();
+        df.proc_summary.insert(ProcId(0), node.clone());
+        df.proc_fresh.insert(ProcId(0), (4, 7));
+        df.stmt_summary.insert(StmtId(3), node.clone());
+        df.loop_iter.insert(
+            StmtId(3),
+            LoopIterSummary {
+                sum: node.clone(),
+                index_sym: Var::Sym(9),
+                bounds: Some((LinExpr::constant(1), LinExpr::var(Var::Sym(2)))),
+                step: Some(1),
+                varying: (4, 7),
+                has_calls: false,
+            },
+        );
+        df.loop_closed_plain.insert(StmtId(3), node.acc.clone());
+        SummaryFact {
+            df: Arc::new(df),
+            stats: ScheduleStats::default(),
+        }
+    }
+
+    fn sample_liveness() -> LivenessResult {
+        let mut after = HashMap::new();
+        let mut acc = AccessSummary::empty();
+        acc.insert(sample_section_summary(0));
+        after.insert(RegionId(1), acc);
+        LivenessResult {
+            mode: LivenessMode::Full,
+            written: HashMap::from([(StmtId(3), BTreeSet::from([ArrayId(0), ArrayId(2)]))]),
+            live_after_write: HashMap::from([(StmtId(3), BTreeSet::from([ArrayId(0)]))]),
+            after_full: Some(after),
+            // Run metadata: must NOT survive the round trip (decodes as zero).
+            elapsed: Duration::from_secs(5),
         }
     }
 
@@ -957,8 +1608,18 @@ mod tests {
                         groups: vec![vec![ProcId(0)], vec![ProcId(1), ProcId(2)]],
                     }]),
                 ),
-                // Not encodable: must be filtered out by `Snapshot::new`.
-                fact(PassId::Summarize, Scope::Program, 1, Arc::new(0u64)),
+                fact(
+                    PassId::Summarize,
+                    Scope::Program,
+                    1,
+                    Arc::new(sample_summary_fact()),
+                ),
+                fact(
+                    PassId::Liveness,
+                    Scope::Program,
+                    2,
+                    Arc::new(sample_liveness()),
+                ),
             ],
             memo,
         )
@@ -967,7 +1628,7 @@ mod tests {
     #[test]
     fn golden_round_trip_is_bit_identical() {
         let snap = sample_snapshot();
-        assert_eq!(snap.facts.len(), 6, "summarize filtered out");
+        assert_eq!(snap.facts.len(), 8, "every pass is encodable");
         let bytes = snap.encode();
         let back = Snapshot::decode(&bytes).unwrap();
         assert_eq!(back.undecodable, 0);
@@ -981,11 +1642,59 @@ mod tests {
         assert_eq!(back.encode(), bytes);
         assert_eq!(back.prove_empty, snap.prove_empty);
         // Verdict content survives.
-        let v = back.facts[0]
+        let classify = back
+            .facts
+            .iter()
+            .find(|f| f.key == FactKey::new(PassId::Classify, Scope::Loop(StmtId(5))))
+            .unwrap();
+        let v = classify
             .value
             .downcast_ref::<LoopVerdict>()
             .expect("classify decodes to a verdict");
         assert_eq!(format!("{v:?}"), format!("{:?}", verdict_parallel()));
+        // The summary's data flow survives structurally.
+        let summarize = back
+            .facts
+            .iter()
+            .find(|f| f.key.pass == PassId::Summarize)
+            .unwrap();
+        let sf = summarize
+            .value
+            .downcast_ref::<SummaryFact>()
+            .expect("summarize decodes to a summary fact");
+        let want = sample_summary_fact();
+        assert_eq!(sf.df.proc_summary.len(), want.df.proc_summary.len());
+        assert_eq!(sf.df.proc_fresh[&ProcId(0)], (4, 7));
+        assert_eq!(sf.df.loop_iter[&StmtId(3)].step, Some(1));
+        assert_eq!(sf.stats.summarized, 0, "decoded facts report zero traffic");
+        // Liveness flows survive; run metadata does not.
+        let liveness = back
+            .facts
+            .iter()
+            .find(|f| f.key.pass == PassId::Liveness)
+            .unwrap();
+        let lr = liveness
+            .value
+            .downcast_ref::<LivenessResult>()
+            .expect("liveness decodes to a result");
+        assert!(matches!(lr.mode, LivenessMode::Full));
+        assert_eq!(lr.written[&StmtId(3)].len(), 2);
+        assert!(lr.after_full.as_ref().unwrap().contains_key(&RegionId(1)));
+        assert_eq!(lr.elapsed, Duration::ZERO);
+    }
+
+    #[test]
+    fn type_mismatched_value_degrades_to_undecodable() {
+        // A wrong concrete type behind the `Any` encodes an empty payload,
+        // which fails to decode and drops the one entry — never the file.
+        let snap = Snapshot::new(
+            vec![fact(PassId::Summarize, Scope::Program, 1, Arc::new(0u64))],
+            vec![],
+        );
+        assert_eq!(snap.facts.len(), 1);
+        let back = Snapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(back.facts.len(), 0);
+        assert_eq!(back.undecodable, 1);
     }
 
     #[test]

@@ -81,11 +81,15 @@ proptest! {
         prop_assert_eq!(&decoded.prove_empty, &memo);
         prop_assert_eq!(decoded.facts.len(), persisted_keys.len());
 
-        // Every loop's classify and carried-deps facts made it in.
+        // Every loop's classify and carried-deps facts made it in, and so
+        // did the program-scope summary and liveness facts (encodable
+        // since snapshot version 3).
         for li in &pa.ctx.tree.loops {
             prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Classify, Scope::Loop(li.stmt))));
             prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Deps, Scope::Loop(li.stmt))));
         }
+        prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Summarize, Scope::Program)));
+        prop_assert!(persisted_keys.contains(&FactKey::new(PassId::Liveness, Scope::Program)));
 
         // Warm-start validation: the program did not change, so every
         // decoded entry matches its freshly computed expected input hash.
@@ -110,6 +114,16 @@ proptest! {
             prop_assert_eq!(m.invocations, 0);
             prop_assert!(m.reused >= loops);
         }
+        // The expensive interprocedural passes are persisted too: the warm
+        // run invokes summarize and liveness exactly zero times.
+        for pass in [PassId::Summarize, PassId::Liveness] {
+            prop_assert_eq!(warm.metrics_for(pass).invocations, 0);
+        }
+        // And the warm store's facts are bit-identical on the wire: re-
+        // exporting and re-encoding (against the same memo image)
+        // reproduces the original snapshot bytes.
+        let warm_snap = Snapshot::new(warm.export(), memo.clone());
+        prop_assert_eq!(&warm_snap.encode(), &bytes);
 
         // Invalidate N distinct loop classifications; re-demanding runs the
         // classify pass exactly N times — no more, no less.

@@ -48,6 +48,21 @@ impl Polyhedron {
         p
     }
 
+    /// Rebuild from previously observed parts, verbatim.
+    ///
+    /// Unlike [`Polyhedron::from_constraints`] this performs no
+    /// normalization, deduplication, or contradiction detection — the parts
+    /// must come from an earlier polyhedron (e.g. a decoded snapshot), so
+    /// re-running them through `add_constraint` could only change the
+    /// representation, not the denoted set.
+    pub fn from_parts(constraints: Vec<Constraint>, empty: bool, approximate: bool) -> Self {
+        Polyhedron {
+            constraints,
+            empty,
+            approximate,
+        }
+    }
+
     /// True if this polyhedron has been proven empty.
     pub fn is_proven_empty(&self) -> bool {
         self.empty
@@ -1516,13 +1531,25 @@ pub fn export_prove_empty_memo() -> Vec<(Vec<Constraint>, bool)> {
 /// process is always sound.  Returns how many proofs were installed.
 pub fn import_prove_empty_memo(entries: &[(Vec<Constraint>, bool)]) -> usize {
     let g = global_prove_empty_cache();
+    // Group by shard first so each shard's lock is taken once per import,
+    // not once per entry — a warm start replays thousands of proofs.
+    let mut buckets: [Vec<&(Vec<Constraint>, bool)>; PROVE_EMPTY_SHARDS] =
+        std::array::from_fn(|_| Vec::new());
+    for e in entries {
+        buckets[g.shard_index(&e.0)].push(e);
+    }
     let mut installed = 0;
-    for (k, b) in entries {
-        let s = g.shard_of(k);
-        let mut map = s.map.lock();
-        if !map.contains_key(k) {
-            map.insert(k.clone(), ProveSlot::Done(*b));
-            installed += 1;
+    for (i, bucket) in buckets.into_iter().enumerate() {
+        if bucket.is_empty() {
+            continue;
+        }
+        let mut map = g.shards[i].map.lock();
+        map.reserve(bucket.len());
+        for (k, b) in bucket {
+            if let std::collections::hash_map::Entry::Vacant(slot) = map.entry(k.clone()) {
+                slot.insert(ProveSlot::Done(*b));
+                installed += 1;
+            }
         }
     }
     installed
@@ -1557,12 +1584,16 @@ struct GlobalProveEmptyCache {
 }
 
 impl GlobalProveEmptyCache {
-    fn shard_of(&self, key: &[Constraint]) -> &ProveShard {
+    fn shard_index(&self, key: &[Constraint]) -> usize {
         // Fold the constraints' precomputed fingerprints — no term walks.
         let h = key.iter().fold(0xcbf2_9ce4_8422_2325u64, |acc, c| {
             (acc ^ c.chash()).wrapping_mul(0x0000_0100_0000_01b3)
         });
-        &self.shards[h as usize % PROVE_EMPTY_SHARDS]
+        h as usize % PROVE_EMPTY_SHARDS
+    }
+
+    fn shard_of(&self, key: &[Constraint]) -> &ProveShard {
+        &self.shards[self.shard_index(key)]
     }
 }
 

@@ -44,6 +44,26 @@ impl PolySet {
         &self.disjuncts
     }
 
+    /// Rebuild from previously observed parts, verbatim.
+    ///
+    /// Unlike [`PolySet::push`] this performs no subsumption or widening —
+    /// the parts must come from an earlier set (e.g. a decoded snapshot),
+    /// where those reductions already ran; re-running them would change the
+    /// representation and break bit-identical round-trips.
+    pub fn from_parts(disjuncts: Vec<Polyhedron>, approximate: bool) -> Self {
+        PolySet {
+            disjuncts,
+            approximate,
+        }
+    }
+
+    /// The set-level `approximate` flag alone, *without* folding in the
+    /// per-disjunct flags the way [`PolySet::is_approximate`] does.  This is
+    /// the raw field a faithful serialization must capture.
+    pub fn set_approximate(&self) -> bool {
+        self.approximate
+    }
+
     /// True when the set is syntactically empty (no satisfiable disjunct kept).
     pub fn is_empty(&self) -> bool {
         self.disjuncts.is_empty()

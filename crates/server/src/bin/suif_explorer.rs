@@ -37,6 +37,7 @@ fn usage() -> String {
      \x20      suif-explorer corpus <dir|manifest> [--gen N] [--seed-base S] [--workers N]\n\
      \x20                          [--shared-budget BYTES] [--session-budget BYTES]\n\
      \x20                          [--max-program-bytes B] [--report FILE] [--inject-panic NAME]\n\
+     \x20                          [--persist-dir DIR]\n\
      options:\n\
        --assert LOOP:VAR    privatization assertion (repeatable)\n\
        --threads N          worker threads for `run`/`serve`\n\
@@ -54,9 +55,11 @@ fn usage() -> String {
                             send a `batch` command for in-order replies\n\
        --speculate N        pre-classify up to N guru-ranked loops in the\n\
                             background after each `guru` (serve only; default 4)\n\
-       --persist-dir DIR    durable fact snapshots in DIR/facts.snap: sessions\n\
+       --persist-dir DIR    durable fact snapshots in DIR/facts.snap plus an\n\
+                            append-log DIR/facts.snap.log: `serve` sessions\n\
                             warm-start from the last checkpoint after a daemon\n\
-                            restart (serve only)\n\
+                            restart; `corpus` imports the shared tier before\n\
+                            the run and exports it after\n\
        --max-sessions N     reject `load`s past N concurrently loaded sessions\n\
                             (serve only; default 0 = unlimited)\n\
        --shared-budget B    byte budget for the process-wide shared fact tier\n\
@@ -94,6 +97,7 @@ fn corpus(args: &[String]) -> Result<(), String> {
     let mut max_program_bytes = 0usize;
     let mut report_path: Option<String> = None;
     let mut inject_panic: Option<String> = None;
+    let mut persist_dir: Option<std::path::PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         let num = |flag: &str| -> Result<usize, String> {
@@ -138,6 +142,12 @@ fn corpus(args: &[String]) -> Result<(), String> {
                 );
                 i += 2;
             }
+            "--persist-dir" => {
+                let dir = args.get(i + 1).ok_or("--persist-dir needs a directory")?;
+                std::fs::create_dir_all(dir).map_err(|e| format!("--persist-dir {dir}: {e}"))?;
+                persist_dir = Some(dir.into());
+                i += 2;
+            }
             other if !other.starts_with("--") && input.is_none() => {
                 input = Some(other.to_string());
                 i += 1;
@@ -156,6 +166,13 @@ fn corpus(args: &[String]) -> Result<(), String> {
 
     let tier = std::sync::Arc::new(suif_analysis::SharedFactTier::with_budget(shared_budget));
     let cache = std::sync::Arc::new(suif_analysis::SummaryCache::new());
+    if let Some(dir) = &persist_dir {
+        match suif_server::load_tier_snapshot(dir, &tier) {
+            Ok(0) => {}
+            Ok(n) => eprintln!("corpus: warm tier — {n} facts from {}", dir.display()),
+            Err(e) => eprintln!("warning: snapshot {}: {e}; cold start", dir.display()),
+        }
+    }
     let opts = suif_server::CorpusOptions {
         workers,
         session_budget,
@@ -181,6 +198,11 @@ fn corpus(args: &[String]) -> Result<(), String> {
     }
     writeln!(out, "{}", run.summary.to_json(&tier)).map_err(|e| e.to_string())?;
     out.flush().map_err(|e| e.to_string())?;
+    if let Some(dir) = &persist_dir {
+        let (facts, bytes) = suif_server::save_tier_snapshot(dir, &tier)
+            .map_err(|e| format!("snapshot {}: write failed: {e}", dir.display()))?;
+        eprintln!("corpus: persisted {facts} facts ({bytes} bytes) to {}", dir.display());
+    }
     eprintln!(
         "corpus: {} programs, {} ok, {} errors, {:.1} programs/sec over {} workers",
         run.summary.programs,

@@ -38,14 +38,16 @@
 //! live only in the full [`ProgramReport::to_json`] record.
 
 use crate::json::Json;
-use crate::session::tier_json;
+use crate::session::{tier_json, SNAPSHOT_FILE, SNAPSHOT_LOG_FILE};
+use std::io;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 use suif_analysis::{
-    AnalyzeStats, ExecutorService, FactStore, LoopVerdict, ParallelizeConfig, Parallelizer,
-    ScheduleOptions, SharedFactTier, SummaryCache,
+    snapshot, AnalyzeStats, ExecutorService, FactStore, LoopVerdict, ParallelizeConfig,
+    Parallelizer, ScheduleOptions, SharedFactTier, SummaryCache,
 };
 
 /// Default per-program source-size cap (bytes).  Generous for any program
@@ -463,6 +465,39 @@ pub fn run_corpus(
     CorpusRun { reports, summary }
 }
 
+/// Warm a corpus run's shared tier from the snapshot in `dir` (base image
+/// plus append-log, the same layout daemon sessions maintain), returning
+/// the number of facts imported.  The tier is content-addressed by
+/// `(pass, input-hash)`, so no expected-hash validation applies here: a
+/// persisted fact no current program demands is simply never read.  A
+/// missing snapshot is a cold start (`Ok(0)`); a corrupt base is an error
+/// the caller may downgrade to a cold start.
+pub fn load_tier_snapshot(dir: &Path, tier: &SharedFactTier) -> io::Result<usize> {
+    let base = match std::fs::read(dir.join(SNAPSHOT_FILE)) {
+        Ok(b) => b,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(0),
+        Err(e) => return Err(e),
+    };
+    let log = std::fs::read(dir.join(SNAPSHOT_LOG_FILE)).ok();
+    let img = snapshot::merge_image(&base, log.as_deref())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let n = tier.import(&img.facts);
+    suif_poly::import_prove_empty_memo(&img.prove_empty);
+    Ok(n)
+}
+
+/// Persist the shared tier (and emptiness memo) into `dir` as a fresh base
+/// image with an empty bound log — the corpus-mode counterpart of a
+/// session compaction.  Returns `(facts, bytes)` written.
+pub fn save_tier_snapshot(dir: &Path, tier: &SharedFactTier) -> io::Result<(usize, usize)> {
+    let snap = snapshot::Snapshot::new(tier.export(), suif_poly::export_prove_empty_memo());
+    let bytes = snap.encode();
+    snapshot::write_atomic(&dir.join(SNAPSHOT_FILE), &bytes)?;
+    let checksum = snapshot::file_checksum(&bytes).expect("encoded snapshot has a header");
+    snapshot::write_atomic(&dir.join(SNAPSHOT_LOG_FILE), &snapshot::log_header(checksum))?;
+    Ok((snap.facts.len(), bytes.len()))
+}
+
 /// Materialize `count` generated corpus entries from `seed_base` — the
 /// in-process equivalent of `scripts/gen_corpus` for the daemon's `corpus`
 /// command and the benchmarks.
@@ -544,6 +579,39 @@ mod tests {
             .find(|r| r.status == "panic")
             .expect("panic record present");
         assert!(panic_rec.error.as_deref().unwrap().contains("injected"));
+    }
+
+    #[test]
+    fn tier_snapshot_round_trip_warms_a_second_run() {
+        let entries = generated_entries(4, 40);
+        let (tier, cache) = tier_and_cache();
+        let cold = run_corpus(
+            entries.clone(),
+            &CorpusOptions::default(),
+            &tier,
+            &cache,
+            |_| {},
+        );
+        let dir = std::env::temp_dir().join(format!("suif_corpus_persist_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let (saved, bytes) = save_tier_snapshot(&dir, &tier).unwrap();
+        assert!(saved > 0 && bytes > 0, "cold run persisted facts");
+
+        let (tier2, cache2) = tier_and_cache();
+        let imported = load_tier_snapshot(&dir, &tier2).unwrap();
+        assert_eq!(imported, saved, "every persisted fact imports");
+        let warm = run_corpus(entries, &CorpusOptions::default(), &tier2, &cache2, |_| {});
+        for (c, w) in cold.reports.iter().zip(&warm.reports) {
+            assert_eq!(
+                c.deterministic_json().to_string(),
+                w.deterministic_json().to_string(),
+                "warm tier must not change {}",
+                c.name
+            );
+        }
+        let shared: u64 = warm.reports.iter().map(|r| r.facts_shared).sum();
+        assert!(shared > 0, "warm run reads persisted facts from the tier");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

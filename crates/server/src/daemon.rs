@@ -43,7 +43,7 @@ use crate::proto::{
     err_response, ok_response, request_id, Frame, FrameDecoder, Request, MAX_LINE_BYTES,
 };
 use crate::reactor::{Event, Interest, Poller, WakePipe};
-use crate::session::{Session, SessionConfig, SNAPSHOT_FILE};
+use crate::session::{Session, SessionConfig, SNAPSHOT_FILE, SNAPSHOT_LOG_FILE};
 use std::collections::VecDeque;
 use std::io::{self, BufRead, Read, Write};
 use std::path::PathBuf;
@@ -171,8 +171,9 @@ impl ServiceState {
     }
 
     /// Write the shared tier (and emptiness memo) to the persist path,
-    /// atomically.  Returns `(facts, bytes)` written, or `None` without
-    /// persistence.
+    /// atomically, and reset the append-log to a header bound to the new
+    /// base so session checkpoints keep appending against it.  Returns
+    /// `(facts, bytes)` written, or `None` without persistence.
     pub fn checkpoint(&self) -> io::Result<Option<(usize, usize)>> {
         let Some(dir) = &self.persist_dir else {
             return Ok(None);
@@ -182,6 +183,8 @@ impl ServiceState {
             snapshot::Snapshot::new(self.tier.export(), suif_poly::export_prove_empty_memo());
         let bytes = snap.encode();
         snapshot::write_atomic(&path, &bytes)?;
+        let checksum = snapshot::file_checksum(&bytes).expect("encoded snapshot has a header");
+        snapshot::write_atomic(&dir.join(SNAPSHOT_LOG_FILE), &snapshot::log_header(checksum))?;
         Ok(Some((snap.facts.len(), bytes.len())))
     }
 

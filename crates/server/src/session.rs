@@ -23,10 +23,11 @@
 //! claimed by a query (hits), and how many an invalidation wasted.
 
 use crate::json::Json;
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use suif_analysis::{
     snapshot, AnalyzeStats, Assertion, FactKey, FactStore, LoopVerdict, ParallelizeConfig,
     Parallelizer, PassId, ScheduleOptions, Scope, SharedFactTier, SummaryCache,
@@ -34,11 +35,23 @@ use suif_analysis::{
 use suif_explorer::Explorer;
 use suif_ir::{Program, StmtId};
 
-/// File name of the fact snapshot inside a persist directory.
+/// File name of the base fact snapshot inside a persist directory.
 pub const SNAPSHOT_FILE: &str = "facts.snap";
 
+/// File name of the snapshot append-log beside the base image.  Checkpoints
+/// append O(delta) framed records here; a compaction folds the log back
+/// into a fresh base.
+pub const SNAPSHOT_LOG_FILE: &str = "facts.snap.log";
+
+/// Compact once the log's record bytes reach both this floor and the base
+/// image's size: a single assert appends a few hundred bytes without ever
+/// triggering a whole-file rewrite, while a long assert-heavy session folds
+/// its log away before replay cost rivals a cold start.
+pub const COMPACT_MIN_LOG_BYTES: u64 = 4096;
+
 /// What happened to the persisted fact snapshot when this session opened,
-/// reported under `snapshot` in `stats`.
+/// plus running checkpoint-cost counters, reported under `snapshot` in
+/// `stats`.
 #[derive(Clone, Debug)]
 pub struct SnapshotReport {
     /// `"none"` (no persist dir or no file yet), `"loaded"` (imported after
@@ -49,8 +62,7 @@ pub struct SnapshotReport {
     /// expectation and were imported into the store.
     pub warm_hits: u64,
     /// Facts the opening analysis still had to compute (everything not
-    /// covered by an imported fact — including the never-persisted
-    /// summarize/liveness passes).
+    /// covered by an imported fact).
     pub cold_misses: u64,
     /// Persisted entries dropped at load: stale input hash (the program or
     /// configuration moved) or undecodable bytes.  Each degrades to
@@ -58,6 +70,18 @@ pub struct SnapshotReport {
     pub evicted_stale: u64,
     /// Human-readable load problem, when the snapshot was discarded.
     pub warning: Option<String>,
+    /// Wall-clock seconds spent reading, replaying, and importing the
+    /// base+log image at open.
+    pub load_secs: f64,
+    /// Accumulated wall-clock seconds of every persistence write (appends,
+    /// base writes, compactions) this session performed.
+    pub save_secs: f64,
+    /// Total bytes appended to the log by delta checkpoints (excludes base
+    /// rewrites — the measure of O(delta) checkpoint cost).
+    pub appended_bytes: u64,
+    /// Whole-file base+log rewrites after the open (ratio-triggered
+    /// compactions and reload-forced rewrites).
+    pub compactions: u64,
 }
 
 impl Default for SnapshotReport {
@@ -68,6 +92,49 @@ impl Default for SnapshotReport {
             cold_misses: 0,
             evicted_stale: 0,
             warning: None,
+            load_secs: 0.0,
+            save_secs: 0.0,
+            appended_bytes: 0,
+            compactions: 0,
+        }
+    }
+}
+
+/// Durable-persistence bookkeeping: the base+log paths plus exactly what is
+/// already on disk, so a checkpoint appends only the delta.
+struct PersistState {
+    /// The base snapshot image.
+    base: PathBuf,
+    /// The append-log beside it.
+    log: PathBuf,
+    /// Payload checksum of the on-disk base; the log header binds to it.
+    base_checksum: u128,
+    /// Size of the base file.
+    base_bytes: u64,
+    /// Size of the log file (header + records).
+    log_bytes: u64,
+    /// `key → input hash` of every fact durable in base+log.  A fact is
+    /// appended only when absent or hash-moved — never rewritten whole.
+    persisted: HashMap<FactKey, u128>,
+    /// Fingerprints of durable emptiness-memo entries.
+    persisted_memo: HashSet<u128>,
+    /// No valid base exists on disk yet (fresh dir, discarded corruption,
+    /// or a damaged log pending fold-in): the next write must be a full
+    /// base+log rewrite.
+    needs_base: bool,
+}
+
+impl PersistState {
+    fn new(dir: &Path) -> PersistState {
+        PersistState {
+            base: dir.join(SNAPSHOT_FILE),
+            log: dir.join(SNAPSHOT_LOG_FILE),
+            base_checksum: 0,
+            base_bytes: 0,
+            log_bytes: 0,
+            persisted: HashMap::new(),
+            persisted_memo: HashSet::new(),
+            needs_base: true,
         }
     }
 }
@@ -117,8 +184,8 @@ pub struct Session {
     pub last_cache_delta: (u64, u64),
     /// Completed `load`/`reload` requests.
     pub generation: u64,
-    /// Path of the durable fact snapshot, when persistence is on.
-    persist: Option<PathBuf>,
+    /// Durable base+log persistence state, when persistence is on.
+    persist: Option<PersistState>,
     /// How the snapshot load went at `open` time (see [`SnapshotReport`]).
     pub snapshot: SnapshotReport,
     /// Accumulated race-certification counters, reported under
@@ -158,33 +225,57 @@ pub struct SessionConfig {
     pub session_id: u64,
 }
 
-/// Load `path` (if it exists) and import every entry whose input hash
-/// matches `expected` into `store` (and into `tier`, when this session
-/// reads through one).  Corrupt or version-mismatched files are discarded
-/// whole; stale or undecodable entries degrade individually.
-fn load_snapshot(
-    path: &Path,
+/// Load the base snapshot (if it exists), replay the append-log over it,
+/// and import every merged entry whose input hash matches `expected` into
+/// `store` (and into `tier`, when this session reads through one).  A
+/// corrupt or version-mismatched base discards the whole image; a damaged
+/// log degrades (ignored if bound to another base — e.g. after a
+/// mid-compaction crash — or replayed up to its first torn record) and
+/// schedules a full rewrite; stale or undecodable entries degrade
+/// individually.
+fn load_persisted(
+    ps: &mut PersistState,
     store: &FactStore,
     tier: Option<&SharedFactTier>,
-    expected: &std::collections::HashMap<FactKey, u128>,
+    expected: &HashMap<FactKey, u128>,
 ) -> SnapshotReport {
     let mut report = SnapshotReport::default();
-    let bytes = match std::fs::read(path) {
+    let base_bytes = match std::fs::read(&ps.base) {
         Ok(b) => b,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return report,
         Err(e) => {
-            let w = format!("snapshot {}: read failed: {e}; cold start", path.display());
+            let w = format!(
+                "snapshot {}: read failed: {e}; cold start",
+                ps.base.display()
+            );
             eprintln!("warning: {w}");
             report.status = "discarded";
             report.warning = Some(w);
             return report;
         }
     };
-    match snapshot::Snapshot::decode(&bytes) {
-        Ok(snap) => {
-            let mut evicted = snap.undecodable;
+    let log_bytes = std::fs::read(&ps.log).ok();
+    match snapshot::merge_image(&base_bytes, log_bytes.as_deref()) {
+        Ok(img) => {
+            // The durable set is what the *file* holds (pre-validation):
+            // a stale entry is physically present, and its replacement
+            // (same key, fresh hash) must be appended, not skipped.
+            ps.persisted = img.facts.iter().map(|f| (f.key, f.hash)).collect();
+            ps.persisted_memo = img
+                .prove_empty
+                .iter()
+                .map(|(cs, r)| snapshot::memo_fingerprint(cs, *r))
+                .collect();
+            ps.base_checksum = img.base_checksum;
+            ps.base_bytes = base_bytes.len() as u64;
+            ps.log_bytes = log_bytes.map(|b| b.len() as u64).unwrap_or(0);
+            // A valid base with a damaged/foreign log still warm-starts
+            // from what replayed, but the next write folds everything into
+            // a fresh base+log pair instead of appending to damage.
+            ps.needs_base = img.log_ignored || img.log_truncated;
+            let mut evicted = img.undecodable;
             let mut valid = Vec::new();
-            for f in snap.facts {
+            for f in img.facts {
                 if expected.get(&f.key) == Some(&f.hash) {
                     valid.push(f);
                 } else {
@@ -196,11 +287,11 @@ fn load_snapshot(
             }
             report.warm_hits = store.import(valid) as u64;
             report.evicted_stale = evicted;
-            suif_poly::import_prove_empty_memo(&snap.prove_empty);
+            suif_poly::import_prove_empty_memo(&img.prove_empty);
             report.status = "loaded";
         }
         Err(e) => {
-            let w = format!("snapshot {}: {e}; cold start", path.display());
+            let w = format!("snapshot {}: {e}; cold start", ps.base.display());
             eprintln!("warning: {w}");
             report.status = "discarded";
             report.warning = Some(w);
@@ -253,11 +344,13 @@ impl Session {
         Session::open_with_persistence(source, opts, cache, spec_budget, None)
     }
 
-    /// [`Session::open_with_speculation`] plus durable persistence: the fact
-    /// snapshot `persist_dir/facts.snap` is loaded (after validating every
-    /// entry against freshly computed input hashes) before the opening
-    /// analysis, and rewritten atomically after `open`, `reload`, `assert`,
-    /// an explicit `checkpoint`, and on drop.
+    /// [`Session::open_with_speculation`] plus durable persistence: the
+    /// base snapshot `persist_dir/facts.snap` with its append-log replayed
+    /// over it is loaded (after validating every entry against freshly
+    /// computed input hashes) before the opening analysis; `assert`, an
+    /// explicit `checkpoint`, and drop then append O(delta) records to the
+    /// log, with a size/ratio-triggered compaction folding the log back
+    /// into a fresh base atomically.
     pub fn open_with_persistence(
         source: &str,
         opts: ScheduleOptions,
@@ -306,20 +399,22 @@ impl Session {
         });
         store.set_budget(budget);
         store.set_owner(session_id);
-        let persist = persist_dir.map(|d| d.join(SNAPSHOT_FILE));
+        let mut persist = persist_dir.map(|d| PersistState::new(&d));
         let mut report = SnapshotReport::default();
-        if let Some(path) = &persist {
+        if let Some(ps) = &mut persist {
             // The explorer always analyzes under the default configuration
             // (see `build_explorer`), so the expected hashes are computed
             // for it; a snapshot persisted under any other configuration
             // simply misses and is evicted as stale.
+            let t0 = Instant::now();
             let expected =
                 Parallelizer::expected_fact_hashes(&program, &ParallelizeConfig::default());
-            report = load_snapshot(path, &store, tier.as_deref(), &expected);
+            report = load_persisted(ps, &store, tier.as_deref(), &expected);
+            report.load_secs = t0.elapsed().as_secs_f64();
         }
         let (explorer, stats, delta) = build_explorer(pref, &opts, &cache, store.clone())?;
         report.cold_misses = stats.facts_computed;
-        let session = Session {
+        let mut session = Session {
             explorer,
             program,
             cache,
@@ -338,57 +433,162 @@ impl Session {
             cert: CertCounters::default(),
         };
         // Persist the freshly opened state so even a kill -9 before the
-        // first invalidation event restarts warm.
-        session.save_snapshot();
+        // first invalidation event restarts warm: a fresh dir gets its
+        // base image, a warm start appends whatever the open computed.
+        session.persist_now();
         Ok(session)
     }
 
-    /// Write the current fact store (and emptiness memo) to the persist
-    /// path, atomically.  A no-op without persistence; IO failures warn on
-    /// stderr but never fail the triggering request.
-    fn save_snapshot(&self) {
-        let Some(path) = &self.persist else { return };
-        if let Err(e) = self.write_snapshot(path) {
-            eprintln!(
-                "warning: snapshot {}: write failed: {e}; continuing without persistence",
-                path.display()
-            );
-        }
-    }
-
-    /// Export, encode, and atomically replace the snapshot at `path`.
-    /// Returns `(facts, bytes)` written.  Only `Ready`+valid slots are
+    /// Everything durable right now.  Only `Ready`+valid slots are
     /// exported, so a checkpoint taken mid-speculation never persists
     /// `Running` or invalidated results.  With a shared tier, the tier is
     /// exported instead of the per-session overlay — one snapshot covers
     /// every tenant's clean facts, and assertion-tainted overlay entries
     /// (never published to the tier) stay out of the durable state.
-    fn write_snapshot(&self, path: &Path) -> std::io::Result<(usize, usize)> {
-        let facts = match &self.tier {
+    fn export_all(&self) -> Vec<suif_analysis::ExportedFact> {
+        match &self.tier {
             Some(t) => t.export(),
             None => self.store.export(),
+        }
+    }
+
+    /// Checkpoint: append the delta (or write the initial base), folding
+    /// the log into a fresh base when it has grown past the compaction
+    /// threshold.  A no-op without persistence; IO failures warn on stderr
+    /// but never fail the triggering request.
+    fn persist_now(&mut self) {
+        if self.persist.is_none() {
+            return;
+        }
+        if let Err(e) = self.checkpoint_inner() {
+            let ps = self.persist.as_ref().unwrap();
+            eprintln!(
+                "warning: snapshot {}: write failed: {e}; continuing without persistence",
+                ps.base.display()
+            );
+        }
+    }
+
+    /// The checkpoint body shared by the auto-save path and the explicit
+    /// `checkpoint` request.  Returns `(delta_facts, bytes_written)`.
+    fn checkpoint_inner(&mut self) -> std::io::Result<(usize, usize)> {
+        let t0 = Instant::now();
+        let out = if self.persist.as_ref().unwrap().needs_base {
+            self.rewrite_base()
+        } else {
+            let appended = self.append_delta()?;
+            self.maybe_compact()?;
+            Ok(appended)
         };
-        let snap = snapshot::Snapshot::new(facts, suif_poly::export_prove_empty_memo());
+        self.snapshot.save_secs += t0.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Write the full durable state as a fresh base image, then reset the
+    /// log to a header bound to it.  Both writes are atomic; a crash
+    /// between them leaves the new base with the *old* log, whose binding
+    /// checksum no longer matches — the stale log is ignored on load, so
+    /// the crash costs recomputation, never correctness.
+    fn rewrite_base(&mut self) -> std::io::Result<(usize, usize)> {
+        let snap = snapshot::Snapshot::new(self.export_all(), suif_poly::export_prove_empty_memo());
         let bytes = snap.encode();
-        snapshot::write_atomic(path, &bytes)?;
+        let ps = self.persist.as_mut().unwrap();
+        snapshot::write_atomic(&ps.base, &bytes)?;
+        let checksum = snapshot::file_checksum(&bytes).expect("encoded snapshot has a header");
+        let header = snapshot::log_header(checksum);
+        snapshot::write_atomic(&ps.log, &header)?;
+        ps.base_checksum = checksum;
+        ps.base_bytes = bytes.len() as u64;
+        ps.log_bytes = header.len() as u64;
+        ps.needs_base = false;
+        ps.persisted = snap.facts.iter().map(|f| (f.key, f.hash)).collect();
+        ps.persisted_memo = snap
+            .prove_empty
+            .iter()
+            .map(|(cs, r)| snapshot::memo_fingerprint(cs, *r))
+            .collect();
         Ok((snap.facts.len(), bytes.len()))
     }
 
-    /// Explicit `checkpoint` request: force a snapshot write and report what
-    /// was persisted.  Errors (no persist dir, IO failure) surface to the
-    /// client instead of being downgraded to warnings.
-    pub fn checkpoint_json(&self) -> Result<Json, String> {
-        let path = self
-            .persist
-            .as_ref()
-            .ok_or("persistence is off (start with --persist-dir)")?;
-        let (facts, bytes) = self
-            .write_snapshot(path)
-            .map_err(|e| format!("snapshot {}: write failed: {e}", path.display()))?;
+    /// Append one framed record holding only what is not yet durable:
+    /// facts whose `(key, hash)` moved and new emptiness-memo entries.
+    /// O(delta) — the cost no longer scales with the total fact count.
+    fn append_delta(&mut self) -> std::io::Result<(usize, usize)> {
+        let facts = self.export_all();
+        let memo = suif_poly::export_prove_empty_memo();
+        let ps = self.persist.as_mut().unwrap();
+        let delta: Vec<_> = facts
+            .into_iter()
+            .filter(|f| ps.persisted.get(&f.key) != Some(&f.hash))
+            .collect();
+        let memo_delta: Vec<_> = memo
+            .into_iter()
+            .filter(|(cs, r)| !ps.persisted_memo.contains(&snapshot::memo_fingerprint(cs, *r)))
+            .collect();
+        if delta.is_empty() && memo_delta.is_empty() {
+            return Ok((0, 0));
+        }
+        let durable_facts: Vec<(FactKey, u128)> = delta.iter().map(|f| (f.key, f.hash)).collect();
+        let durable_memo: Vec<u128> = memo_delta
+            .iter()
+            .map(|(cs, r)| snapshot::memo_fingerprint(cs, *r))
+            .collect();
+        let record = snapshot::encode_log_record(delta, memo_delta);
+        {
+            use std::io::Write;
+            let mut fh = std::fs::OpenOptions::new()
+                .append(true)
+                .create(true)
+                .open(&ps.log)?;
+            // An empty log (e.g. removed out-of-band) needs its binding
+            // header first, or the whole log is ignored at the next load.
+            if fh.metadata()?.len() == 0 {
+                fh.write_all(&snapshot::log_header(ps.base_checksum))?;
+                ps.log_bytes = snapshot::LOG_HEADER_LEN as u64;
+            }
+            fh.write_all(&record)?;
+        }
+        ps.log_bytes += record.len() as u64;
+        ps.persisted.extend(durable_facts.iter().copied());
+        ps.persisted_memo.extend(durable_memo);
+        self.snapshot.appended_bytes += record.len() as u64;
+        Ok((durable_facts.len(), record.len()))
+    }
+
+    /// Fold the log into a fresh base once its record bytes reach both the
+    /// [`COMPACT_MIN_LOG_BYTES`] floor and the base image's own size.
+    fn maybe_compact(&mut self) -> std::io::Result<()> {
+        let ps = self.persist.as_ref().unwrap();
+        let records = ps
+            .log_bytes
+            .saturating_sub(snapshot::LOG_HEADER_LEN as u64);
+        if records >= COMPACT_MIN_LOG_BYTES.max(ps.base_bytes) {
+            self.rewrite_base()?;
+            self.snapshot.compactions += 1;
+        }
+        Ok(())
+    }
+
+    /// Explicit `checkpoint` request: append the delta (compacting when
+    /// due) and report what was persisted.  Errors (no persist dir, IO
+    /// failure) surface to the client instead of being downgraded to
+    /// warnings.
+    pub fn checkpoint_json(&mut self) -> Result<Json, String> {
+        if self.persist.is_none() {
+            return Err("persistence is off (start with --persist-dir)".into());
+        }
+        let (delta_facts, bytes) = self.checkpoint_inner().map_err(|e| {
+            let ps = self.persist.as_ref().unwrap();
+            format!("snapshot {}: write failed: {e}", ps.base.display())
+        })?;
+        let ps = self.persist.as_ref().unwrap();
         Ok(Json::obj([
-            ("path", Json::str(path.display().to_string())),
-            ("facts", Json::int(facts as i64)),
+            ("path", Json::str(ps.base.display().to_string())),
+            ("facts", Json::int(ps.persisted.len() as i64)),
+            ("delta_facts", Json::int(delta_facts as i64)),
             ("bytes", Json::int(bytes as i64)),
+            ("log_bytes", Json::int(ps.log_bytes as i64)),
+            ("compactions", Json::int(self.snapshot.compactions as i64)),
         ]))
     }
 
@@ -418,7 +618,13 @@ impl Session {
         self.last_stats = stats;
         self.last_cache_delta = delta;
         self.generation += 1;
-        self.save_snapshot();
+        // A reload churns many keys at once and orphans facts for deleted
+        // scopes; fold everything into a fresh base instead of appending a
+        // near-full-image delta to the log.
+        if let Some(ps) = &mut self.persist {
+            ps.needs_base = true;
+        }
+        self.persist_now();
         Ok(())
     }
 
@@ -597,7 +803,7 @@ impl Session {
         if !detail.is_empty() {
             fields.insert(1, ("detail", Json::str(&detail)));
         }
-        self.save_snapshot();
+        self.persist_now();
         Json::obj(fields)
     }
 
@@ -1025,6 +1231,13 @@ impl Session {
                 "evicted_stale",
                 Json::int(self.snapshot.evicted_stale as i64),
             ),
+            ("load_secs", Json::Num(self.snapshot.load_secs)),
+            ("save_secs", Json::Num(self.snapshot.save_secs)),
+            (
+                "appended_bytes",
+                Json::int(self.snapshot.appended_bytes as i64),
+            ),
+            ("compactions", Json::int(self.snapshot.compactions as i64)),
         ];
         if let Some(w) = &self.snapshot.warning {
             fields.push(("warning", Json::str(w.clone())));
@@ -1065,7 +1278,7 @@ impl Drop for Session {
         // (the thread owns `Arc`s, so this is tidiness, not soundness).
         self.cancel_speculation();
         // Final checkpoint on clean shutdown (`quit`, daemon exit).
-        self.save_snapshot();
+        self.persist_now();
     }
 }
 

@@ -12,7 +12,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use suif_analysis::{ScheduleOptions, SummaryCache};
 use suif_server::json::Json;
-use suif_server::{Daemon, Session, SNAPSHOT_FILE};
+use suif_server::{Daemon, Session, SNAPSHOT_FILE, SNAPSHOT_LOG_FILE};
 
 const SRC: &str = "program t
 proc inc(real q[*], int n) {
@@ -85,11 +85,12 @@ fn first_open_writes_a_snapshot() {
     assert_eq!(snap.get("warm_hits").and_then(Json::as_i64), Some(0));
     assert!(snap.get("cold_misses").and_then(Json::as_i64).unwrap() > 0);
     assert!(dir.join(SNAPSHOT_FILE).exists(), "written at open");
+    assert!(dir.join(SNAPSHOT_LOG_FILE).exists(), "log created at open");
     // No temp files left behind by the atomic writer.
     let leftovers: Vec<_> = std::fs::read_dir(&dir)
         .unwrap()
         .filter_map(|e| e.ok())
-        .filter(|e| e.file_name() != SNAPSHOT_FILE)
+        .filter(|e| e.file_name() != SNAPSHOT_FILE && e.file_name() != SNAPSHOT_LOG_FILE)
         .collect();
     assert!(leftovers.is_empty(), "stray files: {leftovers:?}");
     let _ = std::fs::remove_dir_all(&dir);
@@ -120,15 +121,19 @@ fn warm_start_reserves_answers_without_recomputation() {
     );
     assert_eq!(snap.get("evicted_stale").and_then(Json::as_i64), Some(0));
 
-    // Zero invocations of any persisted pass on the warm open, and the
+    // Zero invocations of any persisted pass on the warm open — including
+    // summarize and liveness, the expensive interprocedural ones — and the
     // answers are bit-identical.
     let st = s.stats_json();
+    for pass in ["classify", "summarize", "liveness"] {
+        let p = st.get("passes").unwrap().get(pass).unwrap();
+        assert_eq!(
+            p.get("invocations").and_then(Json::as_i64),
+            Some(0),
+            "{pass}: {st}"
+        );
+    }
     let classify = st.get("passes").unwrap().get("classify").unwrap();
-    assert_eq!(
-        classify.get("invocations").and_then(Json::as_i64),
-        Some(0),
-        "{st}"
-    );
     assert!(classify.get("reused").and_then(Json::as_i64).unwrap() > 0);
     assert_eq!(
         format!("{}", without_rendered(&cold_guru)),
@@ -240,6 +245,107 @@ fn old_version_snapshot_cold_starts_cleanly() {
     corruption_case("old-version", |b| {
         b[8..12].copy_from_slice(&1u32.to_le_bytes());
     });
+}
+
+/// A crash mid-append leaves a torn last log record: the valid prefix
+/// still replays (warm answers survive), the torn suffix is dropped, and
+/// the open folds everything into a freshly rebound base+log pair.
+#[test]
+fn torn_log_record_keeps_valid_prefix() {
+    let dir = scratch("torn_log");
+    {
+        let mut s = open(&dir);
+        let _ = s.guru_json();
+        let _ = s.slice_json("rec/1").unwrap();
+        s.checkpoint_json().unwrap();
+    }
+    let log_path = dir.join(SNAPSHOT_LOG_FILE);
+    let log = std::fs::read(&log_path).unwrap();
+    assert!(
+        log.len() > suif_analysis::snapshot::LOG_HEADER_LEN,
+        "guru/slice facts appended as log records (len {})",
+        log.len()
+    );
+    // Tear the final record a few bytes short of complete.
+    std::fs::write(&log_path, &log[..log.len() - 5]).unwrap();
+
+    let s = open(&dir);
+    let snap = snapshot_stats(&s);
+    assert_eq!(
+        snap.get("status").and_then(Json::as_str),
+        Some("loaded"),
+        "{snap}"
+    );
+    assert!(snap.get("warm_hits").and_then(Json::as_i64).unwrap() > 0);
+    // Anything torn away was recomputed, never misread.
+    let v = s.verdicts_json();
+    assert_eq!(v.get("loops").and_then(Json::as_arr).unwrap().len(), 3);
+    // The damage forced a full rewrite at open: the log is a bare header
+    // bound to the fresh base again, not an append onto the torn tail.
+    assert_eq!(
+        std::fs::read(&log_path).unwrap().len(),
+        suif_analysis::snapshot::LOG_HEADER_LEN
+    );
+    drop(s);
+    let s2 = open(&dir);
+    assert_eq!(
+        snapshot_stats(&s2).get("status").and_then(Json::as_str),
+        Some("loaded")
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A crash between compaction's two atomic writes leaves a fresh base
+/// beside the previous log, which is bound to the *old* base checksum:
+/// the stale log must be ignored (never replayed over the wrong image),
+/// answers come from the new base alone, and the next open rebinds the
+/// pair.
+#[test]
+fn mid_compaction_crash_ignores_stale_log() {
+    let dir = scratch("mid_compaction");
+    {
+        let mut s = open(&dir);
+        let _ = s.guru_json();
+        let _ = s.slice_json("rec/1").unwrap();
+        s.checkpoint_json().unwrap();
+    }
+    let base_path = dir.join(SNAPSHOT_FILE);
+    let log_path = dir.join(SNAPSHOT_LOG_FILE);
+    let base = std::fs::read(&base_path).unwrap();
+    let old_log = std::fs::read(&log_path).unwrap();
+    assert!(old_log.len() > suif_analysis::snapshot::LOG_HEADER_LEN);
+    // Replay compaction's first half only: fold base+log into a new base
+    // image, then "crash" before the log reset.
+    let img = suif_analysis::snapshot::merge_image(&base, Some(&old_log[..])).unwrap();
+    let folded = suif_analysis::Snapshot::new(img.facts, img.prove_empty).encode();
+    assert_ne!(folded, base, "folding the log must change the base image");
+    std::fs::write(&base_path, &folded).unwrap();
+
+    let s = open(&dir);
+    let snap = snapshot_stats(&s);
+    assert_eq!(
+        snap.get("status").and_then(Json::as_str),
+        Some("loaded"),
+        "{snap}"
+    );
+    assert!(snap.get("warm_hits").and_then(Json::as_i64).unwrap() > 0);
+    // The folded base already held every fact the stale log would have
+    // contributed: the open recomputes nothing.
+    let st = s.stats_json();
+    for pass in ["classify", "summarize", "liveness"] {
+        let p = st.get("passes").unwrap().get(pass).unwrap();
+        assert_eq!(
+            p.get("invocations").and_then(Json::as_i64),
+            Some(0),
+            "{pass}: {st}"
+        );
+    }
+    // And the pair is rebound: the log is a bare header over the new base.
+    assert_eq!(
+        std::fs::read(&log_path).unwrap().len(),
+        suif_analysis::snapshot::LOG_HEADER_LEN
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The wire-level `checkpoint` command works end to end, and a second

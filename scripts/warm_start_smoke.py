@@ -8,7 +8,8 @@ same program:
   run 2 (fresh process, same DIR): load -> guru -> slice -> stats -> quit
 
 and asserts that the restart (a) reports a loaded snapshot with warm hits
-and no stale evictions, (b) invoked the classify pass zero times, and
+and no stale evictions, (b) invoked the summarize, liveness, and classify
+passes zero times (every pass is persisted since snapshot version 3), and
 (c) answered `guru` identically (modulo the rendered report's wall-clock
 estimate).
 
@@ -76,10 +77,13 @@ def main():
     assert warm_snap["warm_hits"] > 0, f"restart must import facts: {warm_snap}"
     assert warm_snap["evicted_stale"] == 0, f"unchanged program evicted facts: {warm_snap}"
 
-    classify = warm["stats"]["passes"].get("classify", {})
-    assert classify.get("invocations", 0) == 0, (
-        f"warm start must not re-run classify: {classify}"
-    )
+    # Zero-traffic passes are omitted from `passes`, so a missing entry is
+    # itself a pass with zero invocations.
+    for pass_name in ("summarize", "liveness", "classify"):
+        p = warm["stats"]["passes"].get(pass_name, {})
+        assert p.get("invocations", 0) == 0, (
+            f"warm start must not re-run {pass_name}: {p}"
+        )
 
     cold_guru, warm_guru = guru_fingerprint(cold["guru"]), guru_fingerprint(warm["guru"])
     assert cold_guru == warm_guru, (
@@ -88,7 +92,7 @@ def main():
 
     print(
         f"warm start OK: {warm_snap['warm_hits']} facts imported, "
-        f"0 classify invocations, identical guru output"
+        f"0 summarize/liveness/classify invocations, identical guru output"
     )
 
 
